@@ -1,0 +1,70 @@
+// Bee Placement Optimizer ablation (Section IV-B): the paper observes the
+// L1-instruction miss rate is already ~0.3% across TPC-H, so careful bee
+// placement yields only a trivial run-time difference — the component exists
+// as protective infrastructure. This harness runs q1 and q6 with the
+// placement arena's cache-line isolation on and off and reports the delta,
+// which should be near zero.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace microspec {
+namespace {
+
+using benchutil::BenchEnv;
+using benchutil::ImprovementPct;
+using benchutil::RunTpchQuery;
+
+std::unique_ptr<Database> MakeDb(const BenchEnv& env, const std::string& name,
+                                 bool isolate) {
+  DatabaseOptions opts;
+  opts.dir = env.scratch + "/" + name;
+  opts.enable_bees = true;
+  opts.enable_tuple_bees = true;
+  opts.backend = env.backend;
+  opts.placement_isolation = isolate;
+  opts.buffer_pool_frames = 32768;
+  auto res = Database::Open(std::move(opts));
+  MICROSPEC_CHECK(res.ok());
+  auto db = res.MoveValue();
+  MICROSPEC_CHECK(tpch::CreateTpchTables(db.get()).ok());
+  MICROSPEC_CHECK(tpch::LoadTpch(db.get(), env.sf).ok());
+  return db;
+}
+
+void Run() {
+  BenchEnv env;
+  benchutil::PrintHeader(
+      "Placement ablation (Section IV-B): cache-line isolation on/off", env);
+
+  auto isolated = MakeDb(env, "placed", /*isolate=*/true);
+  auto packed = MakeDb(env, "packed", /*isolate=*/false);
+
+  std::printf("%-5s %14s %14s %10s\n", "query", "placed(ms)", "packed(ms)",
+              "delta");
+  for (int q : {1, 6, 12, 19}) {
+    RunTpchQuery(isolated.get(), SessionOptions::AllBees(), q);
+    RunTpchQuery(packed.get(), SessionOptions::AllBees(), q);
+    double pt = 0;
+    double ut = 0;
+    benchutil::PaperMeanPair(
+        env.reps,
+        [&] { RunTpchQuery(isolated.get(), SessionOptions::AllBees(), q); },
+        [&] { RunTpchQuery(packed.get(), SessionOptions::AllBees(), q); },
+        &pt, &ut);
+    std::printf("q%-4d %14.2f %14.2f %9.1f%%\n", q, pt * 1e3, ut * 1e3,
+                ImprovementPct(ut, pt));
+  }
+  std::printf(
+      "\n(paper: effect is trivial — I1 miss rate ~0.3%% — but placement\n"
+      "protects against cache conflicts as more bees are introduced.)\n");
+}
+
+}  // namespace
+}  // namespace microspec
+
+int main() {
+  microspec::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 4: TPC-H per-query run-time improvement with a warm cache, all bee
+// routines enabled (GCL + EVP + EVJ + tuple bees) vs the stock engine.
+// Paper: improvements of 1.4%..32.8%, Avg1 12.4% (per-query mean),
+// Avg2 23.7% (total-time ratio).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace microspec {
+namespace {
+
+using benchutil::BenchEnv;
+using benchutil::ImprovementPct;
+using benchutil::RunTpchQuery;
+
+void Run() {
+  BenchEnv env;
+  benchutil::PrintHeader(
+      "Figure 4: TPC-H run time improvement (warm cache, all bees)", env);
+
+  auto stock = benchutil::MakeTpchDb(env, "stock", false, false);
+  auto bee = benchutil::MakeTpchDb(env, "bee", true, true);
+
+  std::printf("%-5s %12s %12s %9s   %s\n", "query", "stock(ms)", "bees(ms)",
+              "improve", "analog");
+  double sum_stock = 0;
+  double sum_bee = 0;
+  double sum_pct = 0;
+  for (int q = 1; q <= tpch::kNumTpchQueries; ++q) {
+    // Warm both caches once, then time with interleaved repetitions so
+    // clock drift cannot bias either configuration.
+    RunTpchQuery(stock.get(), SessionOptions::Stock(), q);
+    RunTpchQuery(bee.get(), SessionOptions::AllBees(), q);
+    std::vector<double> t = benchutil::PaperMeanMulti(
+        env.reps,
+        {[&] { RunTpchQuery(stock.get(), SessionOptions::Stock(), q); },
+         [&] { RunTpchQuery(bee.get(), SessionOptions::AllBees(), q); }});
+    double st = t[0];
+    double bt = t[1];
+    double pct = ImprovementPct(st, bt);
+    sum_stock += st;
+    sum_bee += bt;
+    sum_pct += pct;
+    std::printf("q%-4d %12.2f %12.2f %8.1f%%   %s\n", q, st * 1e3, bt * 1e3,
+                pct, tpch::TpchQueryDescription(q));
+  }
+  std::printf("\nAvg1 (mean of per-query improvements): %.1f%%  (paper: 12.4%%)\n",
+              sum_pct / tpch::kNumTpchQueries);
+  std::printf("Avg2 (improvement of total time):      %.1f%%  (paper: 23.7%%)\n",
+              ImprovementPct(sum_stock, sum_bee));
+}
+
+}  // namespace
+}  // namespace microspec
+
+int main() {
+  microspec::Run();
+  return 0;
+}

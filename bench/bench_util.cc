@@ -1,0 +1,153 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+namespace microspec::benchutil {
+
+namespace {
+
+double EnvDouble(const char* name, double dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return dflt;
+  double x = std::atof(v);
+  return x > 0 ? x : dflt;
+}
+
+int EnvInt(const char* name, int dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return dflt;
+  int x = std::atoi(v);
+  return x > 0 ? x : dflt;
+}
+
+}  // namespace
+
+BenchEnv::BenchEnv() {
+  sf = EnvDouble("MICROSPEC_SF", 0.02);
+  reps = EnvInt("MICROSPEC_REPS", 3);
+  // Default to the native backend when a C compiler exists: it is the
+  // paper's own mechanism (gcc-compiled relation bees). The program backend
+  // remains the portable fallback and can be forced via MICROSPEC_BACKEND.
+  const char* b = std::getenv("MICROSPEC_BACKEND");
+  if (b != nullptr) {
+    backend = std::string(b) == "native" ? bee::BeeBackend::kNative
+                                         : bee::BeeBackend::kProgram;
+  } else {
+    backend = bee::NativeJit::CompilerAvailable() ? bee::BeeBackend::kNative
+                                                  : bee::BeeBackend::kProgram;
+  }
+  std::mt19937_64 rng(std::random_device{}());
+  scratch = "/tmp/microspec_bench_" + std::to_string(rng());
+  std::string cmd = "mkdir -p " + scratch;
+  MICROSPEC_CHECK(std::system(cmd.c_str()) == 0);
+}
+
+BenchEnv::~BenchEnv() {
+  std::string cmd = "rm -rf " + scratch;
+  (void)std::system(cmd.c_str());
+}
+
+std::unique_ptr<Database> OpenBenchDb(const BenchEnv& env,
+                                      const std::string& name,
+                                      bool enable_bees, bool tuple_bees,
+                                      size_t pool_frames) {
+  DatabaseOptions opts;
+  opts.dir = env.scratch + "/" + name;
+  opts.enable_bees = enable_bees;
+  opts.enable_tuple_bees = tuple_bees;
+  opts.backend = env.backend;
+  opts.buffer_pool_frames = pool_frames;  // default 256 MiB
+  auto res = Database::Open(std::move(opts));
+  MICROSPEC_CHECK(res.ok());
+  return res.MoveValue();
+}
+
+std::unique_ptr<Database> MakeTpchDb(const BenchEnv& env,
+                                     const std::string& name,
+                                     bool enable_bees, bool tuple_bees) {
+  auto db = OpenBenchDb(env, name, enable_bees, tuple_bees);
+  MICROSPEC_CHECK(tpch::CreateTpchTables(db.get()).ok());
+  MICROSPEC_CHECK(tpch::LoadTpch(db.get(), env.sf).ok());
+  return db;
+}
+
+double PaperMeanSeconds(int reps, const std::function<void()>& fn) {
+  std::vector<double> samples;
+  for (int i = 0; i < reps + 2; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(end - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  double sum = 0;
+  for (size_t i = 1; i + 1 < samples.size(); ++i) sum += samples[i];
+  return sum / static_cast<double>(samples.size() - 2);
+}
+
+void PaperMeanPair(int reps, const std::function<void()>& a,
+                   const std::function<void()>& b, double* a_seconds,
+                   double* b_seconds) {
+  std::vector<double> sa;
+  std::vector<double> sb;
+  for (int i = 0; i < reps + 2; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    a();
+    auto t1 = std::chrono::steady_clock::now();
+    b();
+    auto t2 = std::chrono::steady_clock::now();
+    sa.push_back(std::chrono::duration<double>(t1 - t0).count());
+    sb.push_back(std::chrono::duration<double>(t2 - t1).count());
+  }
+  auto robust_mean = [](std::vector<double>& s) {
+    std::sort(s.begin(), s.end());
+    double sum = 0;
+    for (size_t i = 1; i + 1 < s.size(); ++i) sum += s[i];
+    return sum / static_cast<double>(s.size() - 2);
+  };
+  *a_seconds = robust_mean(sa);
+  *b_seconds = robust_mean(sb);
+}
+
+std::vector<double> PaperMeanMulti(
+    int reps, const std::vector<std::function<void()>>& fns) {
+  std::vector<std::vector<double>> samples(fns.size());
+  for (int i = 0; i < reps + 2; ++i) {
+    for (size_t f = 0; f < fns.size(); ++f) {
+      auto t0 = std::chrono::steady_clock::now();
+      fns[f]();
+      auto t1 = std::chrono::steady_clock::now();
+      samples[f].push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+  }
+  std::vector<double> out;
+  for (std::vector<double>& s : samples) {
+    std::sort(s.begin(), s.end());
+    double sum = 0;
+    for (size_t i = 1; i + 1 < s.size(); ++i) sum += s[i];
+    out.push_back(sum / static_cast<double>(s.size() - 2));
+  }
+  return out;
+}
+
+uint64_t RunTpchQuery(Database* db, const SessionOptions& opts, int q) {
+  auto ctx = db->MakeContext(opts);
+  auto plan = tpch::BuildTpchQuery(q, ctx.get());
+  MICROSPEC_CHECK(plan.ok());
+  auto rows = CountRows(plan->get());
+  MICROSPEC_CHECK(rows.ok());
+  return rows.value();
+}
+
+void PrintHeader(const std::string& title, const BenchEnv& env) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(scale factor %.3g, %d timed reps, %s backend)\n\n", env.sf,
+              env.reps,
+              env.backend == bee::BeeBackend::kNative ? "native" : "program");
+}
+
+}  // namespace microspec::benchutil

@@ -1,0 +1,75 @@
+#ifndef MICROSPEC_BENCH_BENCH_UTIL_H_
+#define MICROSPEC_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bee/native_jit.h"
+#include "engine/database.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/tpch_queries.h"
+#include "workloads/tpch/tpch_schema.h"
+
+namespace microspec::benchutil {
+
+/// Shared environment for the figure harnesses. Scale and repetition are
+/// env-overridable so the same binaries serve CI smoke runs and full
+/// reproductions:
+///   MICROSPEC_SF            TPC-H scale factor (default 0.02)
+///   MICROSPEC_REPS          timed repetitions per measurement (default 3;
+///                           the paper used 10 after dropping hi/lo of 12)
+///   MICROSPEC_BACKEND       "program" (default) or "native"
+struct BenchEnv {
+  double sf;
+  int reps;
+  bee::BeeBackend backend;
+  std::string scratch;  // fresh temp dir, removed by the destructor
+
+  BenchEnv();
+  ~BenchEnv();
+};
+
+/// Opens a database under `env.scratch`/`name`.
+std::unique_ptr<Database> OpenBenchDb(const BenchEnv& env,
+                                      const std::string& name,
+                                      bool enable_bees, bool tuple_bees,
+                                      size_t pool_frames = 32768);
+
+/// Creates + loads all TPC-H tables at env.sf.
+std::unique_ptr<Database> MakeTpchDb(const BenchEnv& env,
+                                     const std::string& name,
+                                     bool enable_bees, bool tuple_bees);
+
+/// Runs `fn` (reps + 2) times, drops the fastest and slowest, returns the
+/// mean of the rest in seconds — the paper's measurement protocol (§VI-A).
+double PaperMeanSeconds(int reps, const std::function<void()>& fn);
+
+/// Times two closures with interleaved repetitions (a,b,a,b,...) so clock
+/// drift on a shared core cannot systematically bias one side; applies the
+/// same drop-hi/lo-then-mean protocol to each series.
+void PaperMeanPair(int reps, const std::function<void()>& a,
+                   const std::function<void()>& b, double* a_seconds,
+                   double* b_seconds);
+
+/// N-way interleaved timing: each repetition runs every closure once in
+/// order, so slow clock drift affects all configurations equally. Returns
+/// the drop-hi/lo mean per closure.
+std::vector<double> PaperMeanMulti(int reps,
+                                   const std::vector<std::function<void()>>& fns);
+
+/// Executes TPC-H query `q` once under `opts`; returns rows produced.
+uint64_t RunTpchQuery(Database* db, const SessionOptions& opts, int q);
+
+/// Percentage improvement of `specialized` over `stock` (positive = faster).
+inline double ImprovementPct(double stock, double specialized) {
+  return stock <= 0 ? 0 : (stock - specialized) / stock * 100.0;
+}
+
+/// Prints a separator + title for a figure harness.
+void PrintHeader(const std::string& title, const BenchEnv& env);
+
+}  // namespace microspec::benchutil
+
+#endif  // MICROSPEC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+// A minimal SQL shell over a bee-enabled database. Reads one statement per
+// line from stdin (or executes the demo script with --demo) and prints
+// result tables. Everything typed here runs through the bee seams: scans
+// deform via GCL, WHERE clauses become EVP bees, inserts go through SCL and
+// tuple-bee interning for LOW CARDINALITY columns.
+//
+//   echo "SELECT 1" | ./build/examples/example_sql_shell
+//   ./build/examples/example_sql_shell --demo
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sqlfe/engine.h"
+
+using namespace microspec;
+
+namespace {
+
+const char* kDemo[] = {
+    "CREATE TABLE city (id INT NOT NULL, name VARCHAR NOT NULL, "
+    "country CHAR(2) NOT NULL LOW CARDINALITY, pop DOUBLE NOT NULL)",
+    "INSERT INTO city VALUES (1, 'Tucson', 'US', 0.55), "
+    "(2, 'Phoenix', 'US', 1.6), (3, 'Munich', 'DE', 1.5), "
+    "(4, 'Berlin', 'DE', 3.6), (5, 'Hamburg', 'DE', 1.9)",
+    "SELECT * FROM city WHERE pop > 1 ORDER BY pop DESC",
+    "SELECT country, count(*) AS cities, sum(pop) AS total_pop "
+    "FROM city GROUP BY country ORDER BY country",
+};
+
+void RunOne(Database* db, ExecContext* ctx, const std::string& sql) {
+  auto result = sqlfe::ExecuteSql(db, ctx, sql);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (!result->columns.empty()) {
+    std::printf("%s(%zu rows)\n", result->ToString().c_str(),
+                result->rows.size());
+  } else if (result->affected > 0) {
+    std::printf("INSERT %llu\n",
+                static_cast<unsigned long long>(result->affected));
+  } else {
+    std::printf("ok\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "/tmp/microspec_sql_shell";
+  (void)std::system(("rm -rf " + dir).c_str());
+  DatabaseOptions options;
+  options.dir = dir;
+  options.enable_bees = true;
+  options.enable_tuple_bees = true;
+  auto db = Database::Open(std::move(options)).MoveValue();
+  auto ctx = db->MakeContext();
+
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    for (const char* sql : kDemo) {
+      std::printf("sql> %s\n", sql);
+      RunOne(db.get(), ctx.get(), sql);
+    }
+    return 0;
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "\\q" || line == "quit") break;
+    RunOne(db.get(), ctx.get(), line);
+  }
+  return 0;
+}

@@ -1,0 +1,316 @@
+#include "bee/bee_module.h"
+
+#include <cstring>
+#include <fstream>
+#include <sys/stat.h>
+
+#include "storage/tuple.h"
+
+namespace microspec::bee {
+
+namespace {
+
+/// Adapter exposing a relation bee's GCL routine as a TupleDeformer.
+class GclDeformer final : public TupleDeformer {
+ public:
+  explicit GclDeformer(RelationBeeState* state) : state_(state) {}
+
+  void Deform(const char* tuple, int natts, Datum* values,
+              bool* isnull) const override {
+    // Prefer the natively compiled routine on the fast (no NULLs) path; the
+    // program backend handles the NULL slow path and serves as fallback.
+    TupleBeeManager* bees = state_->tuple_bees();
+    if (state_->native_gcl() != nullptr &&
+        (static_cast<uint8_t>(tuple[2]) & kTupleHasNulls) == 0) {
+      workops::Bump(2 * static_cast<uint64_t>(natts));
+      state_->native_gcl()(tuple, natts, values,
+                           reinterpret_cast<char*>(isnull),
+                           bees != nullptr ? bees->datum_table() : nullptr);
+      return;
+    }
+    state_->gcl().Execute(tuple, natts, values, isnull, bees);
+  }
+
+ private:
+  RelationBeeState* state_;
+};
+
+/// Adapter exposing SCL (+ tuple-bee creation) as a TupleFormer.
+class SclFormer final : public TupleFormer {
+ public:
+  explicit SclFormer(RelationBeeState* state) : state_(state) {}
+
+  Status FormTuple(const Datum* values, const bool* isnull,
+                   std::string* out) const override {
+    uint8_t bee_id = 0;
+    bool has_bee = false;
+    TupleBeeManager* bees = state_->tuple_bees();
+    if (bees != nullptr) {
+      // Specialized attributes must be NOT NULL (annotation contract).
+      for (int c : state_->spec_cols()) {
+        if (isnull != nullptr && isnull[c]) {
+          return Status::InvalidArgument(
+              "NULL in a tuple-bee specialized column");
+        }
+      }
+      MICROSPEC_ASSIGN_OR_RETURN(bee_id, bees->Intern(values));
+      has_bee = true;
+    }
+    if (state_->scl().applicable(isnull)) {
+      state_->scl().Execute(values, bee_id, has_bee, out);
+      return Status::OK();
+    }
+    // NULL-carrying tuples use the null-aware specialized variant (bitmap
+    // writes folded in, offsets still resolved at bee-creation time).
+    state_->scl().ExecuteNullable(values, isnull, bee_id, has_bee, out);
+    return Status::OK();
+  }
+
+ private:
+  RelationBeeState* state_;
+};
+
+void EnsureDir(const std::string& dir) {
+  ::mkdir(dir.c_str(), 0755);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+bool GetU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+constexpr uint32_t kBeeCacheMagic = 0xBEEC0DEu;
+
+}  // namespace
+
+RelationBeeState::RelationBeeState(TableInfo* table,
+                                   std::vector<int> spec_cols)
+    : table_(table), spec_cols_(std::move(spec_cols)) {
+  std::vector<Column> stored_cols;
+  const Schema& logical = table->schema();
+  for (int i = 0; i < logical.natts(); ++i) {
+    bool spec = false;
+    for (int c : spec_cols_) spec = spec || (c == i);
+    if (!spec) stored_cols.push_back(logical.column(i));
+  }
+  stored_ = Schema(std::move(stored_cols));
+}
+
+Status RelationBeeState::Build(BeeBackend backend, NativeJit* jit,
+                               const std::string& cache_dir) {
+  const Schema& logical = table_->schema();
+  gcl_ = DeformProgram::Compile(logical, stored_, spec_cols_);
+  scl_ = FormProgram::Compile(logical, stored_, spec_cols_);
+  if (!spec_cols_.empty()) {
+    bees_ = std::make_unique<TupleBeeManager>(&logical, spec_cols_);
+  }
+  if (backend == BeeBackend::kNative && NativeJit::CompilerAvailable()) {
+    std::string symbol = "bee_gcl_t" + std::to_string(table_->id());
+    native_source_ =
+        NativeJit::GenerateGclSource(logical, stored_, spec_cols_, symbol);
+    Result<NativeGclFn> fn =
+        jit->CompileGcl(logical, stored_, spec_cols_, cache_dir, symbol);
+    if (fn.ok()) {
+      native_gcl_ = fn.value();
+    }
+    // Compilation failure silently degrades to the program backend.
+  }
+  deformer_ = std::make_unique<GclDeformer>(this);
+  former_ = std::make_unique<SclFormer>(this);
+  return Status::OK();
+}
+
+BeeModule::BeeModule(BeeModuleOptions options)
+    : options_(std::move(options)),
+      placement_(options_.placement_isolation) {
+  if (!options_.cache_dir.empty()) EnsureDir(options_.cache_dir);
+}
+
+BeeModule::~BeeModule() = default;
+
+Status BeeModule::CreateRelationBees(TableInfo* table,
+                                     bool enable_tuple_bees) {
+  std::vector<int> spec_cols;
+  if (enable_tuple_bees) {
+    const Schema& s = table->schema();
+    for (int i = 0; i < s.natts(); ++i) {
+      if (s.column(i).low_cardinality() && s.column(i).not_null()) {
+        spec_cols.push_back(i);
+      }
+    }
+  }
+  auto state = std::make_unique<RelationBeeState>(table, std::move(spec_cols));
+  MICROSPEC_RETURN_NOT_OK(
+      state->Build(options_.backend, &jit_, options_.cache_dir));
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  states_[table->id()] = std::move(state);
+  return Status::OK();
+}
+
+void BeeModule::CollectTable(TableId id) {
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  states_.erase(id);
+}
+
+RelationBeeState* BeeModule::StateFor(TableId id) {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  auto it = states_.find(id);
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+const TupleDeformer* BeeModule::DeformerFor(TableInfo* table,
+                                            const SessionOptions& opts) {
+  RelationBeeState* state = StateFor(table->id());
+  if (state == nullptr) return nullptr;
+  // Relations with tuple bees cannot be read by the generic loop: their
+  // stored layout omits the specialized attributes. GCL is mandatory there.
+  if (state->has_tuple_bees()) return state->deformer();
+  return opts.enable_gcl ? state->deformer() : nullptr;
+}
+
+const TupleFormer* BeeModule::FormerFor(TableInfo* table,
+                                        const SessionOptions& opts) {
+  RelationBeeState* state = StateFor(table->id());
+  if (state == nullptr) return nullptr;
+  if (state->has_tuple_bees()) return state->former();
+  return opts.enable_scl ? state->former() : nullptr;
+}
+
+std::unique_ptr<PredicateEvaluator> BeeModule::SpecializePredicate(
+    const Expr& expr, const SessionOptions& opts) {
+  if (!opts.enable_evp) return nullptr;
+  std::unique_ptr<PredicateEvaluator> bee =
+      TrySpecializePredicate(expr, &placement_, /*input_nullable=*/true);
+  if (bee != nullptr) ++evp_created_;
+  return bee;
+}
+
+std::unique_ptr<JoinKeyEvaluator> BeeModule::SpecializeJoinKeys(
+    const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
+    const std::vector<ColMeta>& key_meta, const SessionOptions& opts) {
+  if (!opts.enable_evj) return nullptr;
+  std::unique_ptr<JoinKeyEvaluator> bee =
+      TrySpecializeJoinKeys(outer_cols, inner_cols, key_meta, &placement_);
+  if (bee != nullptr) ++evj_created_;
+  return bee;
+}
+
+Status BeeModule::SaveCache() const {
+  if (options_.cache_dir.empty()) return Status::OK();
+  std::string out;
+  PutU32(&out, kBeeCacheMagic);
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  PutU32(&out, static_cast<uint32_t>(states_.size()));
+  for (const auto& [id, state] : states_) {
+    PutU32(&out, id);
+    PutU64(&out, state->table()->schema().LayoutFingerprint());
+    PutU32(&out, static_cast<uint32_t>(state->spec_cols().size()));
+    for (int c : state->spec_cols()) PutU32(&out, static_cast<uint32_t>(c));
+    const TupleBeeManager* bees =
+        const_cast<RelationBeeState*>(state.get())->tuple_bees();
+    uint32_t nsec =
+        bees == nullptr ? 0 : static_cast<uint32_t>(bees->num_sections());
+    PutU32(&out, nsec);
+    for (uint32_t i = 0; i < nsec; ++i) {
+      const DataSection* s = bees->section(static_cast<uint8_t>(i));
+      PutU32(&out, static_cast<uint32_t>(s->blob.size()));
+      out.append(s->blob);
+    }
+  }
+  std::ofstream f(options_.cache_dir + "/beecache.msb", std::ios::binary);
+  if (!f) return Status::IoError("cannot write bee cache");
+  f.write(out.data(), static_cast<std::streamsize>(out.size()));
+  return f.good() ? Status::OK() : Status::IoError("bee cache write failed");
+}
+
+Status BeeModule::LoadCache(Catalog* catalog, bool enable_tuple_bees) {
+  (void)enable_tuple_bees;
+  std::ifstream f(options_.cache_dir + "/beecache.msb", std::ios::binary);
+  if (!f) return Status::NotFound("no bee cache");
+  std::string in((std::istreambuf_iterator<char>(f)),
+                 std::istreambuf_iterator<char>());
+  size_t pos = 0;
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  if (!GetU32(in, &pos, &magic) || magic != kBeeCacheMagic ||
+      !GetU32(in, &pos, &count)) {
+    return Status::Corruption("bee cache header");
+  }
+  for (uint32_t t = 0; t < count; ++t) {
+    uint32_t id = 0;
+    uint64_t fp = 0;
+    uint32_t nspec = 0;
+    if (!GetU32(in, &pos, &id) || !GetU64(in, &pos, &fp) ||
+        !GetU32(in, &pos, &nspec)) {
+      return Status::Corruption("bee cache entry");
+    }
+    std::vector<int> spec_cols;
+    for (uint32_t i = 0; i < nspec; ++i) {
+      uint32_t c = 0;
+      if (!GetU32(in, &pos, &c)) return Status::Corruption("bee cache spec");
+      spec_cols.push_back(static_cast<int>(c));
+    }
+    uint32_t nsec = 0;
+    if (!GetU32(in, &pos, &nsec)) return Status::Corruption("bee cache nsec");
+    TableInfo* table = catalog->GetTable(static_cast<TableId>(id));
+    if (table == nullptr) {
+      return Status::Corruption("bee cache references unknown table");
+    }
+    // Bee Reconstruction: schema changed since the cache was written means
+    // the bee must be rebuilt from scratch; sections cannot be trusted.
+    if (table->schema().LayoutFingerprint() != fp) {
+      return Status::Corruption("bee cache fingerprint mismatch");
+    }
+    auto state = std::make_unique<RelationBeeState>(table, spec_cols);
+    MICROSPEC_RETURN_NOT_OK(
+        state->Build(options_.backend, &jit_, options_.cache_dir));
+    for (uint32_t i = 0; i < nsec; ++i) {
+      uint32_t len = 0;
+      if (!GetU32(in, &pos, &len) || pos + len > in.size()) {
+        return Status::Corruption("bee cache section");
+      }
+      MICROSPEC_RETURN_NOT_OK(
+          state->tuple_bees()->RestoreSection(in.substr(pos, len)));
+      pos += len;
+    }
+    std::unique_lock<std::shared_mutex> guard(mutex_);
+    states_[static_cast<TableId>(id)] = std::move(state);
+  }
+  return Status::OK();
+}
+
+BeeStats BeeModule::stats() const {
+  BeeStats s;
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  for (const auto& [id, state] : states_) {
+    (void)id;
+    ++s.relation_bees;
+    if (state->has_native_gcl()) ++s.native_gcl_routines;
+    TupleBeeManager* bees =
+        const_cast<RelationBeeState*>(state.get())->tuple_bees();
+    if (bees != nullptr) {
+      ++s.tuple_bee_relations;
+      s.tuple_sections += bees->num_sections();
+      s.section_bytes += bees->section_bytes();
+    }
+  }
+  s.evp_bees_created = evp_created_;
+  s.evj_bees_created = evj_created_;
+  return s;
+}
+
+}  // namespace microspec::bee

@@ -1,0 +1,142 @@
+#ifndef MICROSPEC_BEE_BEE_MODULE_H_
+#define MICROSPEC_BEE_BEE_MODULE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bee/deform_program.h"
+#include "bee/native_jit.h"
+#include "bee/placement.h"
+#include "bee/query_bee.h"
+#include "bee/tuple_bee.h"
+#include "catalog/catalog.h"
+#include "exec/operator.h"
+
+namespace microspec::bee {
+
+/// How relation-bee routines are materialized.
+enum class BeeBackend : uint8_t {
+  /// Bee-creation-time compiled straight-line programs run by a threaded
+  /// dispatcher. Portable; the deterministic default for benchmarks.
+  kProgram,
+  /// Runtime C code generation + system compiler + dlopen, the paper's gcc
+  /// path (Section III-B). Falls back to kProgram when no compiler exists
+  /// or for tuples that need the NULL slow path.
+  kNative,
+};
+
+struct BeeModuleOptions {
+  BeeBackend backend = BeeBackend::kProgram;
+  /// Bee Placement Optimizer: isolate bee contexts on dedicated cache lines.
+  bool placement_isolation = true;
+  /// Directory for generated bee sources/objects and the on-disk bee cache.
+  std::string cache_dir;
+};
+
+/// Aggregate bee statistics (surfaced by the engine and bee_inspector).
+struct BeeStats {
+  int relation_bees = 0;
+  int native_gcl_routines = 0;
+  int tuple_bee_relations = 0;
+  int tuple_sections = 0;
+  size_t section_bytes = 0;
+  uint64_t evp_bees_created = 0;
+  uint64_t evj_bees_created = 0;
+};
+
+/// Per-relation bee: the stored-layout schema, the GCL/SCL routines
+/// (program and optionally native), and the tuple-bee manager.
+class RelationBeeState {
+ public:
+  RelationBeeState(TableInfo* table, std::vector<int> spec_cols);
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(RelationBeeState);
+
+  /// Compiles the GCL/SCL programs (and the native routine when requested).
+  Status Build(BeeBackend backend, NativeJit* jit,
+               const std::string& cache_dir);
+
+  const Schema& stored_schema() const { return stored_; }
+  const std::vector<int>& spec_cols() const { return spec_cols_; }
+  bool has_tuple_bees() const { return !spec_cols_.empty(); }
+  TupleBeeManager* tuple_bees() { return bees_.get(); }
+  const DeformProgram& gcl() const { return gcl_; }
+  const FormProgram& scl() const { return scl_; }
+  bool has_native_gcl() const { return native_gcl_ != nullptr; }
+  NativeGclFn native_gcl() const { return native_gcl_; }
+  const std::string& native_source() const { return native_source_; }
+
+  const TupleDeformer* deformer() const { return deformer_.get(); }
+  const TupleFormer* former() const { return former_.get(); }
+  TableInfo* table() { return table_; }
+
+ private:
+  TableInfo* table_;
+  std::vector<int> spec_cols_;
+  Schema stored_;
+  DeformProgram gcl_;
+  FormProgram scl_;
+  NativeGclFn native_gcl_ = nullptr;
+  std::string native_source_;
+  std::unique_ptr<TupleBeeManager> bees_;
+  std::unique_ptr<TupleDeformer> deformer_;
+  std::unique_ptr<TupleFormer> former_;
+};
+
+/// The Generic Bee Module (Section IV): creates relation/tuple/query bees,
+/// caches them, answers the engine's Bee Caller through the BeeHooks
+/// interface, and garbage-collects bees of dropped relations.
+class BeeModule final : public BeeHooks {
+ public:
+  explicit BeeModule(BeeModuleOptions options);
+  ~BeeModule() override;
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(BeeModule);
+
+  /// DDL-compiler hook: creates the relation bee (GCL + SCL) for a freshly
+  /// created table; when `enable_tuple_bees`, columns annotated
+  /// low-cardinality (and NOT NULL) become tuple-bee specialized.
+  Status CreateRelationBees(TableInfo* table, bool enable_tuple_bees);
+
+  /// The Bee Collector: drops all bees belonging to a dropped relation.
+  void CollectTable(TableId id);
+
+  RelationBeeState* StateFor(TableId id);
+
+  /// --- BeeHooks (the Bee Caller seam) ---------------------------------------
+  const TupleDeformer* DeformerFor(TableInfo* table,
+                                   const SessionOptions& opts) override;
+  const TupleFormer* FormerFor(TableInfo* table,
+                               const SessionOptions& opts) override;
+  std::unique_ptr<PredicateEvaluator> SpecializePredicate(
+      const Expr& expr, const SessionOptions& opts) override;
+  std::unique_ptr<JoinKeyEvaluator> SpecializeJoinKeys(
+      const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
+      const std::vector<ColMeta>& key_meta,
+      const SessionOptions& opts) override;
+
+  /// --- Bee cache persistence -------------------------------------------------
+  /// Tuple-bee data sections hold real data and must survive restarts; the
+  /// GCL/SCL programs are reconstructed from the schema at load time (the
+  /// paper's Bee Reconstruction component).
+  Status SaveCache() const;
+  Status LoadCache(Catalog* catalog, bool enable_tuple_bees);
+
+  BeeStats stats() const;
+  PlacementArena* placement() { return &placement_; }
+  const BeeModuleOptions& options() const { return options_; }
+
+ private:
+  BeeModuleOptions options_;
+  PlacementArena placement_;
+  NativeJit jit_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<TableId, std::unique_ptr<RelationBeeState>> states_;
+  mutable uint64_t evp_created_ = 0;
+  mutable uint64_t evj_created_ = 0;
+};
+
+}  // namespace microspec::bee
+
+#endif  // MICROSPEC_BEE_BEE_MODULE_H_

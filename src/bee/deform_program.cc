@@ -1,0 +1,538 @@
+#include "bee/deform_program.h"
+
+#include <cstring>
+
+#include "common/align.h"
+#include "common/counters.h"
+#include "common/macros.h"
+#include "storage/tuple.h"
+
+namespace microspec::bee {
+
+namespace {
+
+/// Reads the 6-byte tuple header.
+inline TupleHeader ReadHeader(const char* tuple) {
+  TupleHeader h;
+  std::memcpy(&h, tuple, sizeof(h));
+  return h;
+}
+
+}  // namespace
+
+DeformProgram DeformProgram::Compile(const Schema& logical,
+                                     const Schema& stored,
+                                     const std::vector<int>& spec_cols) {
+  DeformProgram p;
+  p.logical_ = &logical;
+  p.stored_ = &stored;
+  p.spec_cols_ = spec_cols;
+  p.logical_natts_ = logical.natts();
+  p.all_not_null_ = !stored.has_nullable();
+
+  // Build logical<->stored/slot maps.
+  p.logical_to_stored_.assign(static_cast<size_t>(logical.natts()), -1);
+  p.logical_to_slot_.assign(static_cast<size_t>(logical.natts()), -1);
+  for (size_t s = 0; s < spec_cols.size(); ++s) {
+    p.logical_to_slot_[static_cast<size_t>(spec_cols[s])] =
+        static_cast<int>(s);
+  }
+  int stored_idx = 0;
+  for (int i = 0; i < logical.natts(); ++i) {
+    if (p.logical_to_slot_[static_cast<size_t>(i)] < 0) {
+      p.logical_to_stored_[static_cast<size_t>(i)] = stored_idx++;
+    }
+  }
+  MICROSPEC_CHECK(stored_idx == stored.natts());
+
+  // Lower each logical attribute to a step. Offsets are tracked while the
+  // layout prefix is fixed; the first variable-length stored attribute
+  // switches to dynamic mode.
+  bool fixed_mode = true;
+  uint32_t off = 0;
+  for (int i = 0; i < logical.natts(); ++i) {
+    const Column& c = logical.column(i);
+    DeformStep step{};
+    step.out = static_cast<uint16_t>(i);
+    int slot = p.logical_to_slot_[static_cast<size_t>(i)];
+    if (slot >= 0) {
+      step.op = DeformOp::kSection;
+      step.arg = static_cast<uint32_t>(slot);
+      p.steps_.push_back(step);
+      p.null_steps_.push_back(step);
+      continue;  // specialized columns occupy no tuple storage
+    }
+    step.stored =
+        static_cast<uint16_t>(p.logical_to_stored_[static_cast<size_t>(i)]);
+    step.maybe_null = !c.not_null();
+
+    // The null-aware variant uses dynamic ops throughout: a NULL earlier in
+    // the tuple shifts every later offset.
+    {
+      DeformStep ns = step;
+      ns.align = static_cast<uint8_t>(c.attalign());
+      if (c.byval()) {
+        ns.op = c.attlen() == 1   ? DeformOp::kDyn1
+                : c.attlen() == 4 ? DeformOp::kDyn4
+                                  : DeformOp::kDyn8;
+      } else if (c.attlen() == kVariableLength) {
+        ns.op = DeformOp::kDynVarlena;
+      } else {
+        ns.op = DeformOp::kDynChar;
+        ns.len = static_cast<uint32_t>(c.attlen());
+      }
+      p.null_steps_.push_back(ns);
+    }
+
+    uint32_t align = static_cast<uint32_t>(c.attalign());
+    if (fixed_mode) {
+      off = AlignUp32(off, align);
+      step.arg = off;
+      if (c.byval()) {
+        switch (c.attlen()) {
+          case 1:
+            step.op = DeformOp::kFixed1;
+            break;
+          case 4:
+            step.op = DeformOp::kFixed4;
+            break;
+          case 8:
+            step.op = DeformOp::kFixed8;
+            break;
+          default:
+            MICROSPEC_CHECK(false);
+        }
+        off += static_cast<uint32_t>(c.attlen());
+      } else if (c.attlen() == kVariableLength) {
+        step.op = DeformOp::kFixedVarlena;
+        fixed_mode = false;  // later offsets depend on this value's length
+      } else {
+        step.op = DeformOp::kFixedChar;
+        step.len = static_cast<uint32_t>(c.attlen());
+        off += static_cast<uint32_t>(c.attlen());
+      }
+    } else {
+      step.align = static_cast<uint8_t>(align);
+      if (c.byval()) {
+        switch (c.attlen()) {
+          case 1:
+            step.op = DeformOp::kDyn1;
+            break;
+          case 4:
+            step.op = DeformOp::kDyn4;
+            break;
+          case 8:
+            step.op = DeformOp::kDyn8;
+            break;
+          default:
+            MICROSPEC_CHECK(false);
+        }
+      } else if (c.attlen() == kVariableLength) {
+        step.op = DeformOp::kDynVarlena;
+      } else {
+        step.op = DeformOp::kDynChar;
+        step.len = static_cast<uint32_t>(c.attlen());
+      }
+    }
+    p.steps_.push_back(step);
+  }
+  return p;
+}
+
+void DeformProgram::Execute(const char* tuple, int natts, Datum* values,
+                            bool* isnull, const TupleBeeManager* bees) const {
+  TupleHeader h = ReadHeader(tuple);
+  if (MICROSPEC_UNLIKELY((h.flags & kTupleHasNulls) != 0)) {
+    ExecuteWithNulls(tuple, natts, values, isnull, bees);
+    return;
+  }
+  // The specialized fast path: Listing 2. isnull is cleared wholesale (the
+  // paper's "(long*)isnull = 0" collapse), then straight-line loads run with
+  // all offsets and types resolved at bee-creation time.
+  if (isnull != nullptr) {
+    std::memset(isnull, 0, static_cast<size_t>(natts));
+  }
+  const char* tp = tuple + h.hoff;
+  const DataSection* section = nullptr;
+  if (bees != nullptr && (h.flags & kTupleHasBeeId) != 0) {
+    section = bees->section(h.bee_id);
+  }
+  uint32_t off = 0;
+  uint64_t ops = 0;
+  for (const DeformStep& step : steps_) {
+    if (step.out >= natts) break;  // partial-deform early out
+    ops += 3;  // the entire per-attribute cost of the bee routine
+    switch (step.op) {
+      case DeformOp::kFixed1: {
+        uint8_t v;
+        std::memcpy(&v, tp + step.arg, 1);
+        values[step.out] = static_cast<Datum>(v);
+        break;
+      }
+      case DeformOp::kFixed4: {
+        int32_t v;
+        std::memcpy(&v, tp + step.arg, 4);
+        values[step.out] = DatumFromInt32(v);
+        break;
+      }
+      case DeformOp::kFixed8: {
+        Datum v;
+        std::memcpy(&v, tp + step.arg, 8);
+        values[step.out] = v;
+        break;
+      }
+      case DeformOp::kFixedChar:
+        values[step.out] = DatumFromPointer(tp + step.arg);
+        break;
+      case DeformOp::kFixedVarlena:
+        values[step.out] = DatumFromPointer(tp + step.arg);
+        off = step.arg + VarlenaSize(tp + step.arg);
+        break;
+      case DeformOp::kDyn1: {
+        uint8_t v;
+        std::memcpy(&v, tp + off, 1);
+        values[step.out] = static_cast<Datum>(v);
+        off += 1;
+        break;
+      }
+      case DeformOp::kDyn4: {
+        off = AlignUp32(off, 4);
+        int32_t v;
+        std::memcpy(&v, tp + off, 4);
+        values[step.out] = DatumFromInt32(v);
+        off += 4;
+        break;
+      }
+      case DeformOp::kDyn8: {
+        off = AlignUp32(off, 8);
+        Datum v;
+        std::memcpy(&v, tp + off, 8);
+        values[step.out] = v;
+        off += 8;
+        break;
+      }
+      case DeformOp::kDynChar:
+        values[step.out] = DatumFromPointer(tp + off);
+        off += step.len;
+        break;
+      case DeformOp::kDynVarlena:
+        off = AlignUp32(off, 4);
+        values[step.out] = DatumFromPointer(tp + off);
+        off += VarlenaSize(tp + off);
+        break;
+      case DeformOp::kSection:
+        values[step.out] = section->datums[step.arg];
+        break;
+    }
+  }
+  workops::Bump(ops);
+}
+
+void DeformProgram::ExecuteWithNulls(const char* tuple, int natts,
+                                     Datum* values, bool* isnull,
+                                     const TupleBeeManager* bees) const {
+  TupleHeader h = ReadHeader(tuple);
+  const char* tp = tuple + h.hoff;
+  const DataSection* section = nullptr;
+  if (bees != nullptr && (h.flags & kTupleHasBeeId) != 0) {
+    section = bees->section(h.bee_id);
+  }
+  uint32_t off = 0;
+  uint64_t ops = 0;
+  for (const DeformStep& step : null_steps_) {
+    if (step.out >= natts) break;
+    ops += 4;  // one extra bitmap branch vs the no-nulls fast path
+    if (step.op == DeformOp::kSection) {
+      values[step.out] = section->datums[step.arg];
+      if (isnull != nullptr) isnull[step.out] = false;
+      continue;
+    }
+    if (step.maybe_null && TupleAttIsNull(tuple, step.stored)) {
+      values[step.out] = 0;
+      isnull[step.out] = true;
+      continue;
+    }
+    if (isnull != nullptr) isnull[step.out] = false;
+    switch (step.op) {
+      case DeformOp::kDyn1: {
+        uint8_t v;
+        std::memcpy(&v, tp + off, 1);
+        values[step.out] = static_cast<Datum>(v);
+        off += 1;
+        break;
+      }
+      case DeformOp::kDyn4: {
+        off = AlignUp32(off, 4);
+        int32_t v;
+        std::memcpy(&v, tp + off, 4);
+        values[step.out] = DatumFromInt32(v);
+        off += 4;
+        break;
+      }
+      case DeformOp::kDyn8: {
+        off = AlignUp32(off, 8);
+        Datum v;
+        std::memcpy(&v, tp + off, 8);
+        values[step.out] = v;
+        off += 8;
+        break;
+      }
+      case DeformOp::kDynChar:
+        values[step.out] = DatumFromPointer(tp + off);
+        off += step.len;
+        break;
+      case DeformOp::kDynVarlena:
+        off = AlignUp32(off, 4);
+        values[step.out] = DatumFromPointer(tp + off);
+        off += VarlenaSize(tp + off);
+        break;
+      default:
+        MICROSPEC_CHECK(false);  // null variant holds only dynamic ops
+    }
+  }
+  workops::Bump(ops);
+}
+
+std::string DeformProgram::ToString() const {
+  std::string out;
+  static const char* kNames[] = {"fixed1",  "fixed4",  "fixed8",
+                                 "fixchar", "fixvarl", "dyn1",
+                                 "dyn4",    "dyn8",    "dynchar",
+                                 "dynvarl", "section"};
+  for (const DeformStep& s : steps_) {
+    out += "values[";
+    out += std::to_string(s.out);
+    out += "] <- ";
+    out += kNames[static_cast<int>(s.op)];
+    if (s.op == DeformOp::kSection) {
+      out += " slot=" + std::to_string(s.arg);
+    } else if (static_cast<int>(s.op) <= 4) {
+      out += " off=" + std::to_string(s.arg);
+    } else {
+      out += " align=" + std::to_string(s.align);
+    }
+    if (s.len != 0) out += " len=" + std::to_string(s.len);
+    out += "\n";
+  }
+  return out;
+}
+
+/// --- FormProgram ------------------------------------------------------------
+
+FormProgram FormProgram::Compile(const Schema& logical, const Schema& stored,
+                                 const std::vector<int>& spec_cols) {
+  FormProgram p;
+  p.logical_natts_ = logical.natts();
+  p.stored_natts_ = stored.natts();
+  p.header_size_ = TupleHeaderSize(stored.natts(), /*has_nulls=*/false);
+  p.header_size_nulls_ = TupleHeaderSize(stored.natts(), /*has_nulls=*/true);
+
+  std::vector<bool> is_spec(static_cast<size_t>(logical.natts()), false);
+  for (int c : spec_cols) is_spec[static_cast<size_t>(c)] = true;
+
+  int stored_idx = 0;
+  for (int i = 0; i < logical.natts(); ++i) {
+    if (is_spec[static_cast<size_t>(i)]) continue;  // lives in the section
+    const Column& c = logical.column(i);
+    FormStep step{};
+    step.in = static_cast<uint16_t>(i);
+    step.stored = static_cast<uint16_t>(stored_idx++);
+    step.maybe_null = !c.not_null();
+    step.align = static_cast<uint8_t>(c.attalign());
+    if (c.byval()) {
+      switch (c.attlen()) {
+        case 1:
+          step.op = FormOp::kPut1;
+          break;
+        case 4:
+          step.op = FormOp::kPut4;
+          break;
+        case 8:
+          step.op = FormOp::kPut8;
+          break;
+        default:
+          MICROSPEC_CHECK(false);
+      }
+    } else if (c.attlen() == kVariableLength) {
+      step.op = FormOp::kPutVarlena;
+    } else {
+      step.op = FormOp::kPutChar;
+      step.len = static_cast<uint32_t>(c.attlen());
+    }
+    p.steps_.push_back(step);
+  }
+  return p;
+}
+
+void FormProgram::Execute(const Datum* values, uint8_t bee_id,
+                          bool has_bee_id, std::string* out) const {
+  // Pass 1: size. All offsets/alignments are known except varlena lengths.
+  uint32_t off = 0;
+  uint64_t ops = 0;
+  for (const FormStep& step : steps_) {
+    ops += 2;  // the bee routine's per-attribute cost
+    off = AlignUp32(off, step.align);
+    switch (step.op) {
+      case FormOp::kPut1:
+        off += 1;
+        break;
+      case FormOp::kPut4:
+        off += 4;
+        break;
+      case FormOp::kPut8:
+        off += 8;
+        break;
+      case FormOp::kPutChar:
+        off += step.len;
+        break;
+      case FormOp::kPutVarlena:
+        off += VarlenaSize(DatumToPointer(values[step.in]));
+        break;
+    }
+  }
+  uint32_t total = header_size_ + off;
+  out->resize(total);
+  char* buf = out->data();
+
+  TupleHeader h;
+  h.natts = static_cast<uint16_t>(stored_natts_);
+  h.flags = has_bee_id ? kTupleHasBeeId : 0;
+  h.bee_id = bee_id;
+  h.hoff = static_cast<uint16_t>(header_size_);
+  std::memcpy(buf, &h, sizeof(h));
+  std::memset(buf + sizeof(h), 0, header_size_ - sizeof(h));
+
+  // Pass 2: fill.
+  char* tp = buf + header_size_;
+  off = 0;
+  for (const FormStep& step : steps_) {
+    ops += 2;
+    uint32_t aligned = AlignUp32(off, step.align);
+    if (aligned != off) {
+      std::memset(tp + off, 0, aligned - off);
+      off = aligned;
+    }
+    switch (step.op) {
+      case FormOp::kPut1: {
+        uint8_t v = static_cast<uint8_t>(values[step.in]);
+        std::memcpy(tp + off, &v, 1);
+        off += 1;
+        break;
+      }
+      case FormOp::kPut4: {
+        int32_t v = DatumToInt32(values[step.in]);
+        std::memcpy(tp + off, &v, 4);
+        off += 4;
+        break;
+      }
+      case FormOp::kPut8:
+        std::memcpy(tp + off, &values[step.in], 8);
+        off += 8;
+        break;
+      case FormOp::kPutChar:
+        std::memcpy(tp + off, DatumToPointer(values[step.in]), step.len);
+        off += step.len;
+        break;
+      case FormOp::kPutVarlena: {
+        const char* src = DatumToPointer(values[step.in]);
+        uint32_t sz = VarlenaSize(src);
+        std::memcpy(tp + off, src, sz);
+        off += sz;
+        break;
+      }
+    }
+  }
+  workops::Bump(ops);
+}
+
+void FormProgram::ExecuteNullable(const Datum* values, const bool* isnull,
+                                  uint8_t bee_id, bool has_bee_id,
+                                  std::string* out) const {
+  // Pass 1: size, skipping NULL attributes.
+  uint32_t off = 0;
+  uint64_t ops = 0;
+  for (const FormStep& step : steps_) {
+    ops += 3;
+    if (step.maybe_null && isnull[step.in]) continue;
+    off = AlignUp32(off, step.align);
+    switch (step.op) {
+      case FormOp::kPut1:
+        off += 1;
+        break;
+      case FormOp::kPut4:
+        off += 4;
+        break;
+      case FormOp::kPut8:
+        off += 8;
+        break;
+      case FormOp::kPutChar:
+        off += step.len;
+        break;
+      case FormOp::kPutVarlena:
+        off += VarlenaSize(DatumToPointer(values[step.in]));
+        break;
+    }
+  }
+  uint32_t total = header_size_nulls_ + off;
+  out->resize(total);
+  char* buf = out->data();
+
+  TupleHeader h;
+  h.natts = static_cast<uint16_t>(stored_natts_);
+  h.flags = static_cast<uint8_t>(kTupleHasNulls |
+                                 (has_bee_id ? kTupleHasBeeId : 0));
+  h.bee_id = bee_id;
+  h.hoff = static_cast<uint16_t>(header_size_nulls_);
+  std::memcpy(buf, &h, sizeof(h));
+  std::memset(buf + sizeof(h), 0, header_size_nulls_ - sizeof(h));
+  uint8_t* bitmap = reinterpret_cast<uint8_t*>(buf) + sizeof(TupleHeader);
+
+  // Pass 2: fill, setting bitmap bits for NULL attributes.
+  char* tp = buf + header_size_nulls_;
+  off = 0;
+  for (const FormStep& step : steps_) {
+    ops += 3;
+    if (step.maybe_null && isnull[step.in]) {
+      bitmap[step.stored >> 3] = static_cast<uint8_t>(
+          bitmap[step.stored >> 3] | (1u << (step.stored & 7)));
+      continue;
+    }
+    uint32_t aligned = AlignUp32(off, step.align);
+    if (aligned != off) {
+      std::memset(tp + off, 0, aligned - off);
+      off = aligned;
+    }
+    switch (step.op) {
+      case FormOp::kPut1: {
+        uint8_t v = static_cast<uint8_t>(values[step.in]);
+        std::memcpy(tp + off, &v, 1);
+        off += 1;
+        break;
+      }
+      case FormOp::kPut4: {
+        int32_t v = DatumToInt32(values[step.in]);
+        std::memcpy(tp + off, &v, 4);
+        off += 4;
+        break;
+      }
+      case FormOp::kPut8:
+        std::memcpy(tp + off, &values[step.in], 8);
+        off += 8;
+        break;
+      case FormOp::kPutChar:
+        std::memcpy(tp + off, DatumToPointer(values[step.in]), step.len);
+        off += step.len;
+        break;
+      case FormOp::kPutVarlena: {
+        const char* src = DatumToPointer(values[step.in]);
+        uint32_t sz = VarlenaSize(src);
+        std::memcpy(tp + off, src, sz);
+        off += sz;
+        break;
+      }
+    }
+  }
+  workops::Bump(ops);
+}
+
+}  // namespace microspec::bee

@@ -1,0 +1,161 @@
+#ifndef MICROSPEC_BEE_DEFORM_PROGRAM_H_
+#define MICROSPEC_BEE_DEFORM_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bee/tuple_bee.h"
+#include "catalog/schema.h"
+#include "common/datum.h"
+#include "common/status.h"
+
+namespace microspec::bee {
+
+/// --- The "program" bee backend ---------------------------------------------
+/// At bee-creation time (CREATE TABLE) the relation's schema is lowered into
+/// a straight-line program: one step per attribute with every offset,
+/// alignment, length, and type dispatch resolved ahead of time. Executing
+/// the program replaces the generic metadata-consulting loop of Listing 1
+/// with the specialized logic of Listing 2. It is the portable counterpart
+/// of the native backend (bee/native_jit.h), used when invoking a C compiler
+/// at runtime is unavailable or undesirable.
+///
+/// Fixed-offset steps carry their precomputed byte offset; once a
+/// variable-length attribute is passed, subsequent steps switch to dynamic
+/// ops that carry only the alignment to apply. Specialized (tuple-bee)
+/// attributes become section loads through the tuple's beeID — the "holes"
+/// of the paper's Listing 2.
+
+enum class DeformOp : uint8_t {
+  kFixed1,        // byval 1-byte at fixed offset
+  kFixed4,        // byval 4-byte at fixed offset (sign-extended)
+  kFixed8,        // byval 8-byte at fixed offset
+  kFixedChar,     // char(n) pointer at fixed offset
+  kFixedVarlena,  // varlena pointer at fixed offset; starts dynamic mode
+  kDyn1,          // dynamic-offset variants (align, load, advance)
+  kDyn4,
+  kDyn8,
+  kDynChar,
+  kDynVarlena,
+  kSection,  // tuple-bee hole: values[out] = section->datums[slot]
+};
+
+struct DeformStep {
+  DeformOp op;
+  uint8_t align;    // alignment applied before a dynamic load
+  bool maybe_null;  // stored attribute is nullable: test the bitmap
+  uint16_t out;     // logical attribute number (ascending across steps)
+  uint16_t stored;  // stored attribute ordinal (bitmap position)
+  uint32_t arg;  // fixed offset (kFixed*), section slot (kSection), unused else
+  uint32_t len;  // char(n) length
+};
+
+/// A compiled GCL (GetColumnsToLongs) bee routine for one relation.
+class DeformProgram {
+ public:
+  /// Lowers `schema` (the logical schema) into a program. `spec_cols` are
+  /// the tuple-bee specialized columns (empty when tuple bees are off);
+  /// `stored_schema` is the physical layout actually on the page (logical
+  /// schema minus specialized columns).
+  static DeformProgram Compile(const Schema& logical,
+                               const Schema& stored,
+                               const std::vector<int>& spec_cols);
+
+  /// Executes the bee routine: extracts the first `natts` logical
+  /// attributes of `tuple`. `bees` supplies tuple-bee sections (may be
+  /// nullptr when the program contains no kSection steps). Falls back to the
+  /// generic loop over the stored schema for tuples carrying NULLs (the
+  /// specialized fast path assumes the fixed layout, exactly like the
+  /// paper's orders bee, whose schema forbids NULLs).
+  void Execute(const char* tuple, int natts, Datum* values, bool* isnull,
+               const TupleBeeManager* bees) const;
+
+  const std::vector<DeformStep>& steps() const { return steps_; }
+  bool all_not_null() const { return all_not_null_; }
+
+  /// Disassembles the program (debugging / the bee_inspector example).
+  std::string ToString() const;
+
+ private:
+  /// Null-aware variant: every step dynamic, with a bitmap test for steps
+  /// whose stored attribute is nullable. Still straight-line specialized
+  /// code — no catalog consultation, no type dispatch — just one extra
+  /// branch per nullable attribute (used only for tuples that carry NULLs).
+  void ExecuteWithNulls(const char* tuple, int natts, Datum* values,
+                        bool* isnull, const TupleBeeManager* bees) const;
+
+  std::vector<DeformStep> steps_;
+  std::vector<DeformStep> null_steps_;  // all-dynamic, null-checked variant
+  const Schema* logical_ = nullptr;
+  const Schema* stored_ = nullptr;
+  std::vector<int> spec_cols_;
+  /// logical attno -> stored attno (-1 for specialized columns).
+  std::vector<int> logical_to_stored_;
+  /// logical attno -> section slot (-1 for stored columns).
+  std::vector<int> logical_to_slot_;
+  bool all_not_null_ = true;
+  int logical_natts_ = 0;
+};
+
+/// --- The SCL (SetColumnsFromLongs) form program -----------------------------
+
+enum class FormOp : uint8_t {
+  kPut1,
+  kPut4,
+  kPut8,
+  kPutChar,
+  kPutVarlena,
+};
+
+struct FormStep {
+  FormOp op;
+  uint8_t align;
+  bool maybe_null;  // stored attribute is nullable
+  uint16_t in;      // logical attribute number to take the value from
+  uint16_t stored;  // stored attribute ordinal (bitmap position)
+  uint32_t len;     // char(n) length
+};
+
+/// A compiled SCL bee routine: serializes logical values into the stored
+/// tuple layout (skipping specialized columns — their values live in the
+/// tuple bee's data section, keyed by the beeID placed in the header).
+class FormProgram {
+ public:
+  static FormProgram Compile(const Schema& logical, const Schema& stored,
+                             const std::vector<int>& spec_cols);
+
+  /// Appends the formed tuple to `out` (resizing it). `bee_id` is stored in
+  /// the header when `has_bee_id`. Values must all be non-NULL; tuples that
+  /// carry NULLs go through ExecuteNullable.
+  void Execute(const Datum* values, uint8_t bee_id, bool has_bee_id,
+               std::string* out) const;
+
+  /// Null-aware specialized form: writes the null bitmap and skips NULL
+  /// attribute storage, still with all offsets/types resolved ahead of time.
+  void ExecuteNullable(const Datum* values, const bool* isnull,
+                       uint8_t bee_id, bool has_bee_id,
+                       std::string* out) const;
+
+  /// True when no value is NULL so the fast path applies.
+  bool applicable(const bool* isnull) const {
+    if (isnull == nullptr) return true;
+    for (int i = 0; i < logical_natts_; ++i) {
+      if (isnull[i]) return false;
+    }
+    return true;
+  }
+
+  const std::vector<FormStep>& steps() const { return steps_; }
+
+ private:
+  std::vector<FormStep> steps_;
+  uint32_t header_size_ = 0;        // no-nulls header size (MAXALIGNed)
+  uint32_t header_size_nulls_ = 0;  // header size with a null bitmap
+  int logical_natts_ = 0;
+  int stored_natts_ = 0;
+};
+
+}  // namespace microspec::bee
+
+#endif  // MICROSPEC_BEE_DEFORM_PROGRAM_H_

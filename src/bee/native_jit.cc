@@ -1,0 +1,152 @@
+#include "bee/native_jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/align.h"
+#include "storage/tuple.h"
+
+namespace microspec::bee {
+
+NativeJit::~NativeJit() {
+  for (void* h : handles_) dlclose(h);
+}
+
+bool NativeJit::CompilerAvailable() {
+  static int available = -1;
+  if (available < 0) {
+    available = std::system("cc --version > /dev/null 2>&1") == 0 ? 1 : 0;
+  }
+  return available == 1;
+}
+
+std::string NativeJit::GenerateGclSource(const Schema& logical,
+                                         const Schema& stored,
+                                         const std::vector<int>& spec_cols,
+                                         const std::string& symbol) {
+  std::vector<int> slot_of(static_cast<size_t>(logical.natts()), -1);
+  for (size_t s = 0; s < spec_cols.size(); ++s) {
+    slot_of[static_cast<size_t>(spec_cols[s])] = static_cast<int>(s);
+  }
+
+  uint32_t hoff = TupleHeaderSize(stored.natts(), /*has_nulls=*/false);
+  std::string src;
+  src += "/* GetColumnsToLongs bee routine, generated at schema definition\n"
+         "   time. One straight-line statement per attribute; all offsets,\n"
+         "   alignments and types are folded in (cf. paper Listing 2). */\n";
+  src += "#include <stdint.h>\n#include <string.h>\n";
+  src += "typedef unsigned long Datum;\n";
+  src += "void " + symbol +
+         "(const char* tuple, int natts, Datum* values, char* isnull,\n"
+         "    const Datum* const* sections) {\n";
+  // Listing 2's "*(long*)isnull = 0" collapse of per-attribute null stores.
+  src += "  memset(isnull, 0, (unsigned)natts);\n";
+  src += "  const char* tp = tuple + " + std::to_string(hoff) + ";\n";
+  if (!spec_cols.empty()) {
+    src += "  const Datum* sec = sections[(unsigned char)tuple[3]];\n";
+  }
+  src += "  unsigned off = 0; (void)off; (void)tp;\n";
+
+  bool fixed_mode = true;
+  uint32_t off = 0;
+  for (int i = 0; i < logical.natts(); ++i) {
+    const Column& c = logical.column(i);
+    std::string out = "values[" + std::to_string(i) + "]";
+    src += "  if (natts < " + std::to_string(i + 1) + ") return;\n";
+    if (slot_of[static_cast<size_t>(i)] >= 0) {
+      src += "  " + out + " = sec[" +
+             std::to_string(slot_of[static_cast<size_t>(i)]) + "];\n";
+      continue;
+    }
+    uint32_t align = static_cast<uint32_t>(c.attalign());
+    if (fixed_mode) {
+      off = AlignUp32(off, align);
+      std::string at = "tp + " + std::to_string(off);
+      if (c.byval()) {
+        if (c.attlen() == 1) {
+          src += "  " + out + " = (Datum)(unsigned char)*(" + at + ");\n";
+          off += 1;
+        } else if (c.attlen() == 4) {
+          src += "  { int32_t v; memcpy(&v, " + at +
+                 ", 4); " + out + " = (Datum)(long)v; }\n";
+          off += 4;
+        } else {
+          src += "  memcpy(&" + out + ", " + at + ", 8);\n";
+          off += 8;
+        }
+      } else if (c.attlen() == kVariableLength) {
+        src += "  " + out + " = (Datum)(" + at + ");\n";
+        src += "  { uint32_t sz; memcpy(&sz, " + at + ", 4); off = " +
+               std::to_string(off) + " + sz; }\n";
+        fixed_mode = false;
+      } else {
+        src += "  " + out + " = (Datum)(" + at + ");\n";
+        off += static_cast<uint32_t>(c.attlen());
+      }
+    } else {
+      if (align > 1) {
+        src += "  off = (off + " + std::to_string(align - 1) + "u) & ~" +
+               std::to_string(align - 1) + "u;\n";
+      }
+      if (c.byval()) {
+        if (c.attlen() == 1) {
+          src += "  " + out + " = (Datum)(unsigned char)tp[off]; off += 1;\n";
+        } else if (c.attlen() == 4) {
+          src += "  { int32_t v; memcpy(&v, tp + off, 4); " + out +
+                 " = (Datum)(long)v; off += 4; }\n";
+        } else {
+          src += "  memcpy(&" + out + ", tp + off, 8); off += 8;\n";
+        }
+      } else if (c.attlen() == kVariableLength) {
+        src += "  " + out + " = (Datum)(tp + off);\n";
+        src += "  { uint32_t sz; memcpy(&sz, tp + off, 4); off += sz; }\n";
+      } else {
+        src += "  " + out + " = (Datum)(tp + off); off += " +
+               std::to_string(c.attlen()) + ";\n";
+      }
+    }
+  }
+  src += "}\n";
+  return src;
+}
+
+Result<NativeGclFn> NativeJit::CompileGcl(const Schema& logical,
+                                          const Schema& stored,
+                                          const std::vector<int>& spec_cols,
+                                          const std::string& work_dir,
+                                          const std::string& symbol) {
+  if (!CompilerAvailable()) {
+    return Status::NotSupported("no C compiler on this host");
+  }
+  // NULLs take the program backend's slow path before reaching native code;
+  // the generated routine assumes the no-nulls fixed layout.
+  std::string src =
+      GenerateGclSource(logical, stored, spec_cols, symbol);
+  std::string c_path = work_dir + "/" + symbol + ".c";
+  std::string so_path = work_dir + "/" + symbol + ".so";
+  FILE* f = std::fopen(c_path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot write " + c_path);
+  std::fwrite(src.data(), 1, src.size(), f);
+  std::fclose(f);
+
+  std::string cmd =
+      "cc -O2 -shared -fPIC -o " + so_path + " " + c_path + " 2>/dev/null";
+  if (std::system(cmd.c_str()) != 0) {
+    return Status::Internal("bee compilation failed: " + cmd);
+  }
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    return Status::Internal(std::string("dlopen failed: ") + dlerror());
+  }
+  handles_.push_back(handle);
+  void* sym = dlsym(handle, symbol.c_str());
+  if (sym == nullptr) {
+    return Status::Internal("bee symbol missing: " + symbol);
+  }
+  return reinterpret_cast<NativeGclFn>(sym);
+}
+
+}  // namespace microspec::bee

@@ -1,0 +1,60 @@
+#ifndef MICROSPEC_BEE_NATIVE_JIT_H_
+#define MICROSPEC_BEE_NATIVE_JIT_H_
+
+#include <string>
+#include <vector>
+
+#include "bee/tuple_bee.h"
+#include "catalog/schema.h"
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace microspec::bee {
+
+/// Signature of a natively compiled GCL routine. `sections` is the per-
+/// beeID array of datum arrays (the data-section holes of Listing 2);
+/// nullptr for relations without tuple bees.
+using NativeGclFn = void (*)(const char* tuple, int natts,
+                             unsigned long* values, char* isnull,
+                             const unsigned long* const* sections);
+
+/// --- The native bee backend -------------------------------------------------
+/// At relation-bee creation time (CREATE TABLE — where, per Section III-B,
+/// "bee creation overhead is not critical ... we can invoke gcc"), this
+/// backend emits C source equivalent to the paper's Listing 2, invokes the
+/// system C compiler to build a shared object, and dlopens the resulting
+/// bee routine. The paper extracts function bodies from the ELF object into
+/// its bee cache; we keep the .so itself as the cached executable form.
+class NativeJit {
+ public:
+  NativeJit() = default;
+  ~NativeJit();
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(NativeJit);
+
+  /// True if a C compiler is available on this host (checked once).
+  static bool CompilerAvailable();
+
+  /// Generates the Listing-2-style C source of the GCL routine for
+  /// `logical`/`stored` with tuple-bee holes for `spec_cols`.
+  /// Exposed separately so tests and the bee_inspector example can show the
+  /// generated specialization.
+  static std::string GenerateGclSource(const Schema& logical,
+                                       const Schema& stored,
+                                       const std::vector<int>& spec_cols,
+                                       const std::string& symbol);
+
+  /// Compiles and loads the GCL routine. `work_dir` receives the .c and .so
+  /// files (the on-disk bee cache). Returns the entry point.
+  Result<NativeGclFn> CompileGcl(const Schema& logical, const Schema& stored,
+                                 const std::vector<int>& spec_cols,
+                                 const std::string& work_dir,
+                                 const std::string& symbol);
+
+ private:
+  std::vector<void*> handles_;  // dlopen handles, closed on destruction
+};
+
+}  // namespace microspec::bee
+
+#endif  // MICROSPEC_BEE_NATIVE_JIT_H_

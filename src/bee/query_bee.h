@@ -1,0 +1,154 @@
+#ifndef MICROSPEC_BEE_QUERY_BEE_H_
+#define MICROSPEC_BEE_QUERY_BEE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bee/placement.h"
+#include "exec/access.h"
+#include "expr/expr.h"
+
+namespace microspec::bee {
+
+/// --- Query bees: EVP and EVJ -------------------------------------------------
+/// Query bees must be created at query-preparation time without invoking a
+/// compiler (Section III-B). Following the paper's mechanism, all object-code
+/// variants are enumerated and compiled ahead of time — here as C++ template
+/// instantiations over (type class x operator) — and bee creation merely
+/// selects a variant and patches the value holes (attribute number, constant)
+/// into a per-clause context block allocated from the bee placement arena.
+
+/// Type classes the kernels are monomorphized over.
+enum class KernelClass : uint8_t { kInt, kFloat, kChar, kVarchar };
+
+/// A clause context: the EVP bee's "data section" holding the patched-in
+/// attribute number and comparison constant.
+struct EvpClause {
+  int32_t attno;
+  int32_t charlen;       // char(n) length for kChar operands
+  Datum constant;        // patched constant (points into owned_bytes if byref)
+  const char* aux;       // LIKE needle / IN-list storage
+  uint32_t aux_len;      // LIKE needle length / IN-list item count
+  bool nullable;         // whether a null check must be emitted
+};
+
+/// One monomorphized clause kernel: returns the clause verdict for a row.
+using EvpKernelFn = bool (*)(const EvpClause& c, const Datum* values,
+                             const bool* isnull);
+
+/// An EVP query bee: a conjunction of monomorphized clause kernels replacing
+/// the generic expression-tree walk.
+class EvpBee final : public PredicateEvaluator {
+ public:
+  struct Clause {
+    EvpKernelFn fn;
+    const EvpClause* ctx;  // lives in the placement arena
+  };
+
+  explicit EvpBee(std::vector<Clause> clauses,
+                  std::vector<std::string> owned_bytes)
+      : clauses_(std::move(clauses)), owned_bytes_(std::move(owned_bytes)) {}
+
+  bool Matches(const ExecRow& row) const override {
+    uint64_t ops = 0;
+    bool result = true;
+    for (const Clause& cl : clauses_) {
+      ops += 3;  // the bee's whole per-clause cost
+      if (!cl.fn(*cl.ctx, row.values, row.isnull)) {
+        result = false;
+        break;
+      }
+    }
+    workops::Bump(ops);
+    return result;
+  }
+
+  size_t num_clauses() const { return clauses_.size(); }
+
+ private:
+  std::vector<Clause> clauses_;
+  std::vector<std::string> owned_bytes_;  // backing for byref constants
+};
+
+/// Attempts to build an EVP bee for `expr` evaluated against rows whose
+/// columns may be NULL only when `input_nullable` (per-column nullability is
+/// taken from VarExpr metadata being unavailable, so a conservative flag is
+/// used). Returns nullptr when the predicate shape is not specializable —
+/// the caller falls back to the generic interpreter, as in the paper.
+std::unique_ptr<PredicateEvaluator> TrySpecializePredicate(
+    const Expr& expr, PlacementArena* arena, bool input_nullable);
+
+/// --- EVJ ---------------------------------------------------------------------
+
+/// Per-key context for the EVJ bee.
+struct EvjKey {
+  int32_t outer_att;
+  int32_t inner_att;
+  int32_t charlen;
+};
+
+using EvjHashFn = uint64_t (*)(const EvjKey& k, Datum v, uint64_t seed);
+using EvjEqualFn = bool (*)(const EvjKey& k, Datum a, Datum b);
+
+/// An EVJ query bee: monomorphized hash/equality kernels with attribute
+/// numbers patched into per-key contexts, replacing the generic per-probe
+/// type dispatch.
+class EvjBee final : public JoinKeyEvaluator {
+ public:
+  struct Key {
+    const EvjKey* ctx;
+    EvjHashFn hash;
+    EvjEqualFn equal;
+  };
+
+  explicit EvjBee(std::vector<Key> keys) : keys_(std::move(keys)) {}
+
+  uint64_t HashOuter(const Datum* values, const bool* isnull) const override {
+    uint64_t h = 0;
+    for (const Key& k : keys_) {
+      workops::Bump(2);
+      if (isnull != nullptr && isnull[k.ctx->outer_att]) continue;
+      h = k.hash(*k.ctx, values[k.ctx->outer_att], h);
+    }
+    return h;
+  }
+  uint64_t HashInner(const Datum* values, const bool* isnull) const override {
+    uint64_t h = 0;
+    for (const Key& k : keys_) {
+      workops::Bump(2);
+      if (isnull != nullptr && isnull[k.ctx->inner_att]) continue;
+      h = k.hash(*k.ctx, values[k.ctx->inner_att], h);
+    }
+    return h;
+  }
+  bool KeysEqual(const Datum* outer_values, const bool* outer_isnull,
+                 const Datum* inner_values,
+                 const bool* inner_isnull) const override {
+    for (const Key& k : keys_) {
+      workops::Bump(2);
+      if ((outer_isnull != nullptr && outer_isnull[k.ctx->outer_att]) ||
+          (inner_isnull != nullptr && inner_isnull[k.ctx->inner_att])) {
+        return false;
+      }
+      if (!k.equal(*k.ctx, outer_values[k.ctx->outer_att],
+                   inner_values[k.ctx->inner_att])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Key> keys_;
+};
+
+/// Builds an EVJ bee for the given key columns, or nullptr if a key type is
+/// not specializable.
+std::unique_ptr<JoinKeyEvaluator> TrySpecializeJoinKeys(
+    const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
+    const std::vector<ColMeta>& key_meta, PlacementArena* arena);
+
+}  // namespace microspec::bee
+
+#endif  // MICROSPEC_BEE_QUERY_BEE_H_

@@ -1,0 +1,159 @@
+#include "bee/tuple_bee.h"
+
+#include <cstring>
+
+#include "common/counters.h"
+#include "common/hash.h"
+
+namespace microspec::bee {
+
+TupleBeeManager::~TupleBeeManager() {
+  for (DataSection* s : sections_) delete s;
+}
+
+void TupleBeeManager::SerializeKey(const Datum* logical_values,
+                                   std::string* out) const {
+  out->clear();
+  for (int col : spec_cols_) {
+    const Column& c = schema_->column(col);
+    if (c.byval()) {
+      Datum d = logical_values[col];
+      out->append(reinterpret_cast<const char*>(&d), sizeof(d));
+    } else if (c.type() == TypeId::kVarchar) {
+      const char* p = DatumToPointer(logical_values[col]);
+      out->append(p, VarlenaSize(p));
+    } else {  // char(n)
+      out->append(DatumToPointer(logical_values[col]),
+                  static_cast<size_t>(c.attlen()));
+    }
+  }
+}
+
+void TupleBeeManager::BuildDatums(DataSection* s) const {
+  s->datums.clear();
+  const char* base = s->blob.data();
+  size_t off = 0;
+  for (int col : spec_cols_) {
+    const Column& c = schema_->column(col);
+    if (c.byval()) {
+      Datum d;
+      std::memcpy(&d, base + off, sizeof(d));
+      s->datums.push_back(d);
+      off += sizeof(Datum);
+    } else if (c.type() == TypeId::kVarchar) {
+      s->datums.push_back(DatumFromPointer(base + off));
+      off += VarlenaSize(base + off);
+    } else {
+      s->datums.push_back(DatumFromPointer(base + off));
+      off += static_cast<size_t>(c.attlen());
+    }
+  }
+}
+
+/// Hashes the specialized values directly (no serialization) — the hit path
+/// must stay cheap because it runs once per inserted tuple.
+uint64_t TupleBeeManager::HashValues(const Datum* logical_values) const {
+  uint64_t h = 0xBEEULL;
+  for (int col : spec_cols_) {
+    const Column& c = schema_->column(col);
+    if (c.byval()) {
+      h = HashCombine(h, logical_values[col]);
+    } else if (c.type() == TypeId::kVarchar) {
+      const char* p = DatumToPointer(logical_values[col]);
+      h = HashCombine(h, Hash64(p, VarlenaSize(p)));
+    } else {
+      h = HashCombine(h, Hash64(DatumToPointer(logical_values[col]),
+                                static_cast<size_t>(c.attlen())));
+    }
+  }
+  return h;
+}
+
+/// Field-by-field memcmp of the candidate values against a section's blob.
+bool TupleBeeManager::MatchesSection(const DataSection& s,
+                                     const Datum* logical_values) const {
+  const char* base = s.blob.data();
+  size_t off = 0;
+  for (int col : spec_cols_) {
+    const Column& c = schema_->column(col);
+    if (c.byval()) {
+      Datum d;
+      std::memcpy(&d, base + off, sizeof(d));
+      if (d != logical_values[col]) return false;
+      off += sizeof(Datum);
+    } else if (c.type() == TypeId::kVarchar) {
+      const char* p = DatumToPointer(logical_values[col]);
+      uint32_t len = VarlenaSize(p);
+      if (off + len > s.blob.size() || VarlenaSize(base + off) != len ||
+          std::memcmp(base + off, p, len) != 0) {
+        return false;
+      }
+      off += len;
+    } else {
+      size_t len = static_cast<size_t>(c.attlen());
+      if (std::memcmp(base + off, DatumToPointer(logical_values[col]), len) !=
+          0) {
+        return false;
+      }
+      off += len;
+    }
+  }
+  return true;
+}
+
+Result<uint8_t> TupleBeeManager::Intern(const Datum* logical_values) {
+  // Dedup against existing sections: a hash index narrows the candidates,
+  // memcmp confirms — the check the paper measures as efficient in the
+  // bulk-loading experiment (Section VI-B).
+  uint64_t h = HashValues(logical_values);
+  workops::Bump(6);
+  auto it = by_hash_.find(h);
+  if (it != by_hash_.end()) {
+    for (uint8_t id : it->second) {
+      workops::Bump(2);
+      if (MatchesSection(*sections_[id], logical_values)) return id;
+    }
+  }
+  SerializeKey(logical_values, &scratch_key_);
+  if (num_sections_ >= kMaxTupleBees) {
+    return Status::ResourceExhausted(
+        "tuple bees: more than 256 distinct specialized-value combinations; "
+        "the low-cardinality annotation does not hold for this data");
+  }
+  auto* s = new DataSection();
+  s->blob = scratch_key_;
+  BuildDatums(s);
+  sections_[num_sections_] = s;
+  datum_table_[num_sections_] = s->datums.data();
+  by_hash_[h].push_back(static_cast<uint8_t>(num_sections_));
+  return static_cast<uint8_t>(num_sections_++);
+}
+
+size_t TupleBeeManager::section_bytes() const {
+  size_t total = 0;
+  for (int i = 0; i < num_sections_; ++i) total += sections_[i]->blob.size();
+  return total;
+}
+
+Status TupleBeeManager::RestoreSection(const std::string& blob) {
+  if (num_sections_ >= kMaxTupleBees) {
+    return Status::Corruption("bee cache: too many sections");
+  }
+  auto* s = new DataSection();
+  s->blob = blob;
+  BuildDatums(s);
+  sections_[num_sections_] = s;
+  datum_table_[num_sections_] = s->datums.data();
+  // Index under the same value hash Intern uses: reconstruct a sparse
+  // logical row from the section's datums.
+  std::vector<Datum> logical(static_cast<size_t>(schema_->natts()), 0);
+  for (size_t i = 0; i < spec_cols_.size(); ++i) {
+    logical[static_cast<size_t>(spec_cols_[i])] = s->datums[i];
+  }
+  by_hash_[HashValues(logical.data())].push_back(
+      static_cast<uint8_t>(num_sections_));
+  ++num_sections_;
+  return Status::OK();
+}
+
+}  // namespace microspec::bee

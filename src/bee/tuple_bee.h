@@ -1,0 +1,96 @@
+#ifndef MICROSPEC_BEE_TUPLE_BEE_H_
+#define MICROSPEC_BEE_TUPLE_BEE_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/arena.h"
+#include "common/datum.h"
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace microspec::bee {
+
+/// The paper caps tuple bees per relation at 256, identified by a one-byte
+/// beeID stored in the tuple header (Section IV-A).
+inline constexpr int kMaxTupleBees = 256;
+
+/// One tuple-bee data section: the distinct combination of specialized
+/// attribute values shared by every tuple carrying this beeID. `datums` is
+/// indexed by specialization slot (the order of specialized columns in the
+/// logical schema); pass-by-reference datums point into `blob`.
+struct DataSection {
+  std::string blob;           // serialized value bytes (also the dedup key)
+  std::vector<Datum> datums;  // one per specialized column
+};
+
+/// Manages the tuple bees of one relation: interning (creation + memcmp
+/// dedup against existing sections, per Section VI-B), beeID assignment, and
+/// section lookup during deform. Sections are never freed until the relation
+/// is dropped, so readers may hold section pointers without locks; writers
+/// are serialized by the engine's table lock.
+class TupleBeeManager {
+ public:
+  /// `spec_cols` lists the specialized column ordinals (logical schema
+  /// order); each must be NOT NULL (enforced at annotation time).
+  TupleBeeManager(const Schema* schema, std::vector<int> spec_cols)
+      : schema_(schema), spec_cols_(std::move(spec_cols)) {
+    sections_.fill(nullptr);
+  }
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(TupleBeeManager);
+  ~TupleBeeManager();
+
+  /// Returns the beeID for the specialized values of this tuple, creating a
+  /// new data section if the combination is new. ResourceExhausted when the
+  /// relation would exceed kMaxTupleBees (the annotation contract was
+  /// violated).
+  Result<uint8_t> Intern(const Datum* logical_values);
+
+  /// Section lookup during deform (GCL's data-section hole).
+  const DataSection* section(uint8_t bee_id) const {
+    return sections_[bee_id];
+  }
+
+  /// Per-beeID array of datum arrays, the shape the native GCL routine
+  /// indexes (`sections[bee_id][slot]`).
+  const Datum* const* datum_table() const { return datum_table_.data(); }
+
+  int num_sections() const { return num_sections_; }
+  const std::vector<int>& spec_cols() const { return spec_cols_; }
+
+  /// Total bytes held by data sections (storage the tuples no longer carry).
+  size_t section_bytes() const;
+
+  /// Rebuilds a section from persisted bytes (bee cache load). Sections must
+  /// be restored in beeID order.
+  Status RestoreSection(const std::string& blob);
+
+ private:
+  /// Hash over the specialized values (no serialization; the dedup hit path
+  /// runs per inserted tuple).
+  uint64_t HashValues(const Datum* logical_values) const;
+  /// Field-by-field equality of candidate values vs a section's blob.
+  bool MatchesSection(const DataSection& s, const Datum* logical_values) const;
+  /// Serializes the specialized values of a tuple into canonical bytes.
+  void SerializeKey(const Datum* logical_values, std::string* out) const;
+  /// Builds the datum pointers for a section whose blob is final.
+  void BuildDatums(DataSection* s) const;
+
+  const Schema* schema_;
+  std::vector<int> spec_cols_;
+  std::array<DataSection*, kMaxTupleBees> sections_;
+  std::array<const Datum*, kMaxTupleBees> datum_table_{};
+  /// Dedup index: key hash -> candidate beeIDs (memcmp verifies).
+  std::unordered_map<uint64_t, std::vector<uint8_t>> by_hash_;
+  int num_sections_ = 0;
+  std::string scratch_key_;
+};
+
+}  // namespace microspec::bee
+
+#endif  // MICROSPEC_BEE_TUPLE_BEE_H_

@@ -1,0 +1,91 @@
+#include "catalog/catalog.h"
+
+#include <cstdio>
+
+namespace microspec {
+
+Result<IndexInfo*> TableInfo::CreateIndex(const std::string& name,
+                                          std::vector<int> key_columns) {
+  for (int col : key_columns) {
+    if (col < 0 || col >= schema_.natts()) {
+      return Status::InvalidArgument("index key column out of range");
+    }
+    TypeId t = schema_.column(col).type();
+    if (t != TypeId::kInt32 && t != TypeId::kInt64 && t != TypeId::kDate) {
+      return Status::NotSupported("index key columns must be integer-typed");
+    }
+  }
+  for (const auto& idx : indexes_) {
+    if (idx->name == name) {
+      return Status::AlreadyExists("index " + name);
+    }
+  }
+  auto info = std::make_unique<IndexInfo>();
+  info->name = name;
+  info->key_columns = std::move(key_columns);
+  info->btree = std::make_unique<BTreeIndex>();
+  indexes_.push_back(std::move(info));
+  return indexes_.back().get();
+}
+
+IndexInfo* TableInfo::GetIndex(const std::string& name) {
+  for (const auto& idx : indexes_) {
+    if (idx->name == name) return idx.get();
+  }
+  return nullptr;
+}
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name,
+                                        Schema schema) {
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  if (schema.natts() == 0) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  TableId id = next_id_++;
+  auto dm = std::make_unique<DiskManager>();
+  std::string path = dir_ + "/t" + std::to_string(id) + "_" + name + ".dat";
+  MICROSPEC_RETURN_NOT_OK(dm->Open(path, pool_->stats()));
+  auto heap = std::make_unique<HeapFile>(pool_, std::move(dm));
+  auto info =
+      std::make_unique<TableInfo>(id, name, std::move(schema), std::move(heap));
+  TableInfo* raw = info.get();
+  tables_[name] = std::move(info);
+  by_id_[id] = raw;
+  return raw;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  std::string path = it->second->heap()->disk_manager()->path();
+  by_id_.erase(it->second->id());
+  tables_.erase(it);  // ~HeapFile unregisters from the buffer pool
+  std::remove(path.c_str());
+  return Status::OK();
+}
+
+TableInfo* Catalog::GetTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+TableInfo* Catalog::GetTable(TableId id) {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<TableInfo*> Catalog::AllTables() {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  std::vector<TableInfo*> out;
+  out.reserve(tables_.size());
+  for (auto& [_, t] : tables_) out.push_back(t.get());
+  return out;
+}
+
+}  // namespace microspec

@@ -1,0 +1,117 @@
+#ifndef MICROSPEC_CATALOG_CATALOG_H_
+#define MICROSPEC_CATALOG_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "index/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace microspec {
+
+using TableId = uint32_t;
+
+/// A secondary/primary access path on a table: a B+tree over a composite of
+/// integer-typed columns.
+struct IndexInfo {
+  std::string name;
+  std::vector<int> key_columns;  // column ordinals in the table schema
+  std::unique_ptr<BTreeIndex> btree;
+};
+
+/// Everything the engine knows about one relation: schema, heap storage,
+/// indexes, and a table-level reader/writer lock used by the TPC-C driver
+/// (the engine provides isolation at table granularity; see README).
+class TableInfo {
+ public:
+  TableInfo(TableId id, std::string name, Schema schema,
+            std::unique_ptr<HeapFile> heap)
+      : id_(id),
+        name_(std::move(name)),
+        schema_(std::move(schema)),
+        heap_(std::move(heap)) {}
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(TableInfo);
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  HeapFile* heap() { return heap_.get(); }
+
+  uint64_t tuple_count() const {
+    return tuple_count_.load(std::memory_order_relaxed);
+  }
+  void AddTuples(int64_t delta) {
+    tuple_count_.fetch_add(static_cast<uint64_t>(delta),
+                           std::memory_order_relaxed);
+  }
+
+  /// Creates a B+tree index over `key_columns` (must be integer-typed).
+  /// The index starts empty; callers populate it (or use Engine helpers).
+  Result<IndexInfo*> CreateIndex(const std::string& name,
+                                 std::vector<int> key_columns);
+  IndexInfo* GetIndex(const std::string& name);
+  const std::vector<std::unique_ptr<IndexInfo>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Table-level lock: shared for readers, exclusive for writers.
+  std::shared_mutex& lock() { return lock_; }
+
+ private:
+  TableId id_;
+  std::string name_;
+  Schema schema_;
+  std::unique_ptr<HeapFile> heap_;
+  std::vector<std::unique_ptr<IndexInfo>> indexes_;
+  std::atomic<uint64_t> tuple_count_{0};
+  std::shared_mutex lock_;
+};
+
+/// The system catalog: name -> TableInfo, backed by a database directory
+/// (one heap file per relation plus a catalog file). This is the component
+/// the paper's DDL Compiler consults; the bee module hooks relation-bee
+/// creation into Catalog::CreateTable via the engine.
+class Catalog {
+ public:
+  Catalog(std::string dir, BufferPool* pool)
+      : dir_(std::move(dir)), pool_(pool) {}
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(Catalog);
+
+  /// Creates a relation and its backing heap file.
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+
+  /// Drops the relation, releasing its buffer-pool frames and deleting the
+  /// heap file.
+  Status DropTable(const std::string& name);
+
+  /// nullptr when absent.
+  TableInfo* GetTable(const std::string& name);
+  TableInfo* GetTable(TableId id);
+
+  std::vector<TableInfo*> AllTables();
+
+  const std::string& dir() const { return dir_; }
+  BufferPool* buffer_pool() { return pool_; }
+
+ private:
+  std::string dir_;
+  BufferPool* pool_;
+  TableId next_id_ = 1;
+  std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
+  std::unordered_map<TableId, TableInfo*> by_id_;
+  std::shared_mutex mutex_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_CATALOG_CATALOG_H_

@@ -1,0 +1,97 @@
+#include "catalog/schema.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace microspec {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool GetU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetString(const std::string& in, size_t* pos, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (const Column& c : columns_) {
+    if (!c.not_null()) has_nullable_ = true;
+  }
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Schema::Serialize(std::string* out) const {
+  PutU32(out, static_cast<uint32_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    PutString(out, c.name());
+    PutU32(out, static_cast<uint32_t>(c.type()));
+    PutU32(out, static_cast<uint32_t>(c.attlen()));
+    uint32_t flags = (c.not_null() ? 1u : 0u) | (c.low_cardinality() ? 2u : 0u);
+    PutU32(out, flags);
+  }
+}
+
+Result<Schema> Schema::Deserialize(const std::string& in, size_t* pos) {
+  uint32_t natts = 0;
+  if (!GetU32(in, pos, &natts)) {
+    return Status::Corruption("schema: truncated natts");
+  }
+  std::vector<Column> cols;
+  cols.reserve(natts);
+  for (uint32_t i = 0; i < natts; ++i) {
+    std::string name;
+    uint32_t type = 0;
+    uint32_t attlen = 0;
+    uint32_t flags = 0;
+    if (!GetString(in, pos, &name) || !GetU32(in, pos, &type) ||
+        !GetU32(in, pos, &attlen) || !GetU32(in, pos, &flags)) {
+      return Status::Corruption("schema: truncated column");
+    }
+    Column c(std::move(name), static_cast<TypeId>(type), (flags & 1u) != 0,
+             static_cast<int32_t>(attlen));
+    c.set_low_cardinality((flags & 2u) != 0);
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+uint64_t Schema::LayoutFingerprint() const {
+  uint64_t h = 0x5CA1AB1EULL;
+  for (const Column& c : columns_) {
+    h = HashCombine(h, static_cast<uint64_t>(c.type()));
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(c.attlen())));
+    h = HashCombine(h, c.not_null() ? 1 : 0);
+    h = HashCombine(h, c.low_cardinality() ? 1 : 0);
+  }
+  return h;
+}
+
+}  // namespace microspec

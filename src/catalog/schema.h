@@ -1,0 +1,53 @@
+#ifndef MICROSPEC_CATALOG_SCHEMA_H_
+#define MICROSPEC_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/column.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace microspec {
+
+/// An ordered list of columns: the relation schema. Schemas are immutable
+/// after construction except for the per-column attcacheoff caches.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  int natts() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// True if any column may be NULL; drives whether tuples carry a
+  /// null bitmap and whether the deform loop must test it.
+  bool has_nullable() const { return has_nullable_; }
+
+  /// Index of the column named `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Serialization used by the catalog file and the bee cache (a bee is keyed
+  /// by the schema it was specialized for).
+  void Serialize(std::string* out) const;
+  static Result<Schema> Deserialize(const std::string& in, size_t* pos);
+
+  /// A stable fingerprint of the physical layout (types/lengths/nullability),
+  /// used by the bee cache to detect schema changes that require bee
+  /// reconstruction.
+  uint64_t LayoutFingerprint() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+  bool has_nullable_ = false;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_CATALOG_SCHEMA_H_

@@ -1,0 +1,28 @@
+#ifndef MICROSPEC_COMMON_ALIGN_H_
+#define MICROSPEC_COMMON_ALIGN_H_
+
+#include <cstdint>
+
+namespace microspec {
+
+/// Rounds `value` up to the next multiple of `align` (a power of two).
+/// This is PG's TYPEALIGN macro, used pervasively by the generic tuple
+/// deform/form code — and folded away entirely inside specialized bees.
+inline constexpr uint64_t AlignUp(uint64_t value, uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+inline constexpr uint32_t AlignUp32(uint32_t value, uint32_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+/// Maximum alignment of any attribute type; tuple data begins at a
+/// kMaxAlign boundary after the header (PG's MAXALIGN).
+inline constexpr uint32_t kMaxAlign = 8;
+
+/// Cache line size used by the bee placement optimizer.
+inline constexpr uint32_t kCacheLineSize = 64;
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_COMMON_ALIGN_H_

@@ -1,0 +1,80 @@
+#ifndef MICROSPEC_COMMON_ARENA_H_
+#define MICROSPEC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace microspec {
+
+/// A chunked bump allocator. Query execution allocates per-tuple scratch
+/// (deformed Datum arrays, join keys, aggregation states) from an Arena and
+/// frees it all at once at operator shutdown; the bee module's slab allocator
+/// for tuple-bee data sections is built on top of it (Section IV-A of the
+/// paper: "the slab-allocation technique is employed to pre-allocate the
+/// necessary memory").
+class Arena {
+ public:
+  explicit Arena(size_t chunk_size = 64 * 1024) : chunk_size_(chunk_size) {}
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(Arena);
+
+  /// Allocates `size` bytes aligned to `align` (a power of two).
+  void* Allocate(size_t size, size_t align = 8) {
+    uintptr_t cur = reinterpret_cast<uintptr_t>(ptr_);
+    uintptr_t aligned = (cur + align - 1) & ~(align - 1);
+    size_t need = (aligned - cur) + size;
+    if (MICROSPEC_UNLIKELY(need > remaining_)) {
+      NewChunk(size + align);
+      cur = reinterpret_cast<uintptr_t>(ptr_);
+      aligned = (cur + align - 1) & ~(align - 1);
+      need = (aligned - cur) + size;
+    }
+    ptr_ += need;
+    remaining_ -= need;
+    bytes_used_ += need;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Copies `len` bytes into the arena and returns the copy.
+  char* CopyBytes(const void* src, size_t len, size_t align = 1) {
+    char* dst = static_cast<char*>(Allocate(len, align));
+    __builtin_memcpy(dst, src, len);
+    return dst;
+  }
+
+  /// Drops all allocations but keeps the first chunk for reuse.
+  void Reset() {
+    if (chunks_.size() > 1) chunks_.resize(1);
+    if (!chunks_.empty()) {
+      ptr_ = chunks_[0].get();
+      remaining_ = chunk_size_;
+    } else {
+      ptr_ = nullptr;
+      remaining_ = 0;
+    }
+    bytes_used_ = 0;
+  }
+
+  size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  void NewChunk(size_t min_size) {
+    size_t sz = min_size > chunk_size_ ? min_size : chunk_size_;
+    chunks_.push_back(std::make_unique<char[]>(sz));
+    ptr_ = chunks_.back().get();
+    remaining_ = sz;
+  }
+
+  size_t chunk_size_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* ptr_ = nullptr;
+  size_t remaining_ = 0;
+  size_t bytes_used_ = 0;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_COMMON_ARENA_H_

@@ -1,0 +1,57 @@
+#ifndef MICROSPEC_COMMON_COUNTERS_H_
+#define MICROSPEC_COMMON_COUNTERS_H_
+
+#include <cstdint>
+
+namespace microspec {
+
+/// --- Software work-operation counter ---------------------------------------
+/// The paper quantifies micro-specialization by dynamic instruction counts
+/// collected with callgrind (Figure 6). callgrind is not available here, so
+/// the engine instruments its hot loops with a thread-local "work op" counter:
+/// one bump per metadata consultation, per alignment computation, per
+/// expression-tree node visited, per dispatch branch — i.e., per unit of the
+/// generic work that a bee removes. The specialized bee paths bump it only for
+/// the straight-line work they actually perform, so the counter is a faithful
+/// software proxy of relative instruction counts. When the kernel permits
+/// perf_event_open, InstructionCounter below reports true retired
+/// instructions instead; harnesses label which source was used.
+namespace workops {
+
+extern thread_local uint64_t g_work_ops;
+
+inline void Bump(uint64_t n = 1) { g_work_ops += n; }
+inline uint64_t Read() { return g_work_ops; }
+inline void Reset() { g_work_ops = 0; }
+
+}  // namespace workops
+
+/// Hardware retired-instruction counter via perf_event_open, with graceful
+/// degradation: if the syscall is unavailable or denied (common in
+/// containers), hardware() returns false and Stop() reports the software
+/// work-op delta instead.
+class InstructionCounter {
+ public:
+  InstructionCounter();
+  ~InstructionCounter();
+
+  InstructionCounter(const InstructionCounter&) = delete;
+  InstructionCounter& operator=(const InstructionCounter&) = delete;
+
+  /// True if a hardware instruction counter is active.
+  bool hardware() const { return fd_ >= 0; }
+
+  /// Resets and starts counting.
+  void Start();
+
+  /// Stops counting and returns the count since Start().
+  uint64_t Stop();
+
+ private:
+  int fd_ = -1;
+  uint64_t soft_start_ = 0;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_COMMON_COUNTERS_H_

@@ -1,0 +1,77 @@
+#ifndef MICROSPEC_COMMON_DATUM_H_
+#define MICROSPEC_COMMON_DATUM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace microspec {
+
+/// A Datum is the engine's uniform 8-byte value representation, exactly like
+/// PostgreSQL's: pass-by-value types are stored inline (widened to 64 bits);
+/// pass-by-reference types (char(n), varchar) store a pointer into the tuple
+/// or into a bee data section. The tuple-deform routines ("GetColumnsToLongs"
+/// in the paper) produce arrays of Datum.
+using Datum = uint64_t;
+
+inline Datum DatumFromBool(bool v) { return static_cast<Datum>(v ? 1 : 0); }
+inline Datum DatumFromInt32(int32_t v) {
+  return static_cast<Datum>(static_cast<int64_t>(v));
+}
+inline Datum DatumFromInt64(int64_t v) { return static_cast<Datum>(v); }
+inline Datum DatumFromFloat64(double v) {
+  Datum d;
+  std::memcpy(&d, &v, sizeof(d));
+  return d;
+}
+inline Datum DatumFromPointer(const void* p) {
+  return reinterpret_cast<Datum>(p);
+}
+
+inline bool DatumToBool(Datum d) { return d != 0; }
+inline int32_t DatumToInt32(Datum d) {
+  return static_cast<int32_t>(static_cast<int64_t>(d));
+}
+inline int64_t DatumToInt64(Datum d) { return static_cast<int64_t>(d); }
+inline double DatumToFloat64(Datum d) {
+  double v;
+  std::memcpy(&v, &d, sizeof(v));
+  return v;
+}
+inline const char* DatumToPointer(Datum d) {
+  return reinterpret_cast<const char*>(d);
+}
+
+/// --- Varlena (variable-length) value layout -------------------------------
+/// A varchar value on disk/in memory is a 4-byte little-endian total size
+/// (including the header itself) followed by the payload bytes. This is the
+/// analog of PostgreSQL's 4-byte varlena header; the generic deform loop must
+/// read it to find the next attribute's offset, which is one of the costs the
+/// GCL bee removes for fixed-prefix attributes.
+inline constexpr uint32_t kVarlenaHeaderSize = 4;
+
+inline uint32_t VarlenaSize(const char* p) {
+  uint32_t sz;
+  std::memcpy(&sz, p, sizeof(sz));
+  return sz;
+}
+inline uint32_t VarlenaPayloadSize(const char* p) {
+  return VarlenaSize(p) - kVarlenaHeaderSize;
+}
+inline const char* VarlenaPayload(const char* p) {
+  return p + kVarlenaHeaderSize;
+}
+inline void VarlenaWriteHeader(char* p, uint32_t total_size) {
+  std::memcpy(p, &total_size, sizeof(total_size));
+}
+
+/// View of a varlena Datum's payload.
+inline std::string_view VarlenaView(Datum d) {
+  const char* p = DatumToPointer(d);
+  return std::string_view(VarlenaPayload(p), VarlenaPayloadSize(p));
+}
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_COMMON_DATUM_H_

@@ -1,0 +1,30 @@
+#ifndef MICROSPEC_COMMON_IO_STATS_H_
+#define MICROSPEC_COMMON_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace microspec {
+
+/// Page-level I/O accounting, owned by the DiskManager and surfaced through
+/// the BufferPool. The cold-cache experiments (Figure 5) and the bulk-load
+/// experiment (Figure 8) compare pages_read/pages_written between the stock
+/// and bee-enabled configurations: tuple bees shrink tuples, so the same
+/// relation occupies fewer pages.
+struct IoStats {
+  std::atomic<uint64_t> pages_read{0};
+  std::atomic<uint64_t> pages_written{0};
+  std::atomic<uint64_t> buffer_hits{0};
+  std::atomic<uint64_t> buffer_misses{0};
+
+  void Reset() {
+    pages_read.store(0, std::memory_order_relaxed);
+    pages_written.store(0, std::memory_order_relaxed);
+    buffer_hits.store(0, std::memory_order_relaxed);
+    buffer_misses.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_COMMON_IO_STATS_H_

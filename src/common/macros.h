@@ -1,0 +1,44 @@
+#ifndef MICROSPEC_COMMON_MACROS_H_
+#define MICROSPEC_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a class as non-copyable and non-movable.
+#define MICROSPEC_DISALLOW_COPY_AND_MOVE(ClassName)  \
+  ClassName(const ClassName&) = delete;              \
+  ClassName& operator=(const ClassName&) = delete;   \
+  ClassName(ClassName&&) = delete;                   \
+  ClassName& operator=(ClassName&&) = delete
+
+/// Fatal invariant check: always on, aborts with a source location. Used for
+/// conditions that indicate a programming error rather than a recoverable
+/// runtime failure (those return Status instead).
+#define MICROSPEC_CHECK(cond)                                              \
+  do {                                                                     \
+    if (__builtin_expect(!(cond), 0)) {                                    \
+      std::fprintf(stderr, "MICROSPEC_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifndef NDEBUG
+#define MICROSPEC_DCHECK(cond) MICROSPEC_CHECK(cond)
+#else
+#define MICROSPEC_DCHECK(cond) \
+  do {                         \
+  } while (0)
+#endif
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define MICROSPEC_RETURN_NOT_OK(expr)             \
+  do {                                            \
+    ::microspec::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define MICROSPEC_LIKELY(x) __builtin_expect(!!(x), 1)
+#define MICROSPEC_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+#endif  // MICROSPEC_COMMON_MACROS_H_

@@ -1,0 +1,63 @@
+#ifndef MICROSPEC_COMMON_RESULT_H_
+#define MICROSPEC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace microspec {
+
+/// Result<T> is either a value or a non-OK Status. It is the return type of
+/// fallible operations that produce a value, mirroring arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    MICROSPEC_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; the caller must have checked ok().
+  T& value() {
+    MICROSPEC_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const {
+    MICROSPEC_CHECK(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    MICROSPEC_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define MICROSPEC_CONCAT_INNER_(a, b) a##b
+#define MICROSPEC_CONCAT_(a, b) MICROSPEC_CONCAT_INNER_(a, b)
+
+/// Propagates the error of a Result expression, otherwise assigns the value.
+#define MICROSPEC_ASSIGN_OR_RETURN(lhs, expr)                         \
+  auto&& MICROSPEC_CONCAT_(_res_, __LINE__) = (expr);                 \
+  if (!MICROSPEC_CONCAT_(_res_, __LINE__).ok())                       \
+    return MICROSPEC_CONCAT_(_res_, __LINE__).status();               \
+  lhs = MICROSPEC_CONCAT_(_res_, __LINE__).MoveValue()
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_COMMON_RESULT_H_

@@ -1,0 +1,66 @@
+#ifndef MICROSPEC_COMMON_RNG_H_
+#define MICROSPEC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace microspec {
+
+/// Deterministic xorshift128+ generator. The workload generators (TPC-H-style
+/// dbgen, TPC-C loader/driver) use this so datasets are reproducible across
+/// runs and across the stock/bee-enabled configurations being compared.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9BULL) {
+    s0_ = seed ^ 0x2545F4914F6CDD1DULL;
+    s1_ = seed * 0x9E3779B97F4A7C15ULL + 1;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; ++i) NextU64();
+  }
+
+  uint64_t NextU64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : NextU64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive (TPC-C's random(x, y)).
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() {  // in [0, 1)
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// TPC-C's NURand non-uniform distribution.
+  int64_t NonUniform(int64_t a, int64_t x, int64_t y, int64_t c = 42) {
+    return (((UniformRange(0, a) | UniformRange(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Random lower-case alphanumeric string of length in [min_len, max_len].
+  std::string AlnumString(int min_len, int max_len) {
+    static const char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789 ";
+    int len = static_cast<int>(UniformRange(min_len, max_len));
+    std::string out;
+    out.reserve(len);
+    for (int i = 0; i < len; ++i) {
+      out.push_back(kChars[Uniform(sizeof(kChars) - 1)]);
+    }
+    return out;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_COMMON_RNG_H_

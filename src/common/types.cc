@@ -1,0 +1,78 @@
+#include "common/types.h"
+
+#include "common/macros.h"
+
+namespace microspec {
+
+int32_t TypeFixedLength(TypeId type) {
+  switch (type) {
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return 4;
+    case TypeId::kInt64:
+    case TypeId::kFloat64:
+      return 8;
+    case TypeId::kChar:
+    case TypeId::kVarchar:
+      return kVariableLength;
+  }
+  MICROSPEC_CHECK(false);
+  return 0;
+}
+
+int32_t TypeAlign(TypeId type) {
+  switch (type) {
+    case TypeId::kBool:
+    case TypeId::kChar:
+      return 1;
+    case TypeId::kInt32:
+    case TypeId::kDate:
+    case TypeId::kVarchar:
+      return 4;
+    case TypeId::kInt64:
+    case TypeId::kFloat64:
+      return 8;
+  }
+  MICROSPEC_CHECK(false);
+  return 1;
+}
+
+bool TypeByVal(TypeId type) {
+  switch (type) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kFloat64:
+    case TypeId::kDate:
+      return true;
+    case TypeId::kChar:
+    case TypeId::kVarchar:
+      return false;
+  }
+  MICROSPEC_CHECK(false);
+  return false;
+}
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kInt32:
+      return "int4";
+    case TypeId::kInt64:
+      return "int8";
+    case TypeId::kFloat64:
+      return "float8";
+    case TypeId::kDate:
+      return "date";
+    case TypeId::kChar:
+      return "char";
+    case TypeId::kVarchar:
+      return "varchar";
+  }
+  return "?";
+}
+
+}  // namespace microspec

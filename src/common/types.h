@@ -1,0 +1,47 @@
+#ifndef MICROSPEC_COMMON_TYPES_H_
+#define MICROSPEC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace microspec {
+
+/// Column data types supported by the engine. The physical properties
+/// (length, alignment, pass-by-value) deliberately mirror PostgreSQL's
+/// pg_type attributes (attlen/attalign/attbyval), because the generic
+/// tuple deform/form code the paper specializes is driven by exactly
+/// those properties.
+enum class TypeId : uint8_t {
+  kBool = 0,
+  kInt32,
+  kInt64,
+  kFloat64,
+  kDate,     // days since 1970-01-01, stored as int32
+  kChar,     // fixed-length byte string, blank padded; length from the column
+  kVarchar,  // variable length; stored with a 4-byte VARSIZE header
+};
+
+/// Sentinel used as the "attlen" of variable-length types (PG uses -1).
+inline constexpr int32_t kVariableLength = -1;
+
+/// Physical length in bytes of a value of `type`, or kVariableLength.
+/// For kChar the declared length lives on the column, not the type; this
+/// returns kVariableLength for kChar-without-length and callers must use
+/// Column::attlen() instead.
+int32_t TypeFixedLength(TypeId type);
+
+/// Physical storage alignment (1, 4, or 8), PG's attalign.
+int32_t TypeAlign(TypeId type);
+
+/// Whether values are stored directly in a Datum (PG's attbyval).
+bool TypeByVal(TypeId type);
+
+/// Lower-case SQL-ish name, e.g. "int4", "varchar".
+const char* TypeName(TypeId type);
+
+/// Number of distinct TypeId values (for parameterized sweeps).
+inline constexpr int kNumTypeIds = 7;
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_COMMON_TYPES_H_

@@ -1,0 +1,195 @@
+#include "engine/database.h"
+
+#include <sys/stat.h>
+
+#include "storage/tuple.h"
+
+namespace microspec {
+
+namespace {
+/// Per-thread scratch for tuple forming, so concurrent TPC-C terminals do
+/// not contend on a shared buffer.
+thread_local std::string t_form_buf;
+}  // namespace
+
+namespace {
+/// mkdir -p: creates every missing component of `dir`.
+void MakeDirs(const std::string& dir) {
+  for (size_t i = 1; i <= dir.size(); ++i) {
+    if (i == dir.size() || dir[i] == '/') {
+      ::mkdir(dir.substr(0, i).c_str(), 0755);
+    }
+  }
+}
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("database dir required");
+  }
+  MakeDirs(options.dir);
+  std::unique_ptr<Database> db(new Database(std::move(options)));
+  db->pool_ =
+      std::make_unique<BufferPool>(db->options_.buffer_pool_frames, &db->stats_);
+  db->catalog_ = std::make_unique<Catalog>(db->options_.dir, db->pool_.get());
+  if (db->options_.enable_bees) {
+    bee::BeeModuleOptions bo;
+    bo.backend = db->options_.backend;
+    bo.placement_isolation = db->options_.placement_isolation;
+    bo.cache_dir = db->options_.dir + "/bees";
+    db->bees_ = std::make_unique<bee::BeeModule>(bo);
+  }
+  return db;
+}
+
+Database::~Database() {
+  if (pool_ != nullptr) (void)pool_->FlushAll();
+}
+
+Result<TableInfo*> Database::CreateTable(const std::string& name,
+                                         Schema schema) {
+  MICROSPEC_ASSIGN_OR_RETURN(TableInfo * table,
+                             catalog_->CreateTable(name, std::move(schema)));
+  if (bees_ != nullptr) {
+    MICROSPEC_RETURN_NOT_OK(
+        bees_->CreateRelationBees(table, options_.enable_tuple_bees));
+  }
+  return table;
+}
+
+Status Database::DropTable(const std::string& name) {
+  TableInfo* table = catalog_->GetTable(name);
+  if (table == nullptr) return Status::NotFound("table " + name);
+  TableId id = table->id();
+  MICROSPEC_RETURN_NOT_OK(catalog_->DropTable(name));
+  if (bees_ != nullptr) bees_->CollectTable(id);  // the Bee Collector
+  return Status::OK();
+}
+
+IndexKey Database::KeyFor(const IndexInfo& idx, const Datum* values) {
+  IndexKey key;
+  for (int c : idx.key_columns) {
+    key.part[key.nparts++] = DatumToInt64(values[c]);
+  }
+  return key;
+}
+
+Result<TupleId> Database::Insert(ExecContext* ctx, TableInfo* table,
+                                 const Datum* values, const bool* isnull) {
+  const TupleFormer* former = ctx->FormerFor(table);
+  MICROSPEC_RETURN_NOT_OK(former->FormTuple(values, isnull, &t_form_buf));
+  MICROSPEC_ASSIGN_OR_RETURN(
+      TupleId tid,
+      table->heap()->Insert(t_form_buf.data(),
+                            static_cast<uint32_t>(t_form_buf.size())));
+  for (const auto& idx : table->indexes()) {
+    MICROSPEC_RETURN_NOT_OK(idx->btree->Insert(KeyFor(*idx, values), tid));
+  }
+  table->AddTuples(1);
+  return tid;
+}
+
+Result<TupleId> Database::Update(ExecContext* ctx, TableInfo* table,
+                                 TupleId tid, const Datum* values,
+                                 const bool* isnull, bool keys_changed) {
+  // Capture the old index keys if they may change.
+  std::vector<IndexKey> old_keys;
+  if (keys_changed && !table->indexes().empty()) {
+    std::vector<Datum> old_values(
+        static_cast<size_t>(table->schema().natts()));
+    std::vector<char> old_nulls(static_cast<size_t>(table->schema().natts()));
+    MICROSPEC_RETURN_NOT_OK(
+        ReadTuple(ctx, table, tid, old_values.data(),
+                  reinterpret_cast<bool*>(old_nulls.data())));
+    for (const auto& idx : table->indexes()) {
+      old_keys.push_back(KeyFor(*idx, old_values.data()));
+    }
+  }
+
+  const TupleFormer* former = ctx->FormerFor(table);
+  MICROSPEC_RETURN_NOT_OK(former->FormTuple(values, isnull, &t_form_buf));
+  MICROSPEC_ASSIGN_OR_RETURN(
+      TupleId new_tid,
+      table->heap()->Update(tid, t_form_buf.data(),
+                            static_cast<uint32_t>(t_form_buf.size())));
+
+  size_t i = 0;
+  for (const auto& idx : table->indexes()) {
+    if (keys_changed) {
+      MICROSPEC_RETURN_NOT_OK(idx->btree->Remove(old_keys[i++]));
+      MICROSPEC_RETURN_NOT_OK(idx->btree->Insert(KeyFor(*idx, values), new_tid));
+    } else if (new_tid != tid) {
+      MICROSPEC_RETURN_NOT_OK(
+          idx->btree->UpdateTid(KeyFor(*idx, values), new_tid));
+    }
+  }
+  return new_tid;
+}
+
+Status Database::Delete(ExecContext* ctx, TableInfo* table, TupleId tid) {
+  if (!table->indexes().empty()) {
+    std::vector<Datum> old_values(
+        static_cast<size_t>(table->schema().natts()));
+    std::vector<char> old_nulls(static_cast<size_t>(table->schema().natts()));
+    MICROSPEC_RETURN_NOT_OK(
+        ReadTuple(ctx, table, tid, old_values.data(),
+                  reinterpret_cast<bool*>(old_nulls.data())));
+    for (const auto& idx : table->indexes()) {
+      MICROSPEC_RETURN_NOT_OK(idx->btree->Remove(KeyFor(*idx, old_values.data())));
+    }
+  }
+  MICROSPEC_RETURN_NOT_OK(table->heap()->Delete(tid));
+  table->AddTuples(-1);
+  return Status::OK();
+}
+
+Status Database::ReadTuple(ExecContext* ctx, TableInfo* table, TupleId tid,
+                           Datum* values, bool* isnull) {
+  thread_local std::vector<char> buf;
+  buf.resize(kPageSize);
+  uint32_t len = 0;
+  MICROSPEC_RETURN_NOT_OK(
+      table->heap()->Fetch(tid, buf.data(), kPageSize, &len));
+  ctx->DeformerFor(table)->Deform(buf.data(), table->schema().natts(), values,
+                                  isnull);
+  // Pointer datums reference the thread-local buffer; they remain valid
+  // until this thread's next ReadTuple call.
+  return Status::OK();
+}
+
+Database::BulkLoader::BulkLoader(Database* db, ExecContext* ctx,
+                                 TableInfo* table)
+    : db_(db),
+      table_(table),
+      former_(ctx->FormerFor(table)),
+      appender_(table->heap()) {}
+
+Status Database::BulkLoader::Append(const Datum* values, const bool* isnull) {
+  MICROSPEC_RETURN_NOT_OK(former_->FormTuple(values, isnull, &buf_));
+  MICROSPEC_ASSIGN_OR_RETURN(
+      TupleId tid,
+      appender_.Append(buf_.data(), static_cast<uint32_t>(buf_.size())));
+  for (const auto& idx : table_->indexes()) {
+    MICROSPEC_RETURN_NOT_OK(idx->btree->Insert(KeyFor(*idx, values), tid));
+  }
+  ++count_;
+  return Status::OK();
+}
+
+Status Database::BulkLoader::Finish() {
+  appender_.Finish();
+  table_->AddTuples(static_cast<int64_t>(count_));
+  count_ = 0;
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  MICROSPEC_RETURN_NOT_OK(pool_->FlushAll());
+  for (TableInfo* t : catalog_->AllTables()) {
+    MICROSPEC_RETURN_NOT_OK(t->heap()->disk_manager()->Sync());
+  }
+  if (bees_ != nullptr) MICROSPEC_RETURN_NOT_OK(bees_->SaveCache());
+  return Status::OK();
+}
+
+}  // namespace microspec

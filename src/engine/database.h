@@ -1,0 +1,120 @@
+#ifndef MICROSPEC_ENGINE_DATABASE_H_
+#define MICROSPEC_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bee/bee_module.h"
+#include "catalog/catalog.h"
+#include "common/io_stats.h"
+#include "exec/operator.h"
+
+namespace microspec {
+
+/// Database-level configuration. `enable_bees` selects between the stock
+/// engine and the bee-enabled engine — the two configurations every
+/// experiment in the paper compares.
+struct DatabaseOptions {
+  std::string dir;
+  size_t buffer_pool_frames = 8192;  // 64 MiB at 8 KiB pages
+  bool enable_bees = false;
+  /// When true, columns annotated low-cardinality get tuple bees at
+  /// CREATE TABLE (requires enable_bees).
+  bool enable_tuple_bees = false;
+  bee::BeeBackend backend = bee::BeeBackend::kProgram;
+  bool placement_isolation = true;
+};
+
+/// The engine facade: owns the buffer pool, catalog, and (optionally) the
+/// generic bee module; provides DDL, DML with index maintenance, bulk
+/// loading, session/query-context creation, and cache control.
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+  ~Database();
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(Database);
+
+  Catalog* catalog() { return catalog_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  IoStats* io_stats() { return &stats_; }
+  /// nullptr for a stock database.
+  bee::BeeModule* bees() { return bees_.get(); }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// DDL: creates the relation and, on a bee-enabled database, its relation
+  /// bee (GCL/SCL) and tuple-bee manager — the paper's DDL-compiler hook.
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+  Status DropTable(const std::string& name);  // also runs the Bee Collector
+
+  /// Default session for this database: all bee routines on (bee-enabled)
+  /// or none (stock).
+  SessionOptions DefaultSession() const {
+    return options_.enable_bees ? SessionOptions::AllBees()
+                                : SessionOptions::Stock();
+  }
+
+  std::unique_ptr<ExecContext> MakeContext(const SessionOptions& opts) {
+    return std::make_unique<ExecContext>(catalog_.get(), bees_.get(), opts);
+  }
+  std::unique_ptr<ExecContext> MakeContext() {
+    return MakeContext(DefaultSession());
+  }
+
+  /// --- DML helpers (used by the TPC-C transactions and the loaders) ---------
+  /// All maintain the table's B+tree indexes.
+
+  Result<TupleId> Insert(ExecContext* ctx, TableInfo* table,
+                         const Datum* values, const bool* isnull);
+
+  /// Replaces the tuple at `tid` with new values; index entries follow a
+  /// moved tuple. Assumes index key columns are unchanged unless
+  /// `keys_changed`.
+  Result<TupleId> Update(ExecContext* ctx, TableInfo* table, TupleId tid,
+                         const Datum* values, const bool* isnull,
+                         bool keys_changed = false);
+
+  Status Delete(ExecContext* ctx, TableInfo* table, TupleId tid);
+
+  /// Fetches and deforms one tuple (point read).
+  Status ReadTuple(ExecContext* ctx, TableInfo* table, TupleId tid,
+                   Datum* values, bool* isnull);
+
+  /// High-throughput loading path (Figure 8). Keeps the tail page pinned and
+  /// routes every tuple through the session's TupleFormer (SCL bee or stock).
+  class BulkLoader {
+   public:
+    BulkLoader(Database* db, ExecContext* ctx, TableInfo* table);
+    Status Append(const Datum* values, const bool* isnull);
+    Status Finish();
+
+   private:
+    Database* db_;
+    TableInfo* table_;
+    const TupleFormer* former_;
+    HeapFile::BulkAppender appender_;
+    std::string buf_;
+    uint64_t count_ = 0;
+  };
+
+  /// Flushes and evicts the entire buffer pool (cold-cache experiments).
+  Status DropCaches() { return pool_->DropAll(); }
+
+  /// Flushes dirty pages and persists the bee cache.
+  Status Checkpoint();
+
+ private:
+  explicit Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+  static IndexKey KeyFor(const IndexInfo& idx, const Datum* values);
+
+  DatabaseOptions options_;
+  IoStats stats_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<bee::BeeModule> bees_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_ENGINE_DATABASE_H_

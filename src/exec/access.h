@@ -1,0 +1,169 @@
+#ifndef MICROSPEC_EXEC_ACCESS_H_
+#define MICROSPEC_EXEC_ACCESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/datum.h"
+#include "exec/row.h"
+#include "expr/expr.h"
+#include "storage/tuple.h"
+
+namespace microspec {
+
+/// --- The seams where bee routines replace generic code ---------------------
+/// Each interface below has a "stock" implementation (the generic PostgreSQL-
+/// like code path) and, when micro-specialization is enabled, a bee-provided
+/// implementation. This is the engine-side half of the paper's Bee Caller:
+/// the executor calls through these interfaces without knowing whether the
+/// callee is generic code or a bee routine.
+
+/// Extracts attribute values from a stored tuple (slot_deform_tuple's role).
+/// A relation bee's GCL routine implements this with straight-line
+/// specialized code; StockDeformer implements it with the generic loop.
+class TupleDeformer {
+ public:
+  virtual ~TupleDeformer() = default;
+
+  /// Extracts the first `natts` attributes of `tuple`. Pointer Datums point
+  /// into `tuple` or into bee data sections; valid while both stay alive.
+  virtual void Deform(const char* tuple, int natts, Datum* values,
+                      bool* isnull) const = 0;
+};
+
+/// The generic deform loop over the relation's logical schema.
+class StockDeformer final : public TupleDeformer {
+ public:
+  explicit StockDeformer(const Schema* schema) : schema_(schema) {}
+  void Deform(const char* tuple, int natts, Datum* values,
+              bool* isnull) const override {
+    tupleops::DeformTuple(*schema_, tuple, natts, values, isnull);
+  }
+
+ private:
+  const Schema* schema_;
+};
+
+/// Builds the stored form of a tuple (heap_fill_tuple's role). The SCL bee
+/// routine implements this with specialized code, and — when tuple bees are
+/// enabled — also performs tuple-bee creation/dedup, storing specialized
+/// attribute values in bee data sections instead of in the tuple.
+class TupleFormer {
+ public:
+  virtual ~TupleFormer() = default;
+
+  /// Serializes logical `values`/`isnull` into `out` (resized to fit).
+  /// Fails with ResourceExhausted when tuple-bee creation would exceed the
+  /// 256-sections-per-relation cap (the annotation contract was violated).
+  virtual Status FormTuple(const Datum* values, const bool* isnull,
+                           std::string* out) const = 0;
+};
+
+/// The generic form loop over the relation's logical schema.
+class StockFormer final : public TupleFormer {
+ public:
+  explicit StockFormer(const Schema* schema) : schema_(schema) {}
+  Status FormTuple(const Datum* values, const bool* isnull,
+                   std::string* out) const override {
+    uint32_t size = tupleops::ComputeTupleSize(*schema_, values, isnull);
+    out->resize(size);
+    tupleops::FormTuple(*schema_, values, isnull, out->data());
+    return Status::OK();
+  }
+
+ private:
+  const Schema* schema_;
+};
+
+/// Decides whether a row satisfies a predicate (ExecQual's role). The EVP
+/// query bee implements this with a monomorphized comparison kernel.
+class PredicateEvaluator {
+ public:
+  virtual ~PredicateEvaluator() = default;
+  virtual bool Matches(const ExecRow& row) const = 0;
+};
+
+/// Generic interpreted predicate: walks the expression tree per row.
+class ExprPredicate final : public PredicateEvaluator {
+ public:
+  explicit ExprPredicate(ExprPtr expr) : expr_(std::move(expr)) {}
+  bool Matches(const ExecRow& row) const override {
+    bool isnull = false;
+    Datum d = expr_->Eval(row, &isnull);
+    return !isnull && DatumToBool(d);
+  }
+  const Expr* expr() const { return expr_.get(); }
+
+ private:
+  ExprPtr expr_;
+};
+
+/// Hashes and compares join keys (the per-probe part of ExecHashJoin). The
+/// EVJ query bee provides a monomorphized kernel with the attribute numbers
+/// and key types burned in.
+class JoinKeyEvaluator {
+ public:
+  virtual ~JoinKeyEvaluator() = default;
+  virtual uint64_t HashOuter(const Datum* values,
+                             const bool* isnull) const = 0;
+  virtual uint64_t HashInner(const Datum* values,
+                             const bool* isnull) const = 0;
+  virtual bool KeysEqual(const Datum* outer_values, const bool* outer_isnull,
+                         const Datum* inner_values,
+                         const bool* inner_isnull) const = 0;
+};
+
+/// Generic join-key evaluation: loops over key columns consulting runtime
+/// type metadata for every hash/compare.
+class GenericJoinKeys final : public JoinKeyEvaluator {
+ public:
+  GenericJoinKeys(std::vector<int> outer_cols, std::vector<int> inner_cols,
+                  std::vector<ColMeta> key_meta)
+      : outer_cols_(std::move(outer_cols)),
+        inner_cols_(std::move(inner_cols)),
+        key_meta_(std::move(key_meta)) {}
+
+  uint64_t HashOuter(const Datum* values, const bool* isnull) const override {
+    return HashCols(outer_cols_, values, isnull);
+  }
+  uint64_t HashInner(const Datum* values, const bool* isnull) const override {
+    return HashCols(inner_cols_, values, isnull);
+  }
+  bool KeysEqual(const Datum* outer_values, const bool* outer_isnull,
+                 const Datum* inner_values,
+                 const bool* inner_isnull) const override {
+    for (size_t i = 0; i < outer_cols_.size(); ++i) {
+      bool on = outer_isnull != nullptr && outer_isnull[outer_cols_[i]];
+      bool in = inner_isnull != nullptr && inner_isnull[inner_cols_[i]];
+      workops::Bump(4);  // per-key null checks + metadata load
+      if (on || in) return false;  // SQL: NULL keys never join
+      if (!DatumEqualsGeneric(outer_values[outer_cols_[i]],
+                              inner_values[inner_cols_[i]], key_meta_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  uint64_t HashCols(const std::vector<int>& cols, const Datum* values,
+                    const bool* isnull) const {
+    uint64_t h = 0;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      workops::Bump(3);
+      if (isnull != nullptr && isnull[cols[i]]) continue;
+      h = DatumHashGeneric(values[cols[i]], key_meta_[i], h);
+    }
+    return h;
+  }
+
+  std::vector<int> outer_cols_;
+  std::vector<int> inner_cols_;
+  std::vector<ColMeta> key_meta_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_ACCESS_H_

@@ -1,0 +1,58 @@
+#ifndef MICROSPEC_EXEC_FILTER_H_
+#define MICROSPEC_EXEC_FILTER_H_
+
+#include <memory>
+#include <utility>
+
+#include "common/counters.h"
+#include "exec/operator.h"
+
+namespace microspec {
+
+/// Applies a predicate to each child row. The predicate is evaluated either
+/// by the generic expression interpreter or by an EVP query bee, decided at
+/// Init (query-preparation) time by ExecContext::MakePredicate.
+class Filter final : public Operator {
+ public:
+  Filter(ExecContext* ctx, OperatorPtr child, ExprPtr predicate)
+      : ctx_(ctx), child_(std::move(child)), pred_expr_(std::move(predicate)) {
+    meta_ = child_->output_meta();
+  }
+
+  Status Init() override {
+    MICROSPEC_RETURN_NOT_OK(child_->Init());
+    // Query preparation happens once; Init may be called again to rescan.
+    if (evaluator_ == nullptr) {
+      evaluator_ = ctx_->MakePredicate(std::move(pred_expr_));
+    }
+    values_ = child_->values();
+    isnull_ = child_->isnull();
+    return Status::OK();
+  }
+
+  Status Next(bool* has_row) override {
+    for (;;) {
+      MICROSPEC_RETURN_NOT_OK(child_->Next(has_row));
+      if (!*has_row) return Status::OK();
+      ExecRow row{child_->values(), child_->isnull(), nullptr, nullptr};
+      workops::Bump(6);  // qual-node dispatch per input row
+      if (evaluator_->Matches(row)) {
+        values_ = child_->values();
+        isnull_ = child_->isnull();
+        return Status::OK();
+      }
+    }
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecContext* ctx_;
+  OperatorPtr child_;
+  ExprPtr pred_expr_;
+  std::unique_ptr<PredicateEvaluator> evaluator_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_FILTER_H_

@@ -1,0 +1,426 @@
+#include "exec/hash_agg.h"
+
+#include "common/counters.h"
+
+namespace microspec {
+
+namespace {
+
+bool ArgIsFloat(const ColMeta& m) { return m.type == TypeId::kFloat64; }
+
+ColMeta AggOutputMeta(const AggSpec& spec, const ColMeta& arg_meta) {
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return ColMeta::Of(TypeId::kInt64);
+    case AggKind::kSum:
+      return ArgIsFloat(arg_meta) ? ColMeta::Of(TypeId::kFloat64)
+                                  : ColMeta::Of(TypeId::kInt64);
+    case AggKind::kAvg:
+      return ColMeta::Of(TypeId::kFloat64);
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return arg_meta;
+  }
+  return ColMeta::Of(TypeId::kInt64);
+}
+
+/// Monomorphized aggregate-update kernels (the aggregation bee's
+/// pre-compiled variants). One instantiation per (kind x argument type);
+/// the attribute number arrives patched in from the kernel context.
+void SumFloatKernel(HashAggregate::AggState& st, const Datum* v,
+                    const bool* n, int attno) {
+  if (n != nullptr && n[attno]) return;
+  st.fsum += DatumToFloat64(v[attno]);
+  ++st.count;
+}
+void SumIntKernel(HashAggregate::AggState& st, const Datum* v, const bool* n,
+                  int attno) {
+  if (n != nullptr && n[attno]) return;
+  st.isum += DatumToInt64(v[attno]);
+  ++st.count;
+}
+void CountKernel(HashAggregate::AggState& st, const Datum* v, const bool* n,
+                 int attno) {
+  (void)v;
+  if (n != nullptr && n[attno]) return;
+  ++st.count;
+}
+void CountStarKernel(HashAggregate::AggState& st, const Datum*, const bool*,
+                     int) {
+  ++st.count;
+}
+template <bool kMin>
+void ExtremeFloatKernel(HashAggregate::AggState& st, const Datum* v,
+                        const bool* n, int attno) {
+  if (n != nullptr && n[attno]) return;
+  double x = DatumToFloat64(v[attno]);
+  if (!st.has_value ||
+      (kMin ? x < DatumToFloat64(st.extreme) : x > DatumToFloat64(st.extreme))) {
+    st.extreme = DatumFromFloat64(x);
+    st.has_value = true;
+  }
+}
+template <bool kMin>
+void ExtremeIntKernel(HashAggregate::AggState& st, const Datum* v,
+                      const bool* n, int attno) {
+  if (n != nullptr && n[attno]) return;
+  int64_t x = DatumToInt64(v[attno]);
+  if (!st.has_value ||
+      (kMin ? x < DatumToInt64(st.extreme) : x > DatumToInt64(st.extreme))) {
+    st.extreme = DatumFromInt64(x);
+    st.has_value = true;
+  }
+}
+
+bool IsIntKind(TypeId t) {
+  return t == TypeId::kBool || t == TypeId::kInt32 || t == TypeId::kInt64 ||
+         t == TypeId::kDate;
+}
+
+}  // namespace
+
+void HashAggregate::BuildAggKernels() {
+  kernels_.clear();
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    AggKernel k;
+    const AggSpec& spec = aggs_[i];
+    if (spec.kind == AggKind::kCountStar) {
+      k.fn = CountStarKernel;
+      kernels_.push_back(k);
+      continue;
+    }
+    // Only bare outer-column arguments qualify; anything else falls back to
+    // the generic update for that spec (as with EVP's unsupported shapes).
+    if (spec.arg->kind() != ExprKind::kVar) {
+      kernels_.push_back(k);
+      continue;
+    }
+    const auto& var = static_cast<const VarExpr&>(*spec.arg);
+    if (var.side() != RowSide::kOuter) {
+      kernels_.push_back(k);
+      continue;
+    }
+    k.attno = var.attno();
+    bool is_float = agg_arg_meta_[i].type == TypeId::kFloat64;
+    bool is_int = IsIntKind(agg_arg_meta_[i].type);
+    switch (spec.kind) {
+      case AggKind::kCount:
+        k.fn = CountKernel;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        if (is_float) {
+          k.fn = SumFloatKernel;
+        } else if (is_int) {
+          k.fn = SumIntKernel;
+        }
+        break;
+      case AggKind::kMin:
+        if (is_float) {
+          k.fn = ExtremeFloatKernel<true>;
+        } else if (is_int) {
+          k.fn = ExtremeIntKernel<true>;
+        }
+        break;
+      case AggKind::kMax:
+        if (is_float) {
+          k.fn = ExtremeFloatKernel<false>;
+        } else if (is_int) {
+          k.fn = ExtremeIntKernel<false>;
+        }
+        break;
+      default:
+        break;
+    }
+    kernels_.push_back(k);
+  }
+}
+
+void HashAggregate::UpdateWithKernels(Group* g, const ExecRow& row) {
+  uint64_t ops = 0;
+  for (size_t i = 0; i < kernels_.size(); ++i) {
+    const AggKernel& k = kernels_[i];
+    ops += 2;  // the bee's whole per-aggregate cost
+    if (k.fn != nullptr) {
+      k.fn(g->states[i], row.values, row.isnull, k.attno);
+      continue;
+    }
+    // Fallback: the generic path for this one spec.
+    AggState& st = g->states[i];
+    const AggSpec& spec = aggs_[i];
+    bool isnull = false;
+    Datum v = spec.arg->Eval(row, &isnull);
+    if (isnull) continue;
+    switch (spec.kind) {
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        if (ArgIsFloat(agg_arg_meta_[i])) {
+          st.fsum += DatumToFloat64(v);
+        } else {
+          st.isum += DatumToInt64(v);
+        }
+        ++st.count;
+        break;
+      case AggKind::kCount:
+        ++st.count;
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (!st.has_value) {
+          st.extreme = CopyDatum(&arena_, v, agg_arg_meta_[i]);
+          st.has_value = true;
+          break;
+        }
+        int c = DatumCompareGeneric(v, st.extreme, agg_arg_meta_[i]);
+        if ((spec.kind == AggKind::kMin && c < 0) ||
+            (spec.kind == AggKind::kMax && c > 0)) {
+          st.extreme = CopyDatum(&arena_, v, agg_arg_meta_[i]);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  workops::Bump(ops);
+}
+
+HashAggregate::HashAggregate(ExecContext* ctx, OperatorPtr child,
+                             std::vector<int> group_cols,
+                             std::vector<AggSpec> aggs)
+    : ctx_(ctx),
+      child_(std::move(child)),
+      group_cols_(std::move(group_cols)),
+      aggs_(std::move(aggs)) {
+  for (int c : group_cols_) {
+    group_meta_.push_back(child_->output_meta()[static_cast<size_t>(c)]);
+    meta_.push_back(group_meta_.back());
+  }
+  for (const AggSpec& a : aggs_) {
+    ColMeta am =
+        a.arg != nullptr ? a.arg->meta() : ColMeta::Of(TypeId::kInt64);
+    agg_arg_meta_.push_back(am);
+    meta_.push_back(AggOutputMeta(a, am));
+  }
+}
+
+Status HashAggregate::Init() {
+  accumulated_ = false;
+  emit_pos_ = 0;
+  groups_.clear();
+  arena_.Reset();
+  buckets_.assign(1024, nullptr);
+  bucket_mask_ = buckets_.size() - 1;
+  values_buf_.assign(meta_.size(), 0);
+  isnull_buf_ = std::make_unique<bool[]>(meta_.size());
+  values_ = values_buf_.data();
+  isnull_ = isnull_buf_.get();
+  use_kernels_ = ctx_->options().enable_agg_bee;
+  if (use_kernels_) BuildAggKernels();
+  return child_->Init();
+}
+
+void HashAggregate::UpdateGeneric(Group* g, const ExecRow& row) {
+  // The generic update loop: per aggregate, evaluate the argument through
+  // the interpreter and dispatch on kind and argument type.
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    AggState& st = g->states[i];
+    const AggSpec& spec = aggs_[i];
+    workops::Bump(5);  // agg-kind dispatch + state load
+    if (spec.kind == AggKind::kCountStar) {
+      ++st.count;
+      continue;
+    }
+    bool isnull = false;
+    Datum v = spec.arg->Eval(row, &isnull);
+    if (isnull) continue;  // SQL aggregates skip NULLs
+    switch (spec.kind) {
+      case AggKind::kCountStar:
+        break;
+      case AggKind::kCount:
+        ++st.count;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        workops::Bump(3);  // argument-type dispatch
+        if (ArgIsFloat(agg_arg_meta_[i])) {
+          st.fsum += DatumToFloat64(v);
+        } else {
+          st.isum += DatumToInt64(v);
+        }
+        ++st.count;
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        workops::Bump(3);
+        if (!st.has_value) {
+          st.extreme = CopyDatum(&arena_, v, agg_arg_meta_[i]);
+          st.has_value = true;
+          break;
+        }
+        int c = DatumCompareGeneric(v, st.extreme, agg_arg_meta_[i]);
+        if ((spec.kind == AggKind::kMin && c < 0) ||
+            (spec.kind == AggKind::kMax && c > 0)) {
+          st.extreme = CopyDatum(&arena_, v, agg_arg_meta_[i]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+Status HashAggregate::Accumulate() {
+  bool has_row = false;
+  const size_t nkeys = group_cols_.size();
+  for (;;) {
+    MICROSPEC_RETURN_NOT_OK(child_->Next(&has_row));
+    if (!has_row) break;
+    const Datum* cv = child_->values();
+    const bool* cn = child_->isnull();
+    ExecRow row{cv, cn, nullptr, nullptr};
+    workops::Bump(8);  // agg-node dispatch per input row
+
+    // Hash the group key (generic: per-key type dispatch).
+    uint64_t h = 0;
+    for (size_t i = 0; i < nkeys; ++i) {
+      int c = group_cols_[i];
+      workops::Bump(2);
+      if (cn != nullptr && cn[c]) continue;
+      h = DatumHashGeneric(cv[c], group_meta_[i], h);
+    }
+
+    // Find or create the group.
+    Group* g = buckets_[h & bucket_mask_];
+    while (g != nullptr) {
+      workops::Bump(2);
+      if (g->hash == h) {
+        bool eq = true;
+        for (size_t i = 0; i < nkeys; ++i) {
+          int c = group_cols_[i];
+          bool rn = cn != nullptr && cn[c];
+          if (rn != g->keynull[i] ||
+              (!rn && !DatumEqualsGeneric(cv[c], g->keys[i], group_meta_[i]))) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) break;
+      }
+      g = g->next;
+    }
+    if (g == nullptr) {
+      g = static_cast<Group*>(arena_.Allocate(sizeof(Group), alignof(Group)));
+      g->hash = h;
+      g->keys = static_cast<Datum*>(
+          arena_.Allocate(sizeof(Datum) * (nkeys == 0 ? 1 : nkeys), 8));
+      g->keynull = static_cast<bool*>(
+          arena_.Allocate(nkeys == 0 ? 1 : nkeys, 1));
+      for (size_t i = 0; i < nkeys; ++i) {
+        int c = group_cols_[i];
+        g->keynull[i] = cn != nullptr && cn[c];
+        g->keys[i] =
+            g->keynull[i] ? 0 : CopyDatum(&arena_, cv[c], group_meta_[i]);
+      }
+      g->states = static_cast<AggState*>(arena_.Allocate(
+          sizeof(AggState) * (aggs_.empty() ? 1 : aggs_.size()),
+          alignof(AggState)));
+      for (size_t i = 0; i < aggs_.size(); ++i) g->states[i] = AggState{};
+      g->next = buckets_[h & bucket_mask_];
+      buckets_[h & bucket_mask_] = g;
+      groups_.push_back(g);
+    }
+
+    if (use_kernels_) {
+      UpdateWithKernels(g, row);
+    } else {
+      UpdateGeneric(g, row);
+    }
+  }
+  child_->Close();
+
+  // Global aggregation over an empty input still yields one row.
+  if (groups_.empty() && group_cols_.empty()) {
+    Group* g = static_cast<Group*>(arena_.Allocate(sizeof(Group), alignof(Group)));
+    g->hash = 0;
+    g->keys = nullptr;
+    g->keynull = nullptr;
+    g->states = static_cast<AggState*>(arena_.Allocate(
+        sizeof(AggState) * (aggs_.empty() ? 1 : aggs_.size()),
+        alignof(AggState)));
+    for (size_t i = 0; i < aggs_.size(); ++i) g->states[i] = AggState{};
+    groups_.push_back(g);
+  }
+  return Status::OK();
+}
+
+void HashAggregate::EmitGroup(const Group* g) {
+  size_t out = 0;
+  for (size_t i = 0; i < group_cols_.size(); ++i, ++out) {
+    values_buf_[out] = g->keys[i];
+    isnull_buf_[out] = g->keynull[i];
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i, ++out) {
+    const AggState& st = g->states[i];
+    isnull_buf_[out] = false;
+    switch (aggs_[i].kind) {
+      case AggKind::kCountStar:
+      case AggKind::kCount:
+        values_buf_[out] = DatumFromInt64(st.count);
+        break;
+      case AggKind::kSum:
+        if (st.count == 0) {
+          isnull_buf_[out] = true;
+          values_buf_[out] = 0;
+        } else if (ArgIsFloat(agg_arg_meta_[i])) {
+          values_buf_[out] = DatumFromFloat64(st.fsum);
+        } else {
+          values_buf_[out] = DatumFromInt64(st.isum);
+        }
+        break;
+      case AggKind::kAvg:
+        if (st.count == 0) {
+          isnull_buf_[out] = true;
+          values_buf_[out] = 0;
+        } else {
+          double total = ArgIsFloat(agg_arg_meta_[i])
+                             ? st.fsum
+                             : static_cast<double>(st.isum);
+          values_buf_[out] =
+              DatumFromFloat64(total / static_cast<double>(st.count));
+        }
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        if (!st.has_value) {
+          isnull_buf_[out] = true;
+          values_buf_[out] = 0;
+        } else {
+          values_buf_[out] = st.extreme;
+        }
+        break;
+    }
+  }
+}
+
+Status HashAggregate::Next(bool* has_row) {
+  if (!accumulated_) {
+    MICROSPEC_RETURN_NOT_OK(Accumulate());
+    accumulated_ = true;
+  }
+  if (emit_pos_ >= groups_.size()) {
+    *has_row = false;
+    return Status::OK();
+  }
+  EmitGroup(groups_[emit_pos_++]);
+  *has_row = true;
+  return Status::OK();
+}
+
+void HashAggregate::Close() {
+  groups_.clear();
+  buckets_.clear();
+  arena_.Reset();
+}
+
+}  // namespace microspec

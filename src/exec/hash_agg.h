@@ -1,0 +1,104 @@
+#ifndef MICROSPEC_EXEC_HASH_AGG_H_
+#define MICROSPEC_EXEC_HASH_AGG_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace microspec {
+
+enum class AggKind : uint8_t { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+/// One aggregate computation: kind + argument expression (nullptr for
+/// COUNT(*)).
+struct AggSpec {
+  AggKind kind;
+  ExprPtr arg;
+
+  static AggSpec CountStar() { return AggSpec{AggKind::kCountStar, nullptr}; }
+  static AggSpec Count(ExprPtr e) { return AggSpec{AggKind::kCount, std::move(e)}; }
+  static AggSpec Sum(ExprPtr e) { return AggSpec{AggKind::kSum, std::move(e)}; }
+  static AggSpec Avg(ExprPtr e) { return AggSpec{AggKind::kAvg, std::move(e)}; }
+  static AggSpec Min(ExprPtr e) { return AggSpec{AggKind::kMin, std::move(e)}; }
+  static AggSpec Max(ExprPtr e) { return AggSpec{AggKind::kMax, std::move(e)}; }
+};
+
+/// Hash aggregation with optional GROUP BY. The per-row update loop
+/// dispatches on the aggregate kind and argument type at run time — the
+/// paper explicitly identifies aggregation as a not-yet-specialized cost
+/// center explaining the lower gains of q1/q18 (Section VI-A); the optional
+/// aggregation bee (SessionOptions::enable_agg_bee, our extension of the
+/// paper's future work) replaces the dispatch with monomorphized updaters.
+///
+/// Output: group columns ++ one column per AggSpec.
+class HashAggregate final : public Operator {
+ public:
+  HashAggregate(ExecContext* ctx, OperatorPtr child,
+                std::vector<int> group_cols, std::vector<AggSpec> aggs);
+
+  Status Init() override;
+  Status Next(bool* has_row) override;
+  void Close() override;
+
+  /// Accumulator state; public so the aggregation-bee kernels (file-local
+  /// free functions in hash_agg.cc) can operate on it.
+  struct AggState {
+    double fsum = 0;
+    int64_t isum = 0;
+    int64_t count = 0;
+    Datum extreme = 0;  // MIN/MAX current value
+    bool has_value = false;
+  };
+ private:
+  struct Group {
+    uint64_t hash;
+    Group* next;
+    Datum* keys;
+    bool* keynull;
+    AggState* states;
+  };
+
+  Status Accumulate();
+  void UpdateGeneric(Group* g, const ExecRow& row);
+  void EmitGroup(const Group* g);
+
+  /// --- Aggregation bee (extension of the paper's §VIII future work) ---------
+  /// When SessionOptions::enable_agg_bee is set, aggregates whose argument
+  /// is a bare column get a monomorphized update kernel selected at Init
+  /// (kind x type burned in, the attribute number patched into the kernel
+  /// context) instead of the interpreted argument + double dispatch.
+  using AggKernelFn = void (*)(AggState&, const Datum*, const bool*,
+                               int attno);
+  struct AggKernel {
+    AggKernelFn fn = nullptr;  // nullptr -> generic update for this spec
+    int attno = 0;
+  };
+  void BuildAggKernels();
+  void UpdateWithKernels(Group* g, const ExecRow& row);
+
+  std::vector<AggKernel> kernels_;
+  bool use_kernels_ = false;
+
+  ExecContext* ctx_;
+  OperatorPtr child_;
+  std::vector<int> group_cols_;
+  std::vector<AggSpec> aggs_;
+  std::vector<ColMeta> group_meta_;
+  std::vector<ColMeta> agg_arg_meta_;
+
+  Arena arena_;
+  std::vector<Group*> buckets_;
+  uint64_t bucket_mask_ = 0;
+  std::vector<Group*> groups_;  // emission order
+  size_t emit_pos_ = 0;
+  bool accumulated_ = false;
+
+  std::vector<Datum> values_buf_;
+  std::unique_ptr<bool[]> isnull_buf_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_HASH_AGG_H_

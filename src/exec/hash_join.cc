@@ -1,0 +1,270 @@
+#include "exec/hash_join.h"
+
+#include "common/counters.h"
+
+namespace microspec {
+
+HashJoin::HashJoin(ExecContext* ctx, OperatorPtr outer, OperatorPtr inner,
+                   std::vector<int> outer_keys, std::vector<int> inner_keys,
+                   JoinType join_type, ExprPtr residual)
+    : ctx_(ctx),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      outer_keys_(std::move(outer_keys)),
+      inner_keys_(std::move(inner_keys)),
+      join_type_(join_type),
+      residual_expr_(std::move(residual)) {
+  MICROSPEC_CHECK(outer_keys_.size() == inner_keys_.size());
+  outer_width_ = outer_->output_meta().size();
+  inner_width_ = inner_->output_meta().size();
+  meta_ = outer_->output_meta();
+  if (join_type_ == JoinType::kInner || join_type_ == JoinType::kLeft) {
+    for (const ColMeta& m : inner_->output_meta()) meta_.push_back(m);
+  }
+}
+
+Status HashJoin::Init() {
+  // Query-preparation-time decisions: key kernel (EVJ seam) and join-type
+  // dispatch mode.
+  std::vector<ColMeta> key_meta;
+  key_meta.reserve(outer_keys_.size());
+  for (size_t i = 0; i < outer_keys_.size(); ++i) {
+    key_meta.push_back(outer_->output_meta()[static_cast<size_t>(
+        outer_keys_[i])]);
+  }
+  if (keys_ == nullptr) {
+    keys_ = ctx_->MakeJoinKeys(outer_keys_, inner_keys_, key_meta);
+  }
+  if (residual_expr_ != nullptr) {
+    residual_ = std::make_unique<ExprPredicate>(std::move(residual_expr_));
+  }
+  if (ctx_->options().enable_evj) {
+    switch (join_type_) {
+      case JoinType::kInner:
+        next_fn_ = &HashJoin::NextStatic<JoinType::kInner>;
+        break;
+      case JoinType::kLeft:
+        next_fn_ = &HashJoin::NextStatic<JoinType::kLeft>;
+        break;
+      case JoinType::kSemi:
+        next_fn_ = &HashJoin::NextStatic<JoinType::kSemi>;
+        break;
+      case JoinType::kAnti:
+        next_fn_ = &HashJoin::NextStatic<JoinType::kAnti>;
+        break;
+    }
+  } else {
+    next_fn_ = &HashJoin::NextGeneric;
+  }
+
+  values_buf_.assign(outer_width_ + inner_width_, 0);
+  isnull_buf_ = std::make_unique<bool[]>(outer_width_ + inner_width_);
+  values_ = values_buf_.data();
+  isnull_ = isnull_buf_.get();
+
+  MICROSPEC_RETURN_NOT_OK(outer_->Init());
+  MICROSPEC_RETURN_NOT_OK(BuildTable());
+  chain_ = nullptr;
+  outer_valid_ = false;
+  return Status::OK();
+}
+
+Status HashJoin::BuildTable() {
+  build_arena_.Reset();  // re-Init rebuilds from scratch
+  MICROSPEC_RETURN_NOT_OK(inner_->Init());
+  std::vector<BuildRow*> rows;
+  const std::vector<ColMeta>& im = inner_->output_meta();
+  bool has_row = false;
+  for (;;) {
+    MICROSPEC_RETURN_NOT_OK(inner_->Next(&has_row));
+    if (!has_row) break;
+    auto* row = static_cast<BuildRow*>(
+        build_arena_.Allocate(sizeof(BuildRow), alignof(BuildRow)));
+    row->values = static_cast<Datum*>(
+        build_arena_.Allocate(sizeof(Datum) * inner_width_, 8));
+    row->isnull =
+        static_cast<bool*>(build_arena_.Allocate(inner_width_, 1));
+    const Datum* v = inner_->values();
+    const bool* n = inner_->isnull();
+    for (size_t i = 0; i < inner_width_; ++i) {
+      row->isnull[i] = n != nullptr && n[i];
+      row->values[i] =
+          row->isnull[i] ? 0 : CopyDatum(&build_arena_, v[i], im[i]);
+    }
+    row->hash = keys_->HashInner(row->values, row->isnull);
+    rows.push_back(row);
+  }
+  inner_->Close();
+
+  size_t nbuckets = 16;
+  while (nbuckets < rows.size() * 2) nbuckets <<= 1;
+  buckets_.assign(nbuckets, nullptr);
+  bucket_mask_ = nbuckets - 1;
+  for (BuildRow* row : rows) {
+    size_t b = row->hash & bucket_mask_;
+    row->next = buckets_[b];
+    buckets_[b] = row;
+  }
+  return Status::OK();
+}
+
+void HashJoin::EmitCombined(const BuildRow* inner_row) {
+  const Datum* ov = outer_->values();
+  const bool* on = outer_->isnull();
+  for (size_t i = 0; i < outer_width_; ++i) {
+    values_buf_[i] = ov[i];
+    isnull_buf_[i] = on != nullptr && on[i];
+  }
+  if (join_type_ == JoinType::kSemi || join_type_ == JoinType::kAnti) return;
+  for (size_t i = 0; i < inner_width_; ++i) {
+    if (inner_row == nullptr) {
+      values_buf_[outer_width_ + i] = 0;
+      isnull_buf_[outer_width_ + i] = true;
+    } else {
+      values_buf_[outer_width_ + i] = inner_row->values[i];
+      isnull_buf_[outer_width_ + i] = inner_row->isnull[i];
+    }
+  }
+}
+
+bool HashJoin::RowMatches(const BuildRow* entry) const {
+  if (entry->hash != cur_hash_) return false;
+  if (!keys_->KeysEqual(outer_->values(), outer_->isnull(), entry->values,
+                        entry->isnull)) {
+    return false;
+  }
+  if (residual_ != nullptr) {
+    ExecRow row{outer_->values(), outer_->isnull(), entry->values,
+                entry->isnull};
+    if (!residual_->Matches(row)) return false;
+  }
+  return true;
+}
+
+Status HashJoin::NextGeneric(bool* has_row) {
+  for (;;) {
+    // Resume a partially-consumed match chain (inner/left emit per match).
+    if (outer_valid_) {
+      // The stock path re-dispatches on the join type for every probe step,
+      // the generality EVJ's pre-compiled variants remove.
+      workops::Bump(3);
+      switch (join_type_) {
+        case JoinType::kInner:
+        case JoinType::kLeft:
+          while (chain_ != nullptr) {
+            BuildRow* entry = chain_;
+            chain_ = chain_->next;
+            workops::Bump(3);
+            if (RowMatches(entry)) {
+              outer_matched_ = true;
+              EmitCombined(entry);
+              *has_row = true;
+              return Status::OK();
+            }
+          }
+          if (join_type_ == JoinType::kLeft && !outer_matched_) {
+            outer_matched_ = true;
+            EmitCombined(nullptr);
+            *has_row = true;
+            outer_valid_ = false;
+            return Status::OK();
+          }
+          outer_valid_ = false;
+          break;
+        case JoinType::kSemi:
+        case JoinType::kAnti: {
+          bool found = false;
+          while (chain_ != nullptr) {
+            BuildRow* entry = chain_;
+            chain_ = chain_->next;
+            workops::Bump(3);
+            if (RowMatches(entry)) {
+              found = true;
+              break;
+            }
+          }
+          outer_valid_ = false;
+          if (found == (join_type_ == JoinType::kSemi)) {
+            EmitCombined(nullptr);
+            *has_row = true;
+            return Status::OK();
+          }
+          break;
+        }
+      }
+    }
+    // Advance the outer side and start a new probe.
+    MICROSPEC_RETURN_NOT_OK(outer_->Next(has_row));
+    if (!*has_row) return Status::OK();
+    cur_hash_ = keys_->HashOuter(outer_->values(), outer_->isnull());
+    chain_ = buckets_[cur_hash_ & bucket_mask_];
+    outer_matched_ = false;
+    outer_valid_ = true;
+    workops::Bump(5);  // bucket computation + probe setup in the stock path
+  }
+}
+
+template <JoinType JT>
+Status HashJoin::NextStatic(bool* has_row) {
+  for (;;) {
+    if (outer_valid_) {
+      if constexpr (JT == JoinType::kInner || JT == JoinType::kLeft) {
+        while (chain_ != nullptr) {
+          BuildRow* entry = chain_;
+          chain_ = chain_->next;
+          workops::Bump(2);
+          if (RowMatches(entry)) {
+            outer_matched_ = true;
+            EmitCombined(entry);
+            *has_row = true;
+            return Status::OK();
+          }
+        }
+        if constexpr (JT == JoinType::kLeft) {
+          if (!outer_matched_) {
+            outer_matched_ = true;
+            EmitCombined(nullptr);
+            *has_row = true;
+            outer_valid_ = false;
+            return Status::OK();
+          }
+        }
+        outer_valid_ = false;
+      } else {
+        bool found = false;
+        while (chain_ != nullptr) {
+          BuildRow* entry = chain_;
+          chain_ = chain_->next;
+          workops::Bump(2);
+          if (RowMatches(entry)) {
+            found = true;
+            break;
+          }
+        }
+        outer_valid_ = false;
+        if (found == (JT == JoinType::kSemi)) {
+          EmitCombined(nullptr);
+          *has_row = true;
+          return Status::OK();
+        }
+      }
+    }
+    MICROSPEC_RETURN_NOT_OK(outer_->Next(has_row));
+    if (!*has_row) return Status::OK();
+    cur_hash_ = keys_->HashOuter(outer_->values(), outer_->isnull());
+    chain_ = buckets_[cur_hash_ & bucket_mask_];
+    outer_matched_ = false;
+    outer_valid_ = true;
+    workops::Bump(3);
+  }
+}
+
+Status HashJoin::Next(bool* has_row) { return (this->*next_fn_)(has_row); }
+
+void HashJoin::Close() {
+  outer_->Close();
+  buckets_.clear();
+  build_arena_.Reset();
+}
+
+}  // namespace microspec

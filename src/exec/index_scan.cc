@@ -1,0 +1,46 @@
+#include "exec/index_scan.h"
+
+namespace microspec {
+
+IndexScan::IndexScan(ExecContext* ctx, TableInfo* table, IndexInfo* index,
+                     IndexKey prefix)
+    : ctx_(ctx), table_(table), index_(index), prefix_(prefix) {
+  for (const Column& c : table->schema().columns()) {
+    meta_.push_back(ColMeta::FromColumn(c));
+  }
+}
+
+Status IndexScan::Init() {
+  deformer_ = ctx_->DeformerFor(table_);
+  int natts = table_->schema().natts();
+  values_buf_.assign(static_cast<size_t>(natts), 0);
+  isnull_buf_ = std::make_unique<bool[]>(static_cast<size_t>(natts));
+  tuple_buf_ = std::make_unique<char[]>(kPageSize);
+  values_ = values_buf_.data();
+  isnull_ = isnull_buf_.get();
+  tids_.clear();
+  pos_ = 0;
+  index_->btree->ScanPrefix(prefix_, [this](const IndexKey&, TupleId tid) {
+    tids_.push_back(tid);
+    return true;
+  });
+  return Status::OK();
+}
+
+Status IndexScan::Next(bool* has_row) {
+  while (pos_ < tids_.size()) {
+    TupleId tid = tids_[pos_++];
+    uint32_t len = 0;
+    Status st = table_->heap()->Fetch(tid, tuple_buf_.get(), kPageSize, &len);
+    if (st.code() == StatusCode::kNotFound) continue;  // deleted since Init
+    MICROSPEC_RETURN_NOT_OK(st);
+    deformer_->Deform(tuple_buf_.get(), table_->schema().natts(),
+                      values_buf_.data(), isnull_buf_.get());
+    *has_row = true;
+    return Status::OK();
+  }
+  *has_row = false;
+  return Status::OK();
+}
+
+}  // namespace microspec

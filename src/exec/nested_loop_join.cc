@@ -1,0 +1,120 @@
+#include "exec/nested_loop_join.h"
+
+namespace microspec {
+
+NestedLoopJoin::NestedLoopJoin(ExecContext* ctx, OperatorPtr outer,
+                               OperatorPtr inner, JoinType join_type,
+                               ExprPtr predicate)
+    : ctx_(ctx),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      join_type_(join_type),
+      pred_expr_(std::move(predicate)) {
+  outer_width_ = outer_->output_meta().size();
+  inner_width_ = inner_->output_meta().size();
+  meta_ = outer_->output_meta();
+  if (join_type_ == JoinType::kInner || join_type_ == JoinType::kLeft) {
+    for (const ColMeta& m : inner_->output_meta()) meta_.push_back(m);
+  }
+}
+
+Status NestedLoopJoin::Init() {
+  if (pred_ == nullptr) {
+    pred_ = ctx_->MakePredicate(std::move(pred_expr_));
+  }
+
+  // Materialize the inner side (re-Init rebuilds from scratch).
+  inner_rows_.clear();
+  arena_.Reset();
+  MICROSPEC_RETURN_NOT_OK(inner_->Init());
+  const std::vector<ColMeta>& im = inner_->output_meta();
+  bool has_row = false;
+  for (;;) {
+    MICROSPEC_RETURN_NOT_OK(inner_->Next(&has_row));
+    if (!has_row) break;
+    MatRow row;
+    row.values =
+        static_cast<Datum*>(arena_.Allocate(sizeof(Datum) * inner_width_, 8));
+    row.isnull = static_cast<bool*>(arena_.Allocate(inner_width_, 1));
+    const Datum* v = inner_->values();
+    const bool* n = inner_->isnull();
+    for (size_t i = 0; i < inner_width_; ++i) {
+      row.isnull[i] = n != nullptr && n[i];
+      row.values[i] = row.isnull[i] ? 0 : CopyDatum(&arena_, v[i], im[i]);
+    }
+    inner_rows_.push_back(row);
+  }
+  inner_->Close();
+
+  values_buf_.assign(outer_width_ + inner_width_, 0);
+  isnull_buf_ = std::make_unique<bool[]>(outer_width_ + inner_width_);
+  values_ = values_buf_.data();
+  isnull_ = isnull_buf_.get();
+  outer_valid_ = false;
+  return outer_->Init();
+}
+
+void NestedLoopJoin::EmitCombined(const MatRow* inner_row) {
+  const Datum* ov = outer_->values();
+  const bool* on = outer_->isnull();
+  for (size_t i = 0; i < outer_width_; ++i) {
+    values_buf_[i] = ov[i];
+    isnull_buf_[i] = on != nullptr && on[i];
+  }
+  if (join_type_ == JoinType::kSemi || join_type_ == JoinType::kAnti) return;
+  for (size_t i = 0; i < inner_width_; ++i) {
+    if (inner_row == nullptr) {
+      values_buf_[outer_width_ + i] = 0;
+      isnull_buf_[outer_width_ + i] = true;
+    } else {
+      values_buf_[outer_width_ + i] = inner_row->values[i];
+      isnull_buf_[outer_width_ + i] = inner_row->isnull[i];
+    }
+  }
+}
+
+Status NestedLoopJoin::Next(bool* has_row) {
+  for (;;) {
+    if (outer_valid_) {
+      bool semi_like =
+          join_type_ == JoinType::kSemi || join_type_ == JoinType::kAnti;
+      while (inner_pos_ < inner_rows_.size()) {
+        const MatRow& irow = inner_rows_[inner_pos_++];
+        ExecRow row{outer_->values(), outer_->isnull(), irow.values,
+                    irow.isnull};
+        if (pred_->Matches(row)) {
+          outer_matched_ = true;
+          if (semi_like) break;
+          EmitCombined(&irow);
+          *has_row = true;
+          return Status::OK();
+        }
+      }
+      outer_valid_ = false;
+      if (join_type_ == JoinType::kLeft && !outer_matched_) {
+        EmitCombined(nullptr);
+        *has_row = true;
+        return Status::OK();
+      }
+      if ((join_type_ == JoinType::kSemi && outer_matched_) ||
+          (join_type_ == JoinType::kAnti && !outer_matched_)) {
+        EmitCombined(nullptr);
+        *has_row = true;
+        return Status::OK();
+      }
+    }
+    MICROSPEC_RETURN_NOT_OK(outer_->Next(has_row));
+    if (!*has_row) return Status::OK();
+    inner_pos_ = 0;
+    outer_matched_ = false;
+    outer_valid_ = true;
+  }
+}
+
+void NestedLoopJoin::Close() {
+  outer_->Close();
+  inner_rows_.clear();
+  arena_.Reset();
+}
+
+}  // namespace microspec

@@ -1,0 +1,55 @@
+#ifndef MICROSPEC_EXEC_NESTED_LOOP_JOIN_H_
+#define MICROSPEC_EXEC_NESTED_LOOP_JOIN_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace microspec {
+
+/// Nested-loop join for non-equi join conditions. Materializes the inner
+/// child once, then evaluates the join predicate for every outer x inner
+/// pair. Supports kInner/kLeft/kSemi/kAnti with the same output layout rules
+/// as HashJoin. The predicate is the FuncExprState-style generic tree; EVP
+/// can specialize it when its shape qualifies.
+class NestedLoopJoin final : public Operator {
+ public:
+  NestedLoopJoin(ExecContext* ctx, OperatorPtr outer, OperatorPtr inner,
+                 JoinType join_type, ExprPtr predicate);
+
+  Status Init() override;
+  Status Next(bool* has_row) override;
+  void Close() override;
+
+ private:
+  struct MatRow {
+    Datum* values;
+    bool* isnull;
+  };
+
+  void EmitCombined(const MatRow* inner_row);
+
+  ExecContext* ctx_;
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  JoinType join_type_;
+  ExprPtr pred_expr_;
+  std::unique_ptr<PredicateEvaluator> pred_;
+
+  Arena arena_;
+  std::vector<MatRow> inner_rows_;
+  size_t inner_pos_ = 0;
+  bool outer_valid_ = false;
+  bool outer_matched_ = false;
+
+  size_t outer_width_ = 0;
+  size_t inner_width_ = 0;
+  std::vector<Datum> values_buf_;
+  std::unique_ptr<bool[]> isnull_buf_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_NESTED_LOOP_JOIN_H_

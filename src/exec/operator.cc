@@ -1,0 +1,18 @@
+#include "exec/operator.h"
+
+namespace microspec {
+
+Result<uint64_t> CountRows(Operator* op) {
+  MICROSPEC_RETURN_NOT_OK(op->Init());
+  uint64_t n = 0;
+  bool has_row = false;
+  for (;;) {
+    MICROSPEC_RETURN_NOT_OK(op->Next(&has_row));
+    if (!has_row) break;
+    ++n;
+  }
+  op->Close();
+  return n;
+}
+
+}  // namespace microspec

@@ -1,0 +1,198 @@
+#ifndef MICROSPEC_EXEC_OPERATOR_H_
+#define MICROSPEC_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/arena.h"
+#include "common/status.h"
+#include "exec/access.h"
+#include "exec/row.h"
+
+namespace microspec {
+
+/// Join semantics supported by the join operators. These are the variants
+/// the paper's EVJ bee enumerates ahead of time ("all possible combinations
+/// of the join routines ... can be enumerated and compiled ahead of time").
+enum class JoinType : uint8_t { kInner, kLeft, kSemi, kAnti };
+
+/// Per-session micro-specialization switches. Each bee routine is
+/// independently toggleable, which is what makes the paper's additivity
+/// experiment (Figure 7) expressible: {GCL}, {GCL,EVP}, {GCL,EVP,EVJ}.
+struct SessionOptions {
+  bool enable_gcl = false;         // relation bee: specialized deform
+  bool enable_scl = false;         // relation bee: specialized form
+  bool enable_evp = false;         // query bee: predicate evaluation
+  bool enable_evj = false;         // query bee: join evaluation
+  bool enable_tuple_bees = false;  // attribute-value specialization
+  bool enable_agg_bee = false;     // extension: aggregation kernels (§VIII)
+
+  static SessionOptions Stock() { return SessionOptions{}; }
+  static SessionOptions AllBees() {
+    SessionOptions o;
+    o.enable_gcl = o.enable_scl = o.enable_evp = o.enable_evj =
+        o.enable_tuple_bees = true;
+    return o;
+  }
+  bool AnyEnabled() const {
+    return enable_gcl || enable_scl || enable_evp || enable_evj ||
+           enable_tuple_bees || enable_agg_bee;
+  }
+};
+
+/// The bee module's face toward the executor (the Bee Caller seam). A null
+/// implementation (stock engine) makes every factory return the generic
+/// path. Implemented by bee::BeeModule.
+class BeeHooks {
+ public:
+  virtual ~BeeHooks() = default;
+
+  /// GCL routine for `table`, or nullptr to use the stock deform loop.
+  virtual const TupleDeformer* DeformerFor(TableInfo* table,
+                                           const SessionOptions& opts) = 0;
+
+  /// SCL routine for `table`, or nullptr to use the stock form loop.
+  virtual const TupleFormer* FormerFor(TableInfo* table,
+                                       const SessionOptions& opts) = 0;
+
+  /// EVP bee for `expr`, or nullptr when the shape is not specializable
+  /// (the generic interpreter remains the fallback, as in the paper).
+  virtual std::unique_ptr<PredicateEvaluator> SpecializePredicate(
+      const Expr& expr, const SessionOptions& opts) = 0;
+
+  /// EVJ bee for the given join keys, or nullptr.
+  virtual std::unique_ptr<JoinKeyEvaluator> SpecializeJoinKeys(
+      const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
+      const std::vector<ColMeta>& key_meta, const SessionOptions& opts) = 0;
+};
+
+/// Per-query execution context: catalog access, the session's bee switches,
+/// scratch memory, and factories that route through bees when enabled.
+class ExecContext {
+ public:
+  ExecContext(Catalog* catalog, BeeHooks* bees, SessionOptions opts)
+      : catalog_(catalog), bees_(bees), opts_(opts) {}
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(ExecContext);
+
+  Catalog* catalog() { return catalog_; }
+  Arena* arena() { return &arena_; }
+  const SessionOptions& options() const { return opts_; }
+  BeeHooks* bees() { return bees_; }
+
+  /// Deformer for scans of `table`: the GCL bee when enabled, else stock.
+  /// Resolution is memoized per context — OLTP point reads would otherwise
+  /// pay the bee registry lookup on every tuple.
+  const TupleDeformer* DeformerFor(TableInfo* table) {
+    auto cached = deformer_cache_.find(table->id());
+    if (cached != deformer_cache_.end()) return cached->second;
+    const TupleDeformer* d = nullptr;
+    if (bees_ != nullptr) d = bees_->DeformerFor(table, opts_);
+    if (d == nullptr) {
+      auto it = stock_deformers_
+                    .emplace(table->id(),
+                             std::make_unique<StockDeformer>(&table->schema()))
+                    .first;
+      d = it->second.get();
+    }
+    deformer_cache_.emplace(table->id(), d);
+    return d;
+  }
+
+  /// Former for inserts into `table`: the SCL bee when enabled, else stock.
+  const TupleFormer* FormerFor(TableInfo* table) {
+    auto cached = former_cache_.find(table->id());
+    if (cached != former_cache_.end()) return cached->second;
+    const TupleFormer* f = nullptr;
+    if (bees_ != nullptr) f = bees_->FormerFor(table, opts_);
+    if (f == nullptr) {
+      auto it = stock_formers_
+                    .emplace(table->id(),
+                             std::make_unique<StockFormer>(&table->schema()))
+                    .first;
+      f = it->second.get();
+    }
+    former_cache_.emplace(table->id(), f);
+    return f;
+  }
+
+  /// Predicate evaluator: EVP bee when enabled and the shape qualifies,
+  /// else the generic interpreted tree.
+  std::unique_ptr<PredicateEvaluator> MakePredicate(ExprPtr expr) {
+    if (bees_ != nullptr) {
+      std::unique_ptr<PredicateEvaluator> bee =
+          bees_->SpecializePredicate(*expr, opts_);
+      if (bee != nullptr) return bee;
+    }
+    return std::make_unique<ExprPredicate>(std::move(expr));
+  }
+
+  /// Join-key evaluator: EVJ bee when enabled, else generic.
+  std::unique_ptr<JoinKeyEvaluator> MakeJoinKeys(
+      std::vector<int> outer_cols, std::vector<int> inner_cols,
+      std::vector<ColMeta> key_meta) {
+    if (bees_ != nullptr) {
+      std::unique_ptr<JoinKeyEvaluator> bee =
+          bees_->SpecializeJoinKeys(outer_cols, inner_cols, key_meta, opts_);
+      if (bee != nullptr) return bee;
+    }
+    return std::make_unique<GenericJoinKeys>(
+        std::move(outer_cols), std::move(inner_cols), std::move(key_meta));
+  }
+
+ private:
+  Catalog* catalog_;
+  BeeHooks* bees_;
+  SessionOptions opts_;
+  Arena arena_;
+  std::unordered_map<TableId, std::unique_ptr<StockDeformer>> stock_deformers_;
+  std::unordered_map<TableId, std::unique_ptr<StockFormer>> stock_formers_;
+  std::unordered_map<TableId, const TupleDeformer*> deformer_cache_;
+  std::unordered_map<TableId, const TupleFormer*> former_cache_;
+};
+
+/// Volcano-style physical operator: Init once, Next per row, Close once.
+/// Output rows are exposed as parallel values()/isnull() arrays described by
+/// output_meta().
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Init() = 0;
+  /// Produces the next row; sets *has_row=false at end of stream.
+  virtual Status Next(bool* has_row) = 0;
+  virtual void Close() {}
+
+  const std::vector<ColMeta>& output_meta() const { return meta_; }
+  const Datum* values() const { return values_; }
+  const bool* isnull() const { return isnull_; }
+
+ protected:
+  std::vector<ColMeta> meta_;
+  const Datum* values_ = nullptr;
+  const bool* isnull_ = nullptr;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Drains `op` and returns the number of rows produced (runs Init/Close).
+Result<uint64_t> CountRows(Operator* op);
+
+/// Drains `op`, invoking fn(values, isnull) per row.
+template <typename Fn>
+Status ForEachRow(Operator* op, Fn&& fn) {
+  MICROSPEC_RETURN_NOT_OK(op->Init());
+  bool has_row = false;
+  for (;;) {
+    MICROSPEC_RETURN_NOT_OK(op->Next(&has_row));
+    if (!has_row) break;
+    fn(op->values(), op->isnull());
+  }
+  op->Close();
+  return Status::OK();
+}
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_OPERATOR_H_

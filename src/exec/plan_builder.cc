@@ -1,0 +1,130 @@
+#include "exec/plan_builder.h"
+
+#include "exec/filter.h"
+#include "exec/project.h"
+#include "exec/seq_scan.h"
+
+namespace microspec {
+
+Plan Plan::Scan(ExecContext* ctx, TableInfo* table, int natts) {
+  auto scan = std::make_unique<SeqScan>(ctx, table, natts);
+  int n = static_cast<int>(scan->output_meta().size());
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) names.push_back(table->schema().column(i).name());
+  return Plan(ctx, std::move(scan), std::move(names));
+}
+
+Plan& Plan::Where(ExprPtr predicate) {
+  op_ = std::make_unique<Filter>(ctx_, std::move(op_), std::move(predicate));
+  return *this;
+}
+
+Plan Plan::Join(Plan outer, Plan inner,
+                std::vector<std::pair<std::string, std::string>> keys,
+                JoinType type, ExprPtr residual) {
+  std::vector<int> outer_keys;
+  std::vector<int> inner_keys;
+  for (const auto& [ok, ik] : keys) {
+    outer_keys.push_back(outer.col(ok));
+    inner_keys.push_back(inner.col(ik));
+  }
+  std::vector<std::string> names = outer.names_;
+  if (type == JoinType::kInner || type == JoinType::kLeft) {
+    for (const std::string& n : inner.names_) names.push_back(n);
+  }
+  ExecContext* ctx = outer.ctx_;
+  auto join = std::make_unique<HashJoin>(
+      ctx, std::move(outer.op_), std::move(inner.op_), std::move(outer_keys),
+      std::move(inner_keys), type, std::move(residual));
+  return Plan(ctx, std::move(join), std::move(names));
+}
+
+Plan Plan::LoopJoin(Plan outer, Plan inner, JoinType type, ExprPtr predicate) {
+  std::vector<std::string> names = outer.names_;
+  if (type == JoinType::kInner || type == JoinType::kLeft) {
+    for (const std::string& n : inner.names_) names.push_back(n);
+  }
+  ExecContext* ctx = outer.ctx_;
+  auto join = std::make_unique<NestedLoopJoin>(
+      ctx, std::move(outer.op_), std::move(inner.op_), type,
+      std::move(predicate));
+  return Plan(ctx, std::move(join), std::move(names));
+}
+
+Plan& Plan::GroupBy(const std::vector<std::string>& group_cols,
+                    std::vector<std::pair<AggSpec, std::string>> aggs) {
+  std::vector<int> cols;
+  std::vector<std::string> names;
+  for (const std::string& g : group_cols) {
+    cols.push_back(col(g));
+    names.push_back(g);
+  }
+  std::vector<AggSpec> specs;
+  for (auto& [spec, name] : aggs) {
+    specs.push_back(std::move(spec));
+    names.push_back(name);
+  }
+  op_ = std::make_unique<HashAggregate>(ctx_, std::move(op_), std::move(cols),
+                                        std::move(specs));
+  names_ = std::move(names);
+  return *this;
+}
+
+Plan& Plan::Select(std::vector<std::pair<ExprPtr, std::string>> exprs) {
+  std::vector<ExprPtr> list;
+  std::vector<std::string> names;
+  for (auto& [e, name] : exprs) {
+    list.push_back(std::move(e));
+    names.push_back(name);
+  }
+  op_ = std::make_unique<Project>(ctx_, std::move(op_), std::move(list));
+  names_ = std::move(names);
+  return *this;
+}
+
+Plan& Plan::OrderBy(const std::vector<std::pair<std::string, bool>>& keys) {
+  std::vector<SortKey> sort_keys;
+  for (const auto& [name, desc] : keys) {
+    sort_keys.push_back(SortKey{col(name), desc});
+  }
+  op_ = std::make_unique<Sort>(ctx_, std::move(op_), std::move(sort_keys));
+  return *this;
+}
+
+Plan& Plan::Take(uint64_t limit) {
+  op_ = std::make_unique<Limit>(std::move(op_), limit);
+  return *this;
+}
+
+int Plan::col(const std::string& name) const {
+  int c = TryCol(name);
+  if (c < 0) {
+    std::fprintf(stderr, "Plan: unknown column '%s'\n", name.c_str());
+    MICROSPEC_CHECK(false);
+  }
+  return c;
+}
+
+int Plan::TryCol(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ColMeta Plan::meta(const std::string& name) const {
+  return op_->output_meta()[static_cast<size_t>(col(name))];
+}
+
+ExprPtr Plan::var(const std::string& name) const {
+  return Var(RowSide::kOuter, col(name), meta(name));
+}
+
+ExprPtr Plan::inner_var(const std::string& name) const {
+  return Var(RowSide::kInner, col(name), meta(name));
+}
+
+OperatorPtr Plan::Build() && { return std::move(op_); }
+
+}  // namespace microspec

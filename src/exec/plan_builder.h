@@ -1,0 +1,108 @@
+#ifndef MICROSPEC_EXEC_PLAN_BUILDER_H_
+#define MICROSPEC_EXEC_PLAN_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/hash_agg.h"
+#include "exec/hash_join.h"
+#include "exec/nested_loop_join.h"
+#include "exec/operator.h"
+#include "exec/sort.h"
+
+namespace microspec {
+
+/// Named aggregate / named expression helpers: initializer lists cannot
+/// hold move-only types, so plans are written as
+///   plan.GroupBy({"k"}, AggList(Ag(AggSpec::Sum(e), "s")));
+///   plan.Select(SelList(Ex(expr, "name")));
+inline std::pair<AggSpec, std::string> Ag(AggSpec spec, std::string name) {
+  return {std::move(spec), std::move(name)};
+}
+inline std::pair<ExprPtr, std::string> Ex(ExprPtr expr, std::string name) {
+  return {std::move(expr), std::move(name)};
+}
+template <typename... Ps>
+std::vector<std::pair<AggSpec, std::string>> AggList(Ps&&... ps) {
+  std::vector<std::pair<AggSpec, std::string>> v;
+  v.reserve(sizeof...(ps));
+  (v.push_back(std::forward<Ps>(ps)), ...);
+  return v;
+}
+template <typename... Ps>
+std::vector<std::pair<ExprPtr, std::string>> SelList(Ps&&... ps) {
+  std::vector<std::pair<ExprPtr, std::string>> v;
+  v.reserve(sizeof...(ps));
+  (v.push_back(std::forward<Ps>(ps)), ...);
+  return v;
+}
+
+/// A light-weight logical plan builder that tracks output column names, so
+/// multi-join plans can reference columns by name instead of by fragile
+/// positional arithmetic. This is the library's "planner-lite": callers
+/// (benchmarks, examples, the SQL front end) compose scans, filters, joins,
+/// aggregations, sorts and projections, then Take() the operator tree.
+///
+/// All bee seams remain in force: scans deform through GCL, filters go
+/// through MakePredicate (EVP), hash joins through MakeJoinKeys (EVJ).
+class Plan {
+ public:
+  /// Sequential scan of all (or the first `natts`) columns.
+  static Plan Scan(ExecContext* ctx, TableInfo* table, int natts = -1);
+
+  /// Filters rows by `predicate`; Vars reference this plan's columns.
+  Plan& Where(ExprPtr predicate);
+
+  /// Hash equi-join. `keys` pairs (outer column name, inner column name).
+  /// For kInner/kLeft the output is outer ++ inner columns; kSemi/kAnti keep
+  /// the outer columns only. `residual` may reference outer columns as
+  /// RowSide::kOuter and inner columns as RowSide::kInner.
+  static Plan Join(Plan outer, Plan inner,
+                   std::vector<std::pair<std::string, std::string>> keys,
+                   JoinType type = JoinType::kInner,
+                   ExprPtr residual = nullptr);
+
+  /// Nested-loop join on an arbitrary predicate.
+  static Plan LoopJoin(Plan outer, Plan inner, JoinType type,
+                       ExprPtr predicate);
+
+  /// Hash aggregation; output columns are the group columns (same names)
+  /// followed by the named aggregates.
+  Plan& GroupBy(const std::vector<std::string>& group_cols,
+                std::vector<std::pair<AggSpec, std::string>> aggs);
+
+  /// Projection to the named expressions.
+  Plan& Select(std::vector<std::pair<ExprPtr, std::string>> exprs);
+
+  Plan& OrderBy(const std::vector<std::pair<std::string, bool>>& keys);
+  Plan& Take(uint64_t limit);
+
+  /// Column ordinal by name (fatal if absent — plans are static).
+  int col(const std::string& name) const;
+  /// Non-fatal lookup: -1 when absent (used by the SQL binder).
+  int TryCol(const std::string& name) const;
+  ColMeta meta(const std::string& name) const;
+  /// Var expression referencing this plan's column (outer side).
+  ExprPtr var(const std::string& name) const;
+  /// Var expression for use as a join residual's inner side.
+  ExprPtr inner_var(const std::string& name) const;
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Releases the built operator tree.
+  OperatorPtr Build() &&;
+
+ private:
+  Plan(ExecContext* ctx, OperatorPtr op, std::vector<std::string> names)
+      : ctx_(ctx), op_(std::move(op)), names_(std::move(names)) {}
+
+  ExecContext* ctx_;
+  OperatorPtr op_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_PLAN_BUILDER_H_

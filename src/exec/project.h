@@ -1,0 +1,92 @@
+#ifndef MICROSPEC_EXEC_PROJECT_H_
+#define MICROSPEC_EXEC_PROJECT_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/counters.h"
+#include "exec/operator.h"
+
+namespace microspec {
+
+/// Computes a list of output expressions per input row.
+class Project final : public Operator {
+ public:
+  Project(ExecContext* ctx, OperatorPtr child, std::vector<ExprPtr> exprs)
+      : ctx_(ctx), child_(std::move(child)), exprs_(std::move(exprs)) {
+    meta_.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) meta_.push_back(e->meta());
+  }
+
+  Status Init() override {
+    MICROSPEC_RETURN_NOT_OK(child_->Init());
+    values_buf_.assign(exprs_.size(), 0);
+    isnull_buf_ = std::make_unique<bool[]>(exprs_.size());
+    values_ = values_buf_.data();
+    isnull_ = isnull_buf_.get();
+    return Status::OK();
+  }
+
+  Status Next(bool* has_row) override {
+    MICROSPEC_RETURN_NOT_OK(child_->Next(has_row));
+    if (!*has_row) return Status::OK();
+    ExecRow row{child_->values(), child_->isnull(), nullptr, nullptr};
+    workops::Bump(6);  // projection-node dispatch per row
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      bool n = false;
+      values_buf_[i] = exprs_[i]->Eval(row, &n);
+      isnull_buf_[i] = n;
+    }
+    return Status::OK();
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecContext* ctx_;
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  std::vector<Datum> values_buf_;
+  std::unique_ptr<bool[]> isnull_buf_;
+};
+
+/// Passes through at most `limit` rows.
+class Limit final : public Operator {
+ public:
+  Limit(OperatorPtr child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {
+    meta_ = child_->output_meta();
+  }
+
+  Status Init() override {
+    produced_ = 0;
+    MICROSPEC_RETURN_NOT_OK(child_->Init());
+    return Status::OK();
+  }
+
+  Status Next(bool* has_row) override {
+    if (produced_ >= limit_) {
+      *has_row = false;
+      return Status::OK();
+    }
+    MICROSPEC_RETURN_NOT_OK(child_->Next(has_row));
+    if (*has_row) {
+      ++produced_;
+      values_ = child_->values();
+      isnull_ = child_->isnull();
+    }
+    return Status::OK();
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  uint64_t limit_;
+  uint64_t produced_ = 0;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_PROJECT_H_

@@ -1,0 +1,151 @@
+#ifndef MICROSPEC_EXEC_ROW_H_
+#define MICROSPEC_EXEC_ROW_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/arena.h"
+#include "common/counters.h"
+#include "common/datum.h"
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace microspec {
+
+/// Type metadata for one column of an operator's output row. Operators
+/// expose a vector<ColMeta> so parents can hash/compare/copy Datums
+/// correctly without reaching back into base-table schemas.
+struct ColMeta {
+  TypeId type = TypeId::kInt32;
+  int32_t attlen = 4;  // fixed byte length, or kVariableLength
+
+  static ColMeta Of(TypeId t, int32_t declared_char_len = 0) {
+    ColMeta m;
+    m.type = t;
+    m.attlen = (t == TypeId::kChar) ? declared_char_len : TypeFixedLength(t);
+    return m;
+  }
+  static ColMeta FromColumn(const Column& c) {
+    ColMeta m;
+    m.type = c.type();
+    m.attlen = c.attlen();
+    return m;
+  }
+};
+
+/// The row context expressions evaluate against. For scans/filters only the
+/// outer side is set; joins bind both sides while evaluating join predicates.
+struct ExecRow {
+  const Datum* values = nullptr;
+  const bool* isnull = nullptr;
+  const Datum* inner_values = nullptr;
+  const bool* inner_isnull = nullptr;
+};
+
+/// Which side of an ExecRow a Var refers to.
+enum class RowSide : uint8_t { kOuter = 0, kInner = 1 };
+
+/// --- Generic (stock) per-Datum routines ------------------------------------
+/// These switch on the runtime type for every call — the generality that EVP
+/// and EVJ query bees fold away into monomorphic kernels.
+
+inline uint64_t DatumHashGeneric(Datum d, const ColMeta& meta,
+                                 uint64_t seed = 0) {
+  workops::Bump(4);  // type dispatch + call overhead of the generic path
+  switch (meta.type) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      return HashInt64(DatumToInt64(d), seed);
+    case TypeId::kFloat64:
+      return HashInt64(static_cast<int64_t>(d), seed);
+    case TypeId::kChar:
+      return Hash64(DatumToPointer(d), static_cast<size_t>(meta.attlen), seed);
+    case TypeId::kVarchar: {
+      const char* p = DatumToPointer(d);
+      return Hash64(VarlenaPayload(p), VarlenaPayloadSize(p), seed);
+    }
+  }
+  return 0;
+}
+
+inline bool DatumEqualsGeneric(Datum a, Datum b, const ColMeta& meta) {
+  workops::Bump(4);
+  switch (meta.type) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      return DatumToInt64(a) == DatumToInt64(b);
+    case TypeId::kFloat64:
+      return DatumToFloat64(a) == DatumToFloat64(b);
+    case TypeId::kChar:
+      return std::memcmp(DatumToPointer(a), DatumToPointer(b),
+                         static_cast<size_t>(meta.attlen)) == 0;
+    case TypeId::kVarchar: {
+      const char* pa = DatumToPointer(a);
+      const char* pb = DatumToPointer(b);
+      uint32_t la = VarlenaPayloadSize(pa);
+      uint32_t lb = VarlenaPayloadSize(pb);
+      return la == lb &&
+             std::memcmp(VarlenaPayload(pa), VarlenaPayload(pb), la) == 0;
+    }
+  }
+  return false;
+}
+
+/// Three-way compare used by Sort and by range predicates.
+inline int DatumCompareGeneric(Datum a, Datum b, const ColMeta& meta) {
+  workops::Bump(4);
+  switch (meta.type) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate: {
+      int64_t va = DatumToInt64(a);
+      int64_t vb = DatumToInt64(b);
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    case TypeId::kFloat64: {
+      double va = DatumToFloat64(a);
+      double vb = DatumToFloat64(b);
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    case TypeId::kChar: {
+      int c = std::memcmp(DatumToPointer(a), DatumToPointer(b),
+                          static_cast<size_t>(meta.attlen));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case TypeId::kVarchar: {
+      const char* pa = DatumToPointer(a);
+      const char* pb = DatumToPointer(b);
+      uint32_t la = VarlenaPayloadSize(pa);
+      uint32_t lb = VarlenaPayloadSize(pb);
+      uint32_t n = la < lb ? la : lb;
+      int c = std::memcmp(VarlenaPayload(pa), VarlenaPayload(pb), n);
+      if (c != 0) return c < 0 ? -1 : 1;
+      return la < lb ? -1 : (la > lb ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+/// Deep-copies a Datum into `arena` when it is pass-by-reference; returns
+/// the datum unchanged otherwise. Used when materializing rows (hash join
+/// build side, sort buffers, aggregation keys).
+inline Datum CopyDatum(Arena* arena, Datum d, const ColMeta& meta) {
+  if (TypeByVal(meta.type)) return d;
+  if (meta.type == TypeId::kVarchar) {
+    const char* p = DatumToPointer(d);
+    return DatumFromPointer(arena->CopyBytes(p, VarlenaSize(p), 4));
+  }
+  return DatumFromPointer(
+      arena->CopyBytes(DatumToPointer(d), static_cast<size_t>(meta.attlen)));
+}
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_ROW_H_

@@ -1,0 +1,43 @@
+#include "exec/seq_scan.h"
+
+namespace microspec {
+
+SeqScan::SeqScan(ExecContext* ctx, TableInfo* table, int natts_to_fetch)
+    : ctx_(ctx), table_(table) {
+  int all = table->schema().natts();
+  natts_ = (natts_to_fetch < 0 || natts_to_fetch > all) ? all : natts_to_fetch;
+  meta_.reserve(static_cast<size_t>(natts_));
+  for (int i = 0; i < natts_; ++i) {
+    meta_.push_back(ColMeta::FromColumn(table->schema().column(i)));
+  }
+}
+
+Status SeqScan::Init() {
+  deformer_ = ctx_->DeformerFor(table_);
+  values_buf_.assign(static_cast<size_t>(natts_), 0);
+  isnull_buf_ = std::make_unique<bool[]>(static_cast<size_t>(natts_));
+  for (int i = 0; i < natts_; ++i) isnull_buf_[i] = false;
+  iter_.emplace(table_->heap()->Scan());
+  values_ = values_buf_.data();
+  isnull_ = isnull_buf_.get();
+  return Status::OK();
+}
+
+Status SeqScan::Next(bool* has_row) {
+  const char* tuple = nullptr;
+  uint32_t len = 0;
+  TupleId tid = 0;
+  if (!iter_->Next(&tuple, &len, &tid)) {
+    if (!iter_->status().ok()) return iter_->status();
+    *has_row = false;
+    return Status::OK();
+  }
+  workops::Bump(10);  // executor node dispatch (ExecProcNode analog)
+  deformer_->Deform(tuple, natts_, values_buf_.data(), isnull_buf_.get());
+  *has_row = true;
+  return Status::OK();
+}
+
+void SeqScan::Close() { iter_.reset(); }
+
+}  // namespace microspec

@@ -1,0 +1,39 @@
+#ifndef MICROSPEC_EXEC_SEQ_SCAN_H_
+#define MICROSPEC_EXEC_SEQ_SCAN_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exec/operator.h"
+#include "storage/heap_file.h"
+
+namespace microspec {
+
+/// Full scan of a relation. Every produced tuple goes through the session's
+/// TupleDeformer — the stock per-attribute loop, or the relation bee's GCL
+/// routine when micro-specialization is enabled. This is the operator whose
+/// inner loop the paper's case study (Section II) measures.
+class SeqScan final : public Operator {
+ public:
+  /// `natts_to_fetch` < 0 means all attributes; a smaller count enables the
+  /// partial-deform early-out both the stock loop and GCL support.
+  SeqScan(ExecContext* ctx, TableInfo* table, int natts_to_fetch = -1);
+
+  Status Init() override;
+  Status Next(bool* has_row) override;
+  void Close() override;
+
+ private:
+  ExecContext* ctx_;
+  TableInfo* table_;
+  int natts_;
+  const TupleDeformer* deformer_ = nullptr;
+  std::optional<HeapFile::Iterator> iter_;
+  std::vector<Datum> values_buf_;
+  std::unique_ptr<bool[]> isnull_buf_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_SEQ_SCAN_H_

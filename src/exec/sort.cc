@@ -1,0 +1,68 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+namespace microspec {
+
+Status Sort::Init() {
+  sorted_ = false;
+  pos_ = 0;
+  rows_.clear();
+  arena_.Reset();
+  return child_->Init();
+}
+
+Status Sort::Next(bool* has_row) {
+  if (!sorted_) {
+    const std::vector<ColMeta>& cm = meta_;
+    size_t width = cm.size();
+    bool child_has = false;
+    for (;;) {
+      MICROSPEC_RETURN_NOT_OK(child_->Next(&child_has));
+      if (!child_has) break;
+      MatRow row;
+      row.values =
+          static_cast<Datum*>(arena_.Allocate(sizeof(Datum) * width, 8));
+      row.isnull = static_cast<bool*>(arena_.Allocate(width, 1));
+      const Datum* v = child_->values();
+      const bool* n = child_->isnull();
+      for (size_t i = 0; i < width; ++i) {
+        row.isnull[i] = n != nullptr && n[i];
+        row.values[i] = row.isnull[i] ? 0 : CopyDatum(&arena_, v[i], cm[i]);
+      }
+      rows_.push_back(row);
+    }
+    child_->Close();
+
+    std::sort(rows_.begin(), rows_.end(),
+              [this, &cm](const MatRow& a, const MatRow& b) {
+                for (const SortKey& k : keys_) {
+                  size_t c = static_cast<size_t>(k.col);
+                  bool an = a.isnull[c];
+                  bool bn = b.isnull[c];
+                  if (an != bn) return bn;  // NULLS LAST in either direction
+                  if (an) continue;
+                  int cmp = DatumCompareGeneric(a.values[c], b.values[c], cm[c]);
+                  if (cmp != 0) return k.desc ? cmp > 0 : cmp < 0;
+                }
+                return false;
+              });
+    sorted_ = true;
+  }
+  if (pos_ >= rows_.size()) {
+    *has_row = false;
+    return Status::OK();
+  }
+  values_ = rows_[pos_].values;
+  isnull_ = rows_[pos_].isnull;
+  ++pos_;
+  *has_row = true;
+  return Status::OK();
+}
+
+void Sort::Close() {
+  rows_.clear();
+  arena_.Reset();
+}
+
+}  // namespace microspec

@@ -1,0 +1,48 @@
+#ifndef MICROSPEC_EXEC_SORT_H_
+#define MICROSPEC_EXEC_SORT_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace microspec {
+
+/// Sort key: output column ordinal + direction.
+struct SortKey {
+  int col;
+  bool desc = false;
+};
+
+/// Full in-memory sort (materializes the child).
+class Sort final : public Operator {
+ public:
+  Sort(ExecContext* ctx, OperatorPtr child, std::vector<SortKey> keys)
+      : ctx_(ctx), child_(std::move(child)), keys_(std::move(keys)) {
+    meta_ = child_->output_meta();
+  }
+
+  Status Init() override;
+  Status Next(bool* has_row) override;
+  void Close() override;
+
+ private:
+  struct MatRow {
+    Datum* values;
+    bool* isnull;
+  };
+
+  ExecContext* ctx_;
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  Arena arena_;
+  std::vector<MatRow> rows_;
+  size_t pos_ = 0;
+  bool sorted_ = false;
+  std::unique_ptr<bool[]> isnull_buf_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_SORT_H_

@@ -1,0 +1,387 @@
+#include "expr/expr.h"
+
+#include <cstring>
+
+#include "common/counters.h"
+#include "common/macros.h"
+
+namespace microspec {
+
+namespace {
+
+/// True when the type participates in integer comparison/arithmetic.
+bool IsIntClass(TypeId t) {
+  return t == TypeId::kBool || t == TypeId::kInt32 || t == TypeId::kInt64 ||
+         t == TypeId::kDate;
+}
+
+bool IsStringClass(TypeId t) {
+  return t == TypeId::kChar || t == TypeId::kVarchar;
+}
+
+}  // namespace
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+/// --- VarExpr ----------------------------------------------------------------
+
+Datum VarExpr::Eval(const ExecRow& row, bool* isnull) const {
+  // Generic slot access: bounds/side dispatch plus null array consult.
+  workops::Bump(3);
+  if (side_ == RowSide::kOuter) {
+    *isnull = row.isnull != nullptr && row.isnull[attno_];
+    return row.values[attno_];
+  }
+  *isnull = row.inner_isnull != nullptr && row.inner_isnull[attno_];
+  return row.inner_values[attno_];
+}
+
+ExprPtr VarExpr::Clone() const {
+  return std::make_unique<VarExpr>(side_, attno_, meta_);
+}
+
+/// --- ConstExpr --------------------------------------------------------------
+
+Datum ConstExpr::Eval(const ExecRow& row, bool* isnull) const {
+  (void)row;
+  workops::Bump(2);
+  *isnull = isnull_;
+  return value_;
+}
+
+ExprPtr ConstExpr::Clone() const {
+  auto c = std::make_unique<ConstExpr>(value_, meta_, isnull_);
+  c->owned_ = owned_;  // share the varlena backing bytes
+  return c;
+}
+
+ExprPtr ConstExpr::OwnedVarchar(std::string payload) {
+  auto storage = std::make_shared<std::string>();
+  uint32_t total = kVarlenaHeaderSize + static_cast<uint32_t>(payload.size());
+  storage->resize(total);
+  VarlenaWriteHeader(storage->data(), total);
+  std::memcpy(storage->data() + kVarlenaHeaderSize, payload.data(),
+              payload.size());
+  auto c = std::make_unique<ConstExpr>(DatumFromPointer(storage->data()),
+                                       ColMeta::Of(TypeId::kVarchar));
+  c->owned_ = std::move(storage);
+  return c;
+}
+
+ExprPtr ConstExpr::OwnedChar(std::string payload, int32_t len) {
+  auto storage = std::make_shared<std::string>(std::move(payload));
+  storage->resize(static_cast<size_t>(len), ' ');
+  auto c = std::make_unique<ConstExpr>(DatumFromPointer(storage->data()),
+                                       ColMeta::Of(TypeId::kChar, len));
+  c->owned_ = std::move(storage);
+  return c;
+}
+
+/// --- CmpExpr ----------------------------------------------------------------
+
+Datum CmpExpr::Eval(const ExecRow& row, bool* isnull) const {
+  // The generic FuncExprState path: evaluate each argument through virtual
+  // dispatch, null-check each, then dispatch on the runtime operand type and
+  // the operator — all of which the EVP bee folds into one straight-line
+  // monomorphic kernel.
+  bool lnull = false;
+  bool rnull = false;
+  Datum l = lhs_->Eval(row, &lnull);
+  Datum r = rhs_->Eval(row, &rnull);
+  workops::Bump(9);  // argument boxing/null checks + operator dispatch
+  if (lnull || rnull) {
+    *isnull = true;
+    return 0;
+  }
+  *isnull = false;
+  int c = DatumCompareGeneric(l, r, lhs_->meta());
+  switch (op_) {
+    case CmpOp::kEq:
+      return DatumFromBool(c == 0);
+    case CmpOp::kNe:
+      return DatumFromBool(c != 0);
+    case CmpOp::kLt:
+      return DatumFromBool(c < 0);
+    case CmpOp::kLe:
+      return DatumFromBool(c <= 0);
+    case CmpOp::kGt:
+      return DatumFromBool(c > 0);
+    case CmpOp::kGe:
+      return DatumFromBool(c >= 0);
+  }
+  return 0;
+}
+
+ExprPtr CmpExpr::Clone() const {
+  return std::make_unique<CmpExpr>(op_, lhs_->Clone(), rhs_->Clone());
+}
+
+/// --- ArithExpr --------------------------------------------------------------
+
+ArithExpr::ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+    : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {
+  TypeId lt = lhs_->meta().type;
+  TypeId rt = rhs_->meta().type;
+  MICROSPEC_CHECK(!IsStringClass(lt) && !IsStringClass(rt));
+  result_type_ = (lt == TypeId::kFloat64 || rt == TypeId::kFloat64)
+                     ? TypeId::kFloat64
+                     : TypeId::kInt64;
+}
+
+Datum ArithExpr::Eval(const ExecRow& row, bool* isnull) const {
+  bool lnull = false;
+  bool rnull = false;
+  Datum l = lhs_->Eval(row, &lnull);
+  Datum r = rhs_->Eval(row, &rnull);
+  workops::Bump(10);  // null checks + type/operator dispatch
+  if (lnull || rnull) {
+    *isnull = true;
+    return 0;
+  }
+  *isnull = false;
+  if (result_type_ == TypeId::kFloat64) {
+    double lv = lhs_->meta().type == TypeId::kFloat64
+                    ? DatumToFloat64(l)
+                    : static_cast<double>(DatumToInt64(l));
+    double rv = rhs_->meta().type == TypeId::kFloat64
+                    ? DatumToFloat64(r)
+                    : static_cast<double>(DatumToInt64(r));
+    double out = 0;
+    switch (op_) {
+      case ArithOp::kAdd:
+        out = lv + rv;
+        break;
+      case ArithOp::kSub:
+        out = lv - rv;
+        break;
+      case ArithOp::kMul:
+        out = lv * rv;
+        break;
+      case ArithOp::kDiv:
+        out = rv == 0 ? 0 : lv / rv;
+        break;
+    }
+    return DatumFromFloat64(out);
+  }
+  int64_t lv = DatumToInt64(l);
+  int64_t rv = DatumToInt64(r);
+  int64_t out = 0;
+  switch (op_) {
+    case ArithOp::kAdd:
+      out = lv + rv;
+      break;
+    case ArithOp::kSub:
+      out = lv - rv;
+      break;
+    case ArithOp::kMul:
+      out = lv * rv;
+      break;
+    case ArithOp::kDiv:
+      out = rv == 0 ? 0 : lv / rv;
+      break;
+  }
+  return DatumFromInt64(out);
+}
+
+ExprPtr ArithExpr::Clone() const {
+  return std::make_unique<ArithExpr>(op_, lhs_->Clone(), rhs_->Clone());
+}
+
+/// --- BoolExpr ---------------------------------------------------------------
+
+Datum BoolExpr::Eval(const ExecRow& row, bool* isnull) const {
+  workops::Bump(3);
+  *isnull = false;
+  if (op_ == BoolOp::kNot) {
+    bool cnull = false;
+    Datum v = children_[0]->Eval(row, &cnull);
+    if (cnull) {
+      *isnull = true;
+      return 0;
+    }
+    return DatumFromBool(!DatumToBool(v));
+  }
+  bool is_and = op_ == BoolOp::kAnd;
+  for (const ExprPtr& child : children_) {
+    bool cnull = false;
+    Datum v = child->Eval(row, &cnull);
+    workops::Bump(2);
+    bool b = !cnull && DatumToBool(v);
+    if (is_and && !b) return DatumFromBool(false);
+    if (!is_and && b) return DatumFromBool(true);
+  }
+  return DatumFromBool(is_and);
+}
+
+ExprPtr BoolExpr::Clone() const {
+  std::vector<ExprPtr> kids;
+  kids.reserve(children_.size());
+  for (const ExprPtr& c : children_) kids.push_back(c->Clone());
+  return std::make_unique<BoolExpr>(op_, std::move(kids));
+}
+
+/// --- LikeExpr ---------------------------------------------------------------
+
+LikeExpr::LikeExpr(ExprPtr input, const std::string& pattern, bool negated)
+    : input_(std::move(input)), negated_(negated) {
+  bool lead = !pattern.empty() && pattern.front() == '%';
+  bool trail = !pattern.empty() && pattern.back() == '%';
+  if (lead && trail && pattern.size() >= 2) {
+    mode_ = Mode::kContains;
+    needle_ = pattern.substr(1, pattern.size() - 2);
+  } else if (trail) {
+    mode_ = Mode::kPrefix;
+    needle_ = pattern.substr(0, pattern.size() - 1);
+  } else if (lead) {
+    mode_ = Mode::kSuffix;
+    needle_ = pattern.substr(1);
+  } else {
+    mode_ = Mode::kExact;
+    needle_ = pattern;
+  }
+  MICROSPEC_CHECK(needle_.find('%') == std::string::npos);
+}
+
+Datum LikeExpr::Eval(const ExecRow& row, bool* isnull) const {
+  bool cnull = false;
+  Datum v = input_->Eval(row, &cnull);
+  if (cnull) {
+    *isnull = true;
+    return 0;
+  }
+  *isnull = false;
+  std::string_view hay;
+  ColMeta m = input_->meta();
+  if (m.type == TypeId::kVarchar) {
+    hay = VarlenaView(v);
+  } else {
+    hay = std::string_view(DatumToPointer(v), static_cast<size_t>(m.attlen));
+  }
+  workops::Bump(8);  // generic pattern-kind dispatch + length checks
+  bool match = false;
+  switch (mode_) {
+    case Mode::kExact:
+      match = hay == needle_;
+      break;
+    case Mode::kPrefix:
+      match = hay.substr(0, needle_.size()) == needle_;
+      break;
+    case Mode::kSuffix:
+      match = hay.size() >= needle_.size() &&
+              hay.substr(hay.size() - needle_.size()) == needle_;
+      break;
+    case Mode::kContains:
+      match = hay.find(needle_) != std::string_view::npos;
+      break;
+  }
+  return DatumFromBool(negated_ ? !match : match);
+}
+
+ExprPtr LikeExpr::Clone() const {
+  auto c = std::make_unique<LikeExpr>(input_->Clone(), "", negated_);
+  c->mode_ = mode_;
+  c->needle_ = needle_;
+  return c;
+}
+
+/// --- InListExpr -------------------------------------------------------------
+
+Datum InListExpr::Eval(const ExecRow& row, bool* isnull) const {
+  bool cnull = false;
+  Datum v = input_->Eval(row, &cnull);
+  if (cnull) {
+    *isnull = true;
+    return 0;
+  }
+  *isnull = false;
+  for (Datum item : items_) {
+    workops::Bump(2);
+    if (DatumEqualsGeneric(v, item, item_meta_)) return DatumFromBool(true);
+  }
+  return DatumFromBool(false);
+}
+
+ExprPtr InListExpr::Clone() const {
+  return std::make_unique<InListExpr>(input_->Clone(), items_, item_meta_);
+}
+
+/// --- Builders ---------------------------------------------------------------
+
+ExprPtr Var(RowSide side, int attno, ColMeta meta) {
+  return std::make_unique<VarExpr>(side, attno, meta);
+}
+ExprPtr Var(int attno, ColMeta meta) {
+  return Var(RowSide::kOuter, attno, meta);
+}
+ExprPtr ConstInt32(int32_t v) {
+  return std::make_unique<ConstExpr>(DatumFromInt32(v),
+                                     ColMeta::Of(TypeId::kInt32));
+}
+ExprPtr ConstInt64(int64_t v) {
+  return std::make_unique<ConstExpr>(DatumFromInt64(v),
+                                     ColMeta::Of(TypeId::kInt64));
+}
+ExprPtr ConstFloat64(double v) {
+  return std::make_unique<ConstExpr>(DatumFromFloat64(v),
+                                     ColMeta::Of(TypeId::kFloat64));
+}
+ExprPtr ConstDate(int32_t days) {
+  return std::make_unique<ConstExpr>(DatumFromInt32(days),
+                                     ColMeta::Of(TypeId::kDate));
+}
+ExprPtr ConstBool(bool v) {
+  return std::make_unique<ConstExpr>(DatumFromBool(v),
+                                     ColMeta::Of(TypeId::kBool));
+}
+ExprPtr ConstVarchar(std::string payload) {
+  return ConstExpr::OwnedVarchar(std::move(payload));
+}
+ExprPtr ConstChar(std::string payload, int32_t len) {
+  return ConstExpr::OwnedChar(std::move(payload), len);
+}
+ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  TypeId lt = lhs->meta().type;
+  TypeId rt = rhs->meta().type;
+  MICROSPEC_CHECK(IsIntClass(lt) == IsIntClass(rt) &&
+                  IsStringClass(lt) == IsStringClass(rt));
+  return std::make_unique<CmpExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<ArithExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr And(std::vector<ExprPtr> children) {
+  return std::make_unique<BoolExpr>(BoolOp::kAnd, std::move(children));
+}
+ExprPtr Or(std::vector<ExprPtr> children) {
+  return std::make_unique<BoolExpr>(BoolOp::kOr, std::move(children));
+}
+ExprPtr Not(ExprPtr child) {
+  std::vector<ExprPtr> kids;
+  kids.push_back(std::move(child));
+  return std::make_unique<BoolExpr>(BoolOp::kNot, std::move(kids));
+}
+ExprPtr Between(ExprPtr input, ExprPtr lo, ExprPtr hi) {
+  ExprPtr input2 = input->Clone();
+  std::vector<ExprPtr> kids;
+  kids.push_back(Cmp(CmpOp::kGe, std::move(input), std::move(lo)));
+  kids.push_back(Cmp(CmpOp::kLe, std::move(input2), std::move(hi)));
+  return And(std::move(kids));
+}
+
+}  // namespace microspec

@@ -1,0 +1,241 @@
+#ifndef MICROSPEC_EXPR_EXPR_H_
+#define MICROSPEC_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/types.h"
+#include "exec/row.h"
+
+namespace microspec {
+
+/// Interpreted expression trees — the engine's analog of PostgreSQL's
+/// ExprState/FuncExprState machinery. Every Eval() pays virtual dispatch,
+/// per-call null bookkeeping, and a runtime type switch; those are the
+/// invariant-driven costs the EVP query bee removes for predicates whose
+/// shape and operand types are fixed at query-preparation time.
+enum class ExprKind : uint8_t {
+  kVar,
+  kConst,
+  kCmp,
+  kArith,
+  kBool,
+  kLike,
+  kInList,
+};
+
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+enum class BoolOp : uint8_t { kAnd, kOr, kNot };
+
+const char* CmpOpName(CmpOp op);
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates against `row`; sets *isnull and returns the Datum (undefined
+  /// when *isnull). SQL three-valued logic is approximated: a NULL predicate
+  /// result is treated as false by filters.
+  virtual Datum Eval(const ExecRow& row, bool* isnull) const = 0;
+
+  virtual ExprKind kind() const = 0;
+  /// Result type metadata.
+  virtual ColMeta meta() const = 0;
+  /// Deep copy. Lets callers reuse one predicate tree across the stock and
+  /// bee-enabled sessions being compared.
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Reference to an input column.
+class VarExpr final : public Expr {
+ public:
+  VarExpr(RowSide side, int attno, ColMeta meta)
+      : side_(side), attno_(attno), meta_(meta) {}
+  Datum Eval(const ExecRow& row, bool* isnull) const override;
+  ExprKind kind() const override { return ExprKind::kVar; }
+  ColMeta meta() const override { return meta_; }
+  ExprPtr Clone() const override;
+
+  RowSide side() const { return side_; }
+  int attno() const { return attno_; }
+
+ private:
+  RowSide side_;
+  int attno_;
+  ColMeta meta_;
+};
+
+/// Literal constant.
+class ConstExpr final : public Expr {
+ public:
+  ConstExpr(Datum value, ColMeta meta, bool isnull = false)
+      : value_(value), meta_(meta), isnull_(isnull) {}
+  Datum Eval(const ExecRow& row, bool* isnull) const override;
+  ExprKind kind() const override { return ExprKind::kConst; }
+  ColMeta meta() const override { return meta_; }
+  ExprPtr Clone() const override;
+
+  /// Builds a constant varchar; the varlena bytes are owned by the node.
+  static ExprPtr OwnedVarchar(std::string payload);
+
+  /// Builds a constant char(n): `payload` blank-padded to `len` raw bytes,
+  /// owned by the node. Use when comparing against a char(n) column.
+  static ExprPtr OwnedChar(std::string payload, int32_t len);
+
+  Datum value() const { return value_; }
+  bool is_null_const() const { return isnull_; }
+
+ private:
+  Datum value_;
+  ColMeta meta_;
+  bool isnull_;
+  /// Backing storage for pass-by-reference constants (varlena bytes).
+  std::shared_ptr<std::string> owned_;
+};
+
+/// Comparison; both operands must share a comparison class (int/float/char/
+/// varchar), enforced by the builder.
+class CmpExpr final : public Expr {
+ public:
+  CmpExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Datum Eval(const ExecRow& row, bool* isnull) const override;
+  ExprKind kind() const override { return ExprKind::kCmp; }
+  ExprPtr Clone() const override;
+  ColMeta meta() const override { return ColMeta::Of(TypeId::kBool); }
+
+  CmpOp op() const { return op_; }
+  const Expr* lhs() const { return lhs_.get(); }
+  const Expr* rhs() const { return rhs_.get(); }
+
+ private:
+  CmpOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// Arithmetic. Integer operands produce kInt64; any float operand produces
+/// kFloat64 (operand datums are converted per evaluation — another generic
+/// cost).
+class ArithExpr final : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+  Datum Eval(const ExecRow& row, bool* isnull) const override;
+  ExprKind kind() const override { return ExprKind::kArith; }
+  ExprPtr Clone() const override;
+  ColMeta meta() const override { return ColMeta::Of(result_type_); }
+
+  ArithOp op() const { return op_; }
+  const Expr* lhs() const { return lhs_.get(); }
+  const Expr* rhs() const { return rhs_.get(); }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+  TypeId result_type_;
+};
+
+/// AND/OR over n children (short-circuit), or NOT over one.
+class BoolExpr final : public Expr {
+ public:
+  BoolExpr(BoolOp op, std::vector<ExprPtr> children)
+      : op_(op), children_(std::move(children)) {}
+  Datum Eval(const ExecRow& row, bool* isnull) const override;
+  ExprKind kind() const override { return ExprKind::kBool; }
+  ExprPtr Clone() const override;
+  ColMeta meta() const override { return ColMeta::Of(TypeId::kBool); }
+
+  BoolOp op() const { return op_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+ private:
+  BoolOp op_;
+  std::vector<ExprPtr> children_;
+};
+
+/// LIKE over char/varchar with patterns restricted to the four common shapes
+/// (exact, prefix%, %suffix, %infix%), which covers TPC-H usage.
+class LikeExpr final : public Expr {
+ public:
+  enum class Mode : uint8_t { kExact, kPrefix, kSuffix, kContains };
+
+  LikeExpr(ExprPtr input, const std::string& pattern, bool negated = false);
+  Datum Eval(const ExecRow& row, bool* isnull) const override;
+  ExprKind kind() const override { return ExprKind::kLike; }
+  ExprPtr Clone() const override;
+  ColMeta meta() const override { return ColMeta::Of(TypeId::kBool); }
+
+  Mode mode() const { return mode_; }
+  const std::string& needle() const { return needle_; }
+  bool negated() const { return negated_; }
+  const Expr* input() const { return input_.get(); }
+
+ private:
+  ExprPtr input_;
+  Mode mode_;
+  std::string needle_;
+  bool negated_;
+};
+
+/// expr IN (c1, c2, ...) over integer-class or string constants.
+class InListExpr final : public Expr {
+ public:
+  InListExpr(ExprPtr input, std::vector<Datum> items, ColMeta item_meta)
+      : input_(std::move(input)),
+        items_(std::move(items)),
+        item_meta_(item_meta) {}
+  Datum Eval(const ExecRow& row, bool* isnull) const override;
+  ExprKind kind() const override { return ExprKind::kInList; }
+  ExprPtr Clone() const override;
+  ColMeta meta() const override { return ColMeta::Of(TypeId::kBool); }
+
+  const Expr* input() const { return input_.get(); }
+  const std::vector<Datum>& items() const { return items_; }
+  ColMeta item_meta() const { return item_meta_; }
+
+ private:
+  ExprPtr input_;
+  std::vector<Datum> items_;
+  ColMeta item_meta_;
+};
+
+/// --- Convenience builders ---------------------------------------------------
+
+ExprPtr Var(RowSide side, int attno, ColMeta meta);
+ExprPtr Var(int attno, ColMeta meta);  // outer side
+ExprPtr ConstInt32(int32_t v);
+ExprPtr ConstInt64(int64_t v);
+ExprPtr ConstFloat64(double v);
+ExprPtr ConstDate(int32_t days);
+ExprPtr ConstBool(bool v);
+/// The returned expression borrows `payload`'s bytes copied into an internal
+/// buffer; safe to use after `payload` goes away.
+ExprPtr ConstVarchar(std::string payload);
+/// char(n) constant, blank-padded to `len`.
+ExprPtr ConstChar(std::string payload, int32_t len);
+ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr And(std::vector<ExprPtr> children);
+ExprPtr Or(std::vector<ExprPtr> children);
+ExprPtr Not(ExprPtr child);
+ExprPtr Between(ExprPtr input, ExprPtr lo, ExprPtr hi);
+
+/// Builds a vector<ExprPtr> from a variadic list (And/Or take vectors;
+/// initializer lists cannot hold move-only types).
+template <typename... Es>
+std::vector<ExprPtr> ExprListOf(Es... exprs) {
+  std::vector<ExprPtr> v;
+  v.reserve(sizeof...(exprs));
+  (v.push_back(std::move(exprs)), ...);
+  return v;
+}
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXPR_EXPR_H_

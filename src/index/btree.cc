@@ -1,0 +1,321 @@
+#include "index/btree.h"
+
+#include <vector>
+
+namespace microspec {
+
+namespace {
+constexpr int kLeafCapacity = 64;
+constexpr int kInternalCapacity = 64;  // max children; max keys is one less
+}  // namespace
+
+struct BTreeIndex::Node {
+  bool is_leaf;
+  int count;  // entries (leaf) or children (internal)
+};
+
+struct BTreeIndex::LeafNode {
+  Node base;
+  IndexKey keys[kLeafCapacity];
+  TupleId tids[kLeafCapacity];
+  LeafNode* next;
+};
+
+struct BTreeIndex::InternalNode {
+  Node base;
+  IndexKey seps[kInternalCapacity - 1];  // seps[i] = min key of children[i+1]
+  Node* children[kInternalCapacity];
+};
+
+namespace {
+
+BTreeIndex::LeafNode* NewLeaf() {
+  auto* l = new BTreeIndex::LeafNode();
+  l->base.is_leaf = true;
+  l->base.count = 0;
+  l->next = nullptr;
+  return l;
+}
+
+BTreeIndex::InternalNode* NewInternal() {
+  auto* n = new BTreeIndex::InternalNode();
+  n->base.is_leaf = false;
+  n->base.count = 0;
+  return n;
+}
+
+/// Index of the first key in [keys, keys+n) that is >= key.
+int LowerBoundIn(const IndexKey* keys, int n, const IndexKey& key) {
+  int lo = 0;
+  int hi = n;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (keys[mid].Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child slot to descend into for `key`.
+int ChildIndex(const BTreeIndex::InternalNode* n, const IndexKey& key) {
+  int nkeys = n->base.count - 1;
+  int i = 0;
+  while (i < nkeys && key.Compare(n->seps[i]) >= 0) ++i;
+  return i;
+}
+
+}  // namespace
+
+BTreeIndex::BTreeIndex() { root_ = &NewLeaf()->base; }
+
+BTreeIndex::~BTreeIndex() { FreeNode(root_); }
+
+void BTreeIndex::FreeNode(Node* n) {
+  if (!n->is_leaf) {
+    auto* in = reinterpret_cast<InternalNode*>(n);
+    for (int i = 0; i < n->count; ++i) FreeNode(in->children[i]);
+    delete in;
+  } else {
+    delete reinterpret_cast<LeafNode*>(n);
+  }
+}
+
+BTreeIndex::LeafNode* BTreeIndex::FindLeaf(const IndexKey& key) const {
+  Node* n = root_;
+  while (!n->is_leaf) {
+    auto* in = reinterpret_cast<InternalNode*>(n);
+    n = in->children[ChildIndex(in, key)];
+  }
+  return reinterpret_cast<LeafNode*>(n);
+}
+
+Status BTreeIndex::Insert(const IndexKey& key, TupleId tid) {
+  // Descend remembering the path for split propagation.
+  std::vector<std::pair<InternalNode*, int>> path;
+  Node* n = root_;
+  while (!n->is_leaf) {
+    auto* in = reinterpret_cast<InternalNode*>(n);
+    int ci = ChildIndex(in, key);
+    path.emplace_back(in, ci);
+    n = in->children[ci];
+  }
+  auto* leaf = reinterpret_cast<LeafNode*>(n);
+  int pos = LowerBoundIn(leaf->keys, leaf->base.count, key);
+  if (pos < leaf->base.count && leaf->keys[pos] == key) {
+    return Status::AlreadyExists("btree: duplicate key");
+  }
+
+  // Insert into the leaf, splitting if full.
+  if (leaf->base.count < kLeafCapacity) {
+    for (int i = leaf->base.count; i > pos; --i) {
+      leaf->keys[i] = leaf->keys[i - 1];
+      leaf->tids[i] = leaf->tids[i - 1];
+    }
+    leaf->keys[pos] = key;
+    leaf->tids[pos] = tid;
+    ++leaf->base.count;
+    ++size_;
+    return Status::OK();
+  }
+
+  // Split the leaf: left keeps the lower half.
+  LeafNode* right = NewLeaf();
+  int half = kLeafCapacity / 2;
+  right->base.count = kLeafCapacity - half;
+  for (int i = 0; i < right->base.count; ++i) {
+    right->keys[i] = leaf->keys[half + i];
+    right->tids[i] = leaf->tids[half + i];
+  }
+  leaf->base.count = half;
+  right->next = leaf->next;
+  leaf->next = right;
+  if (pos < half) {
+    // insert into left half
+    for (int i = leaf->base.count; i > pos; --i) {
+      leaf->keys[i] = leaf->keys[i - 1];
+      leaf->tids[i] = leaf->tids[i - 1];
+    }
+    leaf->keys[pos] = key;
+    leaf->tids[pos] = tid;
+    ++leaf->base.count;
+  } else {
+    int rpos = pos - half;
+    for (int i = right->base.count; i > rpos; --i) {
+      right->keys[i] = right->keys[i - 1];
+      right->tids[i] = right->tids[i - 1];
+    }
+    right->keys[rpos] = key;
+    right->tids[rpos] = tid;
+    ++right->base.count;
+  }
+  ++size_;
+
+  // Propagate the split upward.
+  IndexKey sep = right->keys[0];
+  Node* new_child = &right->base;
+  while (!path.empty()) {
+    auto [parent, ci] = path.back();
+    path.pop_back();
+    if (parent->base.count < kInternalCapacity) {
+      // Shift separators/children right of ci.
+      for (int i = parent->base.count - 1; i > ci; --i) {
+        parent->children[i + 1] = parent->children[i];
+      }
+      for (int i = parent->base.count - 2; i >= ci; --i) {
+        parent->seps[i + 1] = parent->seps[i];
+      }
+      parent->seps[ci] = sep;
+      parent->children[ci + 1] = new_child;
+      ++parent->base.count;
+      return Status::OK();
+    }
+    // Split the internal node. children: kInternalCapacity, plus the new one
+    // pending. Materialize the combined arrays, then divide.
+    Node* children[kInternalCapacity + 1];
+    IndexKey seps[kInternalCapacity];
+    for (int i = 0; i < parent->base.count; ++i) children[i] = parent->children[i];
+    for (int i = 0; i < parent->base.count - 1; ++i) seps[i] = parent->seps[i];
+    for (int i = parent->base.count; i > ci + 1; --i) children[i] = children[i - 1];
+    for (int i = parent->base.count - 1; i > ci; --i) seps[i] = seps[i - 1];
+    children[ci + 1] = new_child;
+    seps[ci] = sep;
+    int total_children = parent->base.count + 1;
+    int left_children = total_children / 2;
+    InternalNode* rnode = NewInternal();
+    rnode->base.count = total_children - left_children;
+    IndexKey up_sep = seps[left_children - 1];
+    parent->base.count = left_children;
+    for (int i = 0; i < left_children; ++i) parent->children[i] = children[i];
+    for (int i = 0; i < left_children - 1; ++i) parent->seps[i] = seps[i];
+    for (int i = 0; i < rnode->base.count; ++i) {
+      rnode->children[i] = children[left_children + i];
+    }
+    for (int i = 0; i < rnode->base.count - 1; ++i) {
+      rnode->seps[i] = seps[left_children + i];
+    }
+    sep = up_sep;
+    new_child = &rnode->base;
+    if (path.empty()) {
+      InternalNode* new_root = NewInternal();
+      new_root->base.count = 2;
+      new_root->children[0] = &parent->base;
+      new_root->children[1] = new_child;
+      new_root->seps[0] = sep;
+      root_ = &new_root->base;
+      return Status::OK();
+    }
+  }
+  // Leaf was the root and split.
+  InternalNode* new_root = NewInternal();
+  new_root->base.count = 2;
+  new_root->children[0] = &leaf->base;
+  new_root->children[1] = new_child;
+  new_root->seps[0] = sep;
+  root_ = &new_root->base;
+  return Status::OK();
+}
+
+Status BTreeIndex::Remove(const IndexKey& key) {
+  LeafNode* leaf = FindLeaf(key);
+  int pos = LowerBoundIn(leaf->keys, leaf->base.count, key);
+  if (pos >= leaf->base.count || !(leaf->keys[pos] == key)) {
+    return Status::NotFound("btree: key not present");
+  }
+  for (int i = pos; i < leaf->base.count - 1; ++i) {
+    leaf->keys[i] = leaf->keys[i + 1];
+    leaf->tids[i] = leaf->tids[i + 1];
+  }
+  --leaf->base.count;
+  --size_;
+  return Status::OK();
+}
+
+bool BTreeIndex::Lookup(const IndexKey& key, TupleId* tid) const {
+  const LeafNode* leaf = FindLeaf(key);
+  int pos = LowerBoundIn(leaf->keys, leaf->base.count, key);
+  if (pos < leaf->base.count && leaf->keys[pos] == key) {
+    *tid = leaf->tids[pos];
+    return true;
+  }
+  return false;
+}
+
+Status BTreeIndex::UpdateTid(const IndexKey& key, TupleId tid) {
+  LeafNode* leaf = FindLeaf(key);
+  int pos = LowerBoundIn(leaf->keys, leaf->base.count, key);
+  if (pos >= leaf->base.count || !(leaf->keys[pos] == key)) {
+    return Status::NotFound("btree: key not present");
+  }
+  leaf->tids[pos] = tid;
+  return Status::OK();
+}
+
+const IndexKey& BTreeIndex::Iterator::key() const {
+  const auto* leaf = static_cast<const BTreeIndex::LeafNode*>(leaf_);
+  return leaf->keys[pos_];
+}
+
+TupleId BTreeIndex::Iterator::tid() const {
+  const auto* leaf = static_cast<const BTreeIndex::LeafNode*>(leaf_);
+  return leaf->tids[pos_];
+}
+
+void BTreeIndex::Iterator::Next() {
+  const auto* leaf = static_cast<const BTreeIndex::LeafNode*>(leaf_);
+  ++pos_;
+  while (leaf != nullptr && pos_ >= leaf->base.count) {
+    leaf = leaf->next;
+    pos_ = 0;
+  }
+  leaf_ = leaf;
+}
+
+BTreeIndex::Iterator BTreeIndex::LowerBound(const IndexKey& key) const {
+  Iterator it;
+  const LeafNode* leaf = FindLeaf(key);
+  int pos = LowerBoundIn(leaf->keys, leaf->base.count, key);
+  while (leaf != nullptr && pos >= leaf->base.count) {
+    leaf = leaf->next;
+    pos = 0;
+  }
+  it.leaf_ = leaf;
+  it.pos_ = pos;
+  return it;
+}
+
+Status BTreeIndex::CheckInvariants() const {
+  // Walk the leaf chain: keys strictly increasing, total matches size_.
+  const Node* n = root_;
+  while (!n->is_leaf) {
+    const auto* in = reinterpret_cast<const InternalNode*>(n);
+    if (in->base.count < 2 || in->base.count > kInternalCapacity) {
+      return Status::Corruption("btree: internal fanout out of bounds");
+    }
+    n = in->children[0];
+  }
+  const auto* leaf = reinterpret_cast<const LeafNode*>(n);
+  uint64_t seen = 0;
+  const IndexKey* prev = nullptr;
+  while (leaf != nullptr) {
+    if (leaf->base.count > kLeafCapacity) {
+      return Status::Corruption("btree: leaf overflow");
+    }
+    for (int i = 0; i < leaf->base.count; ++i) {
+      if (prev != nullptr && !(prev->Compare(leaf->keys[i]) < 0)) {
+        return Status::Corruption("btree: leaf chain out of order");
+      }
+      prev = &leaf->keys[i];
+      ++seen;
+    }
+    leaf = leaf->next;
+  }
+  if (seen != size_) {
+    return Status::Corruption("btree: size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace microspec

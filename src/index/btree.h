@@ -1,0 +1,129 @@
+#ifndef MICROSPEC_INDEX_BTREE_H_
+#define MICROSPEC_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace microspec {
+
+/// Composite integer index key of up to four parts, compared
+/// lexicographically. TPC-C's primary keys ((w_id), (w_id,d_id),
+/// (w_id,d_id,o_id), ...) all fit this shape.
+struct IndexKey {
+  int64_t part[4] = {0, 0, 0, 0};
+  uint8_t nparts = 0;
+
+  static IndexKey Of(std::initializer_list<int64_t> parts) {
+    IndexKey k;
+    for (int64_t p : parts) {
+      MICROSPEC_CHECK(k.nparts < 4);
+      k.part[k.nparts++] = p;
+    }
+    return k;
+  }
+
+  /// -1 / 0 / +1 three-way compare over min(nparts) leading parts, then by
+  /// nparts (so a shorter key sorts before all longer keys sharing its
+  /// prefix — which makes prefix range scans natural).
+  int Compare(const IndexKey& other) const {
+    uint8_t n = nparts < other.nparts ? nparts : other.nparts;
+    for (uint8_t i = 0; i < n; ++i) {
+      if (part[i] < other.part[i]) return -1;
+      if (part[i] > other.part[i]) return 1;
+    }
+    if (nparts < other.nparts) return -1;
+    if (nparts > other.nparts) return 1;
+    return 0;
+  }
+
+  /// True if this key's leading parts equal `prefix` entirely.
+  bool HasPrefix(const IndexKey& prefix) const {
+    if (prefix.nparts > nparts) return false;
+    for (uint8_t i = 0; i < prefix.nparts; ++i) {
+      if (part[i] != prefix.part[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const IndexKey& o) const { return Compare(o) == 0; }
+  bool operator<(const IndexKey& o) const { return Compare(o) < 0; }
+};
+
+/// An in-memory B+tree with unique keys mapping IndexKey -> TupleId.
+/// Leaves are chained for range scans. Deletion is by tombstone-free removal
+/// from the leaf without rebalancing (underfull leaves are tolerated), which
+/// is sufficient for the TPC-C access pattern and keeps the structure simple.
+class BTreeIndex {
+ public:
+  BTreeIndex();
+  ~BTreeIndex();
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(BTreeIndex);
+
+  /// Inserts key -> tid. Returns AlreadyExists if the key is present.
+  Status Insert(const IndexKey& key, TupleId tid);
+
+  /// Removes the key. Returns NotFound if absent.
+  Status Remove(const IndexKey& key);
+
+  /// Point lookup; returns true and sets *tid when found.
+  bool Lookup(const IndexKey& key, TupleId* tid) const;
+
+  /// Updates the TupleId stored for an existing key.
+  Status UpdateTid(const IndexKey& key, TupleId tid);
+
+  uint64_t size() const { return size_; }
+
+  /// Forward iterator positioned by LowerBound.
+  class Iterator {
+   public:
+    bool valid() const { return leaf_ != nullptr; }
+    const IndexKey& key() const;
+    TupleId tid() const;
+    void Next();
+
+   private:
+    friend class BTreeIndex;
+    const void* leaf_ = nullptr;
+    int pos_ = 0;
+  };
+
+  /// Positions at the first entry with key >= `key`.
+  Iterator LowerBound(const IndexKey& key) const;
+
+  /// Scans all entries whose key begins with `prefix`, in key order,
+  /// invoking fn(key, tid); stops early if fn returns false.
+  template <typename Fn>
+  void ScanPrefix(const IndexKey& prefix, Fn&& fn) const {
+    for (Iterator it = LowerBound(prefix); it.valid(); it.Next()) {
+      if (!it.key().HasPrefix(prefix)) break;
+      if (!fn(it.key(), it.tid())) break;
+    }
+  }
+
+  /// Validates B+tree invariants (ordering, fanout bounds, leaf chaining).
+  /// Used by tests; returns a Corruption status describing the first
+  /// violation found.
+  Status CheckInvariants() const;
+
+  // Node types are implementation details defined in btree.cc; they are
+  // declared public only so file-local helpers there can name them.
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+ private:
+  Node* root_;
+  uint64_t size_ = 0;
+
+  LeafNode* FindLeaf(const IndexKey& key) const;
+  void FreeNode(Node* n);
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_INDEX_BTREE_H_

@@ -1,0 +1,108 @@
+#ifndef MICROSPEC_SQLFE_AST_H_
+#define MICROSPEC_SQLFE_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "expr/expr.h"
+
+namespace microspec::sqlfe {
+
+/// --- Expression AST ----------------------------------------------------------
+/// Unbound expressions as parsed; the binder resolves column names against
+/// the FROM clause and lowers them to the engine's Expr trees.
+
+struct SqlExpr;
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+enum class SqlExprKind : uint8_t {
+  kColumn,     // name
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kCmp,        // op, lhs, rhs
+  kArith,      // aop, lhs, rhs
+  kAnd,        // children
+  kOr,         // children
+  kNot,        // children[0]
+  kBetween,    // lhs BETWEEN children[0] AND children[1]
+  kLike,       // lhs LIKE 'pattern' (text), negated flag
+  kInList,     // lhs IN (children...)
+  kAggregate,  // agg over children[0] (or COUNT(*) with no child)
+};
+
+enum class SqlAgg : uint8_t { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+struct SqlExpr {
+  SqlExprKind kind;
+  std::string text;       // column name / literal text / like pattern
+  CmpOp cmp = CmpOp::kEq;
+  ArithOp arith = ArithOp::kAdd;
+  SqlAgg agg = SqlAgg::kCountStar;
+  bool negated = false;
+  SqlExprPtr lhs;
+  SqlExprPtr rhs;
+  std::vector<SqlExprPtr> children;
+};
+
+/// --- Statements --------------------------------------------------------------
+
+struct ColumnDef {
+  std::string name;
+  TypeId type;
+  int32_t char_len = 0;
+  bool not_null = false;
+  bool low_cardinality = false;  // LOW CARDINALITY annotation (tuple bees)
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+struct InsertStmt {
+  std::string table;
+  /// Rows of literals (kIntLit/kFloatLit/kStringLit, or kColumn with text
+  /// "null" for NULL).
+  std::vector<std::vector<SqlExprPtr>> rows;
+};
+
+struct SelectItem {
+  SqlExprPtr expr;
+  std::string alias;  // derived from the expression when not given
+};
+
+struct JoinClause {
+  std::string table;
+  std::string left_col;   // column from the plan built so far
+  std::string right_col;  // column of the joined table
+};
+
+struct OrderItem {
+  std::string column;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;  // empty = SELECT *
+  std::string from;
+  std::vector<JoinClause> joins;
+  SqlExprPtr where;  // may be null
+  std::vector<std::string> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<uint64_t> limit;
+};
+
+struct Statement {
+  enum class Kind : uint8_t { kCreateTable, kInsert, kSelect } kind;
+  CreateTableStmt create;
+  InsertStmt insert;
+  SelectStmt select;
+};
+
+}  // namespace microspec::sqlfe
+
+#endif  // MICROSPEC_SQLFE_AST_H_

@@ -1,0 +1,35 @@
+#ifndef MICROSPEC_SQLFE_ENGINE_H_
+#define MICROSPEC_SQLFE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "sqlfe/parser.h"
+
+namespace microspec::sqlfe {
+
+/// Result of one SQL statement: column names and rendered rows for SELECT,
+/// affected-row count for INSERT, both empty for CREATE TABLE.
+struct SqlResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  uint64_t affected = 0;
+
+  /// Pretty-prints as an aligned text table.
+  std::string ToString() const;
+};
+
+/// Parses, binds, and executes one SQL statement against `db` using the
+/// session options of `ctx` — so SELECTs run through whatever bee routines
+/// the session enables, and INSERTs go through the SCL/tuple-bee form path.
+///
+/// Dates are day numbers: DATE columns accept integer literals or
+/// 'YYYY-MM-DD' strings interpreted with the engine's simplified calendar
+/// (365-day years, 30-day months — matching the TPC-H kit).
+Result<SqlResult> ExecuteSql(Database* db, ExecContext* ctx,
+                             const std::string& sql);
+
+}  // namespace microspec::sqlfe
+
+#endif  // MICROSPEC_SQLFE_ENGINE_H_

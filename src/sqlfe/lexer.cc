@@ -1,0 +1,92 @@
+#include "sqlfe/lexer.h"
+
+#include <cctype>
+
+namespace microspec::sqlfe {
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        word.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(sql[i]))));
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kIdent, std::move(word), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::string num;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') is_float = true;
+        num.push_back(sql[i]);
+        ++i;
+      }
+      tokens.push_back(Token{is_float ? TokenKind::kFloat : TokenKind::kInt,
+                             std::move(num), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at byte " +
+                                       std::to_string(start));
+      }
+      tokens.push_back(Token{TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-char operators first.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens.push_back(
+            Token{TokenKind::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "(),*=<>+-/.;";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' at byte " + std::to_string(start));
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace microspec::sqlfe

@@ -1,0 +1,35 @@
+#ifndef MICROSPEC_SQLFE_LEXER_H_
+#define MICROSPEC_SQLFE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace microspec::sqlfe {
+
+enum class TokenKind : uint8_t {
+  kIdent,    // unquoted identifier (lower-cased) or keyword
+  kInt,      // integer literal
+  kFloat,    // floating literal
+  kString,   // 'single quoted'
+  kSymbol,   // ( ) , * = < > <= >= <> + - / .
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier (lower-cased), literal text, or symbol
+  size_t pos = 0;    // byte offset for error messages
+
+  bool Is(TokenKind k, const char* t) const { return kind == k && text == t; }
+};
+
+/// Splits a SQL string into tokens. Keywords are not distinguished from
+/// identifiers here (the parser matches on lower-cased text).
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace microspec::sqlfe
+
+#endif  // MICROSPEC_SQLFE_LEXER_H_

@@ -1,0 +1,453 @@
+#include "sqlfe/parser.h"
+
+#include <cstdlib>
+
+#include "sqlfe/lexer.h"
+
+namespace microspec::sqlfe {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Methods return Status and
+/// write into output parameters; `pos_` only advances on successful matches.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (MatchIdent("create")) {
+      stmt.kind = Statement::Kind::kCreateTable;
+      MICROSPEC_RETURN_NOT_OK(ParseCreate(&stmt.create));
+    } else if (MatchIdent("insert")) {
+      stmt.kind = Statement::Kind::kInsert;
+      MICROSPEC_RETURN_NOT_OK(ParseInsert(&stmt.insert));
+    } else if (MatchIdent("select")) {
+      stmt.kind = Statement::Kind::kSelect;
+      MICROSPEC_RETURN_NOT_OK(ParseSelect(&stmt.select));
+    } else {
+      return Error("expected CREATE, INSERT, or SELECT");
+    }
+    (void)MatchSymbol(";");
+    if (!AtEnd()) return Error("trailing input after statement");
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool MatchIdent(const char* kw) {
+    if (Peek().Is(TokenKind::kIdent, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (Peek().Is(TokenKind::kSymbol, sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectIdent(const char* kw) {
+    if (!MatchIdent(kw)) return Error(std::string("expected ") + kw);
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!MatchSymbol(sym)) return Error(std::string("expected '") + sym + "'");
+    return Status::OK();
+  }
+  Result<std::string> ExpectName() {
+    if (Peek().kind != TokenKind::kIdent) return Error("expected identifier");
+    return tokens_[pos_++].text;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("SQL parse error near byte " +
+                                   std::to_string(Peek().pos) + ": " + msg +
+                                   " (got '" + Peek().text + "')");
+  }
+
+  /// --- CREATE TABLE ----------------------------------------------------------
+
+  Status ParseCreate(CreateTableStmt* out) {
+    MICROSPEC_RETURN_NOT_OK(ExpectIdent("table"));
+    MICROSPEC_ASSIGN_OR_RETURN(out->table, ExpectName());
+    MICROSPEC_RETURN_NOT_OK(ExpectSymbol("("));
+    do {
+      ColumnDef col;
+      MICROSPEC_ASSIGN_OR_RETURN(col.name, ExpectName());
+      MICROSPEC_RETURN_NOT_OK(ParseType(&col));
+      for (;;) {
+        if (MatchIdent("not")) {
+          MICROSPEC_RETURN_NOT_OK(ExpectIdent("null"));
+          col.not_null = true;
+        } else if (MatchIdent("low")) {
+          MICROSPEC_RETURN_NOT_OK(ExpectIdent("cardinality"));
+          col.low_cardinality = true;
+        } else {
+          break;
+        }
+      }
+      out->columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    return ExpectSymbol(")");
+  }
+
+  Status ParseType(ColumnDef* col) {
+    MICROSPEC_ASSIGN_OR_RETURN(std::string type, ExpectName());
+    if (type == "boolean" || type == "bool") {
+      col->type = TypeId::kBool;
+    } else if (type == "int" || type == "integer") {
+      col->type = TypeId::kInt32;
+    } else if (type == "bigint") {
+      col->type = TypeId::kInt64;
+    } else if (type == "double" || type == "float") {
+      col->type = TypeId::kFloat64;
+    } else if (type == "date") {
+      col->type = TypeId::kDate;
+    } else if (type == "varchar") {
+      col->type = TypeId::kVarchar;
+      if (MatchSymbol("(")) {  // length accepted and ignored
+        ++pos_;
+        MICROSPEC_RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+    } else if (type == "char") {
+      col->type = TypeId::kChar;
+      MICROSPEC_RETURN_NOT_OK(ExpectSymbol("("));
+      if (Peek().kind != TokenKind::kInt) return Error("expected char length");
+      col->char_len = std::atoi(tokens_[pos_++].text.c_str());
+      MICROSPEC_RETURN_NOT_OK(ExpectSymbol(")"));
+    } else {
+      return Error("unknown type " + type);
+    }
+    return Status::OK();
+  }
+
+  /// --- INSERT ----------------------------------------------------------------
+
+  Status ParseInsert(InsertStmt* out) {
+    MICROSPEC_RETURN_NOT_OK(ExpectIdent("into"));
+    MICROSPEC_ASSIGN_OR_RETURN(out->table, ExpectName());
+    MICROSPEC_RETURN_NOT_OK(ExpectIdent("values"));
+    do {
+      MICROSPEC_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<SqlExprPtr> row;
+      do {
+        MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr lit, ParseLiteral());
+        row.push_back(std::move(lit));
+      } while (MatchSymbol(","));
+      MICROSPEC_RETURN_NOT_OK(ExpectSymbol(")"));
+      out->rows.push_back(std::move(row));
+    } while (MatchSymbol(","));
+    return Status::OK();
+  }
+
+  Result<SqlExprPtr> ParseLiteral() {
+    auto e = std::make_unique<SqlExpr>();
+    bool negative = MatchSymbol("-");
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kInt) {
+      e->kind = SqlExprKind::kIntLit;
+      e->text = (negative ? "-" : "") + t.text;
+    } else if (t.kind == TokenKind::kFloat) {
+      e->kind = SqlExprKind::kFloatLit;
+      e->text = (negative ? "-" : "") + t.text;
+    } else if (t.kind == TokenKind::kString) {
+      if (negative) return Error("'-' before string literal");
+      e->kind = SqlExprKind::kStringLit;
+      e->text = t.text;
+    } else if (t.Is(TokenKind::kIdent, "null")) {
+      if (negative) return Error("'-' before NULL");
+      e->kind = SqlExprKind::kColumn;
+      e->text = "null";
+    } else if (t.Is(TokenKind::kIdent, "true") ||
+               t.Is(TokenKind::kIdent, "false")) {
+      e->kind = SqlExprKind::kIntLit;
+      e->text = t.text == "true" ? "1" : "0";
+    } else {
+      return Error("expected literal");
+    }
+    ++pos_;
+    return e;
+  }
+
+  /// --- SELECT ----------------------------------------------------------------
+
+  Status ParseSelect(SelectStmt* out) {
+    if (!MatchSymbol("*")) {
+      do {
+        SelectItem item;
+        MICROSPEC_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchIdent("as")) {
+          MICROSPEC_ASSIGN_OR_RETURN(item.alias, ExpectName());
+        } else if (item.expr->kind == SqlExprKind::kColumn) {
+          item.alias = item.expr->text;
+        } else {
+          item.alias = "col" + std::to_string(out->items.size());
+        }
+        out->items.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    MICROSPEC_RETURN_NOT_OK(ExpectIdent("from"));
+    MICROSPEC_ASSIGN_OR_RETURN(out->from, ExpectName());
+    while (MatchIdent("join")) {
+      JoinClause join;
+      MICROSPEC_ASSIGN_OR_RETURN(join.table, ExpectName());
+      MICROSPEC_RETURN_NOT_OK(ExpectIdent("on"));
+      MICROSPEC_ASSIGN_OR_RETURN(join.left_col, ParseQualifiedName());
+      MICROSPEC_RETURN_NOT_OK(ExpectSymbol("="));
+      MICROSPEC_ASSIGN_OR_RETURN(join.right_col, ParseQualifiedName());
+      out->joins.push_back(std::move(join));
+    }
+    if (MatchIdent("where")) {
+      MICROSPEC_ASSIGN_OR_RETURN(out->where, ParseExpr());
+    }
+    if (MatchIdent("group")) {
+      MICROSPEC_RETURN_NOT_OK(ExpectIdent("by"));
+      do {
+        MICROSPEC_ASSIGN_OR_RETURN(std::string col, ParseQualifiedName());
+        out->group_by.push_back(std::move(col));
+      } while (MatchSymbol(","));
+    }
+    if (MatchIdent("order")) {
+      MICROSPEC_RETURN_NOT_OK(ExpectIdent("by"));
+      do {
+        OrderItem item;
+        MICROSPEC_ASSIGN_OR_RETURN(item.column, ParseQualifiedName());
+        if (MatchIdent("desc")) {
+          item.desc = true;
+        } else {
+          (void)MatchIdent("asc");
+        }
+        out->order_by.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    if (MatchIdent("limit")) {
+      if (Peek().kind != TokenKind::kInt) return Error("expected LIMIT count");
+      out->limit = std::strtoull(tokens_[pos_++].text.c_str(), nullptr, 10);
+    }
+    return Status::OK();
+  }
+
+  /// table.column is accepted; only the column part is kept (names are
+  /// unique across the supported join shapes).
+  Result<std::string> ParseQualifiedName() {
+    MICROSPEC_ASSIGN_OR_RETURN(std::string name, ExpectName());
+    if (MatchSymbol(".")) {
+      MICROSPEC_ASSIGN_OR_RETURN(name, ExpectName());
+    }
+    return name;
+  }
+
+  /// expr        := or_expr
+  /// or_expr     := and_expr (OR and_expr)*
+  /// and_expr    := not_expr (AND not_expr)*
+  /// not_expr    := [NOT] predicate
+  /// predicate   := additive [cmp additive | BETWEEN .. AND ..
+  ///                | [NOT] LIKE 'p' | [NOT] IN (...)]
+  /// additive    := term ((+|-) term)*
+  /// term        := factor ((*|/) factor)*
+  /// factor      := literal | name | aggregate | ( expr )
+  Result<SqlExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<SqlExprPtr> ParseOr() {
+    MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseAnd());
+    if (!Peek().Is(TokenKind::kIdent, "or")) return lhs;
+    auto node = std::make_unique<SqlExpr>();
+    node->kind = SqlExprKind::kOr;
+    node->children.push_back(std::move(lhs));
+    while (MatchIdent("or")) {
+      MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParseAnd());
+      node->children.push_back(std::move(rhs));
+    }
+    return node;
+  }
+
+  Result<SqlExprPtr> ParseAnd() {
+    MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseNot());
+    if (!Peek().Is(TokenKind::kIdent, "and")) return lhs;
+    auto node = std::make_unique<SqlExpr>();
+    node->kind = SqlExprKind::kAnd;
+    node->children.push_back(std::move(lhs));
+    while (MatchIdent("and")) {
+      MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParseNot());
+      node->children.push_back(std::move(rhs));
+    }
+    return node;
+  }
+
+  Result<SqlExprPtr> ParseNot() {
+    if (MatchIdent("not")) {
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExprKind::kNot;
+      MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr child, ParseNot());
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    return ParsePredicate();
+  }
+
+  Result<SqlExprPtr> ParsePredicate() {
+    MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseAdditive());
+
+    bool negated = false;
+    size_t save = pos_;
+    if (MatchIdent("not")) {
+      if (Peek().Is(TokenKind::kIdent, "like") ||
+          Peek().Is(TokenKind::kIdent, "in")) {
+        negated = true;
+      } else {
+        pos_ = save;  // the NOT belongs to an outer context
+        return lhs;
+      }
+    }
+
+    if (MatchIdent("between")) {
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExprKind::kBetween;
+      node->lhs = std::move(lhs);
+      MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr lo, ParseAdditive());
+      MICROSPEC_RETURN_NOT_OK(ExpectIdent("and"));
+      MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr hi, ParseAdditive());
+      node->children.push_back(std::move(lo));
+      node->children.push_back(std::move(hi));
+      return node;
+    }
+    if (MatchIdent("like")) {
+      if (Peek().kind != TokenKind::kString) {
+        return Error("LIKE requires a string pattern");
+      }
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExprKind::kLike;
+      node->negated = negated;
+      node->text = tokens_[pos_++].text;
+      node->lhs = std::move(lhs);
+      return node;
+    }
+    if (MatchIdent("in")) {
+      MICROSPEC_RETURN_NOT_OK(ExpectSymbol("("));
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExprKind::kInList;
+      node->negated = negated;
+      node->lhs = std::move(lhs);
+      do {
+        MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr item, ParseLiteral());
+        node->children.push_back(std::move(item));
+      } while (MatchSymbol(","));
+      MICROSPEC_RETURN_NOT_OK(ExpectSymbol(")"));
+      return node;
+    }
+
+    static const std::pair<const char*, CmpOp> kOps[] = {
+        {"=", CmpOp::kEq},  {"<>", CmpOp::kNe}, {"<=", CmpOp::kLe},
+        {">=", CmpOp::kGe}, {"<", CmpOp::kLt},  {">", CmpOp::kGt}};
+    for (const auto& [sym, op] : kOps) {
+      if (MatchSymbol(sym)) {
+        auto node = std::make_unique<SqlExpr>();
+        node->kind = SqlExprKind::kCmp;
+        node->cmp = op;
+        node->lhs = std::move(lhs);
+        MICROSPEC_ASSIGN_OR_RETURN(node->rhs, ParseAdditive());
+        return node;
+      }
+    }
+    return lhs;
+  }
+
+  Result<SqlExprPtr> ParseAdditive() {
+    MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseTerm());
+    for (;;) {
+      ArithOp op;
+      if (MatchSymbol("+")) {
+        op = ArithOp::kAdd;
+      } else if (MatchSymbol("-")) {
+        op = ArithOp::kSub;
+      } else {
+        return lhs;
+      }
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExprKind::kArith;
+      node->arith = op;
+      node->lhs = std::move(lhs);
+      MICROSPEC_ASSIGN_OR_RETURN(node->rhs, ParseTerm());
+      lhs = std::move(node);
+    }
+  }
+
+  Result<SqlExprPtr> ParseTerm() {
+    MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseFactor());
+    for (;;) {
+      ArithOp op;
+      if (MatchSymbol("*")) {
+        op = ArithOp::kMul;
+      } else if (MatchSymbol("/")) {
+        op = ArithOp::kDiv;
+      } else {
+        return lhs;
+      }
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExprKind::kArith;
+      node->arith = op;
+      node->lhs = std::move(lhs);
+      MICROSPEC_ASSIGN_OR_RETURN(node->rhs, ParseFactor());
+      lhs = std::move(node);
+    }
+  }
+
+  Result<SqlExprPtr> ParseFactor() {
+    if (MatchSymbol("(")) {
+      MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());
+      MICROSPEC_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kInt || t.kind == TokenKind::kFloat ||
+        t.kind == TokenKind::kString ||
+        (t.kind == TokenKind::kSymbol && t.text == "-")) {
+      return ParseLiteral();
+    }
+    if (t.kind == TokenKind::kIdent) {
+      static const std::pair<const char*, SqlAgg> kAggs[] = {
+          {"count", SqlAgg::kCount}, {"sum", SqlAgg::kSum},
+          {"avg", SqlAgg::kAvg},     {"min", SqlAgg::kMin},
+          {"max", SqlAgg::kMax}};
+      for (const auto& [name, agg] : kAggs) {
+        if (t.text == name && tokens_[pos_ + 1].Is(TokenKind::kSymbol, "(")) {
+          pos_ += 2;
+          auto node = std::make_unique<SqlExpr>();
+          node->kind = SqlExprKind::kAggregate;
+          node->agg = agg;
+          if (agg == SqlAgg::kCount && MatchSymbol("*")) {
+            node->agg = SqlAgg::kCountStar;
+          } else {
+            MICROSPEC_ASSIGN_OR_RETURN(SqlExprPtr arg, ParseExpr());
+            node->children.push_back(std::move(arg));
+          }
+          MICROSPEC_RETURN_NOT_OK(ExpectSymbol(")"));
+          return node;
+        }
+      }
+      auto node = std::make_unique<SqlExpr>();
+      node->kind = SqlExprKind::kColumn;
+      MICROSPEC_ASSIGN_OR_RETURN(node->text, ParseQualifiedName());
+      return node;
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& sql) {
+  MICROSPEC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace microspec::sqlfe

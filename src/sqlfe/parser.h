@@ -1,0 +1,31 @@
+#ifndef MICROSPEC_SQLFE_PARSER_H_
+#define MICROSPEC_SQLFE_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sqlfe/ast.h"
+
+namespace microspec::sqlfe {
+
+/// Parses one SQL statement (optionally ';'-terminated). Supported grammar —
+/// deliberately the subset the engine executes natively:
+///
+///   CREATE TABLE t (col TYPE [NOT NULL] [LOW CARDINALITY], ...)
+///     TYPE := BOOLEAN | INT | INTEGER | BIGINT | DOUBLE | FLOAT | DATE
+///           | CHAR(n) | VARCHAR
+///   INSERT INTO t VALUES (lit, ...)[, (lit, ...)]...
+///   SELECT <* | expr [AS name], ...> FROM t
+///     [JOIN t2 ON a = b]...
+///     [WHERE predicate]
+///     [GROUP BY col, ...]
+///     [ORDER BY col [DESC], ...]
+///     [LIMIT n]
+///
+/// Predicates: comparisons, AND/OR/NOT, BETWEEN, LIKE/NOT LIKE, IN (...).
+/// Aggregates: COUNT(*), COUNT(x), SUM, AVG, MIN, MAX.
+Result<Statement> Parse(const std::string& sql);
+
+}  // namespace microspec::sqlfe
+
+#endif  // MICROSPEC_SQLFE_PARSER_H_

@@ -1,0 +1,169 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace microspec {
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Unpin(file_id_, page_no_, dirty_);
+    data_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(size_t num_frames, IoStats* stats) : stats_(stats) {
+  MICROSPEC_CHECK(num_frames > 0);
+  frames_.resize(num_frames);
+  for (Frame& f : frames_) f.data = std::make_unique<char[]>(kPageSize);
+  lru_pos_.resize(num_frames);
+  in_lru_.assign(num_frames, false);
+  // All frames start free; seed the LRU with every index.
+  for (size_t i = 0; i < num_frames; ++i) {
+    lru_.push_back(i);
+    lru_pos_[i] = std::prev(lru_.end());
+    in_lru_[i] = true;
+  }
+}
+
+void BufferPool::RegisterFile(DiskManager* dm) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  files_[dm->file_id()] = dm;
+}
+
+void BufferPool::UnregisterFile(uint32_t file_id) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  // Evict the file's frames without writing back (the file is going away).
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.valid && (f.key >> 32) == file_id) {
+      table_.erase(f.key);
+      f.valid = false;
+      f.dirty = false;
+      f.pin_count = 0;
+    }
+  }
+  files_.erase(file_id);
+}
+
+void BufferPool::TouchLru(size_t frame_idx) {
+  if (in_lru_[frame_idx]) {
+    // Relink in place: no allocation on the pin hot path.
+    lru_.splice(lru_.begin(), lru_, lru_pos_[frame_idx]);
+  } else {
+    lru_.push_front(frame_idx);
+    in_lru_[frame_idx] = true;
+  }
+  lru_pos_[frame_idx] = lru_.begin();
+}
+
+int BufferPool::FindVictim(Status* status) {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t idx = *it;
+    Frame& f = frames_[idx];
+    if (f.pin_count > 0) continue;
+    if (f.valid && f.dirty) {
+      DiskManager* dm = files_[static_cast<uint32_t>(f.key >> 32)];
+      MICROSPEC_CHECK(dm != nullptr);
+      Status st = dm->WritePage(static_cast<PageNo>(f.key & 0xFFFFFFFF),
+                                f.data.get());
+      if (!st.ok()) {
+        *status = st;
+        return -1;
+      }
+      f.dirty = false;
+    }
+    if (f.valid) table_.erase(f.key);
+    f.valid = false;
+    return static_cast<int>(idx);
+  }
+  *status = Status::ResourceExhausted("buffer pool: all frames pinned");
+  return -1;
+}
+
+Result<PageGuard> BufferPool::Pin(uint32_t file_id, PageNo page_no) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t key = MakeKey(file_id, page_no);
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    TouchLru(it->second);
+    stats_->buffer_hits.fetch_add(1, std::memory_order_relaxed);
+    return PageGuard(this, file_id, page_no, f.data.get());
+  }
+  stats_->buffer_misses.fetch_add(1, std::memory_order_relaxed);
+  Status st = Status::OK();
+  int victim = FindVictim(&st);
+  if (victim < 0) return st;
+  Frame& f = frames_[static_cast<size_t>(victim)];
+  DiskManager* dm = files_[file_id];
+  if (dm == nullptr) {
+    return Status::Internal("buffer pool: unregistered file " +
+                            std::to_string(file_id));
+  }
+  MICROSPEC_RETURN_NOT_OK(dm->ReadPage(page_no, f.data.get()));
+  f.key = key;
+  f.valid = true;
+  f.dirty = false;
+  f.pin_count = 1;
+  table_[key] = static_cast<size_t>(victim);
+  TouchLru(static_cast<size_t>(victim));
+  return PageGuard(this, file_id, page_no, f.data.get());
+}
+
+Result<PageGuard> BufferPool::NewPage(DiskManager* dm, PageNo* page_no) {
+  MICROSPEC_RETURN_NOT_OK(dm->AllocatePage(page_no));
+  std::lock_guard<std::mutex> guard(mutex_);
+  Status st = Status::OK();
+  int victim = FindVictim(&st);
+  if (victim < 0) return st;
+  Frame& f = frames_[static_cast<size_t>(victim)];
+  uint64_t key = MakeKey(dm->file_id(), *page_no);
+  std::memset(f.data.get(), 0, kPageSize);
+  f.key = key;
+  f.valid = true;
+  f.dirty = true;  // freshly formatted page must reach disk
+  f.pin_count = 1;
+  table_[key] = static_cast<size_t>(victim);
+  TouchLru(static_cast<size_t>(victim));
+  return PageGuard(this, dm->file_id(), *page_no, f.data.get());
+}
+
+void BufferPool::Unpin(uint32_t file_id, PageNo page_no, bool dirty) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = table_.find(MakeKey(file_id, page_no));
+  MICROSPEC_CHECK(it != table_.end());
+  Frame& f = frames_[it->second];
+  MICROSPEC_CHECK(f.pin_count > 0);
+  --f.pin_count;
+  if (dirty) f.dirty = true;
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (Frame& f : frames_) {
+    if (f.valid && f.dirty) {
+      DiskManager* dm = files_[static_cast<uint32_t>(f.key >> 32)];
+      if (dm == nullptr) continue;
+      MICROSPEC_RETURN_NOT_OK(
+          dm->WritePage(static_cast<PageNo>(f.key & 0xFFFFFFFF), f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropAll() {
+  MICROSPEC_RETURN_NOT_OK(FlushAll());
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (Frame& f : frames_) {
+    MICROSPEC_CHECK(f.pin_count == 0);
+    f.valid = false;
+    f.key = ~0ULL;
+  }
+  table_.clear();
+  return Status::OK();
+}
+
+}  // namespace microspec

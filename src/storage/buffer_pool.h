@@ -1,0 +1,129 @@
+#ifndef MICROSPEC_STORAGE_BUFFER_POOL_H_
+#define MICROSPEC_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace microspec {
+
+class BufferPool;
+
+/// RAII handle to a pinned buffer frame. Unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, uint32_t file_id, PageNo page_no, char* data)
+      : pool_(pool), file_id_(file_id), page_no_(page_no), data_(data) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      file_id_ = other.file_id_;
+      page_no_ = other.page_no_;
+      data_ = other.data_;
+      dirty_ = other.dirty_;
+      other.pool_ = nullptr;
+      other.data_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool valid() const { return data_ != nullptr; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  PageNo page_no() const { return page_no_; }
+
+  /// Marks the frame dirty; it will be written back before eviction.
+  void MarkDirty() { dirty_ = true; }
+
+  /// Explicit early unpin.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  uint32_t file_id_ = 0;
+  PageNo page_no_ = 0;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+/// A shared LRU buffer pool over all heap files. The warm-cache TPC-H runs
+/// (Figure 4) size the pool to hold the working set; the cold-cache runs
+/// (Figure 5) call DropAll() before each query so every page access pays a
+/// disk read, making the tuple-bee I/O savings visible.
+class BufferPool {
+ public:
+  explicit BufferPool(size_t num_frames, IoStats* stats);
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(BufferPool);
+
+  /// Associates a file id with its DiskManager so misses can be served.
+  void RegisterFile(DiskManager* dm);
+  void UnregisterFile(uint32_t file_id);
+
+  /// Pins the page, reading it on miss. The guard keeps it pinned.
+  Result<PageGuard> Pin(uint32_t file_id, PageNo page_no);
+
+  /// Allocates a fresh page in the file and returns it pinned and zeroed.
+  Result<PageGuard> NewPage(DiskManager* dm, PageNo* page_no);
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  /// Writes back and evicts every frame (cold-cache reset).
+  Status DropAll();
+
+  IoStats* stats() { return stats_; }
+  size_t num_frames() const { return frames_.size(); }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    uint64_t key = ~0ULL;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+    std::unique_ptr<char[]> data;
+  };
+
+  static uint64_t MakeKey(uint32_t file_id, PageNo page_no) {
+    return (static_cast<uint64_t>(file_id) << 32) | page_no;
+  }
+
+  void Unpin(uint32_t file_id, PageNo page_no, bool dirty);
+
+  /// Picks a victim frame (unpinned, least recently used); flushes if dirty.
+  /// Caller holds mutex_. Returns -1 if all frames are pinned.
+  int FindVictim(Status* status);
+
+  void TouchLru(size_t frame_idx);
+
+  std::mutex mutex_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, size_t> table_;
+  std::list<size_t> lru_;  // front = most recent
+  std::vector<std::list<size_t>::iterator> lru_pos_;
+  std::vector<bool> in_lru_;
+  std::unordered_map<uint32_t, DiskManager*> files_;
+  IoStats* stats_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_STORAGE_BUFFER_POOL_H_

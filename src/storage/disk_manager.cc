@@ -1,0 +1,94 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace microspec {
+
+namespace {
+std::atomic<uint32_t> g_next_file_id{1};
+}  // namespace
+
+DiskManager::~DiskManager() { Close(); }
+
+Status DiskManager::Open(const std::string& path, IoStats* stats) {
+  MICROSPEC_CHECK(fd_ < 0);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IoError("fstat " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  num_pages_ = static_cast<PageNo>(st.st_size / kPageSize);
+  stats_ = stats;
+  file_id_ = g_next_file_id.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void DiskManager::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status DiskManager::ReadPage(PageNo page_no, char* out) {
+  MICROSPEC_DCHECK(fd_ >= 0);
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("short read of page " + std::to_string(page_no) +
+                           " in " + path_);
+  }
+  if (stats_ != nullptr) {
+    stats_->pages_read.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageNo page_no, const char* data) {
+  MICROSPEC_DCHECK(fd_ >= 0);
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("short write of page " + std::to_string(page_no) +
+                           " in " + path_);
+  }
+  if (stats_ != nullptr) {
+    stats_->pages_written.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  MICROSPEC_DCHECK(fd_ >= 0);
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError("fdatasync " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::AllocatePage(PageNo* page_no) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  char zeros[kPageSize];
+  std::memset(zeros, 0, sizeof(zeros));
+  PageNo next = num_pages_;
+  ssize_t n = ::pwrite(fd_, zeros, kPageSize,
+                       static_cast<off_t>(next) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("extend failed for " + path_);
+  }
+  num_pages_ = next + 1;
+  *page_no = next;
+  return Status::OK();
+}
+
+}  // namespace microspec

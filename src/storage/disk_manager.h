@@ -1,0 +1,57 @@
+#ifndef MICROSPEC_STORAGE_DISK_MANAGER_H_
+#define MICROSPEC_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/io_stats.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace microspec {
+
+/// Page-granular file I/O for one heap file (one relation = one file, as in
+/// PostgreSQL's per-relation segment files). All reads/writes are counted in
+/// the shared IoStats so the cold-cache and bulk-load experiments can compare
+/// I/O volume between stock and bee-enabled configurations.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(DiskManager);
+
+  /// Opens (creating if necessary) the backing file.
+  Status Open(const std::string& path, IoStats* stats);
+  void Close();
+
+  Status ReadPage(PageNo page_no, char* out);
+  Status WritePage(PageNo page_no, const char* data);
+
+  /// Forces written pages to stable storage (fdatasync). Called by
+  /// Database::Checkpoint so durability costs scale with bytes written —
+  /// the I/O component of the bulk-load experiment.
+  Status Sync();
+
+  /// Extends the file by one zeroed page and returns its number.
+  Status AllocatePage(PageNo* page_no);
+
+  PageNo num_pages() const { return num_pages_; }
+  const std::string& path() const { return path_; }
+
+  /// Stable identifier used as the buffer pool key component.
+  uint32_t file_id() const { return file_id_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  PageNo num_pages_ = 0;
+  uint32_t file_id_ = 0;
+  IoStats* stats_ = nullptr;
+  std::mutex mutex_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_STORAGE_DISK_MANAGER_H_

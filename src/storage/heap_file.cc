@@ -1,0 +1,149 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "common/counters.h"
+
+namespace microspec {
+
+HeapFile::HeapFile(BufferPool* pool, std::unique_ptr<DiskManager> dm)
+    : pool_(pool), dm_(std::move(dm)) {
+  pool_->RegisterFile(dm_.get());
+}
+
+HeapFile::~HeapFile() { pool_->UnregisterFile(dm_->file_id()); }
+
+Result<TupleId> HeapFile::Insert(const char* tuple, uint32_t len) {
+  MICROSPEC_CHECK(len + 64 < kPageSize);
+  // Try the append hint first, then allocate a fresh page.
+  if (append_hint_ != kInvalidPageNo) {
+    MICROSPEC_ASSIGN_OR_RETURN(PageGuard guard,
+                               pool_->Pin(dm_->file_id(), append_hint_));
+    SlottedPage page(guard.data());
+    int slot = page.InsertTuple(tuple, len);
+    if (slot >= 0) {
+      guard.MarkDirty();
+      return MakeTupleId(append_hint_, static_cast<uint16_t>(slot));
+    }
+  }
+  PageNo page_no = 0;
+  MICROSPEC_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage(dm_.get(), &page_no));
+  SlottedPage::Init(guard.data());
+  SlottedPage page(guard.data());
+  int slot = page.InsertTuple(tuple, len);
+  MICROSPEC_CHECK(slot >= 0);
+  guard.MarkDirty();
+  append_hint_ = page_no;
+  return MakeTupleId(page_no, static_cast<uint16_t>(slot));
+}
+
+Status HeapFile::Delete(TupleId tid) {
+  MICROSPEC_ASSIGN_OR_RETURN(PageGuard guard,
+                             pool_->Pin(dm_->file_id(), TupleIdPage(tid)));
+  SlottedPage page(guard.data());
+  if (TupleIdSlot(tid) >= page.slot_count()) {
+    return Status::NotFound("delete: bad slot");
+  }
+  uint32_t len = 0;
+  if (page.GetTuple(TupleIdSlot(tid), &len) == nullptr) {
+    return Status::NotFound("delete: tuple already dead");
+  }
+  page.DeleteTuple(TupleIdSlot(tid));
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Result<TupleId> HeapFile::Update(TupleId tid, const char* tuple, uint32_t len) {
+  {
+    MICROSPEC_ASSIGN_OR_RETURN(PageGuard guard,
+                               pool_->Pin(dm_->file_id(), TupleIdPage(tid)));
+    SlottedPage page(guard.data());
+    if (TupleIdSlot(tid) >= page.slot_count()) {
+      return Status::NotFound("update: bad slot");
+    }
+    if (page.UpdateTupleInPlace(TupleIdSlot(tid), tuple, len)) {
+      guard.MarkDirty();
+      return tid;
+    }
+    page.DeleteTuple(TupleIdSlot(tid));
+    guard.MarkDirty();
+  }
+  return Insert(tuple, len);
+}
+
+Status HeapFile::Fetch(TupleId tid, char* buf, uint32_t cap, uint32_t* len) {
+  if (TupleIdPage(tid) >= dm_->num_pages()) {
+    return Status::NotFound("fetch: bad page");
+  }
+  MICROSPEC_ASSIGN_OR_RETURN(PageGuard guard,
+                             pool_->Pin(dm_->file_id(), TupleIdPage(tid)));
+  SlottedPage page(guard.data());
+  if (TupleIdSlot(tid) >= page.slot_count()) {
+    return Status::NotFound("fetch: bad slot");
+  }
+  uint32_t tlen = 0;
+  const char* t = page.GetTuple(TupleIdSlot(tid), &tlen);
+  if (t == nullptr) return Status::NotFound("fetch: dead tuple");
+  if (tlen > cap) return Status::InvalidArgument("fetch: buffer too small");
+  std::memcpy(buf, t, tlen);
+  *len = tlen;
+  return Status::OK();
+}
+
+bool HeapFile::Iterator::Next(const char** tuple, uint32_t* len, TupleId* tid) {
+  for (;;) {
+    if (!page_loaded_) {
+      if (page_ >= hf_->dm_->num_pages()) return false;
+      auto res = hf_->pool_->Pin(hf_->dm_->file_id(), page_);
+      if (!res.ok()) {
+        status_ = res.status();
+        return false;
+      }
+      guard_ = res.MoveValue();
+      page_loaded_ = true;
+      slot_ = 0;
+    }
+    SlottedPage page(guard_.data());
+    while (slot_ < page.slot_count()) {
+      uint16_t s = slot_++;
+      const char* t = page.GetTuple(s, len);
+      // Page/slot bookkeeping work shared by both engine configurations.
+      workops::Bump(6);
+      if (t != nullptr) {
+        *tuple = t;
+        *tid = MakeTupleId(page_, s);
+        return true;
+      }
+    }
+    guard_.Release();
+    page_loaded_ = false;
+    workops::Bump(40);  // page pin/unpin + header processing
+    ++page_;
+  }
+}
+
+Result<TupleId> HeapFile::BulkAppender::Append(const char* tuple, uint32_t len) {
+  if (page_ != kInvalidPageNo) {
+    SlottedPage page(guard_.data());
+    int slot = page.InsertTuple(tuple, len);
+    if (slot >= 0) {
+      guard_.MarkDirty();
+      return MakeTupleId(page_, static_cast<uint16_t>(slot));
+    }
+    guard_.Release();
+  }
+  PageNo page_no = 0;
+  MICROSPEC_ASSIGN_OR_RETURN(PageGuard guard,
+                             hf_->pool_->NewPage(hf_->dm_.get(), &page_no));
+  guard_ = std::move(guard);
+  page_ = page_no;
+  hf_->append_hint_ = page_no;
+  SlottedPage::Init(guard_.data());
+  SlottedPage page(guard_.data());
+  int slot = page.InsertTuple(tuple, len);
+  MICROSPEC_CHECK(slot >= 0);
+  guard_.MarkDirty();
+  return MakeTupleId(page_no, static_cast<uint16_t>(slot));
+}
+
+}  // namespace microspec

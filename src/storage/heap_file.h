@@ -1,0 +1,93 @@
+#ifndef MICROSPEC_STORAGE_HEAP_FILE_H_
+#define MICROSPEC_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace microspec {
+
+/// A heap of slotted pages storing one relation, accessed through the shared
+/// buffer pool. Provides tuple-at-a-time insert/update/delete, a sequential
+/// scan iterator, and an appender used by bulk loading (Figure 8).
+class HeapFile {
+ public:
+  HeapFile(BufferPool* pool, std::unique_ptr<DiskManager> dm);
+  ~HeapFile();
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(HeapFile);
+
+  /// Inserts a tuple, extending the file as needed.
+  Result<TupleId> Insert(const char* tuple, uint32_t len);
+
+  /// Marks the tuple dead.
+  Status Delete(TupleId tid);
+
+  /// Replaces the tuple. Updates in place when the new version fits in the
+  /// old slot's footprint; otherwise deletes and re-inserts, returning the
+  /// (possibly new) TupleId.
+  Result<TupleId> Update(TupleId tid, const char* tuple, uint32_t len);
+
+  /// Copies the tuple at `tid` into `buf` (at most `cap` bytes) and sets
+  /// `*len`. Returns NotFound for dead or out-of-range tuples.
+  Status Fetch(TupleId tid, char* buf, uint32_t cap, uint32_t* len);
+
+  PageNo num_pages() const { return dm_->num_pages(); }
+  DiskManager* disk_manager() { return dm_.get(); }
+
+  /// Sequential scan. Pins one page at a time; tuple pointers returned by
+  /// Next() are valid until the following Next()/destruction.
+  class Iterator {
+   public:
+    explicit Iterator(HeapFile* hf) : hf_(hf) {}
+
+    /// Advances to the next live tuple. Returns false at end-of-relation.
+    /// On I/O error sets status() and returns false.
+    bool Next(const char** tuple, uint32_t* len, TupleId* tid);
+
+    const Status& status() const { return status_; }
+
+   private:
+    HeapFile* hf_;
+    PageGuard guard_;
+    PageNo page_ = 0;
+    uint16_t slot_ = 0;
+    bool page_loaded_ = false;
+    Status status_;
+  };
+
+  Iterator Scan() { return Iterator(this); }
+
+  /// Bulk appender: keeps the tail page pinned across inserts so loading
+  /// does not pay a pin/unpin round trip per tuple.
+  class BulkAppender {
+   public:
+    explicit BulkAppender(HeapFile* hf) : hf_(hf) {}
+    Result<TupleId> Append(const char* tuple, uint32_t len);
+    void Finish() { guard_.Release(); }
+
+   private:
+    HeapFile* hf_;
+    PageGuard guard_;
+    PageNo page_ = kInvalidPageNo;
+  };
+
+ private:
+  friend class Iterator;
+  friend class BulkAppender;
+
+  BufferPool* pool_;
+  std::unique_ptr<DiskManager> dm_;
+  /// Append hint: last page known to have had free space.
+  PageNo append_hint_ = kInvalidPageNo;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_STORAGE_HEAP_FILE_H_

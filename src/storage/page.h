@@ -1,0 +1,131 @@
+#ifndef MICROSPEC_STORAGE_PAGE_H_
+#define MICROSPEC_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/align.h"
+#include "common/macros.h"
+
+namespace microspec {
+
+/// Pages are 8 KiB, PostgreSQL's default block size.
+inline constexpr uint32_t kPageSize = 8192;
+
+/// Page number within a heap file.
+using PageNo = uint32_t;
+inline constexpr PageNo kInvalidPageNo = 0xFFFFFFFFu;
+
+/// Identifies a tuple: (page number, slot index) packed into 64 bits.
+using TupleId = uint64_t;
+inline constexpr TupleId kInvalidTupleId = ~TupleId{0};
+
+inline TupleId MakeTupleId(PageNo page, uint16_t slot) {
+  return (static_cast<TupleId>(page) << 16) | slot;
+}
+inline PageNo TupleIdPage(TupleId tid) {
+  return static_cast<PageNo>(tid >> 16);
+}
+inline uint16_t TupleIdSlot(TupleId tid) {
+  return static_cast<uint16_t>(tid & 0xFFFF);
+}
+
+/// A slotted heap page laid out over a raw kPageSize buffer:
+///
+///   [ header | slot array (grows up) ... free ... tuple data (grows down) ]
+///
+/// Slot entries are (offset, length); length 0 marks a dead slot. Tuples are
+/// stored 8-byte aligned so deformed pointer Datums honor kMaxAlign.
+class SlottedPage {
+ public:
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats an empty page.
+  static void Init(char* data) {
+    Header* h = reinterpret_cast<Header*>(data);
+    h->slot_count = 0;
+    h->free_start = sizeof(Header);
+    h->free_end = kPageSize;
+    h->flags = 0;
+  }
+
+  uint16_t slot_count() const { return header()->slot_count; }
+
+  /// Free bytes available for one more tuple (accounts for its slot entry).
+  uint32_t FreeSpaceForTuple() const {
+    const Header* h = header();
+    uint32_t gap = h->free_end - h->free_start;
+    return gap >= sizeof(Slot) ? gap - sizeof(Slot) : 0;
+  }
+
+  /// Inserts a tuple; returns the slot index or -1 if it does not fit.
+  int InsertTuple(const char* tuple, uint32_t len) {
+    Header* h = header();
+    uint32_t need = AlignUp32(len, kMaxAlign);
+    if (FreeSpaceForTuple() < need) return -1;
+    h->free_end = static_cast<uint16_t>(h->free_end - need);
+    std::memcpy(data_ + h->free_end, tuple, len);
+    Slot* s = slot(h->slot_count);
+    s->offset = h->free_end;
+    s->length = static_cast<uint16_t>(len);
+    h->free_start = static_cast<uint16_t>(h->free_start + sizeof(Slot));
+    return h->slot_count++;
+  }
+
+  /// Returns tuple bytes for `slot_idx`, or nullptr if the slot is dead.
+  const char* GetTuple(uint16_t slot_idx, uint32_t* len) const {
+    MICROSPEC_DCHECK(slot_idx < slot_count());
+    const Slot* s = slot(slot_idx);
+    if (s->length == 0) return nullptr;
+    *len = s->length;
+    return data_ + s->offset;
+  }
+
+  /// Marks a slot dead. Space is not compacted (as in PG before VACUUM).
+  void DeleteTuple(uint16_t slot_idx) {
+    MICROSPEC_DCHECK(slot_idx < slot_count());
+    slot(slot_idx)->length = 0;
+  }
+
+  /// Overwrites a tuple in place; only legal when new_len fits in the slot's
+  /// original aligned footprint. Returns false otherwise.
+  bool UpdateTupleInPlace(uint16_t slot_idx, const char* tuple,
+                          uint32_t new_len) {
+    MICROSPEC_DCHECK(slot_idx < slot_count());
+    Slot* s = slot(slot_idx);
+    if (s->length == 0) return false;
+    if (AlignUp32(new_len, kMaxAlign) > AlignUp32(s->length, kMaxAlign)) {
+      return false;
+    }
+    std::memcpy(data_ + s->offset, tuple, new_len);
+    s->length = static_cast<uint16_t>(new_len);
+    return true;
+  }
+
+ private:
+  struct Header {
+    uint16_t slot_count;
+    uint16_t free_start;  // first free byte after the slot array
+    uint16_t free_end;    // first used byte of tuple data
+    uint16_t flags;
+  };
+  struct Slot {
+    uint16_t offset;
+    uint16_t length;  // 0 = dead
+  };
+
+  Header* header() { return reinterpret_cast<Header*>(data_); }
+  const Header* header() const { return reinterpret_cast<const Header*>(data_); }
+  Slot* slot(uint16_t i) {
+    return reinterpret_cast<Slot*>(data_ + sizeof(Header)) + i;
+  }
+  const Slot* slot(uint16_t i) const {
+    return reinterpret_cast<const Slot*>(data_ + sizeof(Header)) + i;
+  }
+
+  char* data_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_STORAGE_PAGE_H_

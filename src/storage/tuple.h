@@ -1,0 +1,83 @@
+#ifndef MICROSPEC_STORAGE_TUPLE_H_
+#define MICROSPEC_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "catalog/schema.h"
+#include "common/align.h"
+#include "common/arena.h"
+#include "common/datum.h"
+
+namespace microspec {
+
+/// On-page tuple layout (the heap tuple format the deform/form routines and
+/// the relation bees operate on):
+///
+///   [ TupleHeader (6B) | null bitmap (if kHasNulls) | pad to 8 | attribute data ]
+///
+/// Attribute data is laid out in schema order with per-attribute alignment
+/// padding, exactly as PostgreSQL does; varchar values carry a 4-byte VARSIZE
+/// header. When tuple bees are enabled, bee-specialized attributes are absent
+/// from the attribute data and `bee_id` selects the data section holding
+/// their values (Section IV-A of the paper).
+struct TupleHeader {
+  uint16_t natts;
+  uint8_t flags;
+  uint8_t bee_id;
+  uint16_t hoff;  // offset of attribute data from tuple start
+};
+static_assert(sizeof(TupleHeader) == 6, "TupleHeader must stay 6 bytes");
+
+inline constexpr uint8_t kTupleHasNulls = 0x1;
+inline constexpr uint8_t kTupleHasBeeId = 0x2;
+
+/// A null bitmap bit of 1 means the attribute IS null.
+inline bool TupleAttIsNull(const char* tuple, int attnum) {
+  const uint8_t* bitmap =
+      reinterpret_cast<const uint8_t*>(tuple) + sizeof(TupleHeader);
+  return (bitmap[attnum >> 3] & (1u << (attnum & 7))) != 0;
+}
+
+/// Size of header + bitmap, rounded to kMaxAlign; equals TupleHeader::hoff.
+inline uint32_t TupleHeaderSize(int natts, bool has_nulls) {
+  uint32_t raw = sizeof(TupleHeader) +
+                 (has_nulls ? static_cast<uint32_t>((natts + 7) / 8) : 0);
+  return AlignUp32(raw, kMaxAlign);
+}
+
+namespace tupleops {
+
+/// Computes the total on-page size of a tuple holding `values` under
+/// `schema`. `isnull` may be nullptr when no value is null.
+uint32_t ComputeTupleSize(const Schema& schema, const Datum* values,
+                          const bool* isnull);
+
+/// The stock tuple-construction routine — the analog of PostgreSQL's
+/// heap_fill_tuple() that the SCL bee replaces. Writes exactly
+/// ComputeTupleSize() bytes into `out`.
+void FormTuple(const Schema& schema, const Datum* values, const bool* isnull,
+               char* out, uint8_t bee_id = 0, bool has_bee_id = false);
+
+/// The stock attribute-extraction routine — a faithful rendering of the
+/// paper's Listing 1 (slot_deform_tuple): a per-attribute loop that consults
+/// catalog metadata (attlen, attalign, attcacheoff), tests the null bitmap,
+/// recomputes alignment after variable-length attributes, and maintains the
+/// `slow` flag. Extracts the first `natts_to_fetch` attributes into
+/// `values`/`isnull`. Pointer Datums point into `tuple`; the caller owns
+/// keeping that memory alive. `isnull` may be nullptr if the schema has no
+/// nullable columns.
+void DeformTuple(const Schema& schema, const char* tuple, int natts_to_fetch,
+                 Datum* values, bool* isnull);
+
+/// Builds a varlena value in `arena` from `payload` and returns its Datum.
+Datum MakeVarlena(Arena* arena, std::string_view payload);
+
+/// Builds a fixed-length char(n) value (blank padded) in `arena`.
+Datum MakeFixedChar(Arena* arena, std::string_view payload, int32_t attlen);
+
+}  // namespace tupleops
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_STORAGE_TUPLE_H_

@@ -1,0 +1,62 @@
+#ifndef MICROSPEC_WORKLOADS_TPCC_TPCC_SCHEMA_H_
+#define MICROSPEC_WORKLOADS_TPCC_TPCC_SCHEMA_H_
+
+#include "catalog/schema.h"
+#include "engine/database.h"
+
+namespace microspec::tpcc {
+
+/// TPC-C schemas (the nine relations of the spec, decimals as float8).
+/// Primary keys get B+tree indexes; orders additionally gets the
+/// by-customer index Order-Status needs. o_carrier_id is nullable (NULL
+/// until Delivery), exercising the engine's null paths under modification.
+
+// warehouse
+inline constexpr int kWId = 0, kWName = 1, kWStreet1 = 2, kWCity = 3,
+                     kWState = 4, kWZip = 5, kWTax = 6, kWYtd = 7;
+// district
+inline constexpr int kDId = 0, kDWId = 1, kDName = 2, kDStreet1 = 3,
+                     kDCity = 4, kDState = 5, kDZip = 6, kDTax = 7, kDYtd = 8,
+                     kDNextOId = 9;
+// customer
+inline constexpr int kCId = 0, kCDId = 1, kCWId = 2, kCFirst = 3,
+                     kCMiddle = 4, kCLast = 5, kCStreet1 = 6, kCCity = 7,
+                     kCState = 8, kCZip = 9, kCPhone = 10, kCSince = 11,
+                     kCCredit = 12, kCCreditLim = 13, kCDiscount = 14,
+                     kCBalance = 15, kCYtdPayment = 16, kCPaymentCnt = 17,
+                     kCDeliveryCnt = 18, kCData = 19;
+// history
+inline constexpr int kHCId = 0, kHCDId = 1, kHCWId = 2, kHDId = 3, kHWId = 4,
+                     kHDate = 5, kHAmount = 6, kHData = 7;
+// neworder
+inline constexpr int kNoOId = 0, kNoDId = 1, kNoWId = 2;
+// orders (TPC-C)
+inline constexpr int kOId = 0, kODId = 1, kOWId = 2, kOCId = 3, kOEntryD = 4,
+                     kOCarrierId = 5, kOOlCnt = 6, kOAllLocal = 7;
+// orderline
+inline constexpr int kOlOId = 0, kOlDId = 1, kOlWId = 2, kOlNumber = 3,
+                     kOlIId = 4, kOlSupplyWId = 5, kOlDeliveryD = 6,
+                     kOlQuantity = 7, kOlAmount = 8, kOlDistInfo = 9;
+// item
+inline constexpr int kIId = 0, kIImId = 1, kIName = 2, kIPrice = 3,
+                     kIData = 4;
+// stock
+inline constexpr int kSIId = 0, kSWId = 1, kSQuantity = 2, kSDist = 3,
+                     kSYtd = 4, kSOrderCnt = 5, kSRemoteCnt = 6, kSData = 7;
+
+Schema WarehouseSchema();
+Schema DistrictSchema();
+Schema CustomerSchema();
+Schema HistorySchema();
+Schema NewOrderSchema();
+Schema OrderSchema();
+Schema OrderLineSchema();
+Schema ItemSchema();
+Schema StockSchema();
+
+/// Creates all nine relations and their indexes in `db`.
+Status CreateTpccTables(Database* db);
+
+}  // namespace microspec::tpcc
+
+#endif  // MICROSPEC_WORKLOADS_TPCC_TPCC_SCHEMA_H_

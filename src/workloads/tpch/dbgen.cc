@@ -1,0 +1,393 @@
+#include "workloads/tpch/dbgen.h"
+
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "storage/tuple.h"
+#include "workloads/tpch/tpch_schema.h"
+
+namespace microspec::tpch {
+
+namespace {
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIE", "5-LOW"};
+const char* kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kContainers[] = {"SM CASE", "SM BOX",  "SM PACK", "SM PKG",
+                             "MD CASE", "MD BOX",  "MD PACK", "MD PKG",
+                             "LG CASE", "LG BOX",  "LG PACK", "LG PKG",
+                             "JUMBO",   "WRAP",    "SM JAR",  "MD JAR",
+                             "LG JAR",  "SM DRUM", "MD DRUM", "LG DRUM"};
+const char* kTypeSyl1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                           "PROMO"};
+const char* kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                           "BRUSHED"};
+const char* kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kNameWords[] = {"almond", "antique", "aquamarine", "azure",
+                            "beige",  "bisque",  "black",      "blanched",
+                            "blue",   "blush",   "brown",      "burlywood",
+                            "burnished", "chartreuse", "chiffon", "chocolate"};
+
+constexpr int32_t kStartDate = 0;                      // 1992-01-01
+constexpr int32_t kEndDate = 7 * kDaysPerYear - 151;   // ~1998-08-02
+constexpr int32_t kCurrentDate = TpchDate(1995, 6, 17);
+
+uint64_t AtLeast(double v, uint64_t lo) {
+  uint64_t n = static_cast<uint64_t>(v);
+  return n < lo ? lo : n;
+}
+
+}  // namespace
+
+TpchRowCounts TpchRowCounts::At(double sf) {
+  TpchRowCounts c;
+  c.region = 5;
+  c.nation = 25;
+  c.supplier = AtLeast(10000 * sf, 10);
+  c.customer = AtLeast(150000 * sf, 30);
+  c.part = AtLeast(200000 * sf, 40);
+  c.partsupp = c.part * 4;
+  c.orders = c.customer * 10;
+  return c;
+}
+
+double ScaleFromEnv(double dflt) {
+  const char* env = std::getenv("MICROSPEC_SF");
+  if (env == nullptr) return dflt;
+  double v = std::atof(env);
+  return v > 0 ? v : dflt;
+}
+
+namespace {
+
+/// Shared loading skeleton: regenerate rows deterministically and append
+/// through the database's bulk loader (SCL bee or stock form loop).
+class TableGen {
+ public:
+  TableGen(Database* db, TableInfo* table, uint64_t seed)
+      : db_(db), table_(table), rng_(seed) {
+    ctx_ = db->MakeContext();
+    loader_.emplace(db, ctx_.get(), table);
+  }
+
+  Status Emit(const Datum* values) {
+    MICROSPEC_RETURN_NOT_OK(loader_->Append(values, nullptr));
+    if (++emitted_ % 4096 == 0) arena_.Reset();
+    return Status::OK();
+  }
+
+  Status Finish() { return loader_->Finish(); }
+
+  Rng& rng() { return rng_; }
+  Arena* arena() { return &arena_; }
+
+  Datum Str(const std::string& s) {
+    return tupleops::MakeVarlena(&arena_, s);
+  }
+  Datum Fixed(const std::string& s, int32_t len) {
+    return tupleops::MakeFixedChar(&arena_, s, len);
+  }
+  Datum Comment(int min_len, int max_len) {
+    return Str(rng_.AlnumString(min_len, max_len));
+  }
+
+ private:
+  Database* db_;
+  TableInfo* table_;
+  Rng rng_;
+  Arena arena_;
+  std::unique_ptr<ExecContext> ctx_;
+  std::optional<Database::BulkLoader> loader_;
+  uint64_t emitted_ = 0;
+};
+
+Status LoadRegion(Database* db, TableInfo* t, uint64_t rows, uint64_t seed) {
+  TableGen g(db, t, seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    Datum v[3];
+    v[kRRegionKey] = DatumFromInt32(static_cast<int32_t>(i));
+    v[kRName] = g.Fixed(kRegionNames[i % 5], 25);
+    v[kRComment] = g.Comment(30, 110);
+    MICROSPEC_RETURN_NOT_OK(g.Emit(v));
+  }
+  return g.Finish();
+}
+
+Status LoadNation(Database* db, TableInfo* t, uint64_t rows, uint64_t seed) {
+  TableGen g(db, t, seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    Datum v[4];
+    v[kNNationKey] = DatumFromInt32(static_cast<int32_t>(i));
+    v[kNName] = g.Fixed(kNationNames[i % 25], 25);
+    v[kNRegionKey] = DatumFromInt32(static_cast<int32_t>((i % 25) % 5));
+    v[kNComment] = g.Comment(30, 110);
+    MICROSPEC_RETURN_NOT_OK(g.Emit(v));
+  }
+  return g.Finish();
+}
+
+Status LoadSupplier(Database* db, TableInfo* t, uint64_t rows, uint64_t seed) {
+  TableGen g(db, t, seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    Datum v[7];
+    int32_t key = static_cast<int32_t>(i + 1);
+    v[kSSuppKey] = DatumFromInt32(key);
+    char name[32];
+    std::snprintf(name, sizeof(name), "Supplier#%09d", key);
+    v[kSName] = g.Fixed(name, 25);
+    v[kSAddress] = g.Comment(10, 40);
+    v[kSNationKey] = DatumFromInt32(static_cast<int32_t>(g.rng().Uniform(25)));
+    v[kSPhone] = g.Fixed(g.rng().AlnumString(15, 15), 15);
+    v[kSAcctBal] =
+        DatumFromFloat64(g.rng().UniformRange(-99999, 999999) / 100.0);
+    v[kSComment] = g.Comment(25, 100);
+    MICROSPEC_RETURN_NOT_OK(g.Emit(v));
+  }
+  return g.Finish();
+}
+
+Status LoadCustomer(Database* db, TableInfo* t, uint64_t rows, uint64_t seed) {
+  TableGen g(db, t, seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    Datum v[8];
+    int32_t key = static_cast<int32_t>(i + 1);
+    v[kCCustKey] = DatumFromInt32(key);
+    v[kCName] = g.Str("Customer#" + std::to_string(key));
+    v[kCAddress] = g.Comment(10, 40);
+    v[kCNationKey] = DatumFromInt32(static_cast<int32_t>(g.rng().Uniform(25)));
+    v[kCPhone] = g.Fixed(g.rng().AlnumString(15, 15), 15);
+    v[kCAcctBal] =
+        DatumFromFloat64(g.rng().UniformRange(-99999, 999999) / 100.0);
+    v[kCMktSegment] = g.Fixed(kSegments[g.rng().Uniform(5)], 10);
+    v[kCComment] = g.Comment(29, 116);
+    MICROSPEC_RETURN_NOT_OK(g.Emit(v));
+  }
+  return g.Finish();
+}
+
+Status LoadPart(Database* db, TableInfo* t, uint64_t rows, uint64_t seed) {
+  TableGen g(db, t, seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    Datum v[9];
+    int32_t key = static_cast<int32_t>(i + 1);
+    v[kPPartKey] = DatumFromInt32(key);
+    std::string name;
+    for (int w = 0; w < 5; ++w) {
+      if (w > 0) name += " ";
+      name += kNameWords[g.rng().Uniform(16)];
+    }
+    v[kPName] = g.Str(name);
+    int mfgr = static_cast<int>(g.rng().UniformRange(1, 5));
+    int brand = mfgr * 10 + static_cast<int>(g.rng().UniformRange(1, 5));
+    v[kPMfgr] = g.Fixed("Manufacturer#" + std::to_string(mfgr), 25);
+    v[kPBrand] = g.Fixed("Brand#" + std::to_string(brand), 10);
+    std::string type = std::string(kTypeSyl1[g.rng().Uniform(6)]) + " " +
+                       kTypeSyl2[g.rng().Uniform(5)] + " " +
+                       kTypeSyl3[g.rng().Uniform(5)];
+    v[kPType] = g.Str(type);
+    v[kPSize] = DatumFromInt32(static_cast<int32_t>(g.rng().UniformRange(1, 50)));
+    v[kPContainer] = g.Fixed(kContainers[g.rng().Uniform(20)], 10);
+    v[kPRetailPrice] = DatumFromFloat64(
+        (90000 + (key % 200001) / 10 + 100 * (key % 1000)) / 100.0);
+    v[kPComment] = g.Comment(5, 22);
+    MICROSPEC_RETURN_NOT_OK(g.Emit(v));
+  }
+  return g.Finish();
+}
+
+Status LoadPartsupp(Database* db, TableInfo* t, uint64_t parts, uint64_t seed) {
+  TableGen g(db, t, seed);
+  for (uint64_t p = 0; p < parts; ++p) {
+    for (int s = 0; s < 4; ++s) {
+      Datum v[5];
+      v[kPsPartKey] = DatumFromInt32(static_cast<int32_t>(p + 1));
+      v[kPsSuppKey] =
+          DatumFromInt32(static_cast<int32_t>((p + s * 7 + 1) % 10000 + 1));
+      v[kPsAvailQty] =
+          DatumFromInt32(static_cast<int32_t>(g.rng().UniformRange(1, 9999)));
+      v[kPsSupplyCost] =
+          DatumFromFloat64(g.rng().UniformRange(100, 100000) / 100.0);
+      v[kPsComment] = g.Comment(49, 198);
+      MICROSPEC_RETURN_NOT_OK(g.Emit(v));
+    }
+  }
+  return g.Finish();
+}
+
+Status LoadOrdersAndLineitem(Database* db, TableInfo* orders,
+                             TableInfo* lineitem, uint64_t num_orders,
+                             uint64_t customers, uint64_t parts,
+                             uint64_t suppliers, uint64_t seed,
+                             bool do_orders, bool do_lineitem) {
+  // Orders and lineitem derive from the same stream so foreign keys and the
+  // status/date correlations match, regardless of which table is loaded.
+  TableGen og(db, orders != nullptr ? orders : lineitem, seed);
+  std::optional<TableGen> lg;
+  if (do_lineitem) lg.emplace(db, lineitem, seed + 1);
+  Rng rng(seed + 2);
+
+  for (uint64_t i = 0; i < num_orders; ++i) {
+    int32_t okey = static_cast<int32_t>(i + 1);
+    int32_t odate = static_cast<int32_t>(
+        rng.UniformRange(kStartDate, kEndDate));
+    int nlines = static_cast<int>(rng.UniformRange(1, 7));
+    double total = 0;
+    int shipped_lines = 0;
+
+    // Generate the lines first (their dates decide o_orderstatus).
+    struct Line {
+      int32_t partkey, suppkey;
+      double qty, price, discount, tax;
+      int32_t shipdate, commitdate, receiptdate;
+      char returnflag;
+      char linestatus;
+      int instr, mode;
+    };
+    Line lines[7];
+    for (int l = 0; l < nlines; ++l) {
+      Line& ln = lines[l];
+      ln.partkey = static_cast<int32_t>(rng.UniformRange(1, static_cast<int64_t>(parts)));
+      ln.suppkey = static_cast<int32_t>(
+          rng.UniformRange(1, static_cast<int64_t>(suppliers)));
+      ln.qty = static_cast<double>(rng.UniformRange(1, 50));
+      ln.price = ln.qty * (90000 + (ln.partkey % 20000)) / 100.0;
+      ln.discount = static_cast<double>(rng.UniformRange(0, 10)) / 100.0;
+      ln.tax = static_cast<double>(rng.UniformRange(0, 8)) / 100.0;
+      ln.shipdate = odate + static_cast<int32_t>(rng.UniformRange(1, 121));
+      ln.commitdate = odate + static_cast<int32_t>(rng.UniformRange(30, 90));
+      ln.receiptdate =
+          ln.shipdate + static_cast<int32_t>(rng.UniformRange(1, 30));
+      if (ln.receiptdate <= kCurrentDate) {
+        ln.returnflag = rng.Uniform(2) == 0 ? 'R' : 'A';
+      } else {
+        ln.returnflag = 'N';
+      }
+      ln.linestatus = ln.shipdate > kCurrentDate ? 'O' : 'F';
+      if (ln.linestatus == 'F') ++shipped_lines;
+      ln.instr = static_cast<int>(rng.Uniform(4));
+      ln.mode = static_cast<int>(rng.Uniform(7));
+      total += ln.price * (1 + ln.tax) * (1 - ln.discount);
+    }
+
+    char status = shipped_lines == nlines ? 'F'
+                  : shipped_lines == 0    ? 'O'
+                                          : 'P';
+    if (do_orders) {
+      Datum v[9];
+      v[kOOrderKey] = DatumFromInt32(okey);
+      v[kOCustKey] = DatumFromInt32(static_cast<int32_t>(
+          rng.UniformRange(1, static_cast<int64_t>(customers))));
+      v[kOOrderStatus] = og.Fixed(std::string(1, status), 1);
+      v[kOTotalPrice] = DatumFromFloat64(total);
+      v[kOOrderDate] = DatumFromInt32(odate);
+      v[kOOrderPriority] = og.Fixed(kPriorities[rng.Uniform(5)], 15);
+      char clerk[32];
+      std::snprintf(clerk, sizeof(clerk), "Clerk#%09d",
+                    static_cast<int>(rng.UniformRange(1, 1000)));
+      v[kOClerk] = og.Fixed(clerk, 15);
+      v[kOShipPriority] = DatumFromInt32(0);
+      v[kOComment] = og.Comment(19, 78);
+      MICROSPEC_RETURN_NOT_OK(og.Emit(v));
+    } else {
+      // Consume the same draws in the same order so the shared stream stays
+      // aligned with an orders-only load (FKs must match across calls).
+      (void)rng.UniformRange(1, static_cast<int64_t>(customers));
+      (void)rng.Uniform(5);
+      (void)rng.UniformRange(1, 1000);
+    }
+
+    if (do_lineitem) {
+      for (int l = 0; l < nlines; ++l) {
+        const Line& ln = lines[l];
+        Datum v[16];
+        v[kLOrderKey] = DatumFromInt32(okey);
+        v[kLPartKey] = DatumFromInt32(ln.partkey);
+        v[kLSuppKey] = DatumFromInt32(ln.suppkey);
+        v[kLLineNumber] = DatumFromInt32(l + 1);
+        v[kLQuantity] = DatumFromFloat64(ln.qty);
+        v[kLExtendedPrice] = DatumFromFloat64(ln.price);
+        v[kLDiscount] = DatumFromFloat64(ln.discount);
+        v[kLTax] = DatumFromFloat64(ln.tax);
+        v[kLReturnFlag] = lg->Fixed(std::string(1, ln.returnflag), 1);
+        v[kLLineStatus] = lg->Fixed(std::string(1, ln.linestatus), 1);
+        v[kLShipDate] = DatumFromInt32(ln.shipdate);
+        v[kLCommitDate] = DatumFromInt32(ln.commitdate);
+        v[kLReceiptDate] = DatumFromInt32(ln.receiptdate);
+        v[kLShipInstruct] = lg->Fixed(kShipInstruct[ln.instr], 25);
+        v[kLShipMode] = lg->Fixed(kShipModes[ln.mode], 10);
+        v[kLComment] = lg->Comment(10, 43);
+        MICROSPEC_RETURN_NOT_OK(lg->Emit(v));
+      }
+    }
+  }
+  if (do_orders) MICROSPEC_RETURN_NOT_OK(og.Finish());
+  if (do_lineitem) MICROSPEC_RETURN_NOT_OK(lg->Finish());
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LoadTpchTable(Database* db, const std::string& table, double sf,
+                     uint64_t seed, uint64_t override_rows) {
+  TpchRowCounts c = TpchRowCounts::At(sf);
+  TableInfo* t = db->catalog()->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  if (table == "region") {
+    return LoadRegion(db, t, override_rows != 0 ? override_rows : c.region,
+                      seed);
+  }
+  if (table == "nation") {
+    return LoadNation(db, t, override_rows != 0 ? override_rows : c.nation,
+                      seed);
+  }
+  if (table == "supplier") {
+    return LoadSupplier(db, t,
+                        override_rows != 0 ? override_rows : c.supplier, seed);
+  }
+  if (table == "customer") {
+    return LoadCustomer(db, t,
+                        override_rows != 0 ? override_rows : c.customer, seed);
+  }
+  if (table == "part") {
+    return LoadPart(db, t, override_rows != 0 ? override_rows : c.part, seed);
+  }
+  if (table == "partsupp") {
+    return LoadPartsupp(db, t, override_rows != 0 ? override_rows : c.part,
+                        seed);
+  }
+  if (table == "orders") {
+    return LoadOrdersAndLineitem(
+        db, t, nullptr, override_rows != 0 ? override_rows : c.orders,
+        c.customer, c.part, c.supplier, seed, /*do_orders=*/true,
+        /*do_lineitem=*/false);
+  }
+  if (table == "lineitem") {
+    return LoadOrdersAndLineitem(
+        db, nullptr, t, override_rows != 0 ? override_rows : c.orders,
+        c.customer, c.part, c.supplier, seed, /*do_orders=*/false,
+        /*do_lineitem=*/true);
+  }
+  return Status::InvalidArgument("unknown TPC-H table " + table);
+}
+
+Status LoadTpch(Database* db, double sf, uint64_t seed) {
+  for (const char* t : {"region", "nation", "supplier", "customer", "part",
+                        "partsupp", "orders", "lineitem"}) {
+    MICROSPEC_RETURN_NOT_OK(LoadTpchTable(db, t, sf, seed));
+  }
+  return Status::OK();
+}
+
+}  // namespace microspec::tpch

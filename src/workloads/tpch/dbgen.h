@@ -1,0 +1,45 @@
+#ifndef MICROSPEC_WORKLOADS_TPCH_DBGEN_H_
+#define MICROSPEC_WORKLOADS_TPCH_DBGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/database.h"
+
+namespace microspec::tpch {
+
+/// Row counts at scale factor `sf`, using the TPC-H multipliers (the paper
+/// ran SF 1 = 1 GB on the authors' desktop; the harness defaults to a
+/// scaled-down SF suitable for a CI box, overridable via MICROSPEC_SF).
+struct TpchRowCounts {
+  uint64_t region;
+  uint64_t nation;
+  uint64_t supplier;
+  uint64_t customer;
+  uint64_t part;
+  uint64_t partsupp;
+  uint64_t orders;
+  // lineitem count is derived: 1..7 lines per order.
+
+  static TpchRowCounts At(double sf);
+};
+
+/// Deterministic DBGEN-like generator. Loading the same (table, sf, seed)
+/// into two databases produces byte-identical logical rows, so the stock
+/// and bee-enabled configurations are compared on identical data.
+///
+/// `override_rows` forces the base row count (used by the Figure 8 bench,
+/// which pads region/nation to 1M rows as the paper does). For lineitem it
+/// forces the orders count from which lines are derived.
+Status LoadTpchTable(Database* db, const std::string& table, double sf,
+                     uint64_t seed = 42, uint64_t override_rows = 0);
+
+/// Loads all eight relations.
+Status LoadTpch(Database* db, double sf, uint64_t seed = 42);
+
+/// Reads the scale factor from MICROSPEC_SF (default `dflt`).
+double ScaleFromEnv(double dflt = 0.01);
+
+}  // namespace microspec::tpch
+
+#endif  // MICROSPEC_WORKLOADS_TPCH_DBGEN_H_

@@ -1,0 +1,645 @@
+#include "workloads/tpch/tpch_queries.h"
+
+#include "exec/plan_builder.h"
+#include "workloads/tpch/tpch_schema.h"
+
+namespace microspec::tpch {
+
+namespace {
+
+TableInfo* T(ExecContext* ctx, const char* name) {
+  TableInfo* t = ctx->catalog()->GetTable(name);
+  MICROSPEC_CHECK(t != nullptr);
+  return t;
+}
+
+ExprPtr Conj(std::vector<ExprPtr> cs) { return And(std::move(cs)); }
+
+/// revenue = l_extendedprice * (1 - l_discount), built over plan `p`.
+ExprPtr Revenue(const Plan& p) {
+  return Arith(ArithOp::kMul, p.var("l_extendedprice"),
+               Arith(ArithOp::kSub, ConstFloat64(1.0), p.var("l_discount")));
+}
+
+/// q1: pricing summary report. One lineitem scan, a date predicate, heavy
+/// aggregation grouped by the two low-cardinality flags.
+Result<OperatorPtr> Q1(ExecContext* ctx) {
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  li.Where(Cmp(CmpOp::kLe, li.var("l_shipdate"),
+               ConstDate(TpchDate(1998, 9, 2))));
+  ExprPtr disc_price = Revenue(li);
+  ExprPtr charge =
+      Arith(ArithOp::kMul, Revenue(li),
+            Arith(ArithOp::kAdd, ConstFloat64(1.0), li.var("l_tax")));
+  li.GroupBy({"l_returnflag", "l_linestatus"}, AggList(Ag(AggSpec::Sum(li.var("l_quantity")), "sum_qty"), Ag(AggSpec::Sum(li.var("l_extendedprice")), "sum_base_price"), Ag(AggSpec::Sum(std::move(disc_price)), "sum_disc_price"), Ag(AggSpec::Sum(std::move(charge)), "sum_charge"), Ag(AggSpec::Avg(li.var("l_quantity")), "avg_qty"), Ag(AggSpec::Avg(li.var("l_extendedprice")), "avg_price"), Ag(AggSpec::Avg(li.var("l_discount")), "avg_disc"), Ag(AggSpec::CountStar(), "count_order")));
+  li.OrderBy({{"l_returnflag", false}, {"l_linestatus", false}});
+  return std::move(li).Build();
+}
+
+/// q2: minimum-cost supplier. part x partsupp x supplier x nation x region
+/// with char/like predicates (min-cost correlated subquery approximated by
+/// a min aggregate + join back).
+Result<OperatorPtr> Q2(ExecContext* ctx) {
+  Plan part = Plan::Scan(ctx, T(ctx, "part"));
+  part.Where(Conj(ExprListOf(
+      Cmp(CmpOp::kEq, part.var("p_size"), ConstInt32(15)),
+      std::make_unique<LikeExpr>(part.var("p_type"), "%BRASS"))));
+  Plan ps = Plan::Scan(ctx, T(ctx, "partsupp"));
+  Plan j1 = Plan::Join(std::move(part), std::move(ps),
+                       {{"p_partkey", "ps_partkey"}});
+
+  // Cheapest cost per part, then join back to recover the supplier row.
+  Plan mincost = Plan::Scan(ctx, T(ctx, "partsupp"));
+  mincost.GroupBy({"ps_partkey"}, AggList(Ag(AggSpec::Min(mincost.var("ps_supplycost")), "min_cost")));
+  Plan j2 = Plan::Join(std::move(j1), std::move(mincost),
+                       {{"p_partkey", "ps_partkey"}});
+  j2.Where(Cmp(CmpOp::kEq, j2.var("ps_supplycost"), j2.var("min_cost")));
+
+  Plan supp = Plan::Scan(ctx, T(ctx, "supplier"));
+  Plan j3 =
+      Plan::Join(std::move(j2), std::move(supp), {{"ps_suppkey", "s_suppkey"}});
+  Plan nation = Plan::Scan(ctx, T(ctx, "nation"));
+  Plan j4 = Plan::Join(std::move(j3), std::move(nation),
+                       {{"s_nationkey", "n_nationkey"}});
+  Plan region = Plan::Scan(ctx, T(ctx, "region"));
+  region.Where(Cmp(CmpOp::kEq, region.var("r_name"),
+                   ConstChar("EUROPE", 25)));
+  Plan j5 = Plan::Join(std::move(j4), std::move(region),
+                       {{"n_regionkey", "r_regionkey"}});
+  j5.OrderBy({{"s_acctbal", true}, {"n_name", false}, {"s_name", false},
+              {"p_partkey", false}});
+  j5.Take(100);
+  return std::move(j5).Build();
+}
+
+/// q3: shipping priority. customer x orders x lineitem, date bounds, top-10
+/// revenue.
+Result<OperatorPtr> Q3(ExecContext* ctx) {
+  Plan cust = Plan::Scan(ctx, T(ctx, "customer"));
+  cust.Where(Cmp(CmpOp::kEq, cust.var("c_mktsegment"),
+                 ConstChar("BUILDING", 10)));
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  orders.Where(Cmp(CmpOp::kLt, orders.var("o_orderdate"),
+                   ConstDate(TpchDate(1995, 3, 15))));
+  Plan j1 = Plan::Join(std::move(orders), std::move(cust),
+                       {{"o_custkey", "c_custkey"}});
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  li.Where(Cmp(CmpOp::kGt, li.var("l_shipdate"),
+               ConstDate(TpchDate(1995, 3, 15))));
+  Plan j2 = Plan::Join(std::move(li), std::move(j1),
+                       {{"l_orderkey", "o_orderkey"}});
+  ExprPtr rev = Revenue(j2);
+  j2.GroupBy({"l_orderkey", "o_orderdate", "o_shippriority"}, AggList(Ag(AggSpec::Sum(std::move(rev)), "revenue")));
+  j2.OrderBy({{"revenue", true}, {"o_orderdate", false}});
+  j2.Take(10);
+  return std::move(j2).Build();
+}
+
+/// q4: order priority checking. orders with a semi-join on late lineitems,
+/// count per priority.
+Result<OperatorPtr> Q4(ExecContext* ctx) {
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  orders.Where(Between(orders.var("o_orderdate"),
+                       ConstDate(TpchDate(1993, 7, 1)),
+                       ConstDate(TpchDate(1993, 10, 1))));
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  li.Where(Cmp(CmpOp::kLt, li.var("l_commitdate"), li.var("l_receiptdate")));
+  Plan j = Plan::Join(std::move(orders), std::move(li),
+                      {{"o_orderkey", "l_orderkey"}}, JoinType::kSemi);
+  j.GroupBy({"o_orderpriority"}, AggList(Ag(AggSpec::CountStar(), "order_count")));
+  j.OrderBy({{"o_orderpriority", false}});
+  return std::move(j).Build();
+}
+
+/// q5: local supplier volume. Six-relation join with the c_nationkey =
+/// s_nationkey correlation as a residual predicate.
+Result<OperatorPtr> Q5(ExecContext* ctx) {
+  Plan region = Plan::Scan(ctx, T(ctx, "region"));
+  region.Where(Cmp(CmpOp::kEq, region.var("r_name"), ConstChar("ASIA", 25)));
+  Plan nation = Plan::Scan(ctx, T(ctx, "nation"));
+  Plan rn = Plan::Join(std::move(nation), std::move(region),
+                       {{"n_regionkey", "r_regionkey"}});
+  Plan supp = Plan::Scan(ctx, T(ctx, "supplier"));
+  Plan sn = Plan::Join(std::move(supp), std::move(rn),
+                       {{"s_nationkey", "n_nationkey"}});
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  Plan lis = Plan::Join(std::move(li), std::move(sn),
+                        {{"l_suppkey", "s_suppkey"}});
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  orders.Where(Between(orders.var("o_orderdate"),
+                       ConstDate(TpchDate(1994, 1, 1)),
+                       ConstDate(TpchDate(1994, 12, 31))));
+  Plan lo = Plan::Join(std::move(lis), std::move(orders),
+                       {{"l_orderkey", "o_orderkey"}});
+  Plan cust = Plan::Scan(ctx, T(ctx, "customer"));
+  // Join on custkey with the local-supplier correlation (c_nationkey =
+  // s_nationkey) as residual.
+  int s_nat = lo.col("s_nationkey");
+  int c_nat = cust.col("c_nationkey");
+  Plan final = Plan::Join(
+      std::move(lo), std::move(cust), {{"o_custkey", "c_custkey"}},
+      JoinType::kInner,
+      Cmp(CmpOp::kEq, Var(RowSide::kOuter, s_nat, ColMeta::Of(TypeId::kInt32)),
+          Var(RowSide::kInner, c_nat, ColMeta::Of(TypeId::kInt32))));
+  ExprPtr rev = Revenue(final);
+  final.GroupBy({"n_name"}, AggList(Ag(AggSpec::Sum(std::move(rev)), "revenue")));
+  final.OrderBy({{"revenue", true}});
+  return std::move(final).Build();
+}
+
+/// q6: forecasting revenue change. One scan, a four-clause conjunction —
+/// the paper's best EVP showcase.
+Result<OperatorPtr> Q6(ExecContext* ctx) {
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  li.Where(Conj(ExprListOf(
+      Cmp(CmpOp::kGe, li.var("l_shipdate"), ConstDate(TpchDate(1994, 1, 1))),
+      Cmp(CmpOp::kLt, li.var("l_shipdate"), ConstDate(TpchDate(1995, 1, 1))),
+      Between(li.var("l_discount"), ConstFloat64(0.05), ConstFloat64(0.07)),
+      Cmp(CmpOp::kLt, li.var("l_quantity"), ConstFloat64(24.0)))));
+  ExprPtr rev =
+      Arith(ArithOp::kMul, li.var("l_extendedprice"), li.var("l_discount"));
+  li.GroupBy({}, AggList(Ag(AggSpec::Sum(std::move(rev)), "revenue")));
+  return std::move(li).Build();
+}
+
+/// q7: volume shipping between two nations.
+Result<OperatorPtr> Q7(ExecContext* ctx) {
+  Plan supp = Plan::Scan(ctx, T(ctx, "supplier"));
+  Plan n1 = Plan::Scan(ctx, T(ctx, "nation"));
+  n1.Select(SelList(Ex(n1.var("n_nationkey"), "supp_nationkey"), Ex(n1.var("n_name"), "supp_nation")));
+  Plan sn = Plan::Join(std::move(supp), std::move(n1),
+                       {{"s_nationkey", "supp_nationkey"}});
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  li.Where(Between(li.var("l_shipdate"), ConstDate(TpchDate(1995, 1, 1)),
+                   ConstDate(TpchDate(1996, 12, 31))));
+  Plan lis = Plan::Join(std::move(li), std::move(sn),
+                        {{"l_suppkey", "s_suppkey"}});
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  Plan lo = Plan::Join(std::move(lis), std::move(orders),
+                       {{"l_orderkey", "o_orderkey"}});
+  Plan cust = Plan::Scan(ctx, T(ctx, "customer"));
+  Plan n2 = Plan::Scan(ctx, T(ctx, "nation"));
+  n2.Select(SelList(Ex(n2.var("n_nationkey"), "cust_nationkey"), Ex(n2.var("n_name"), "cust_nation")));
+  Plan cn = Plan::Join(std::move(cust), std::move(n2),
+                       {{"c_nationkey", "cust_nationkey"}});
+  Plan final = Plan::Join(std::move(lo), std::move(cn),
+                          {{"o_custkey", "c_custkey"}});
+  // (FRANCE, GERMANY) in either direction.
+  final.Where(Or(ExprListOf(
+      Conj(ExprListOf(Cmp(CmpOp::kEq, final.var("supp_nation"),
+                          ConstChar("FRANCE", 25)),
+                      Cmp(CmpOp::kEq, final.var("cust_nation"),
+                          ConstChar("GERMANY", 25)))),
+      Conj(ExprListOf(Cmp(CmpOp::kEq, final.var("supp_nation"),
+                          ConstChar("GERMANY", 25)),
+                      Cmp(CmpOp::kEq, final.var("cust_nation"),
+                          ConstChar("FRANCE", 25)))))));
+  ExprPtr rev = Revenue(final);
+  final.GroupBy({"supp_nation", "cust_nation"}, AggList(Ag(AggSpec::Sum(std::move(rev)), "revenue")));
+  final.OrderBy({{"supp_nation", false}, {"cust_nation", false}});
+  return std::move(final).Build();
+}
+
+/// q8: national market share. Eight-relation join, grouped by order year.
+Result<OperatorPtr> Q8(ExecContext* ctx) {
+  Plan part = Plan::Scan(ctx, T(ctx, "part"));
+  part.Where(Cmp(CmpOp::kEq, part.var("p_type"),
+                 ConstVarchar("ECONOMY ANODIZED STEEL")));
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  Plan lp = Plan::Join(std::move(li), std::move(part),
+                       {{"l_partkey", "p_partkey"}});
+  Plan supp = Plan::Scan(ctx, T(ctx, "supplier"));
+  Plan lps = Plan::Join(std::move(lp), std::move(supp),
+                        {{"l_suppkey", "s_suppkey"}});
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  orders.Where(Between(orders.var("o_orderdate"),
+                       ConstDate(TpchDate(1995, 1, 1)),
+                       ConstDate(TpchDate(1996, 12, 31))));
+  Plan lo = Plan::Join(std::move(lps), std::move(orders),
+                       {{"l_orderkey", "o_orderkey"}});
+  Plan cust = Plan::Scan(ctx, T(ctx, "customer"));
+  Plan loc = Plan::Join(std::move(lo), std::move(cust),
+                        {{"o_custkey", "c_custkey"}});
+  Plan nation = Plan::Scan(ctx, T(ctx, "nation"));
+  Plan region = Plan::Scan(ctx, T(ctx, "region"));
+  region.Where(
+      Cmp(CmpOp::kEq, region.var("r_name"), ConstChar("AMERICA", 25)));
+  Plan nr = Plan::Join(std::move(nation), std::move(region),
+                       {{"n_regionkey", "r_regionkey"}});
+  Plan final = Plan::Join(std::move(loc), std::move(nr),
+                          {{"c_nationkey", "n_nationkey"}});
+  ExprPtr year = Arith(ArithOp::kDiv, final.var("o_orderdate"),
+                       ConstInt32(kDaysPerYear));
+  ExprPtr rev = Revenue(final);
+  final.Select(SelList(Ex(std::move(year), "o_year"), Ex(std::move(rev), "volume")));
+  final.GroupBy({"o_year"}, AggList(Ag(AggSpec::Sum(final.var("volume")), "mkt_share"), Ag(AggSpec::CountStar(), "cnt")));
+  final.OrderBy({{"o_year", false}});
+  return std::move(final).Build();
+}
+
+/// q9: product type profit measure — six relation scans, the query whose
+/// cold-cache gain the paper highlights (tuple bees shrink four of them).
+Result<OperatorPtr> Q9(ExecContext* ctx) {
+  Plan part = Plan::Scan(ctx, T(ctx, "part"));
+  part.Where(std::make_unique<LikeExpr>(part.var("p_name"), "%green%"));
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  Plan lp = Plan::Join(std::move(li), std::move(part),
+                       {{"l_partkey", "p_partkey"}});
+  Plan supp = Plan::Scan(ctx, T(ctx, "supplier"));
+  Plan lps = Plan::Join(std::move(lp), std::move(supp),
+                        {{"l_suppkey", "s_suppkey"}});
+  Plan ps = Plan::Scan(ctx, T(ctx, "partsupp"));
+  Plan lpps = Plan::Join(std::move(lps), std::move(ps),
+                         {{"l_partkey", "ps_partkey"},
+                          {"l_suppkey", "ps_suppkey"}});
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  Plan lo = Plan::Join(std::move(lpps), std::move(orders),
+                       {{"l_orderkey", "o_orderkey"}});
+  Plan nation = Plan::Scan(ctx, T(ctx, "nation"));
+  Plan final = Plan::Join(std::move(lo), std::move(nation),
+                          {{"s_nationkey", "n_nationkey"}});
+  ExprPtr profit =
+      Arith(ArithOp::kSub, Revenue(final),
+            Arith(ArithOp::kMul, final.var("ps_supplycost"),
+                  final.var("l_quantity")));
+  ExprPtr year = Arith(ArithOp::kDiv, final.var("o_orderdate"),
+                       ConstInt32(kDaysPerYear));
+  final.Select(SelList(Ex(final.var("n_name"), "nation"), Ex(std::move(year), "o_year"), Ex(std::move(profit), "amount")));
+  final.GroupBy({"nation", "o_year"}, AggList(Ag(AggSpec::Sum(final.var("amount")), "sum_profit")));
+  final.OrderBy({{"nation", false}, {"o_year", true}});
+  return std::move(final).Build();
+}
+
+/// q10: returned item reporting. Top-20 customers by lost revenue.
+Result<OperatorPtr> Q10(ExecContext* ctx) {
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  orders.Where(Between(orders.var("o_orderdate"),
+                       ConstDate(TpchDate(1993, 10, 1)),
+                       ConstDate(TpchDate(1994, 1, 1))));
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  li.Where(Cmp(CmpOp::kEq, li.var("l_returnflag"), ConstChar("R", 1)));
+  Plan j1 = Plan::Join(std::move(li), std::move(orders),
+                       {{"l_orderkey", "o_orderkey"}});
+  Plan cust = Plan::Scan(ctx, T(ctx, "customer"));
+  Plan j2 = Plan::Join(std::move(j1), std::move(cust),
+                       {{"o_custkey", "c_custkey"}});
+  Plan nation = Plan::Scan(ctx, T(ctx, "nation"));
+  Plan j3 = Plan::Join(std::move(j2), std::move(nation),
+                       {{"c_nationkey", "n_nationkey"}});
+  ExprPtr rev = Revenue(j3);
+  j3.GroupBy({"c_custkey", "c_acctbal", "n_name"}, AggList(Ag(AggSpec::Sum(std::move(rev)), "revenue")));
+  j3.OrderBy({{"revenue", true}});
+  j3.Take(20);
+  return std::move(j3).Build();
+}
+
+/// q11: important stock identification.
+Result<OperatorPtr> Q11(ExecContext* ctx) {
+  Plan nation = Plan::Scan(ctx, T(ctx, "nation"));
+  nation.Where(
+      Cmp(CmpOp::kEq, nation.var("n_name"), ConstChar("GERMANY", 25)));
+  Plan supp = Plan::Scan(ctx, T(ctx, "supplier"));
+  Plan sn = Plan::Join(std::move(supp), std::move(nation),
+                       {{"s_nationkey", "n_nationkey"}});
+  Plan ps = Plan::Scan(ctx, T(ctx, "partsupp"));
+  Plan j = Plan::Join(std::move(ps), std::move(sn),
+                      {{"ps_suppkey", "s_suppkey"}});
+  ExprPtr value =
+      Arith(ArithOp::kMul, j.var("ps_supplycost"),
+            Arith(ArithOp::kMul, ConstFloat64(1.0), j.var("ps_availqty")));
+  j.GroupBy({"ps_partkey"}, AggList(Ag(AggSpec::Sum(std::move(value)), "value")));
+  j.OrderBy({{"value", true}});
+  j.Take(100);
+  return std::move(j).Build();
+}
+
+/// q12: shipping modes and order priority. IN-list + multi-clause date
+/// predicates; priority buckets via boolean sums.
+Result<OperatorPtr> Q12(ExecContext* ctx) {
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  std::vector<Datum> modes;
+  // IN-list items must outlive the query; keep them as static chars.
+  static const char kMail[10] = {'M', 'A', 'I', 'L', ' ', ' ', ' ', ' ', ' ', ' '};
+  static const char kShip[10] = {'S', 'H', 'I', 'P', ' ', ' ', ' ', ' ', ' ', ' '};
+  modes.push_back(DatumFromPointer(kMail));
+  modes.push_back(DatumFromPointer(kShip));
+  li.Where(Conj(ExprListOf(
+      std::make_unique<InListExpr>(li.var("l_shipmode"), std::move(modes),
+                                   ColMeta::Of(TypeId::kChar, 10)),
+      Cmp(CmpOp::kLt, li.var("l_commitdate"), li.var("l_receiptdate")),
+      Cmp(CmpOp::kLt, li.var("l_shipdate"), li.var("l_commitdate")),
+      Between(li.var("l_receiptdate"), ConstDate(TpchDate(1994, 1, 1)),
+              ConstDate(TpchDate(1994, 12, 31))))));
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  Plan j = Plan::Join(std::move(li), std::move(orders),
+                      {{"l_orderkey", "o_orderkey"}});
+  ExprPtr high = Or(ExprListOf(
+      Cmp(CmpOp::kEq, j.var("o_orderpriority"), ConstChar("1-URGENT", 15)),
+      Cmp(CmpOp::kEq, j.var("o_orderpriority"), ConstChar("2-HIGH", 15))));
+  ExprPtr low = Not(high->Clone());
+  j.Select(SelList(Ex(j.var("l_shipmode"), "l_shipmode"), Ex(std::move(high), "is_high"), Ex(std::move(low), "is_low")));
+  j.GroupBy({"l_shipmode"}, AggList(Ag(AggSpec::Sum(j.var("is_high")), "high_line_count"), Ag(AggSpec::Sum(j.var("is_low")), "low_line_count")));
+  j.OrderBy({{"l_shipmode", false}});
+  return std::move(j).Build();
+}
+
+/// q13: customer distribution. LEFT join + two-level aggregation.
+Result<OperatorPtr> Q13(ExecContext* ctx) {
+  Plan cust = Plan::Scan(ctx, T(ctx, "customer"));
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  orders.Where(std::make_unique<LikeExpr>(orders.var("o_comment"), "%special%",
+                                          /*negated=*/true));
+  Plan j = Plan::Join(std::move(cust), std::move(orders),
+                      {{"c_custkey", "o_custkey"}}, JoinType::kLeft);
+  j.GroupBy({"c_custkey"}, AggList(Ag(AggSpec::Count(j.var("o_orderkey")), "c_count")));
+  j.GroupBy({"c_count"}, AggList(Ag(AggSpec::CountStar(), "custdist")));
+  j.OrderBy({{"custdist", true}, {"c_count", true}});
+  return std::move(j).Build();
+}
+
+/// q14: promotion effect. Ratio of two sums via Project-above-Aggregate.
+Result<OperatorPtr> Q14(ExecContext* ctx) {
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  li.Where(Between(li.var("l_shipdate"), ConstDate(TpchDate(1995, 9, 1)),
+                   ConstDate(TpchDate(1995, 9, 30))));
+  Plan part = Plan::Scan(ctx, T(ctx, "part"));
+  Plan j = Plan::Join(std::move(li), std::move(part),
+                      {{"l_partkey", "p_partkey"}});
+  ExprPtr is_promo = std::make_unique<LikeExpr>(j.var("p_type"), "PROMO%");
+  ExprPtr promo_rev = Arith(
+      ArithOp::kMul, Revenue(j),
+      Arith(ArithOp::kMul, ConstFloat64(1.0), std::move(is_promo)));
+  j.Select(SelList(Ex(std::move(promo_rev), "promo_rev"), Ex(Revenue(j), "rev")));
+  j.GroupBy({}, AggList(Ag(AggSpec::Sum(j.var("promo_rev")), "sum_promo"), Ag(AggSpec::Sum(j.var("rev")), "sum_rev")));
+  j.Select(SelList(Ex(Arith(ArithOp::kMul, ConstFloat64(100.0),
+                   Arith(ArithOp::kDiv, j.var("sum_promo"), j.var("sum_rev"))), "promo_revenue")));
+  return std::move(j).Build();
+}
+
+/// q15: top supplier. Aggregate revenue per supplier, take the max, join
+/// back to supplier.
+Result<OperatorPtr> Q15(ExecContext* ctx) {
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  li.Where(Between(li.var("l_shipdate"), ConstDate(TpchDate(1996, 1, 1)),
+                   ConstDate(TpchDate(1996, 3, 31))));
+  ExprPtr rev = Revenue(li);
+  li.GroupBy({"l_suppkey"}, AggList(Ag(AggSpec::Sum(std::move(rev)), "total_revenue")));
+  li.OrderBy({{"total_revenue", true}});
+  li.Take(1);
+  Plan supp = Plan::Scan(ctx, T(ctx, "supplier"));
+  Plan j = Plan::Join(std::move(supp), std::move(li),
+                      {{"s_suppkey", "l_suppkey"}});
+  j.OrderBy({{"s_suppkey", false}});
+  return std::move(j).Build();
+}
+
+/// q16: parts/supplier relationship. Anti-join against complaint suppliers.
+Result<OperatorPtr> Q16(ExecContext* ctx) {
+  Plan part = Plan::Scan(ctx, T(ctx, "part"));
+  std::vector<Datum> sizes;
+  for (int s : {49, 14, 23, 45, 19, 3, 36, 9}) {
+    sizes.push_back(DatumFromInt32(s));
+  }
+  part.Where(Conj(ExprListOf(
+      Cmp(CmpOp::kNe, part.var("p_brand"), ConstChar("Brand#45", 10)),
+      std::make_unique<LikeExpr>(part.var("p_type"), "MEDIUM POLISHED%",
+                                 /*negated=*/true),
+      std::make_unique<InListExpr>(part.var("p_size"), std::move(sizes),
+                                   ColMeta::Of(TypeId::kInt32)))));
+  Plan ps = Plan::Scan(ctx, T(ctx, "partsupp"));
+  Plan j = Plan::Join(std::move(ps), std::move(part),
+                      {{"ps_partkey", "p_partkey"}});
+  Plan bad_supp = Plan::Scan(ctx, T(ctx, "supplier"));
+  bad_supp.Where(
+      std::make_unique<LikeExpr>(bad_supp.var("s_comment"), "%aa%"));
+  Plan filtered = Plan::Join(std::move(j), std::move(bad_supp),
+                             {{"ps_suppkey", "s_suppkey"}}, JoinType::kAnti);
+  filtered.GroupBy({"p_brand", "p_type", "p_size"}, AggList(Ag(AggSpec::Count(filtered.var("ps_suppkey")), "supplier_cnt")));
+  filtered.OrderBy({{"supplier_cnt", true},
+                    {"p_brand", false},
+                    {"p_type", false},
+                    {"p_size", false}});
+  return std::move(filtered).Build();
+}
+
+/// q17: small-quantity-order revenue. Per-part average quantity aggregate
+/// joined back with a quantity residual (the correlated subquery the paper
+/// notes made q17 run for an hour).
+Result<OperatorPtr> Q17(ExecContext* ctx) {
+  Plan part = Plan::Scan(ctx, T(ctx, "part"));
+  part.Where(Conj(ExprListOf(
+      Cmp(CmpOp::kEq, part.var("p_brand"), ConstChar("Brand#23", 10)),
+      Cmp(CmpOp::kEq, part.var("p_container"), ConstChar("MD BOX", 10)))));
+  Plan avg_qty = Plan::Scan(ctx, T(ctx, "lineitem"));
+  avg_qty.GroupBy({"l_partkey"}, AggList(Ag(AggSpec::Avg(avg_qty.var("l_quantity")), "avg_qty")));
+  Plan pa = Plan::Join(std::move(part), std::move(avg_qty),
+                       {{"p_partkey", "l_partkey"}});
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  li.Select(SelList(Ex(li.var("l_partkey"), "li_partkey"), Ex(li.var("l_quantity"), "li_quantity"), Ex(li.var("l_extendedprice"), "li_price")));
+  int avg_col = pa.col("avg_qty");
+  Plan j = Plan::Join(
+      std::move(li), std::move(pa), {{"li_partkey", "p_partkey"}},
+      JoinType::kInner,
+      Cmp(CmpOp::kLt, Var(RowSide::kOuter, 1, ColMeta::Of(TypeId::kFloat64)),
+          Arith(ArithOp::kMul, ConstFloat64(0.2),
+                Var(RowSide::kInner, avg_col,
+                    ColMeta::Of(TypeId::kFloat64)))));
+  j.GroupBy({}, AggList(Ag(AggSpec::Sum(j.var("li_price")), "sum_price")));
+  j.Select(SelList(Ex(Arith(ArithOp::kDiv, j.var("sum_price"), ConstFloat64(7.0)), "avg_yearly")));
+  return std::move(j).Build();
+}
+
+/// q18: large volume customer. HAVING sum(l_quantity) > threshold as a
+/// filter over the aggregate, joined back to customer and orders.
+Result<OperatorPtr> Q18(ExecContext* ctx) {
+  Plan big = Plan::Scan(ctx, T(ctx, "lineitem"));
+  big.GroupBy({"l_orderkey"}, AggList(Ag(AggSpec::Sum(big.var("l_quantity")), "sum_qty")));
+  big.Where(Cmp(CmpOp::kGt, big.var("sum_qty"), ConstFloat64(270.0)));
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  Plan j1 = Plan::Join(std::move(orders), std::move(big),
+                       {{"o_orderkey", "l_orderkey"}});
+  Plan cust = Plan::Scan(ctx, T(ctx, "customer"));
+  Plan j2 = Plan::Join(std::move(j1), std::move(cust),
+                       {{"o_custkey", "c_custkey"}});
+  j2.GroupBy({"c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"}, AggList(Ag(AggSpec::Sum(j2.var("sum_qty")), "total_qty")));
+  j2.OrderBy({{"o_totalprice", true}, {"o_orderdate", false}});
+  j2.Take(100);
+  return std::move(j2).Build();
+}
+
+/// q19: discounted revenue. Hash join with a disjunctive residual of three
+/// brand/container/quantity conjunctions.
+Result<OperatorPtr> Q19(ExecContext* ctx) {
+  Plan li = Plan::Scan(ctx, T(ctx, "lineitem"));
+  Plan part = Plan::Scan(ctx, T(ctx, "part"));
+
+  auto band = [](const char* brand, double qlo, double qhi, int slo,
+                 int shi) {
+    // Outer side: lineitem columns; inner side: part columns.
+    return Conj(ExprListOf(
+        Cmp(CmpOp::kEq,
+            Var(RowSide::kInner, kPBrand, ColMeta::Of(TypeId::kChar, 10)),
+            ConstChar(brand, 10)),
+        Between(Var(RowSide::kOuter, kLQuantity, ColMeta::Of(TypeId::kFloat64)),
+                ConstFloat64(qlo), ConstFloat64(qhi)),
+        Between(Var(RowSide::kInner, kPSize, ColMeta::Of(TypeId::kInt32)),
+                ConstInt32(slo), ConstInt32(shi))));
+  };
+  ExprPtr residual = Or(ExprListOf(band("Brand#12", 1, 11, 1, 5),
+                                   band("Brand#23", 10, 20, 1, 10),
+                                   band("Brand#34", 20, 30, 1, 15)));
+  Plan j = Plan::Join(std::move(li), std::move(part),
+                      {{"l_partkey", "p_partkey"}}, JoinType::kInner,
+                      std::move(residual));
+  ExprPtr rev = Revenue(j);
+  j.GroupBy({}, AggList(Ag(AggSpec::Sum(std::move(rev)), "revenue")));
+  return std::move(j).Build();
+}
+
+/// q20: potential part promotion. Chained semi-joins.
+Result<OperatorPtr> Q20(ExecContext* ctx) {
+  Plan part = Plan::Scan(ctx, T(ctx, "part"));
+  part.Where(std::make_unique<LikeExpr>(part.var("p_name"), "forest%"));
+  Plan ps = Plan::Scan(ctx, T(ctx, "partsupp"));
+  Plan ps_f = Plan::Join(std::move(ps), std::move(part),
+                         {{"ps_partkey", "p_partkey"}}, JoinType::kSemi);
+  Plan supp = Plan::Scan(ctx, T(ctx, "supplier"));
+  Plan s_f = Plan::Join(std::move(supp), std::move(ps_f),
+                        {{"s_suppkey", "ps_suppkey"}}, JoinType::kSemi);
+  Plan nation = Plan::Scan(ctx, T(ctx, "nation"));
+  nation.Where(
+      Cmp(CmpOp::kEq, nation.var("n_name"), ConstChar("CANADA", 25)));
+  Plan j = Plan::Join(std::move(s_f), std::move(nation),
+                      {{"s_nationkey", "n_nationkey"}});
+  j.OrderBy({{"s_name", false}});
+  return std::move(j).Build();
+}
+
+/// q21: suppliers who kept orders waiting. Semi- and anti-joins over
+/// lineitem plus filters on orders and nation.
+Result<OperatorPtr> Q21(ExecContext* ctx) {
+  Plan l1 = Plan::Scan(ctx, T(ctx, "lineitem"));
+  l1.Where(Cmp(CmpOp::kGt, l1.var("l_receiptdate"), l1.var("l_commitdate")));
+  Plan supp = Plan::Scan(ctx, T(ctx, "supplier"));
+  Plan sl = Plan::Join(std::move(l1), std::move(supp),
+                       {{"l_suppkey", "s_suppkey"}});
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"));
+  orders.Where(
+      Cmp(CmpOp::kEq, orders.var("o_orderstatus"), ConstChar("F", 1)));
+  Plan slo = Plan::Join(std::move(sl), std::move(orders),
+                        {{"l_orderkey", "o_orderkey"}});
+  // Other suppliers also contributed lines to the order (semi)...
+  Plan l2 = Plan::Scan(ctx, T(ctx, "lineitem"), kLSuppKey + 1);
+  Plan semi = Plan::Join(
+      std::move(slo), std::move(l2), {{"l_orderkey", "l_orderkey"}},
+      JoinType::kSemi,
+      Cmp(CmpOp::kNe, Var(RowSide::kOuter, kLSuppKey, ColMeta::Of(TypeId::kInt32)),
+          Var(RowSide::kInner, kLSuppKey, ColMeta::Of(TypeId::kInt32))));
+  Plan nation = Plan::Scan(ctx, T(ctx, "nation"));
+  nation.Where(
+      Cmp(CmpOp::kEq, nation.var("n_name"), ConstChar("SAUDI ARABIA", 25)));
+  Plan j = Plan::Join(std::move(semi), std::move(nation),
+                      {{"s_nationkey", "n_nationkey"}});
+  j.GroupBy({"s_name"}, AggList(Ag(AggSpec::CountStar(), "numwait")));
+  j.OrderBy({{"numwait", true}, {"s_name", false}});
+  j.Take(100);
+  return std::move(j).Build();
+}
+
+/// q22: global sales opportunity. Customers with above-average balances and
+/// no orders (anti-join), grouped by nation (substring country code is not
+/// supported; the nation key is the analog's grouping).
+Result<OperatorPtr> Q22(ExecContext* ctx) {
+  Plan cust = Plan::Scan(ctx, T(ctx, "customer"));
+  cust.Where(Cmp(CmpOp::kGt, cust.var("c_acctbal"), ConstFloat64(4000.0)));
+  Plan orders = Plan::Scan(ctx, T(ctx, "orders"), kOCustKey + 1);
+  Plan j = Plan::Join(std::move(cust), std::move(orders),
+                      {{"c_custkey", "o_custkey"}}, JoinType::kAnti);
+  j.GroupBy({"c_nationkey"}, AggList(Ag(AggSpec::CountStar(), "numcust"), Ag(AggSpec::Sum(j.var("c_acctbal")), "totacctbal")));
+  j.OrderBy({{"c_nationkey", false}});
+  return std::move(j).Build();
+}
+
+}  // namespace
+
+Result<OperatorPtr> BuildTpchQuery(int q, ExecContext* ctx) {
+  switch (q) {
+    case 1:
+      return Q1(ctx);
+    case 2:
+      return Q2(ctx);
+    case 3:
+      return Q3(ctx);
+    case 4:
+      return Q4(ctx);
+    case 5:
+      return Q5(ctx);
+    case 6:
+      return Q6(ctx);
+    case 7:
+      return Q7(ctx);
+    case 8:
+      return Q8(ctx);
+    case 9:
+      return Q9(ctx);
+    case 10:
+      return Q10(ctx);
+    case 11:
+      return Q11(ctx);
+    case 12:
+      return Q12(ctx);
+    case 13:
+      return Q13(ctx);
+    case 14:
+      return Q14(ctx);
+    case 15:
+      return Q15(ctx);
+    case 16:
+      return Q16(ctx);
+    case 17:
+      return Q17(ctx);
+    case 18:
+      return Q18(ctx);
+    case 19:
+      return Q19(ctx);
+    case 20:
+      return Q20(ctx);
+    case 21:
+      return Q21(ctx);
+    case 22:
+      return Q22(ctx);
+    default:
+      return Status::InvalidArgument("TPC-H query number must be 1..22");
+  }
+}
+
+const char* TpchQueryDescription(int q) {
+  static const char* kDescriptions[23] = {
+      "",
+      "q1 pricing summary: lineitem scan + 8 aggregates by flag/status",
+      "q2 min-cost supplier: 5-way join, char/like predicates, top 100",
+      "q3 shipping priority: 3-way join, date bounds, top 10 by revenue",
+      "q4 order priority: semi-join on late lineitems",
+      "q5 local supplier volume: 6-relation join with residual",
+      "q6 revenue forecast: single scan, 4-clause conjunction",
+      "q7 volume shipping: 6-way join, OR of nation pairs",
+      "q8 market share: 8-relation join grouped by year",
+      "q9 product profit: six relation scans",
+      "q10 returned items: top 20 customers by lost revenue",
+      "q11 important stock: partsupp value concentration",
+      "q12 shipping modes: IN-list + date clauses, priority buckets",
+      "q13 customer distribution: LEFT join + two-level aggregation",
+      "q14 promotion effect: ratio of conditional sums",
+      "q15 top supplier: max aggregate joined back",
+      "q16 parts/supplier: anti-join on complaint suppliers",
+      "q17 small-quantity revenue: avg-qty join-back residual",
+      "q18 large volume customers: HAVING over sum(quantity)",
+      "q19 discounted revenue: disjunctive join residual",
+      "q20 part promotion: chained semi-joins",
+      "q21 waiting suppliers: semi-join with inequality residual",
+      "q22 sales opportunity: anti-join on orders",
+  };
+  return (q >= 1 && q <= 22) ? kDescriptions[q] : "";
+}
+
+}  // namespace microspec::tpch

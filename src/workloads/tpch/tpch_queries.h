@@ -1,0 +1,24 @@
+#ifndef MICROSPEC_WORKLOADS_TPCH_TPCH_QUERIES_H_
+#define MICROSPEC_WORKLOADS_TPCH_TPCH_QUERIES_H_
+
+#include "common/result.h"
+#include "exec/operator.h"
+
+namespace microspec::tpch {
+
+/// Builds the physical-plan analog of TPC-H query `q` (1..22) against the
+/// tables in `ctx`'s catalog. Each analog preserves the paper-relevant
+/// character of the original query — which relations are scanned, how many
+/// joins and of which type, predicate complexity, and aggregation shape —
+/// expressed directly against the operator API (our engine has no
+/// correlated-subquery support; DESIGN.md documents each simplification).
+Result<OperatorPtr> BuildTpchQuery(int q, ExecContext* ctx);
+
+/// One-line description of the analog (for harness output).
+const char* TpchQueryDescription(int q);
+
+inline constexpr int kNumTpchQueries = 22;
+
+}  // namespace microspec::tpch
+
+#endif  // MICROSPEC_WORKLOADS_TPCH_TPCH_QUERIES_H_

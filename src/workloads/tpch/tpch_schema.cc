@@ -1,0 +1,153 @@
+#include "workloads/tpch/tpch_schema.h"
+
+namespace microspec::tpch {
+
+namespace {
+
+Column NotNull(const char* name, TypeId type, int32_t len = 0) {
+  return Column(name, type, /*not_null=*/true, len);
+}
+
+Column LowCard(const char* name, TypeId type, int32_t len = 0) {
+  Column c(name, type, /*not_null=*/true, len);
+  c.set_low_cardinality(true);  // the paper's DDL annotation
+  return c;
+}
+
+}  // namespace
+
+Schema LineitemSchema() {
+  return Schema({
+      NotNull("l_orderkey", TypeId::kInt32),
+      NotNull("l_partkey", TypeId::kInt32),
+      NotNull("l_suppkey", TypeId::kInt32),
+      NotNull("l_linenumber", TypeId::kInt32),
+      NotNull("l_quantity", TypeId::kFloat64),
+      NotNull("l_extendedprice", TypeId::kFloat64),
+      NotNull("l_discount", TypeId::kFloat64),
+      NotNull("l_tax", TypeId::kFloat64),
+      LowCard("l_returnflag", TypeId::kChar, 1),
+      LowCard("l_linestatus", TypeId::kChar, 1),
+      NotNull("l_shipdate", TypeId::kDate),
+      NotNull("l_commitdate", TypeId::kDate),
+      NotNull("l_receiptdate", TypeId::kDate),
+      LowCard("l_shipinstruct", TypeId::kChar, 25),
+      LowCard("l_shipmode", TypeId::kChar, 10),
+      NotNull("l_comment", TypeId::kVarchar),
+  });
+}
+
+Schema OrdersSchema() {
+  return Schema({
+      NotNull("o_orderkey", TypeId::kInt32),
+      NotNull("o_custkey", TypeId::kInt32),
+      LowCard("o_orderstatus", TypeId::kChar, 1),
+      NotNull("o_totalprice", TypeId::kFloat64),
+      NotNull("o_orderdate", TypeId::kDate),
+      LowCard("o_orderpriority", TypeId::kChar, 15),
+      NotNull("o_clerk", TypeId::kChar, 15),
+      NotNull("o_shippriority", TypeId::kInt32),
+      NotNull("o_comment", TypeId::kVarchar),
+  });
+}
+
+Schema PartSchema() {
+  return Schema({
+      NotNull("p_partkey", TypeId::kInt32),
+      NotNull("p_name", TypeId::kVarchar),
+      LowCard("p_mfgr", TypeId::kChar, 25),
+      LowCard("p_brand", TypeId::kChar, 10),
+      NotNull("p_type", TypeId::kVarchar),
+      NotNull("p_size", TypeId::kInt32),
+      // p_container is also low-cardinality (40 values), but a tuple bee
+      // covers the *combination* of specialized values and mfgr x brand x
+      // container would exceed the 256-section cap; the annotation stops at
+      // mfgr+brand (25 combinations), as the paper's "handful" suggests.
+      NotNull("p_container", TypeId::kChar, 10),
+      NotNull("p_retailprice", TypeId::kFloat64),
+      NotNull("p_comment", TypeId::kVarchar),
+  });
+}
+
+Schema PartsuppSchema() {
+  return Schema({
+      NotNull("ps_partkey", TypeId::kInt32),
+      NotNull("ps_suppkey", TypeId::kInt32),
+      NotNull("ps_availqty", TypeId::kInt32),
+      NotNull("ps_supplycost", TypeId::kFloat64),
+      NotNull("ps_comment", TypeId::kVarchar),
+  });
+}
+
+Schema CustomerSchema() {
+  return Schema({
+      NotNull("c_custkey", TypeId::kInt32),
+      NotNull("c_name", TypeId::kVarchar),
+      NotNull("c_address", TypeId::kVarchar),
+      NotNull("c_nationkey", TypeId::kInt32),
+      NotNull("c_phone", TypeId::kChar, 15),
+      NotNull("c_acctbal", TypeId::kFloat64),
+      NotNull("c_mktsegment", TypeId::kChar, 10),
+      NotNull("c_comment", TypeId::kVarchar),
+  });
+}
+
+Schema SupplierSchema() {
+  return Schema({
+      NotNull("s_suppkey", TypeId::kInt32),
+      NotNull("s_name", TypeId::kChar, 25),
+      NotNull("s_address", TypeId::kVarchar),
+      NotNull("s_nationkey", TypeId::kInt32),
+      NotNull("s_phone", TypeId::kChar, 15),
+      NotNull("s_acctbal", TypeId::kFloat64),
+      NotNull("s_comment", TypeId::kVarchar),
+  });
+}
+
+Schema NationSchema() {
+  return Schema({
+      NotNull("n_nationkey", TypeId::kInt32),
+      LowCard("n_name", TypeId::kChar, 25),
+      NotNull("n_regionkey", TypeId::kInt32),
+      NotNull("n_comment", TypeId::kVarchar),
+  });
+}
+
+Schema RegionSchema() {
+  return Schema({
+      NotNull("r_regionkey", TypeId::kInt32),
+      NotNull("r_name", TypeId::kChar, 25),
+      NotNull("r_comment", TypeId::kVarchar),
+  });
+}
+
+Schema TpchSchemaByName(const std::string& name) {
+  if (name == "region") return RegionSchema();
+  if (name == "nation") return NationSchema();
+  if (name == "supplier") return SupplierSchema();
+  if (name == "customer") return CustomerSchema();
+  if (name == "part") return PartSchema();
+  if (name == "partsupp") return PartsuppSchema();
+  if (name == "orders") return OrdersSchema();
+  if (name == "lineitem") return LineitemSchema();
+  MICROSPEC_CHECK(false);
+  return Schema();
+}
+
+Status CreateTpchTables(Database* db) {
+  MICROSPEC_RETURN_NOT_OK(db->CreateTable("region", RegionSchema()).status());
+  MICROSPEC_RETURN_NOT_OK(db->CreateTable("nation", NationSchema()).status());
+  MICROSPEC_RETURN_NOT_OK(
+      db->CreateTable("supplier", SupplierSchema()).status());
+  MICROSPEC_RETURN_NOT_OK(
+      db->CreateTable("customer", CustomerSchema()).status());
+  MICROSPEC_RETURN_NOT_OK(db->CreateTable("part", PartSchema()).status());
+  MICROSPEC_RETURN_NOT_OK(
+      db->CreateTable("partsupp", PartsuppSchema()).status());
+  MICROSPEC_RETURN_NOT_OK(db->CreateTable("orders", OrdersSchema()).status());
+  MICROSPEC_RETURN_NOT_OK(
+      db->CreateTable("lineitem", LineitemSchema()).status());
+  return Status::OK();
+}
+
+}  // namespace microspec::tpch

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "index/btree.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+TEST(IndexKey, LexicographicCompare) {
+  EXPECT_LT(IndexKey::Of({1, 2}).Compare(IndexKey::Of({1, 3})), 0);
+  EXPECT_GT(IndexKey::Of({2}).Compare(IndexKey::Of({1, 9})), 0);
+  EXPECT_EQ(IndexKey::Of({4, 4}).Compare(IndexKey::Of({4, 4})), 0);
+  // Shorter keys sort before longer keys sharing the prefix.
+  EXPECT_LT(IndexKey::Of({1}).Compare(IndexKey::Of({1, 0})), 0);
+}
+
+TEST(IndexKey, PrefixMatching) {
+  EXPECT_TRUE(IndexKey::Of({1, 2, 3}).HasPrefix(IndexKey::Of({1, 2})));
+  EXPECT_TRUE(IndexKey::Of({1, 2, 3}).HasPrefix(IndexKey::Of({1, 2, 3})));
+  EXPECT_FALSE(IndexKey::Of({1, 3, 3}).HasPrefix(IndexKey::Of({1, 2})));
+  EXPECT_FALSE(IndexKey::Of({1}).HasPrefix(IndexKey::Of({1, 2})));
+}
+
+TEST(BTree, InsertLookupSingle) {
+  BTreeIndex tree;
+  ASSERT_OK(tree.Insert(IndexKey::Of({42}), 7));
+  TupleId tid = 0;
+  EXPECT_TRUE(tree.Lookup(IndexKey::Of({42}), &tid));
+  EXPECT_EQ(tid, 7u);
+  EXPECT_FALSE(tree.Lookup(IndexKey::Of({43}), &tid));
+}
+
+TEST(BTree, DuplicateKeyRejected) {
+  BTreeIndex tree;
+  ASSERT_OK(tree.Insert(IndexKey::Of({1}), 1));
+  EXPECT_EQ(tree.Insert(IndexKey::Of({1}), 2).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTree, RemoveThenLookupMisses) {
+  BTreeIndex tree;
+  ASSERT_OK(tree.Insert(IndexKey::Of({5}), 50));
+  ASSERT_OK(tree.Remove(IndexKey::Of({5})));
+  TupleId tid = 0;
+  EXPECT_FALSE(tree.Lookup(IndexKey::Of({5}), &tid));
+  EXPECT_EQ(tree.Remove(IndexKey::Of({5})).code(), StatusCode::kNotFound);
+}
+
+TEST(BTree, UpdateTidReplacesValue) {
+  BTreeIndex tree;
+  ASSERT_OK(tree.Insert(IndexKey::Of({5}), 50));
+  ASSERT_OK(tree.UpdateTid(IndexKey::Of({5}), 99));
+  TupleId tid = 0;
+  ASSERT_TRUE(tree.Lookup(IndexKey::Of({5}), &tid));
+  EXPECT_EQ(tid, 99u);
+  EXPECT_EQ(tree.UpdateTid(IndexKey::Of({6}), 1).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BTree, SplitsPreserveOrderedIteration) {
+  BTreeIndex tree;
+  // Insert enough ascending keys to force multiple leaf+internal splits.
+  for (int64_t i = 0; i < 10000; ++i) {
+    ASSERT_OK(tree.Insert(IndexKey::Of({i}), static_cast<TupleId>(i * 10)));
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  int64_t expect = 0;
+  for (auto it = tree.LowerBound(IndexKey::Of({0})); it.valid(); it.Next()) {
+    EXPECT_EQ(it.key().part[0], expect);
+    EXPECT_EQ(it.tid(), static_cast<TupleId>(expect * 10));
+    ++expect;
+  }
+  EXPECT_EQ(expect, 10000);
+}
+
+TEST(BTree, DescendingInsertionAlsoBalances) {
+  BTreeIndex tree;
+  for (int64_t i = 9999; i >= 0; --i) {
+    ASSERT_OK(tree.Insert(IndexKey::Of({i}), static_cast<TupleId>(i)));
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), 10000u);
+  TupleId tid = 0;
+  EXPECT_TRUE(tree.Lookup(IndexKey::Of({0}), &tid));
+  EXPECT_TRUE(tree.Lookup(IndexKey::Of({9999}), &tid));
+}
+
+TEST(BTree, LowerBoundLandsOnNextKey) {
+  BTreeIndex tree;
+  for (int64_t i = 0; i < 100; i += 2) {
+    ASSERT_OK(tree.Insert(IndexKey::Of({i}), static_cast<TupleId>(i)));
+  }
+  auto it = tree.LowerBound(IndexKey::Of({51}));
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key().part[0], 52);
+  // Past-the-end lower bound is invalid.
+  EXPECT_FALSE(tree.LowerBound(IndexKey::Of({99})).valid());
+}
+
+TEST(BTree, ScanPrefixVisitsExactlyMatchingKeys) {
+  BTreeIndex tree;
+  for (int64_t w = 1; w <= 3; ++w) {
+    for (int64_t d = 1; d <= 4; ++d) {
+      for (int64_t o = 1; o <= 25; ++o) {
+        ASSERT_OK(tree.Insert(IndexKey::Of({w, d, o}),
+                              static_cast<TupleId>(w * 1000 + d * 100 + o)));
+      }
+    }
+  }
+  int visited = 0;
+  int64_t last_o = 0;
+  tree.ScanPrefix(IndexKey::Of({2, 3}), [&](const IndexKey& k, TupleId) {
+    EXPECT_EQ(k.part[0], 2);
+    EXPECT_EQ(k.part[1], 3);
+    EXPECT_GT(k.part[2], last_o);  // ascending
+    last_o = k.part[2];
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 25);
+}
+
+TEST(BTree, ScanPrefixEarlyStop) {
+  BTreeIndex tree;
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_OK(tree.Insert(IndexKey::Of({1, i}), static_cast<TupleId>(i)));
+  }
+  int visited = 0;
+  tree.ScanPrefix(IndexKey::Of({1}), [&](const IndexKey&, TupleId) {
+    return ++visited < 5;
+  });
+  EXPECT_EQ(visited, 5);
+}
+
+/// Property sweep: random interleaved insert/remove mirrors a std::map
+/// reference model; invariants hold throughout.
+class BTreeRandomOpsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeRandomOpsTest, AgreesWithReferenceModel) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+  BTreeIndex tree;
+  std::map<int64_t, TupleId> model;
+  for (int op = 0; op < 4000; ++op) {
+    int64_t key = rng.UniformRange(0, 800);
+    if (rng.Uniform(3) != 0) {
+      Status st = tree.Insert(IndexKey::Of({key}), static_cast<TupleId>(op));
+      if (model.count(key) != 0) {
+        EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+      } else {
+        ASSERT_OK(st);
+        model[key] = static_cast<TupleId>(op);
+      }
+    } else {
+      Status st = tree.Remove(IndexKey::Of({key}));
+      if (model.erase(key) != 0) {
+        ASSERT_OK(st);
+      } else {
+        EXPECT_EQ(st.code(), StatusCode::kNotFound);
+      }
+    }
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), model.size());
+  for (const auto& [key, tid] : model) {
+    TupleId found = 0;
+    ASSERT_TRUE(tree.Lookup(IndexKey::Of({key}), &found)) << key;
+    EXPECT_EQ(found, tid);
+  }
+  // Full iteration agrees with the model's order.
+  auto it = tree.LowerBound(IndexKey::Of({0}));
+  for (const auto& [key, tid] : model) {
+    ASSERT_TRUE(it.valid());
+    EXPECT_EQ(it.key().part[0], key);
+    it.Next();
+  }
+  EXPECT_FALSE(it.valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomOpsTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace microspec

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <thread>
+
+#include "exec/seq_scan.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+using testing::CollectRows;
+using testing::OpenDb;
+using testing::ScratchDir;
+
+class DatabaseTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    db_ = OpenDb(dir_.path() + "/db", GetParam(), GetParam());
+    Schema schema({Column("k", TypeId::kInt32, true),
+                   Column("v", TypeId::kVarchar, false),
+                   Column("n", TypeId::kInt32, false)});
+    auto t = db_->CreateTable("kv", std::move(schema));
+    ASSERT_TRUE(t.ok());
+    table_ = t.value();
+    ASSERT_TRUE(table_->CreateIndex("kv_pk", {0}).ok());
+    ctx_ = db_->MakeContext();
+  }
+
+  Result<TupleId> Put(int32_t k, const std::string& v) {
+    Arena arena;
+    Datum values[3] = {DatumFromInt32(k), tupleops::MakeVarlena(&arena, v),
+                       DatumFromInt32(k * 2)};
+    bool isnull[3] = {false, false, false};
+    return db_->Insert(ctx_.get(), table_, values, isnull);
+  }
+
+  ScratchDir dir_;
+  std::unique_ptr<Database> db_;
+  TableInfo* table_ = nullptr;
+  std::unique_ptr<ExecContext> ctx_;
+};
+
+TEST_P(DatabaseTest, InsertMaintainsIndex) {
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(Put(i, "v" + std::to_string(i)).ok());
+  IndexInfo* idx = table_->GetIndex("kv_pk");
+  EXPECT_EQ(idx->btree->size(), 200u);
+  TupleId tid = 0;
+  ASSERT_TRUE(idx->btree->Lookup(IndexKey::Of({137}), &tid));
+  Datum v[3];
+  bool n[3];
+  ASSERT_OK(db_->ReadTuple(ctx_.get(), table_, tid, v, n));
+  EXPECT_EQ(DatumToInt32(v[0]), 137);
+  EXPECT_EQ(VarlenaView(v[1]), "v137");
+}
+
+TEST_P(DatabaseTest, DeleteRemovesIndexEntry) {
+  ASSERT_OK_AND_ASSIGN(TupleId tid, Put(7, "seven"));
+  ASSERT_OK(db_->Delete(ctx_.get(), table_, tid));
+  TupleId found = 0;
+  EXPECT_FALSE(table_->GetIndex("kv_pk")->btree->Lookup(IndexKey::Of({7}),
+                                                        &found));
+  EXPECT_EQ(table_->tuple_count(), 0u);
+}
+
+TEST_P(DatabaseTest, UpdateThatMovesTupleFixesIndex) {
+  ASSERT_OK_AND_ASSIGN(TupleId tid, Put(1, "short"));
+  // Grow the value so the tuple cannot stay in place.
+  Arena arena;
+  std::string big(500, 'x');
+  Datum values[3] = {DatumFromInt32(1), tupleops::MakeVarlena(&arena, big),
+                     DatumFromInt32(2)};
+  bool isnull[3] = {false, false, false};
+  // Force relocation by filling the page first.
+  for (int i = 2; i <= 40; ++i) ASSERT_TRUE(Put(i, std::string(150, 'y')).ok());
+  ASSERT_OK_AND_ASSIGN(TupleId moved,
+                       db_->Update(ctx_.get(), table_, tid, values, isnull));
+  TupleId found = 0;
+  ASSERT_TRUE(table_->GetIndex("kv_pk")->btree->Lookup(IndexKey::Of({1}),
+                                                       &found));
+  EXPECT_EQ(found, moved);
+  Datum v[3];
+  bool n[3];
+  ASSERT_OK(db_->ReadTuple(ctx_.get(), table_, found, v, n));
+  EXPECT_EQ(VarlenaView(v[1]), big);
+}
+
+TEST_P(DatabaseTest, UpdateWithChangedKeysReindexes) {
+  ASSERT_OK_AND_ASSIGN(TupleId tid, Put(10, "ten"));
+  Arena arena;
+  Datum values[3] = {DatumFromInt32(11), tupleops::MakeVarlena(&arena, "ten"),
+                     DatumFromInt32(20)};
+  bool isnull[3] = {false, false, false};
+  ASSERT_OK(db_->Update(ctx_.get(), table_, tid, values, isnull,
+                        /*keys_changed=*/true)
+                .status());
+  IndexInfo* idx = table_->GetIndex("kv_pk");
+  TupleId found = 0;
+  EXPECT_FALSE(idx->btree->Lookup(IndexKey::Of({10}), &found));
+  EXPECT_TRUE(idx->btree->Lookup(IndexKey::Of({11}), &found));
+}
+
+TEST_P(DatabaseTest, NullValuesRoundTripThroughDml) {
+  Datum values[3] = {DatumFromInt32(5), 0, 0};
+  bool isnull[3] = {false, true, true};
+  ASSERT_OK_AND_ASSIGN(TupleId tid,
+                       db_->Insert(ctx_.get(), table_, values, isnull));
+  Datum v[3];
+  bool n[3];
+  ASSERT_OK(db_->ReadTuple(ctx_.get(), table_, tid, v, n));
+  EXPECT_FALSE(n[0]);
+  EXPECT_TRUE(n[1]);
+  EXPECT_TRUE(n[2]);
+}
+
+TEST_P(DatabaseTest, ColdCacheScanStillCorrect) {
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(Put(i, "val" + std::to_string(i)).ok());
+  ASSERT_OK(db_->DropCaches());
+  db_->io_stats()->Reset();
+  SeqScan scan(ctx_.get(), table_);
+  auto rows = CountRows(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 500u);
+  EXPECT_GT(db_->io_stats()->pages_read.load(), 0u);
+}
+
+TEST_P(DatabaseTest, CheckpointSurvivesReopenOfHeap) {
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(Put(i, "p" + std::to_string(i)).ok());
+  ASSERT_OK(db_->Checkpoint());
+  // The heap file on disk contains every page (verified via a cold scan).
+  ASSERT_OK(db_->DropCaches());
+  SeqScan scan(ctx_.get(), table_);
+  auto rows = CountRows(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 50u);
+}
+
+TEST_P(DatabaseTest, ConcurrentReadersSeeConsistentData) {
+  for (int i = 0; i < 300; ++i) ASSERT_TRUE(Put(i, "c" + std::to_string(i)).ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      auto ctx = db_->MakeContext();
+      for (int rep = 0; rep < 20; ++rep) {
+        SeqScan scan(ctx.get(), table_);
+        auto rows = CountRows(&scan);
+        if (!rows.ok() || *rows != 300u) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(DatabaseTest, DropTableRemovesEverything) {
+  ASSERT_TRUE(Put(1, "x").ok());
+  std::string path = table_->heap()->disk_manager()->path();
+  ASSERT_OK(db_->DropTable("kv"));
+  EXPECT_EQ(db_->catalog()->GetTable("kv"), nullptr);
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);  // file unlinked
+  // Name can be reused.
+  Schema schema({Column("k", TypeId::kInt32, true)});
+  EXPECT_TRUE(db_->CreateTable("kv", std::move(schema)).ok());
+}
+
+TEST_P(DatabaseTest, CreateTableRejectsDuplicatesAndEmptySchemas) {
+  Schema schema({Column("k", TypeId::kInt32, true)});
+  EXPECT_EQ(db_->CreateTable("kv", std::move(schema)).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db_->CreateTable("empty", Schema()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndBees, DatabaseTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Bees" : "Stock";
+                         });
+
+}  // namespace
+}  // namespace microspec

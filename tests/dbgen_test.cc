@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/seq_scan.h"
+#include "test_util.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/tpch_schema.h"
+
+namespace microspec {
+namespace {
+
+using testing::CollectRows;
+using testing::OpenDb;
+using testing::ScratchDir;
+
+TEST(TpchDbgen, SameSeedSameData) {
+  ScratchDir dir;
+  auto a = OpenDb(dir.path() + "/a", false);
+  auto b = OpenDb(dir.path() + "/b", false);
+  ASSERT_OK(tpch::CreateTpchTables(a.get()));
+  ASSERT_OK(tpch::CreateTpchTables(b.get()));
+  for (const char* t : {"nation", "supplier", "orders", "lineitem"}) {
+    ASSERT_OK(tpch::LoadTpchTable(a.get(), t, 0.002));
+    ASSERT_OK(tpch::LoadTpchTable(b.get(), t, 0.002));
+    auto actx = a->MakeContext();
+    auto bctx = b->MakeContext();
+    SeqScan sa(actx.get(), a->catalog()->GetTable(t));
+    SeqScan sb(bctx.get(), b->catalog()->GetTable(t));
+    EXPECT_EQ(CollectRows(&sa), CollectRows(&sb)) << t;
+  }
+}
+
+TEST(TpchDbgen, OrdersAndLineitemForeignKeysAlign) {
+  // Loading orders and lineitem in *separate* calls must still produce
+  // aligned foreign keys (they derive from a shared deterministic stream).
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", false);
+  ASSERT_OK(tpch::CreateTpchTables(db.get()));
+  ASSERT_OK(tpch::LoadTpchTable(db.get(), "orders", 0.002));
+  ASSERT_OK(tpch::LoadTpchTable(db.get(), "lineitem", 0.002));
+
+  auto ctx = db->MakeContext();
+  // Every l_orderkey must exist in orders (orderkeys are 1..N dense).
+  uint64_t num_orders = db->catalog()->GetTable("orders")->tuple_count();
+  SeqScan li(ctx.get(), db->catalog()->GetTable("lineitem"),
+             tpch::kLOrderKey + 1);
+  uint64_t bad = 0;
+  ASSERT_OK(ForEachRow(&li, [&](const Datum* v, const bool*) {
+    int64_t key = DatumToInt64(v[tpch::kLOrderKey]);
+    if (key < 1 || key > static_cast<int64_t>(num_orders)) ++bad;
+  }));
+  EXPECT_EQ(bad, 0u);
+}
+
+TEST(TpchDbgen, LowCardinalityDomainsHold) {
+  // The annotated columns must actually be low-cardinality — the contract
+  // behind the tuple-bee 256-section cap.
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", false);
+  ASSERT_OK(tpch::CreateTpchTables(db.get()));
+  ASSERT_OK(tpch::LoadTpchTable(db.get(), "orders", 0.002));
+  auto ctx = db->MakeContext();
+  SeqScan scan(ctx.get(), db->catalog()->GetTable("orders"));
+  std::set<std::string> statuses;
+  std::set<std::string> priorities;
+  ASSERT_OK(ForEachRow(&scan, [&](const Datum* v, const bool*) {
+    statuses.insert(std::string(DatumToPointer(v[tpch::kOOrderStatus]), 1));
+    priorities.insert(
+        std::string(DatumToPointer(v[tpch::kOOrderPriority]), 15));
+  }));
+  EXPECT_LE(statuses.size(), 3u);
+  EXPECT_LE(priorities.size(), 5u);
+}
+
+TEST(TpchDbgen, OverrideRowsPadsSmallRelations) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", false);
+  ASSERT_OK(tpch::CreateTpchTables(db.get()));
+  ASSERT_OK(tpch::LoadTpchTable(db.get(), "region", 0.002, 42, 1000));
+  EXPECT_EQ(db->catalog()->GetTable("region")->tuple_count(), 1000u);
+}
+
+TEST(TpchDbgen, ScaleFromEnvParsesAndDefaults) {
+  unsetenv("MICROSPEC_SF");
+  EXPECT_DOUBLE_EQ(tpch::ScaleFromEnv(0.5), 0.5);
+  setenv("MICROSPEC_SF", "0.25", 1);
+  EXPECT_DOUBLE_EQ(tpch::ScaleFromEnv(0.5), 0.25);
+  setenv("MICROSPEC_SF", "garbage", 1);
+  EXPECT_DOUBLE_EQ(tpch::ScaleFromEnv(0.5), 0.5);
+  unsetenv("MICROSPEC_SF");
+}
+
+}  // namespace
+}  // namespace microspec

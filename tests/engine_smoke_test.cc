@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "exec/filter.h"
+#include "exec/project.h"
+#include "exec/seq_scan.h"
+#include "storage/tuple.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+using testing::CollectRows;
+using testing::OpenDb;
+using testing::ScratchDir;
+
+Schema OrdersLikeSchema() {
+  // Mirrors the shape of TPC-H orders: ints, chars, varchars, a date.
+  std::vector<Column> cols;
+  cols.emplace_back("o_orderkey", TypeId::kInt32, /*not_null=*/true);
+  cols.emplace_back("o_custkey", TypeId::kInt32, true);
+  Column status("o_orderstatus", TypeId::kChar, true, 1);
+  status.set_low_cardinality(true);
+  cols.push_back(status);
+  cols.emplace_back("o_totalprice", TypeId::kFloat64, true);
+  cols.emplace_back("o_orderdate", TypeId::kDate, true);
+  Column prio("o_orderpriority", TypeId::kChar, true, 15);
+  prio.set_low_cardinality(true);
+  cols.push_back(prio);
+  cols.emplace_back("o_clerk", TypeId::kChar, true, 15);
+  cols.emplace_back("o_shippriority", TypeId::kInt32, true);
+  cols.emplace_back("o_comment", TypeId::kVarchar, true);
+  return Schema(std::move(cols));
+}
+
+/// Loads `n` deterministic rows; returns the expected o_comment strings.
+std::vector<std::string> LoadOrders(Database* db, TableInfo* table, int n) {
+  auto ctx = db->MakeContext();
+  std::vector<std::string> comments;
+  Arena arena;
+  Database::BulkLoader loader(db, ctx.get(), table);
+  const char* statuses = "OFP";
+  const char* prios[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI",
+                         "5-LOW"};
+  for (int i = 0; i < n; ++i) {
+    Datum values[9];
+    values[0] = DatumFromInt32(i + 1);
+    values[1] = DatumFromInt32(i * 7 % 1000);
+    values[2] = tupleops::MakeFixedChar(&arena,
+                                        std::string(1, statuses[i % 3]), 1);
+    values[3] = DatumFromFloat64(1000.0 + i * 0.25);
+    values[4] = DatumFromInt32(8000 + i % 2000);
+    values[5] = tupleops::MakeFixedChar(&arena, prios[i % 5], 15);
+    values[6] = tupleops::MakeFixedChar(&arena,
+                                        "Clerk#" + std::to_string(i % 100), 15);
+    values[7] = DatumFromInt32(0);
+    std::string comment = "comment for order " + std::to_string(i + 1);
+    values[8] = tupleops::MakeVarlena(&arena, comment);
+    comments.push_back(comment);
+    MICROSPEC_CHECK(loader.Append(values, nullptr).ok());
+    if (i % 100 == 99) arena.Reset();
+  }
+  MICROSPEC_CHECK(loader.Finish().ok());
+  return comments;
+}
+
+TEST(EngineSmoke, StockScanRoundTrips) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/stock", /*enable_bees=*/false);
+  ASSERT_OK_AND_ASSIGN(TableInfo * table,
+                       db->CreateTable("orders", OrdersLikeSchema()));
+  std::vector<std::string> comments = LoadOrders(db.get(), table, 500);
+
+  auto ctx = db->MakeContext();
+  SeqScan scan(ctx.get(), table);
+  std::vector<std::string> rows = CollectRows(&scan);
+  ASSERT_EQ(rows.size(), 500u);
+  EXPECT_NE(rows[0].find("comment for order 1"), std::string::npos);
+  EXPECT_NE(rows[499].find("comment for order 500"), std::string::npos);
+}
+
+struct BeeConfig {
+  bool tuple_bees;
+  bee::BeeBackend backend;
+};
+
+class BeeEquivalenceTest : public ::testing::TestWithParam<BeeConfig> {};
+
+TEST_P(BeeEquivalenceTest, BeeScanMatchesStockScan) {
+  ScratchDir dir;
+  auto stock = OpenDb(dir.path() + "/stock", false);
+  auto beedb = OpenDb(dir.path() + "/bee", true, GetParam().tuple_bees,
+                      GetParam().backend);
+
+  ASSERT_OK_AND_ASSIGN(TableInfo * stock_table,
+                       stock->CreateTable("orders", OrdersLikeSchema()));
+  ASSERT_OK_AND_ASSIGN(TableInfo * bee_table,
+                       beedb->CreateTable("orders", OrdersLikeSchema()));
+  LoadOrders(stock.get(), stock_table, 777);
+  LoadOrders(beedb.get(), bee_table, 777);
+
+  auto sctx = stock->MakeContext();
+  auto bctx = beedb->MakeContext();
+  SeqScan sscan(sctx.get(), stock_table);
+  SeqScan bscan(bctx.get(), bee_table);
+  EXPECT_EQ(CollectRows(&sscan), CollectRows(&bscan));
+}
+
+TEST_P(BeeEquivalenceTest, FilteredScanMatches) {
+  ScratchDir dir;
+  auto stock = OpenDb(dir.path() + "/stock", false);
+  auto beedb = OpenDb(dir.path() + "/bee", true, GetParam().tuple_bees,
+                      GetParam().backend);
+
+  ASSERT_OK_AND_ASSIGN(TableInfo * stock_table,
+                       stock->CreateTable("orders", OrdersLikeSchema()));
+  ASSERT_OK_AND_ASSIGN(TableInfo * bee_table,
+                       beedb->CreateTable("orders", OrdersLikeSchema()));
+  LoadOrders(stock.get(), stock_table, 777);
+  LoadOrders(beedb.get(), bee_table, 777);
+
+  auto make_pred = [&](TableInfo* t) {
+    std::vector<ExprPtr> conj;
+    conj.push_back(Cmp(CmpOp::kLe, Var(1, ColMeta::Of(TypeId::kInt32)),
+                       ConstInt32(400)));
+    conj.push_back(Cmp(CmpOp::kGt, Var(3, ColMeta::Of(TypeId::kFloat64)),
+                       ConstFloat64(1010.0)));
+    (void)t;
+    return And(std::move(conj));
+  };
+
+  auto sctx = stock->MakeContext();
+  auto bctx = beedb->MakeContext();
+  Filter sf(sctx.get(),
+            std::make_unique<SeqScan>(sctx.get(), stock_table),
+            make_pred(stock_table));
+  Filter bf(bctx.get(), std::make_unique<SeqScan>(bctx.get(), bee_table),
+            make_pred(bee_table));
+  std::vector<std::string> srows = CollectRows(&sf);
+  EXPECT_FALSE(srows.empty());
+  EXPECT_EQ(srows, CollectRows(&bf));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BeeEquivalenceTest,
+    ::testing::Values(BeeConfig{false, bee::BeeBackend::kProgram},
+                      BeeConfig{true, bee::BeeBackend::kProgram},
+                      BeeConfig{false, bee::BeeBackend::kNative},
+                      BeeConfig{true, bee::BeeBackend::kNative}),
+    [](const ::testing::TestParamInfo<BeeConfig>& info) {
+      std::string name = info.param.backend == bee::BeeBackend::kNative
+                             ? "Native"
+                             : "Program";
+      name += info.param.tuple_bees ? "TupleBees" : "NoTupleBees";
+      return name;
+    });
+
+}  // namespace
+}  // namespace microspec

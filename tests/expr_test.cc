@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+/// Evaluates an expression against a single-row context.
+Datum Eval(const Expr& e, const Datum* values = nullptr,
+           const bool* isnull = nullptr, bool* out_null = nullptr) {
+  ExecRow row{values, isnull, nullptr, nullptr};
+  bool n = false;
+  Datum d = e.Eval(row, &n);
+  if (out_null != nullptr) *out_null = n;
+  return d;
+}
+
+bool EvalBool(const Expr& e, const Datum* values = nullptr,
+              const bool* isnull = nullptr) {
+  bool n = false;
+  Datum d = Eval(e, values, isnull, &n);
+  return !n && DatumToBool(d);
+}
+
+TEST(Expr, VarReadsOuterAndInnerSides) {
+  Datum outer[1] = {DatumFromInt32(11)};
+  Datum inner[1] = {DatumFromInt32(22)};
+  ExecRow row{outer, nullptr, inner, nullptr};
+  bool n = false;
+  EXPECT_EQ(DatumToInt32(
+                Var(RowSide::kOuter, 0, ColMeta::Of(TypeId::kInt32))
+                    ->Eval(row, &n)),
+            11);
+  EXPECT_EQ(DatumToInt32(
+                Var(RowSide::kInner, 0, ColMeta::Of(TypeId::kInt32))
+                    ->Eval(row, &n)),
+            22);
+}
+
+TEST(Expr, VarPropagatesNull) {
+  Datum v[1] = {0};
+  bool nulls[1] = {true};
+  bool n = false;
+  Eval(*Var(0, ColMeta::Of(TypeId::kInt32)), v, nulls, &n);
+  EXPECT_TRUE(n);
+}
+
+TEST(Expr, IntComparisonsAllOps) {
+  struct Case {
+    CmpOp op;
+    int32_t l, r;
+    bool expect;
+  };
+  const Case cases[] = {
+      {CmpOp::kEq, 3, 3, true},   {CmpOp::kEq, 3, 4, false},
+      {CmpOp::kNe, 3, 4, true},   {CmpOp::kLt, -5, 2, true},
+      {CmpOp::kLt, 2, 2, false},  {CmpOp::kLe, 2, 2, true},
+      {CmpOp::kGt, 9, 2, true},   {CmpOp::kGt, 2, 9, false},
+      {CmpOp::kGe, 2, 2, true},   {CmpOp::kGe, 1, 2, false},
+  };
+  for (const Case& c : cases) {
+    ExprPtr e = Cmp(c.op, ConstInt32(c.l), ConstInt32(c.r));
+    EXPECT_EQ(EvalBool(*e), c.expect)
+        << c.l << " " << CmpOpName(c.op) << " " << c.r;
+  }
+}
+
+TEST(Expr, FloatComparison) {
+  EXPECT_TRUE(EvalBool(*Cmp(CmpOp::kLt, ConstFloat64(0.05),
+                            ConstFloat64(0.07))));
+  EXPECT_FALSE(EvalBool(*Cmp(CmpOp::kGt, ConstFloat64(-1.0),
+                             ConstFloat64(1.0))));
+}
+
+TEST(Expr, VarcharComparisonIsLexicographic) {
+  EXPECT_TRUE(EvalBool(*Cmp(CmpOp::kLt, ConstVarchar("apple"),
+                            ConstVarchar("banana"))));
+  EXPECT_TRUE(EvalBool(*Cmp(CmpOp::kLt, ConstVarchar("app"),
+                            ConstVarchar("apple"))));  // prefix sorts first
+  EXPECT_TRUE(EvalBool(*Cmp(CmpOp::kEq, ConstVarchar("x"),
+                            ConstVarchar("x"))));
+}
+
+TEST(Expr, CharComparisonUsesDeclaredWidth) {
+  // "AB" padded to 4 equals "AB  ".
+  EXPECT_TRUE(EvalBool(*Cmp(CmpOp::kEq, ConstChar("AB", 4),
+                            ConstChar("AB", 4))));
+  EXPECT_TRUE(EvalBool(*Cmp(CmpOp::kLt, ConstChar("AB", 4),
+                            ConstChar("AC", 4))));
+}
+
+TEST(Expr, ComparisonWithNullOperandIsNull) {
+  auto null_const = std::make_unique<ConstExpr>(
+      Datum{0}, ColMeta::Of(TypeId::kInt32), /*isnull=*/true);
+  ExprPtr e = Cmp(CmpOp::kEq, std::move(null_const), ConstInt32(1));
+  bool n = false;
+  Eval(*e, nullptr, nullptr, &n);
+  EXPECT_TRUE(n);
+}
+
+TEST(Expr, ArithmeticIntAndFloat) {
+  EXPECT_EQ(DatumToInt64(Eval(*Arith(ArithOp::kAdd, ConstInt32(2),
+                                     ConstInt32(40)))),
+            42);
+  EXPECT_EQ(DatumToInt64(Eval(*Arith(ArithOp::kMul, ConstInt64(-3),
+                                     ConstInt64(7)))),
+            -21);
+  EXPECT_DOUBLE_EQ(DatumToFloat64(Eval(*Arith(ArithOp::kSub, ConstFloat64(1.0),
+                                              ConstFloat64(0.06)))),
+                   0.94);
+  // Mixed int/float promotes to float.
+  EXPECT_DOUBLE_EQ(
+      DatumToFloat64(Eval(*Arith(ArithOp::kMul, ConstInt32(4),
+                                 ConstFloat64(2.5)))),
+      10.0);
+}
+
+TEST(Expr, DivisionByZeroYieldsZeroNotCrash) {
+  EXPECT_EQ(DatumToInt64(Eval(*Arith(ArithOp::kDiv, ConstInt32(5),
+                                     ConstInt32(0)))),
+            0);
+}
+
+TEST(Expr, BoolAndOrShortCircuit) {
+  EXPECT_TRUE(EvalBool(*And(ExprListOf(ConstBool(true), ConstBool(true)))));
+  EXPECT_FALSE(EvalBool(*And(ExprListOf(ConstBool(true), ConstBool(false)))));
+  EXPECT_TRUE(EvalBool(*Or(ExprListOf(ConstBool(false), ConstBool(true)))));
+  EXPECT_FALSE(EvalBool(*Or(ExprListOf(ConstBool(false), ConstBool(false)))));
+  EXPECT_FALSE(EvalBool(*Not(ConstBool(true))));
+  EXPECT_TRUE(EvalBool(*Not(ConstBool(false))));
+}
+
+TEST(Expr, EmptyAndIsTrueEmptyOrIsFalse) {
+  EXPECT_TRUE(EvalBool(*And({})));
+  EXPECT_FALSE(EvalBool(*Or({})));
+}
+
+TEST(Expr, BetweenIsInclusive) {
+  auto make = [](double v) {
+    return Between(ConstFloat64(v), ConstFloat64(0.05), ConstFloat64(0.07));
+  };
+  EXPECT_TRUE(EvalBool(*make(0.05)));
+  EXPECT_TRUE(EvalBool(*make(0.06)));
+  EXPECT_TRUE(EvalBool(*make(0.07)));
+  EXPECT_FALSE(EvalBool(*make(0.08)));
+  EXPECT_FALSE(EvalBool(*make(0.04)));
+}
+
+TEST(Expr, LikeModes) {
+  auto like = [](const char* hay, const char* pattern, bool negated = false) {
+    return EvalBool(
+        *std::make_unique<LikeExpr>(ConstVarchar(hay), pattern, negated));
+  };
+  EXPECT_TRUE(like("PROMO BRUSHED TIN", "PROMO%"));
+  EXPECT_FALSE(like("STANDARD TIN", "PROMO%"));
+  EXPECT_TRUE(like("LARGE BRASS", "%BRASS"));
+  EXPECT_FALSE(like("BRASS PLATED", "%BRASSX"));
+  EXPECT_TRUE(like("a green part", "%green%"));
+  EXPECT_FALSE(like("a blue part", "%green%"));
+  EXPECT_TRUE(like("exact", "exact"));
+  EXPECT_FALSE(like("exactly", "exact"));
+  EXPECT_TRUE(like("no special here", "%special%"));
+  EXPECT_FALSE(like("no special here", "%special%", /*negated=*/true));
+}
+
+TEST(Expr, LikeOnFixedCharUsesFullWidth) {
+  Arena arena;
+  Datum v[1] = {tupleops::MakeFixedChar(&arena, "MAIL", 10)};
+  ExprPtr e = std::make_unique<LikeExpr>(
+      Var(0, ColMeta::Of(TypeId::kChar, 10)), "MAIL%");
+  EXPECT_TRUE(EvalBool(*e, v));
+}
+
+TEST(Expr, InListIntegers) {
+  std::vector<Datum> items = {DatumFromInt32(1), DatumFromInt32(5),
+                              DatumFromInt32(9)};
+  auto in = std::make_unique<InListExpr>(ConstInt32(5), items,
+                                         ColMeta::Of(TypeId::kInt32));
+  EXPECT_TRUE(EvalBool(*in));
+  auto out = std::make_unique<InListExpr>(ConstInt32(4), items,
+                                          ColMeta::Of(TypeId::kInt32));
+  EXPECT_FALSE(EvalBool(*out));
+}
+
+TEST(Expr, CloneEvaluatesIdentically) {
+  Datum v[2] = {DatumFromInt32(10), DatumFromFloat64(2.5)};
+  ExprPtr e = And(ExprListOf(
+      Cmp(CmpOp::kGt, Var(0, ColMeta::Of(TypeId::kInt32)), ConstInt32(5)),
+      Between(Var(1, ColMeta::Of(TypeId::kFloat64)), ConstFloat64(1.0),
+              ConstFloat64(3.0))));
+  ExprPtr clone = e->Clone();
+  EXPECT_EQ(EvalBool(*e, v), EvalBool(*clone, v));
+  EXPECT_TRUE(EvalBool(*clone, v));
+}
+
+TEST(Expr, ClonedVarcharConstOutlivesOriginal) {
+  ExprPtr clone;
+  {
+    ExprPtr original = Cmp(CmpOp::kEq, ConstVarchar("shared-bytes"),
+                           ConstVarchar("shared-bytes"));
+    clone = original->Clone();
+  }
+  EXPECT_TRUE(EvalBool(*clone));  // storage shared via shared_ptr
+}
+
+TEST(Expr, ResultTypePropagation) {
+  EXPECT_EQ(Arith(ArithOp::kAdd, ConstInt32(1), ConstInt32(2))->meta().type,
+            TypeId::kInt64);
+  EXPECT_EQ(
+      Arith(ArithOp::kAdd, ConstInt32(1), ConstFloat64(2))->meta().type,
+      TypeId::kFloat64);
+  EXPECT_EQ(Cmp(CmpOp::kEq, ConstInt32(1), ConstInt32(1))->meta().type,
+            TypeId::kBool);
+}
+
+TEST(Expr, DateComparesAsInteger) {
+  EXPECT_TRUE(EvalBool(*Cmp(CmpOp::kLt, ConstDate(100), ConstDate(200))));
+  EXPECT_TRUE(EvalBool(*Between(ConstDate(150), ConstDate(100),
+                                ConstDate(200))));
+}
+
+}  // namespace
+}  // namespace microspec

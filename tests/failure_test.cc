@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "storage/disk_manager.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+using testing::OpenDb;
+using testing::ScratchDir;
+
+/// Failure injection: every corrupted or out-of-contract input must surface
+/// as a Status (or a clean refusal), never as memory corruption or a crash.
+
+TEST(FailureInjection, ReadPastEndOfFileIsIoError) {
+  ScratchDir dir;
+  IoStats stats;
+  DiskManager dm;
+  ASSERT_OK(dm.Open(dir.path() + "/f.dat", &stats));
+  char buf[kPageSize];
+  EXPECT_EQ(dm.ReadPage(99, buf).code(), StatusCode::kIoError);
+}
+
+TEST(FailureInjection, TruncatedBeeCacheIsCorruption) {
+  ScratchDir dir;
+  std::string db_dir = dir.path() + "/db";
+  {
+    auto db = OpenDb(db_dir, true, true);
+    Column g("g", TypeId::kChar, true, 1);
+    g.set_low_cardinality(true);
+    ASSERT_OK(db->CreateTable("t", Schema({g})).status());
+    auto ctx = db->MakeContext();
+    Arena arena;
+    Datum v[1] = {tupleops::MakeFixedChar(&arena, "A", 1)};
+    ASSERT_OK(db->Insert(ctx.get(), db->catalog()->GetTable("t"), v, nullptr)
+                  .status());
+    ASSERT_OK(db->Checkpoint());
+  }
+  // Truncate the bee cache to a few bytes.
+  std::string cache_path = db_dir + "/bees/beecache.msb";
+  {
+    std::ofstream f(cache_path, std::ios::binary | std::ios::trunc);
+    f.write("\xde\xc0\xee\xb0", 4);
+  }
+  {
+    auto db = OpenDb(db_dir, true, true);
+    Column g("g", TypeId::kChar, true, 1);
+    g.set_low_cardinality(true);
+    ASSERT_OK(db->CreateTable("t", Schema({g})).status());
+    Status st = db->bees()->LoadCache(db->catalog(), true);
+    EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(FailureInjection, MissingBeeCacheIsNotFoundNotFatal) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", true, true);
+  EXPECT_EQ(db->bees()->LoadCache(db->catalog(), true).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FailureInjection, TupleBeeOverflowSurfacesThroughInsert) {
+  // An annotation that lies about cardinality must fail the insert with
+  // ResourceExhausted, not corrupt the relation.
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", true, /*tuple_bees=*/true);
+  Column v("v", TypeId::kInt32, true);
+  v.set_low_cardinality(true);  // it is not, in fact, low cardinality
+  ASSERT_OK_AND_ASSIGN(TableInfo * t, db->CreateTable("liar", Schema({v})));
+  auto ctx = db->MakeContext();
+  Status last = Status::OK();
+  for (int i = 0; i < 300 && last.ok(); ++i) {
+    Datum val[1] = {DatumFromInt32(i)};
+    last = db->Insert(ctx.get(), t, val, nullptr).status();
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  // The 256 interned rows remain readable.
+  auto ctx2 = db->MakeContext();
+  Datum out[1];
+  bool n[1];
+  ASSERT_OK(db->ReadTuple(ctx2.get(), t, MakeTupleId(0, 0), out, n));
+  EXPECT_EQ(DatumToInt32(out[0]), 0);
+}
+
+TEST(FailureInjection, NullIntoSpecializedColumnIsRejected) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", true, true);
+  // Nullable low-cardinality columns are never specialized (the annotation
+  // requires NOT NULL), so the engine must treat this as an ordinary
+  // nullable column rather than a tuple-bee target.
+  Column g("g", TypeId::kChar, false, 1);
+  g.set_low_cardinality(true);
+  ASSERT_OK_AND_ASSIGN(TableInfo * t, db->CreateTable("t", Schema({g})));
+  EXPECT_FALSE(db->bees()->StateFor(t->id())->has_tuple_bees());
+  auto ctx = db->MakeContext();
+  Datum v[1] = {0};
+  bool isnull[1] = {true};
+  EXPECT_OK(db->Insert(ctx.get(), t, v, isnull).status());
+}
+
+TEST(FailureInjection, DeleteTwiceIsNotFound) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", false);
+  ASSERT_OK_AND_ASSIGN(
+      TableInfo * t,
+      db->CreateTable("t", Schema({Column("k", TypeId::kInt32, true)})));
+  auto ctx = db->MakeContext();
+  Datum v[1] = {DatumFromInt32(1)};
+  ASSERT_OK_AND_ASSIGN(TupleId tid, db->Insert(ctx.get(), t, v, nullptr));
+  ASSERT_OK(db->Delete(ctx.get(), t, tid));
+  EXPECT_EQ(db->Delete(ctx.get(), t, tid).code(), StatusCode::kNotFound);
+}
+
+TEST(FailureInjection, DropMissingTableIsNotFound) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", false);
+  EXPECT_EQ(db->DropTable("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST(FailureInjection, IndexOnNonIntegerColumnIsRejected) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", false);
+  ASSERT_OK_AND_ASSIGN(
+      TableInfo * t,
+      db->CreateTable("t", Schema({Column("s", TypeId::kVarchar, true)})));
+  EXPECT_EQ(t->CreateIndex("bad", {0}).status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(t->CreateIndex("oob", {5}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace microspec

@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include "exec/filter.h"
+#include "exec/hash_agg.h"
+#include "exec/hash_join.h"
+#include "exec/index_scan.h"
+#include "exec/nested_loop_join.h"
+#include "exec/plan_builder.h"
+#include "exec/project.h"
+#include "exec/seq_scan.h"
+#include "exec/sort.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+using testing::CollectRows;
+using testing::OpenDb;
+using testing::ScratchDir;
+
+/// Fixture with two small tables: emp(id, dept, salary, name) and
+/// dept(id, dname). Parameterized over stock vs bee-enabled so every
+/// operator test doubles as a bee-equivalence test.
+class OperatorTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    db_ = OpenDb(dir_.path() + "/db", GetParam(), GetParam());
+    Column dept_col("dept", TypeId::kInt32, true);
+    Schema emp_schema({Column("id", TypeId::kInt32, true), dept_col,
+                       Column("salary", TypeId::kFloat64, true),
+                       Column("name", TypeId::kVarchar, false)});
+    Schema dept_schema({Column("id", TypeId::kInt32, true),
+                        Column("dname", TypeId::kVarchar, true)});
+    auto emp_result = db_->CreateTable("emp", std::move(emp_schema));
+    ASSERT_TRUE(emp_result.ok());
+    emp_ = emp_result.value();
+    auto dept_result = db_->CreateTable("dept", std::move(dept_schema));
+    ASSERT_TRUE(dept_result.ok());
+    dept_ = dept_result.value();
+
+    ctx_ = db_->MakeContext();
+    Arena arena;
+    // 30 employees in departments 1..3 (dept 4 is empty); one NULL name.
+    for (int i = 1; i <= 30; ++i) {
+      Datum v[4];
+      bool n[4] = {false, false, false, false};
+      v[0] = DatumFromInt32(i);
+      v[1] = DatumFromInt32(i % 3 + 1);
+      v[2] = DatumFromFloat64(1000.0 + 100.0 * (i % 7));
+      if (i == 13) {
+        n[3] = true;
+        v[3] = 0;
+      } else {
+        v[3] = tupleops::MakeVarlena(&arena, "emp" + std::to_string(i));
+      }
+      ASSERT_TRUE(db_->Insert(ctx_.get(), emp_, v, n).ok());
+    }
+    const char* names[] = {"eng", "sales", "ops"};
+    for (int d = 1; d <= 3; ++d) {
+      Datum v[2] = {DatumFromInt32(d),
+                    tupleops::MakeVarlena(&arena, names[d - 1])};
+      ASSERT_TRUE(db_->Insert(ctx_.get(), dept_, v, nullptr).ok());
+    }
+    // Department 5 has no employees (for outer-join coverage).
+    Datum v[2] = {DatumFromInt32(5), tupleops::MakeVarlena(&arena, "empty")};
+    ASSERT_TRUE(db_->Insert(ctx_.get(), dept_, v, nullptr).ok());
+  }
+
+  Plan ScanEmp() { return Plan::Scan(ctx_.get(), emp_); }
+  Plan ScanDept() { return Plan::Scan(ctx_.get(), dept_); }
+
+  ScratchDir dir_;
+  std::unique_ptr<Database> db_;
+  TableInfo* emp_ = nullptr;
+  TableInfo* dept_ = nullptr;
+  std::unique_ptr<ExecContext> ctx_;
+};
+
+TEST_P(OperatorTest, SeqScanProducesAllRows) {
+  SeqScan scan(ctx_.get(), emp_);
+  auto rows = CountRows(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 30u);
+}
+
+TEST_P(OperatorTest, SeqScanPartialDeform) {
+  SeqScan scan(ctx_.get(), emp_, /*natts_to_fetch=*/2);
+  EXPECT_EQ(scan.output_meta().size(), 2u);
+  auto rows = CountRows(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 30u);
+}
+
+TEST_P(OperatorTest, FilterSelectsMatchingRows) {
+  Plan p = ScanEmp();
+  p.Where(Cmp(CmpOp::kEq, p.var("dept"), ConstInt32(2)));
+  auto rows = CountRows(std::move(p).Build().get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 10u);
+}
+
+TEST_P(OperatorTest, FilterTreatsNullAsFalse) {
+  Plan p = ScanEmp();
+  p.Where(Cmp(CmpOp::kEq, p.var("name"), ConstVarchar("emp13")));
+  auto rows = CountRows(std::move(p).Build().get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 0u);  // emp13's name is NULL, never matches
+}
+
+TEST_P(OperatorTest, ProjectComputesExpressions) {
+  Plan p = ScanEmp();
+  p.Where(Cmp(CmpOp::kEq, p.var("id"), ConstInt32(1)));
+  p.Select(SelList(
+      Ex(Arith(ArithOp::kMul, p.var("salary"), ConstFloat64(2.0)), "dbl")));
+  OperatorPtr op = std::move(p).Build();
+  std::vector<std::string> rows = CollectRows(op.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "2200");  // (1000 + 100*1) * 2
+}
+
+TEST_P(OperatorTest, LimitCapsOutput) {
+  Plan p = ScanEmp();
+  p.Take(7);
+  auto rows = CountRows(std::move(p).Build().get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 7u);
+}
+
+TEST_P(OperatorTest, SortOrdersAscendingAndDescending) {
+  Plan p = ScanEmp();
+  p.Select(SelList(Ex(p.var("id"), "id")));
+  p.OrderBy({{"id", true}});
+  OperatorPtr op = std::move(p).Build();
+  std::vector<std::string> rows = CollectRows(op.get());
+  ASSERT_EQ(rows.size(), 30u);
+  EXPECT_EQ(rows.front(), "30");
+  EXPECT_EQ(rows.back(), "1");
+}
+
+TEST_P(OperatorTest, SortPutsNullsLast) {
+  Plan p = ScanEmp();
+  p.Select(SelList(Ex(p.var("name"), "name")));
+  p.OrderBy({{"name", false}});
+  OperatorPtr op = std::move(p).Build();
+  std::vector<std::string> rows = CollectRows(op.get());
+  ASSERT_EQ(rows.size(), 30u);
+  EXPECT_EQ(rows.back(), "NULL");
+}
+
+TEST_P(OperatorTest, InnerHashJoinMatchesAllPairs) {
+  Plan j = Plan::Join(ScanEmp(), ScanDept(), {{"dept", "id"}});
+  auto rows = CountRows(std::move(j).Build().get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 30u);  // every employee's dept exists
+}
+
+TEST_P(OperatorTest, LeftJoinKeepsUnmatchedOuterRows) {
+  // dept LEFT JOIN emp: department 5 has no employees -> NULL emp columns.
+  Plan j = Plan::Join(ScanDept(), ScanEmp(), {{"id", "dept"}},
+                      JoinType::kLeft);
+  OperatorPtr op = std::move(j).Build();
+  uint64_t with_null = 0;
+  uint64_t total = 0;
+  Status st = ForEachRow(op.get(), [&](const Datum*, const bool* isnull) {
+    ++total;
+    if (isnull[2]) ++with_null;  // emp id column NULL for unmatched
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(total, 31u);  // 30 matches + 1 padded row for dept 5
+  EXPECT_EQ(with_null, 1u);
+}
+
+TEST_P(OperatorTest, SemiJoinEmitsOuterOnceRegardlessOfMatches) {
+  Plan j = Plan::Join(ScanDept(), ScanEmp(), {{"id", "dept"}},
+                      JoinType::kSemi);
+  OperatorPtr op = std::move(j).Build();
+  EXPECT_EQ(op->output_meta().size(), 2u);  // dept columns only
+  auto rows = CountRows(op.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 3u);  // depts 1..3 have employees
+}
+
+TEST_P(OperatorTest, AntiJoinEmitsOnlyUnmatchedOuter) {
+  Plan j = Plan::Join(ScanDept(), ScanEmp(), {{"id", "dept"}},
+                      JoinType::kAnti);
+  OperatorPtr op = std::move(j).Build();
+  std::vector<std::string> rows = CollectRows(op.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "5|empty");
+}
+
+TEST_P(OperatorTest, JoinResidualPredicateFiltersPairs) {
+  Plan emp = ScanEmp();
+  int salary_col = emp.col("salary");
+  Plan j = Plan::Join(
+      std::move(emp), ScanDept(), {{"dept", "id"}}, JoinType::kInner,
+      Cmp(CmpOp::kGt,
+          Var(RowSide::kOuter, salary_col, ColMeta::Of(TypeId::kFloat64)),
+          ConstFloat64(1500.0)));
+  auto rows = CountRows(std::move(j).Build().get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 4u);  // salaries 1600 at i%7==6: i=6,13,20,27
+}
+
+TEST_P(OperatorTest, NestedLoopJoinNonEquiPredicate) {
+  // Pairs where emp.dept < dept.id.
+  Plan emp = ScanEmp();
+  int dept_col = emp.col("dept");
+  Plan dept = ScanDept();
+  int id_col = dept.col("id");
+  Plan j = Plan::LoopJoin(
+      std::move(emp), std::move(dept), JoinType::kInner,
+      Cmp(CmpOp::kLt,
+          Var(RowSide::kOuter, dept_col, ColMeta::Of(TypeId::kInt32)),
+          Var(RowSide::kInner, id_col, ColMeta::Of(TypeId::kInt32))));
+  auto rows = CountRows(std::move(j).Build().get());
+  ASSERT_TRUE(rows.ok());
+  // dept values: 10x1, 10x2, 10x3 vs dept ids {1,2,3,5}:
+  // 1<2,1<3,1<5 (3), 2<3,2<5 (2), 3<5 (1) -> 10*(3+2+1)=60
+  EXPECT_EQ(*rows, 60u);
+}
+
+TEST_P(OperatorTest, NestedLoopSemiAndAnti) {
+  Plan semi = Plan::LoopJoin(
+      ScanDept(), ScanEmp(), JoinType::kSemi,
+      Cmp(CmpOp::kEq, Var(RowSide::kOuter, 0, ColMeta::Of(TypeId::kInt32)),
+          Var(RowSide::kInner, 1, ColMeta::Of(TypeId::kInt32))));
+  auto semi_rows = CountRows(std::move(semi).Build().get());
+  ASSERT_TRUE(semi_rows.ok());
+  EXPECT_EQ(*semi_rows, 3u);
+
+  Plan anti = Plan::LoopJoin(
+      ScanDept(), ScanEmp(), JoinType::kAnti,
+      Cmp(CmpOp::kEq, Var(RowSide::kOuter, 0, ColMeta::Of(TypeId::kInt32)),
+          Var(RowSide::kInner, 1, ColMeta::Of(TypeId::kInt32))));
+  auto anti_rows = CountRows(std::move(anti).Build().get());
+  ASSERT_TRUE(anti_rows.ok());
+  EXPECT_EQ(*anti_rows, 1u);
+}
+
+TEST_P(OperatorTest, GroupByAggregates) {
+  Plan p = ScanEmp();
+  p.GroupBy({"dept"},
+            AggList(Ag(AggSpec::CountStar(), "cnt"),
+                    Ag(AggSpec::Sum(p.var("salary")), "total"),
+                    Ag(AggSpec::Avg(p.var("salary")), "avg"),
+                    Ag(AggSpec::Min(p.var("id")), "min_id"),
+                    Ag(AggSpec::Max(p.var("id")), "max_id")));
+  p.OrderBy({{"dept", false}});
+  OperatorPtr op = std::move(p).Build();
+  std::vector<std::string> rows = CollectRows(op.get());
+  ASSERT_EQ(rows.size(), 3u);
+  // dept 1: ids 3,6,...,30 -> count 10, min 3, max 30.
+  EXPECT_TRUE(rows[0].rfind("1|10|", 0) == 0) << rows[0];
+  EXPECT_NE(rows[0].find("|3|30"), std::string::npos) << rows[0];
+}
+
+TEST_P(OperatorTest, CountSkipsNullsCountStarDoesNot) {
+  Plan p = ScanEmp();
+  p.GroupBy({}, AggList(Ag(AggSpec::CountStar(), "all"),
+                        Ag(AggSpec::Count(p.var("name")), "named")));
+  OperatorPtr op = std::move(p).Build();
+  std::vector<std::string> rows = CollectRows(op.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "30|29");  // one NULL name
+}
+
+TEST_P(OperatorTest, GlobalAggregateOnEmptyInputYieldsOneRow) {
+  Plan p = ScanEmp();
+  p.Where(Cmp(CmpOp::kGt, p.var("id"), ConstInt32(1000)));
+  p.GroupBy({}, AggList(Ag(AggSpec::CountStar(), "cnt"),
+                        Ag(AggSpec::Sum(p.var("salary")), "s")));
+  OperatorPtr op = std::move(p).Build();
+  std::vector<std::string> rows = CollectRows(op.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "0|NULL");  // SQL: COUNT 0, SUM NULL
+}
+
+TEST_P(OperatorTest, GroupedAggregateOnEmptyInputYieldsNoRows) {
+  Plan p = ScanEmp();
+  p.Where(Cmp(CmpOp::kGt, p.var("id"), ConstInt32(1000)));
+  p.GroupBy({"dept"}, AggList(Ag(AggSpec::CountStar(), "cnt")));
+  auto rows = CountRows(std::move(p).Build().get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 0u);
+}
+
+TEST_P(OperatorTest, MinMaxOverStrings) {
+  Plan p = ScanEmp();
+  p.Where(Cmp(CmpOp::kLe, p.var("id"), ConstInt32(3)));
+  p.GroupBy({}, AggList(Ag(AggSpec::Min(p.var("name")), "mn"),
+                        Ag(AggSpec::Max(p.var("name")), "mx")));
+  OperatorPtr op = std::move(p).Build();
+  std::vector<std::string> rows = CollectRows(op.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "emp1|emp3");
+}
+
+TEST_P(OperatorTest, IndexScanPointAndPrefix) {
+  ASSERT_TRUE(emp_->CreateIndex("emp_pk", {0}).ok());
+  IndexInfo* idx = emp_->GetIndex("emp_pk");
+  // Rebuild index entries by scanning.
+  SeqScan scan(ctx_.get(), emp_);
+  ASSERT_TRUE(scan.Init().ok());
+  // Populate via the heap directly.
+  auto it = emp_->heap()->Scan();
+  const char* tuple = nullptr;
+  uint32_t len = 0;
+  TupleId tid = 0;
+  Datum values[4];
+  bool isnull[4];
+  while (it.Next(&tuple, &len, &tid)) {
+    ctx_->DeformerFor(emp_)->Deform(tuple, 4, values, isnull);
+    ASSERT_TRUE(
+        idx->btree->Insert(IndexKey::Of({DatumToInt32(values[0])}), tid).ok());
+  }
+
+  IndexScan point(ctx_.get(), emp_, idx, IndexKey::Of({17}));
+  std::vector<std::string> rows = CollectRows(&point);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].rfind("17|", 0) == 0);
+}
+
+TEST_P(OperatorTest, OperatorsAreReinitializable) {
+  Plan p = ScanEmp();
+  p.Where(Cmp(CmpOp::kEq, p.var("dept"), ConstInt32(1)));
+  OperatorPtr op = std::move(p).Build();
+  auto first = CountRows(op.get());
+  auto second = CountRows(op.get());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndBees, OperatorTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Bees" : "Stock";
+                         });
+
+}  // namespace
+}  // namespace microspec
+
+namespace microspec {
+namespace {
+
+/// The aggregation-bee extension (SessionOptions::enable_agg_bee) must be
+/// result-equivalent to the generic update loop on every aggregate kind.
+TEST(AggBee, KernelsMatchGenericUpdate) {
+  testing::ScratchDir dir;
+  auto db = testing::OpenDb(dir.path() + "/db", true, true);
+  Schema schema({Column("g", TypeId::kInt32, true),
+                 Column("x", TypeId::kFloat64, true),
+                 Column("y", TypeId::kInt32, false),
+                 Column("s", TypeId::kVarchar, true)});
+  auto table = db->CreateTable("t", std::move(schema));
+  ASSERT_TRUE(table.ok());
+  auto load_ctx = db->MakeContext();
+  Arena arena;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    Datum v[4];
+    bool n[4] = {false, false, rng.Uniform(5) == 0, false};
+    v[0] = DatumFromInt32(static_cast<int32_t>(rng.Uniform(7)));
+    v[1] = DatumFromFloat64(rng.NextDouble() * 100);
+    v[2] = DatumFromInt32(static_cast<int32_t>(rng.UniformRange(-50, 50)));
+    v[3] = tupleops::MakeVarlena(&arena, rng.AlnumString(1, 12));
+    ASSERT_TRUE(db->Insert(load_ctx.get(), table.value(), v, n).ok());
+    if (i % 128 == 0) arena.Reset();
+  }
+
+  auto run = [&](bool agg_bee) {
+    SessionOptions opts = SessionOptions::AllBees();
+    opts.enable_agg_bee = agg_bee;
+    auto ctx = db->MakeContext(opts);
+    Plan p = Plan::Scan(ctx.get(), table.value());
+    p.GroupBy({"g"},
+              AggList(Ag(AggSpec::CountStar(), "cnt"),
+                      Ag(AggSpec::Count(p.var("y")), "cy"),
+                      Ag(AggSpec::Sum(p.var("x")), "sx"),
+                      Ag(AggSpec::Sum(p.var("y")), "sy"),
+                      Ag(AggSpec::Avg(p.var("x")), "ax"),
+                      Ag(AggSpec::Min(p.var("y")), "mn"),
+                      Ag(AggSpec::Max(p.var("x")), "mx"),
+                      // Non-Var argument: kernel falls back per spec.
+                      Ag(AggSpec::Sum(Arith(ArithOp::kMul, p.var("x"),
+                                            ConstFloat64(2.0))),
+                         "sx2"),
+                      // String min/max: not kernelizable, must fall back.
+                      Ag(AggSpec::Min(p.var("s")), "ms")));
+    p.OrderBy({{"g", false}});
+    OperatorPtr op = std::move(p).Build();
+    return testing::CollectRows(op.get());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace microspec

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+Schema SampleSchema() {
+  Column lc("flag", TypeId::kChar, true, 2);
+  lc.set_low_cardinality(true);
+  return Schema({
+      Column("id", TypeId::kInt32, true),
+      Column("price", TypeId::kFloat64, false),
+      lc,
+      Column("note", TypeId::kVarchar, false),
+  });
+}
+
+TEST(Column, CharLengthComesFromDeclaration) {
+  Column c("code", TypeId::kChar, true, 12);
+  EXPECT_EQ(c.attlen(), 12);
+  EXPECT_EQ(c.attalign(), 1);
+  EXPECT_FALSE(c.byval());
+}
+
+TEST(Column, VarcharIsVariableLength) {
+  Column c("s", TypeId::kVarchar, false);
+  EXPECT_EQ(c.attlen(), kVariableLength);
+  EXPECT_EQ(c.attalign(), 4);
+}
+
+TEST(Column, AttCacheOffStartsInvalid) {
+  Column c("id", TypeId::kInt32, true);
+  EXPECT_EQ(c.attcacheoff(), -1);
+  c.set_attcacheoff(16);
+  EXPECT_EQ(c.attcacheoff(), 16);
+}
+
+TEST(Schema, TracksNullability) {
+  EXPECT_TRUE(SampleSchema().has_nullable());
+  Schema all_nn({Column("a", TypeId::kInt32, true)});
+  EXPECT_FALSE(all_nn.has_nullable());
+}
+
+TEST(Schema, ColumnIndexByName) {
+  Schema s = SampleSchema();
+  EXPECT_EQ(s.ColumnIndex("id"), 0);
+  EXPECT_EQ(s.ColumnIndex("note"), 3);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+}
+
+TEST(Schema, SerializationRoundTrips) {
+  Schema s = SampleSchema();
+  std::string buf;
+  s.Serialize(&buf);
+  size_t pos = 0;
+  auto restored = Schema::Deserialize(buf, &pos);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, s);
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_TRUE(restored->column(2).low_cardinality());
+  EXPECT_FALSE(restored->column(1).not_null());
+}
+
+TEST(Schema, DeserializeRejectsTruncation) {
+  Schema s = SampleSchema();
+  std::string buf;
+  s.Serialize(&buf);
+  for (size_t cut : {size_t{0}, size_t{2}, buf.size() / 2, buf.size() - 1}) {
+    std::string trunc = buf.substr(0, cut);
+    size_t pos = 0;
+    EXPECT_FALSE(Schema::Deserialize(trunc, &pos).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Schema, FingerprintDetectsLayoutChanges) {
+  Schema s = SampleSchema();
+  uint64_t fp = s.LayoutFingerprint();
+  // Same layout, same fingerprint.
+  EXPECT_EQ(fp, SampleSchema().LayoutFingerprint());
+  // Type change.
+  Schema t({Column("id", TypeId::kInt64, true),
+            Column("price", TypeId::kFloat64, false),
+            Column("flag", TypeId::kChar, true, 2),
+            Column("note", TypeId::kVarchar, false)});
+  EXPECT_NE(fp, t.LayoutFingerprint());
+  // Nullability change.
+  Schema u({Column("id", TypeId::kInt32, false),
+            Column("price", TypeId::kFloat64, false),
+            Column("flag", TypeId::kChar, true, 2),
+            Column("note", TypeId::kVarchar, false)});
+  EXPECT_NE(fp, u.LayoutFingerprint());
+}
+
+TEST(Schema, RandomSchemasRoundTripSerialization) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    Schema s = testing::RandomSchema(&rng, 1 + static_cast<int>(rng.Uniform(20)),
+                                     true, true);
+    std::string buf;
+    s.Serialize(&buf);
+    size_t pos = 0;
+    auto restored = Schema::Deserialize(buf, &pos);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(*restored, s);
+  }
+}
+
+}  // namespace
+}  // namespace microspec

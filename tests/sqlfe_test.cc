@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "sqlfe/engine.h"
+#include "sqlfe/lexer.h"
+#include "sqlfe/parser.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+using sqlfe::ExecuteSql;
+using sqlfe::Lex;
+using sqlfe::Parse;
+using sqlfe::SqlResult;
+using sqlfe::Statement;
+using sqlfe::TokenKind;
+using testing::OpenDb;
+using testing::ScratchDir;
+
+TEST(Lexer, TokenKindsAndCaseFolding) {
+  auto tokens = Lex("SELECT Name, 42, 3.5 FROM t WHERE x <= 'O''Brien'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "select");
+  EXPECT_EQ((*tokens)[1].text, "name");
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kFloat);
+  // <= is one token; escaped quote folds.
+  bool saw_le = false;
+  bool saw_str = false;
+  for (const auto& t : *tokens) {
+    saw_le |= t.Is(TokenKind::kSymbol, "<=");
+    saw_str |= t.kind == TokenKind::kString && t.text == "O'Brien";
+  }
+  EXPECT_TRUE(saw_le);
+  EXPECT_TRUE(saw_str);
+}
+
+TEST(Lexer, RejectsGarbage) {
+  EXPECT_FALSE(Lex("select @ from t").ok());
+  EXPECT_FALSE(Lex("select 'unterminated").ok());
+}
+
+TEST(Parser, CreateTableWithAnnotations) {
+  auto stmt = Parse(
+      "CREATE TABLE people (id INT NOT NULL, gender CHAR(1) NOT NULL LOW "
+      "CARDINALITY, bio VARCHAR)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, Statement::Kind::kCreateTable);
+  ASSERT_EQ(stmt->create.columns.size(), 3u);
+  EXPECT_TRUE(stmt->create.columns[0].not_null);
+  EXPECT_TRUE(stmt->create.columns[1].low_cardinality);
+  EXPECT_EQ(stmt->create.columns[1].char_len, 1);
+  EXPECT_FALSE(stmt->create.columns[2].not_null);
+}
+
+TEST(Parser, SelectWithEverything) {
+  auto stmt = Parse(
+      "SELECT dept, count(*) AS cnt, sum(salary) AS total FROM emp "
+      "JOIN dept ON emp.dept_id = dept.id "
+      "WHERE salary > 1000 AND name NOT LIKE '%bob%' "
+      "GROUP BY dept ORDER BY cnt DESC LIMIT 5;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& s = stmt->select;
+  EXPECT_EQ(s.items.size(), 3u);
+  EXPECT_EQ(s.items[1].alias, "cnt");
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_EQ(s.joins[0].left_col, "dept_id");
+  EXPECT_NE(s.where, nullptr);
+  EXPECT_EQ(s.group_by.size(), 1u);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].desc);
+  EXPECT_EQ(s.limit, 5u);
+}
+
+TEST(Parser, RejectsMalformedStatements) {
+  EXPECT_FALSE(Parse("DROP TABLE x").ok());
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("CREATE TABLE t (x unknown_type)").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t extra junk").ok());
+}
+
+class SqlEndToEndTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    db_ = OpenDb(dir_.path() + "/db", GetParam(), GetParam());
+    ctx_ = db_->MakeContext();
+  }
+
+  SqlResult Sql(const std::string& sql) {
+    auto r = ExecuteSql(db_.get(), ctx_.get(), sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r.MoveValue() : SqlResult{};
+  }
+
+  ScratchDir dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ExecContext> ctx_;
+};
+
+TEST_P(SqlEndToEndTest, CreateInsertSelect) {
+  Sql("CREATE TABLE orders (id INT NOT NULL, status CHAR(1) NOT NULL LOW "
+      "CARDINALITY, total DOUBLE NOT NULL, placed DATE NOT NULL, "
+      "note VARCHAR)");
+  SqlResult ins = Sql(
+      "INSERT INTO orders VALUES "
+      "(1, 'O', 10.5, '1995-01-02', 'first'),"
+      "(2, 'F', 99.0, '1996-07-20', NULL),"
+      "(3, 'O', 55.25, '1995-03-04', 'third')");
+  EXPECT_EQ(ins.affected, 3u);
+
+  SqlResult all = Sql("SELECT * FROM orders ORDER BY id");
+  ASSERT_EQ(all.rows.size(), 3u);
+  EXPECT_EQ(all.rows[0][0], "1");
+  EXPECT_EQ(all.rows[0][1], "O");
+  EXPECT_EQ(all.rows[1][4], "NULL");
+
+  SqlResult open_orders =
+      Sql("SELECT id, total FROM orders WHERE status = 'O' AND total > 20 "
+          "ORDER BY total DESC");
+  ASSERT_EQ(open_orders.rows.size(), 1u);
+  EXPECT_EQ(open_orders.rows[0][0], "3");
+}
+
+TEST_P(SqlEndToEndTest, GroupByAggregates) {
+  Sql("CREATE TABLE sales (region CHAR(4) NOT NULL LOW CARDINALITY, "
+      "amount DOUBLE NOT NULL)");
+  Sql("INSERT INTO sales VALUES ('east', 10), ('east', 20), ('west', 5), "
+      "('west', 7), ('west', 9)");
+  SqlResult r = Sql(
+      "SELECT region, count(*) AS n, sum(amount) AS total, avg(amount) AS a, "
+      "min(amount) AS lo, max(amount) AS hi FROM sales GROUP BY region "
+      "ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], "east");
+  EXPECT_EQ(r.rows[0][1], "2");
+  EXPECT_EQ(r.rows[0][2], "30");
+  EXPECT_EQ(r.rows[1][0], "west");
+  EXPECT_EQ(r.rows[1][1], "3");
+  EXPECT_EQ(r.rows[1][4], "5");
+  EXPECT_EQ(r.rows[1][5], "9");
+}
+
+TEST_P(SqlEndToEndTest, JoinAcrossTables) {
+  Sql("CREATE TABLE dept (id INT NOT NULL, dname VARCHAR NOT NULL)");
+  Sql("CREATE TABLE emp (eid INT NOT NULL, dept_id INT NOT NULL, "
+      "salary DOUBLE NOT NULL)");
+  Sql("INSERT INTO dept VALUES (1, 'eng'), (2, 'ops')");
+  Sql("INSERT INTO emp VALUES (10, 1, 100), (11, 1, 200), (12, 2, 50)");
+  SqlResult r = Sql(
+      "SELECT dname, sum(salary) AS total FROM emp "
+      "JOIN dept ON emp.dept_id = dept.id GROUP BY dname ORDER BY total "
+      "DESC");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], "eng");
+  EXPECT_EQ(r.rows[0][1], "300");
+  EXPECT_EQ(r.rows[1][0], "ops");
+}
+
+TEST_P(SqlEndToEndTest, LikeBetweenAndInList) {
+  Sql("CREATE TABLE t (k INT NOT NULL, tag VARCHAR NOT NULL)");
+  Sql("INSERT INTO t VALUES (1, 'apple pie'), (2, 'banana'), (3, 'grape'), "
+      "(4, 'pineapple')");
+  EXPECT_EQ(Sql("SELECT k FROM t WHERE tag LIKE '%apple%'").rows.size(), 2u);
+  EXPECT_EQ(Sql("SELECT k FROM t WHERE tag NOT LIKE '%apple%'").rows.size(),
+            2u);
+  EXPECT_EQ(Sql("SELECT k FROM t WHERE k BETWEEN 2 AND 3").rows.size(), 2u);
+  EXPECT_EQ(Sql("SELECT k FROM t WHERE k IN (1, 4, 99)").rows.size(), 2u);
+  EXPECT_EQ(Sql("SELECT k FROM t WHERE tag IN ('grape', 'banana')")
+                .rows.size(),
+            2u);
+}
+
+TEST_P(SqlEndToEndTest, ArithmeticInProjectionAndPredicate) {
+  Sql("CREATE TABLE nums (a INT NOT NULL, b DOUBLE NOT NULL)");
+  Sql("INSERT INTO nums VALUES (3, 1.5), (10, 0.5)");
+  SqlResult r =
+      Sql("SELECT a * 2 + 1 AS c FROM nums WHERE b * 2 >= 1 ORDER BY c");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], "7");
+  EXPECT_EQ(r.rows[1][0], "21");
+}
+
+TEST_P(SqlEndToEndTest, ErrorsAreStatusesNotCrashes) {
+  Sql("CREATE TABLE t (k INT NOT NULL)");
+  EXPECT_FALSE(ExecuteSql(db_.get(), ctx_.get(), "SELECT * FROM missing").ok());
+  EXPECT_FALSE(
+      ExecuteSql(db_.get(), ctx_.get(), "INSERT INTO t VALUES (1, 2)").ok());
+  EXPECT_FALSE(
+      ExecuteSql(db_.get(), ctx_.get(), "INSERT INTO t VALUES (NULL)").ok());
+  EXPECT_FALSE(
+      ExecuteSql(db_.get(), ctx_.get(), "SELECT nope FROM t").ok());
+  EXPECT_FALSE(ExecuteSql(db_.get(), ctx_.get(),
+                          "SELECT k FROM t ORDER BY nope")
+                   .ok());
+  // Aggregate mixed with non-grouped column.
+  Sql("INSERT INTO t VALUES (1)");
+  EXPECT_FALSE(ExecuteSql(db_.get(), ctx_.get(),
+                          "SELECT k, count(*) FROM t")
+                   .ok());
+}
+
+TEST_P(SqlEndToEndTest, TupleBeesThroughSqlAnnotation) {
+  Sql("CREATE TABLE flags (id INT NOT NULL, f CHAR(1) NOT NULL LOW "
+      "CARDINALITY)");
+  for (int i = 0; i < 50; ++i) {
+    Sql("INSERT INTO flags VALUES (" + std::to_string(i) + ", '" +
+        (i % 2 ? "A" : "B") + "')");
+  }
+  SqlResult r = Sql("SELECT f, count(*) AS n FROM flags GROUP BY f ORDER BY f");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1], "25");
+  if (GetParam()) {
+    // The annotation actually created tuple bees on the bee-enabled engine.
+    EXPECT_EQ(db_->bees()->stats().tuple_sections, 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndBees, SqlEndToEndTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Bees" : "Stock";
+                         });
+
+}  // namespace
+}  // namespace microspec

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workloads/tpcc/tpcc_workload.h"
+
+namespace microspec {
+namespace {
+
+using testing::OpenDb;
+using testing::ScratchDir;
+
+tpcc::TpccConfig SmallConfig() {
+  tpcc::TpccConfig c;
+  c.warehouses = 1;
+  c.districts_per_warehouse = 3;
+  c.customers_per_district = 40;
+  c.items = 200;
+  c.initial_orders_per_district = 40;
+  return c;
+}
+
+class TpccTest : public ::testing::TestWithParam<bool /*bees*/> {};
+
+TEST_P(TpccTest, LoadAndRunAllTransactionTypes) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", GetParam(), /*tuple_bees=*/GetParam());
+  ASSERT_OK(tpcc::CreateTpccTables(db.get()));
+  tpcc::TpccWorkload wl(db.get(), SmallConfig());
+  ASSERT_OK(wl.Load());
+
+  EXPECT_EQ(db->catalog()->GetTable("item")->tuple_count(), 200u);
+  EXPECT_EQ(db->catalog()->GetTable("stock")->tuple_count(), 200u);
+  EXPECT_EQ(db->catalog()->GetTable("customer")->tuple_count(), 120u);
+  EXPECT_EQ(db->catalog()->GetTable("torders")->tuple_count(), 120u);
+
+  auto ctx = db->MakeContext();
+  Rng rng(7);
+  // Run each transaction type several times directly.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(wl.NewOrder(ctx.get(), rng));
+    ASSERT_OK(wl.Payment(ctx.get(), rng));
+    ASSERT_OK(wl.OrderStatus(ctx.get(), rng));
+    ASSERT_OK(wl.Delivery(ctx.get(), rng));
+    ASSERT_OK(wl.StockLevel(ctx.get(), rng));
+  }
+  // NewOrder must have grown orders and orderline.
+  EXPECT_EQ(db->catalog()->GetTable("torders")->tuple_count(), 140u);
+  EXPECT_GT(db->catalog()->GetTable("orderline")->tuple_count(), 120u * 5);
+
+  // Index invariants survive the churn.
+  for (TableInfo* t : db->catalog()->AllTables()) {
+    for (const auto& idx : t->indexes()) {
+      EXPECT_OK(idx->btree->CheckInvariants());
+    }
+  }
+}
+
+TEST_P(TpccTest, DriverRunsMixedLoad) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", GetParam(), GetParam());
+  ASSERT_OK(tpcc::CreateTpccTables(db.get()));
+  tpcc::TpccWorkload wl(db.get(), SmallConfig());
+  ASSERT_OK(wl.Load());
+
+  ASSERT_OK_AND_ASSIGN(tpcc::TxnCounts counts,
+                       wl.Run(tpcc::TpccMix::Default(), /*terminals=*/2,
+                              /*seconds=*/0.5));
+  EXPECT_GT(counts.total(), 0u);
+  EXPECT_EQ(counts.failed, 0u);
+  EXPECT_GT(counts.new_order, 0u);
+}
+
+TEST_P(TpccTest, QueryOnlyMixHasNoModifications) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", GetParam(), GetParam());
+  ASSERT_OK(tpcc::CreateTpccTables(db.get()));
+  tpcc::TpccWorkload wl(db.get(), SmallConfig());
+  ASSERT_OK(wl.Load());
+  uint64_t orders_before = db->catalog()->GetTable("torders")->tuple_count();
+
+  tpcc::TpccMix mix = tpcc::TpccMix::QueryOnly();
+  mix.new_order = 0;  // literally queries only for this check
+  ASSERT_OK_AND_ASSIGN(tpcc::TxnCounts counts, wl.Run(mix, 2, 0.3));
+  EXPECT_EQ(counts.payment, 0u);
+  EXPECT_EQ(counts.delivery, 0u);
+  EXPECT_GT(counts.order_status + counts.stock_level, 0u);
+  EXPECT_EQ(db->catalog()->GetTable("torders")->tuple_count(), orders_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndBees, TpccTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Bees" : "Stock";
+                         });
+
+}  // namespace
+}  // namespace microspec

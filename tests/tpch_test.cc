@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/tpch_queries.h"
+#include "workloads/tpch/tpch_schema.h"
+
+namespace microspec {
+namespace {
+
+using testing::CollectRows;
+using testing::OpenDb;
+using testing::ScratchDir;
+
+constexpr double kTestSf = 0.002;  // tiny but non-degenerate
+
+/// Shared fixture: one stock and one bee-enabled database loaded with
+/// identical TPC-H data, reused across all query tests in this binary.
+class TpchQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new ScratchDir();
+    stock_ = OpenDb(dir_->path() + "/stock", /*enable_bees=*/false).release();
+    bee_ = OpenDb(dir_->path() + "/bee", /*enable_bees=*/true,
+                  /*tuple_bees=*/true)
+               .release();
+    ASSERT_OK(tpch::CreateTpchTables(stock_));
+    ASSERT_OK(tpch::CreateTpchTables(bee_));
+    ASSERT_OK(tpch::LoadTpch(stock_, kTestSf));
+    ASSERT_OK(tpch::LoadTpch(bee_, kTestSf));
+  }
+  static void TearDownTestSuite() {
+    delete bee_;
+    delete stock_;
+    delete dir_;
+    bee_ = nullptr;
+    stock_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  static ScratchDir* dir_;
+  static Database* stock_;
+  static Database* bee_;
+};
+
+ScratchDir* TpchQueryTest::dir_ = nullptr;
+Database* TpchQueryTest::stock_ = nullptr;
+Database* TpchQueryTest::bee_ = nullptr;
+
+TEST_P(TpchQueryTest, BeeResultsMatchStock) {
+  int q = GetParam();
+  auto sctx = stock_->MakeContext();
+  auto bctx = bee_->MakeContext();
+  ASSERT_OK_AND_ASSIGN(OperatorPtr splan, tpch::BuildTpchQuery(q, sctx.get()));
+  ASSERT_OK_AND_ASSIGN(OperatorPtr bplan, tpch::BuildTpchQuery(q, bctx.get()));
+  std::vector<std::string> srows = CollectRows(splan.get());
+  std::vector<std::string> brows = CollectRows(bplan.get());
+  EXPECT_EQ(srows, brows) << "q" << q << " diverged between stock and bees";
+}
+
+TEST_P(TpchQueryTest, AdditivityConfigsAgree) {
+  // Every bee-routine subset must produce identical results (Figure 7's
+  // configurations are semantically equivalent).
+  int q = GetParam();
+  SessionOptions gcl_only;
+  gcl_only.enable_gcl = true;
+  SessionOptions gcl_evp = gcl_only;
+  gcl_evp.enable_evp = true;
+  SessionOptions all = SessionOptions::AllBees();
+
+  std::vector<std::vector<std::string>> results;
+  for (const SessionOptions& o : {gcl_only, gcl_evp, all}) {
+    auto ctx = bee_->MakeContext(o);
+    ASSERT_OK_AND_ASSIGN(OperatorPtr plan, tpch::BuildTpchQuery(q, ctx.get()));
+    results.push_back(CollectRows(plan.get()));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest, ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+TEST(TpchData, RowCountsMatchScale) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", false);
+  ASSERT_OK(tpch::CreateTpchTables(db.get()));
+  ASSERT_OK(tpch::LoadTpch(db.get(), kTestSf));
+  tpch::TpchRowCounts c = tpch::TpchRowCounts::At(kTestSf);
+  EXPECT_EQ(db->catalog()->GetTable("region")->tuple_count(), c.region);
+  EXPECT_EQ(db->catalog()->GetTable("nation")->tuple_count(), c.nation);
+  EXPECT_EQ(db->catalog()->GetTable("orders")->tuple_count(), c.orders);
+  EXPECT_EQ(db->catalog()->GetTable("partsupp")->tuple_count(), c.partsupp);
+  // lineitem is 1..7 lines per order
+  uint64_t li = db->catalog()->GetTable("lineitem")->tuple_count();
+  EXPECT_GE(li, c.orders);
+  EXPECT_LE(li, c.orders * 7);
+}
+
+TEST(TpchData, TupleBeesShrinkRelations) {
+  // The Figure 5/8 mechanism: tuple bees move low-cardinality values out of
+  // tuples, so the bee-enabled relation occupies fewer pages.
+  ScratchDir dir;
+  auto stock = OpenDb(dir.path() + "/stock", false);
+  auto bee = OpenDb(dir.path() + "/bee", true, /*tuple_bees=*/true);
+  ASSERT_OK(tpch::CreateTpchTables(stock.get()));
+  ASSERT_OK(tpch::CreateTpchTables(bee.get()));
+  ASSERT_OK(tpch::LoadTpchTable(stock.get(), "lineitem", kTestSf));
+  ASSERT_OK(tpch::LoadTpchTable(bee.get(), "lineitem", kTestSf));
+  uint64_t stock_pages =
+      stock->catalog()->GetTable("lineitem")->heap()->num_pages();
+  uint64_t bee_pages = bee->catalog()->GetTable("lineitem")->heap()->num_pages();
+  EXPECT_LT(bee_pages, stock_pages);
+  bee::BeeStats stats = bee->bees()->stats();
+  EXPECT_GT(stats.tuple_sections, 0);
+  EXPECT_LE(stats.tuple_sections, bee::kMaxTupleBees);
+}
+
+}  // namespace
+}  // namespace microspec
