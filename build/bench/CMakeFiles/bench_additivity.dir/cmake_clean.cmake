@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_additivity.dir/bench_additivity.cc.o"
+  "CMakeFiles/bench_additivity.dir/bench_additivity.cc.o.d"
+  "CMakeFiles/bench_additivity.dir/bench_util.cc.o"
+  "CMakeFiles/bench_additivity.dir/bench_util.cc.o.d"
+  "bench_additivity"
+  "bench_additivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_additivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bee_creation.dir/bench_bee_creation.cc.o"
+  "CMakeFiles/bench_bee_creation.dir/bench_bee_creation.cc.o.d"
+  "CMakeFiles/bench_bee_creation.dir/bench_util.cc.o"
+  "CMakeFiles/bench_bee_creation.dir/bench_util.cc.o.d"
+  "bench_bee_creation"
+  "bench_bee_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bee_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

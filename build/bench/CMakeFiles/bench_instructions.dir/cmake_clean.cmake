@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instructions.dir/bench_instructions.cc.o"
+  "CMakeFiles/bench_instructions.dir/bench_instructions.cc.o.d"
+  "CMakeFiles/bench_instructions.dir/bench_util.cc.o"
+  "CMakeFiles/bench_instructions.dir/bench_util.cc.o.d"
+  "bench_instructions"
+  "bench_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

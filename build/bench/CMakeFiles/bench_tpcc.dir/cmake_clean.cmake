@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcc.dir/bench_tpcc.cc.o"
+  "CMakeFiles/bench_tpcc.dir/bench_tpcc.cc.o.d"
+  "CMakeFiles/bench_tpcc.dir/bench_util.cc.o"
+  "CMakeFiles/bench_tpcc.dir/bench_util.cc.o.d"
+  "bench_tpcc"
+  "bench_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

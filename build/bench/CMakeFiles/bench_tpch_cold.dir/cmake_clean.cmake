@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_cold.dir/bench_tpch_cold.cc.o"
+  "CMakeFiles/bench_tpch_cold.dir/bench_tpch_cold.cc.o.d"
+  "CMakeFiles/bench_tpch_cold.dir/bench_util.cc.o"
+  "CMakeFiles/bench_tpch_cold.dir/bench_util.cc.o.d"
+  "bench_tpch_cold"
+  "bench_tpch_cold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_cold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_warm.dir/bench_tpch_warm.cc.o"
+  "CMakeFiles/bench_tpch_warm.dir/bench_tpch_warm.cc.o.d"
+  "CMakeFiles/bench_tpch_warm.dir/bench_util.cc.o"
+  "CMakeFiles/bench_tpch_warm.dir/bench_util.cc.o.d"
+  "bench_tpch_warm"
+  "bench_tpch_warm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_warm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

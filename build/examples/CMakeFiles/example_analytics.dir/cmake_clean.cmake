@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analytics.dir/analytics.cpp.o"
+  "CMakeFiles/example_analytics.dir/analytics.cpp.o.d"
+  "example_analytics"
+  "example_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

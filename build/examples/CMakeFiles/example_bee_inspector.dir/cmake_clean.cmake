@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bee_inspector.dir/bee_inspector.cpp.o"
+  "CMakeFiles/example_bee_inspector.dir/bee_inspector.cpp.o.d"
+  "example_bee_inspector"
+  "example_bee_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bee_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

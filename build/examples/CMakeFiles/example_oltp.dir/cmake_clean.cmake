@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_oltp.dir/oltp.cpp.o"
+  "CMakeFiles/example_oltp.dir/oltp.cpp.o.d"
+  "example_oltp"
+  "example_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

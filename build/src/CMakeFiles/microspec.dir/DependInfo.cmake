@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bee/bee_module.cc" "src/CMakeFiles/microspec.dir/bee/bee_module.cc.o" "gcc" "src/CMakeFiles/microspec.dir/bee/bee_module.cc.o.d"
+  "/root/repo/src/bee/deform_program.cc" "src/CMakeFiles/microspec.dir/bee/deform_program.cc.o" "gcc" "src/CMakeFiles/microspec.dir/bee/deform_program.cc.o.d"
+  "/root/repo/src/bee/native_jit.cc" "src/CMakeFiles/microspec.dir/bee/native_jit.cc.o" "gcc" "src/CMakeFiles/microspec.dir/bee/native_jit.cc.o.d"
+  "/root/repo/src/bee/query_bee.cc" "src/CMakeFiles/microspec.dir/bee/query_bee.cc.o" "gcc" "src/CMakeFiles/microspec.dir/bee/query_bee.cc.o.d"
+  "/root/repo/src/bee/tuple_bee.cc" "src/CMakeFiles/microspec.dir/bee/tuple_bee.cc.o" "gcc" "src/CMakeFiles/microspec.dir/bee/tuple_bee.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/microspec.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/microspec.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/microspec.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/microspec.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/common/counters.cc" "src/CMakeFiles/microspec.dir/common/counters.cc.o" "gcc" "src/CMakeFiles/microspec.dir/common/counters.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/microspec.dir/common/status.cc.o" "gcc" "src/CMakeFiles/microspec.dir/common/status.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/microspec.dir/common/types.cc.o" "gcc" "src/CMakeFiles/microspec.dir/common/types.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/microspec.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/microspec.dir/engine/database.cc.o.d"
+  "/root/repo/src/exec/hash_agg.cc" "src/CMakeFiles/microspec.dir/exec/hash_agg.cc.o" "gcc" "src/CMakeFiles/microspec.dir/exec/hash_agg.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/microspec.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/microspec.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/index_scan.cc" "src/CMakeFiles/microspec.dir/exec/index_scan.cc.o" "gcc" "src/CMakeFiles/microspec.dir/exec/index_scan.cc.o.d"
+  "/root/repo/src/exec/nested_loop_join.cc" "src/CMakeFiles/microspec.dir/exec/nested_loop_join.cc.o" "gcc" "src/CMakeFiles/microspec.dir/exec/nested_loop_join.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/microspec.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/microspec.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/plan_builder.cc" "src/CMakeFiles/microspec.dir/exec/plan_builder.cc.o" "gcc" "src/CMakeFiles/microspec.dir/exec/plan_builder.cc.o.d"
+  "/root/repo/src/exec/seq_scan.cc" "src/CMakeFiles/microspec.dir/exec/seq_scan.cc.o" "gcc" "src/CMakeFiles/microspec.dir/exec/seq_scan.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/microspec.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/microspec.dir/exec/sort.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/microspec.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/microspec.dir/expr/expr.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/microspec.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/microspec.dir/index/btree.cc.o.d"
+  "/root/repo/src/sqlfe/engine.cc" "src/CMakeFiles/microspec.dir/sqlfe/engine.cc.o" "gcc" "src/CMakeFiles/microspec.dir/sqlfe/engine.cc.o.d"
+  "/root/repo/src/sqlfe/lexer.cc" "src/CMakeFiles/microspec.dir/sqlfe/lexer.cc.o" "gcc" "src/CMakeFiles/microspec.dir/sqlfe/lexer.cc.o.d"
+  "/root/repo/src/sqlfe/parser.cc" "src/CMakeFiles/microspec.dir/sqlfe/parser.cc.o" "gcc" "src/CMakeFiles/microspec.dir/sqlfe/parser.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/microspec.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/microspec.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/microspec.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/microspec.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/microspec.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/microspec.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/CMakeFiles/microspec.dir/storage/tuple.cc.o" "gcc" "src/CMakeFiles/microspec.dir/storage/tuple.cc.o.d"
+  "/root/repo/src/workloads/tpcc/tpcc_schema.cc" "src/CMakeFiles/microspec.dir/workloads/tpcc/tpcc_schema.cc.o" "gcc" "src/CMakeFiles/microspec.dir/workloads/tpcc/tpcc_schema.cc.o.d"
+  "/root/repo/src/workloads/tpcc/tpcc_workload.cc" "src/CMakeFiles/microspec.dir/workloads/tpcc/tpcc_workload.cc.o" "gcc" "src/CMakeFiles/microspec.dir/workloads/tpcc/tpcc_workload.cc.o.d"
+  "/root/repo/src/workloads/tpch/dbgen.cc" "src/CMakeFiles/microspec.dir/workloads/tpch/dbgen.cc.o" "gcc" "src/CMakeFiles/microspec.dir/workloads/tpch/dbgen.cc.o.d"
+  "/root/repo/src/workloads/tpch/tpch_queries.cc" "src/CMakeFiles/microspec.dir/workloads/tpch/tpch_queries.cc.o" "gcc" "src/CMakeFiles/microspec.dir/workloads/tpch/tpch_queries.cc.o.d"
+  "/root/repo/src/workloads/tpch/tpch_schema.cc" "src/CMakeFiles/microspec.dir/workloads/tpch/tpch_schema.cc.o" "gcc" "src/CMakeFiles/microspec.dir/workloads/tpch/tpch_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/microspec_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/microspec_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/database_test.cc" "tests/CMakeFiles/microspec_tests.dir/database_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/database_test.cc.o.d"
+  "/root/repo/tests/dbgen_test.cc" "tests/CMakeFiles/microspec_tests.dir/dbgen_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/dbgen_test.cc.o.d"
+  "/root/repo/tests/deform_program_test.cc" "tests/CMakeFiles/microspec_tests.dir/deform_program_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/deform_program_test.cc.o.d"
+  "/root/repo/tests/engine_smoke_test.cc" "tests/CMakeFiles/microspec_tests.dir/engine_smoke_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/engine_smoke_test.cc.o.d"
+  "/root/repo/tests/expr_test.cc" "tests/CMakeFiles/microspec_tests.dir/expr_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/expr_test.cc.o.d"
+  "/root/repo/tests/failure_test.cc" "tests/CMakeFiles/microspec_tests.dir/failure_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/failure_test.cc.o.d"
+  "/root/repo/tests/operator_test.cc" "tests/CMakeFiles/microspec_tests.dir/operator_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/operator_test.cc.o.d"
+  "/root/repo/tests/query_bee_test.cc" "tests/CMakeFiles/microspec_tests.dir/query_bee_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/query_bee_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/microspec_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/sqlfe_test.cc" "tests/CMakeFiles/microspec_tests.dir/sqlfe_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/sqlfe_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/microspec_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/microspec_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/tpcc_test.cc" "tests/CMakeFiles/microspec_tests.dir/tpcc_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/tpcc_test.cc.o.d"
+  "/root/repo/tests/tpch_test.cc" "tests/CMakeFiles/microspec_tests.dir/tpch_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/tpch_test.cc.o.d"
+  "/root/repo/tests/tuple_bee_test.cc" "tests/CMakeFiles/microspec_tests.dir/tuple_bee_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/tuple_bee_test.cc.o.d"
+  "/root/repo/tests/tuple_test.cc" "tests/CMakeFiles/microspec_tests.dir/tuple_test.cc.o" "gcc" "tests/CMakeFiles/microspec_tests.dir/tuple_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/microspec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
