@@ -25,13 +25,6 @@ int EnvInt(const char* name, int dflt) {
   return x > 0 ? x : dflt;
 }
 
-double EnvDouble(const char* name, double dflt) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return dflt;
-  double x = std::atof(v);
-  return x > 0 ? x : dflt;
-}
-
 struct Scenario {
   const char* name;
   tpcc::TpccMix mix;

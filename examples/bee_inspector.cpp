@@ -4,19 +4,110 @@
 // sections after loading data.
 //
 //   ./build/examples/example_bee_inspector
+//
+// With --verify it instead runs the static bee verifier over every relation
+// bee of the TPC-H and TPC-C schemas (both backends, tuple bees on) and
+// reports per-relation results; the exit code is non-zero on any reject.
+//
+//   ./build/examples/example_bee_inspector --verify
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "bee/bee_module.h"
 #include "bee/native_jit.h"
+#include "bee/verifier.h"
 #include "engine/database.h"
+#include "workloads/tpcc/tpcc_schema.h"
 #include "workloads/tpch/dbgen.h"
 #include "workloads/tpch/tpch_schema.h"
 
 using namespace microspec;
 
-int main() {
+namespace {
+
+/// Verifies every relation bee in `db`; prints one line per relation.
+/// Returns the number of rejects.
+int VerifyAll(Database* db, const char* label) {
+  int rejects = 0;
+  std::printf("--- %s ---\n", label);
+  for (TableInfo* t : db->catalog()->AllTables()) {
+    bee::RelationBeeState* state = db->bees()->StateFor(t->id());
+    if (state == nullptr) {
+      std::printf("  %-12s NO BEE\n", t->name().c_str());
+      ++rejects;
+      continue;
+    }
+    Status st = bee::BeeVerifier::VerifyDeform(
+        state->gcl(), t->schema(), state->stored_schema(), state->spec_cols());
+    if (st.ok()) {
+      st = bee::BeeVerifier::VerifyForm(state->scl(), t->schema(),
+                                        state->stored_schema(),
+                                        state->spec_cols());
+    }
+    bool native_checked = false;
+    if (st.ok() && !state->native_source().empty()) {
+      native_checked = true;
+      st = bee::BeeVerifier::LintNativeGclSource(
+          state->native_source(), t->schema(), state->stored_schema(),
+          state->spec_cols());
+    }
+    if (st.ok()) {
+      std::printf("  %-12s ok (%zu deform steps, %zu form steps%s%s)\n",
+                  t->name().c_str(), state->gcl().steps().size(),
+                  state->scl().steps().size(),
+                  state->has_tuple_bees() ? ", tuple bees" : "",
+                  native_checked ? ", native linted" : "");
+    } else {
+      std::printf("  %-12s REJECTED: %s\n", t->name().c_str(),
+                  st.ToString().c_str());
+      ++rejects;
+    }
+  }
+  return rejects;
+}
+
+int RunVerifyMode() {
+  bee::BeeBackend backend = bee::NativeJit::CompilerAvailable()
+                                ? bee::BeeBackend::kNative
+                                : bee::BeeBackend::kProgram;
+  int rejects = 0;
+  {
+    std::string dir = "/tmp/microspec_inspector_verify_tpch";
+    (void)std::system(("rm -rf " + dir).c_str());
+    DatabaseOptions options;
+    options.dir = dir;
+    options.enable_bees = true;
+    options.enable_tuple_bees = true;
+    options.backend = backend;
+    auto db = Database::Open(std::move(options)).MoveValue();
+    MICROSPEC_CHECK(tpch::CreateTpchTables(db.get()).ok());
+    rejects += VerifyAll(db.get(), "TPC-H relation bees");
+  }
+  {
+    std::string dir = "/tmp/microspec_inspector_verify_tpcc";
+    (void)std::system(("rm -rf " + dir).c_str());
+    DatabaseOptions options;
+    options.dir = dir;
+    options.enable_bees = true;
+    options.enable_tuple_bees = true;
+    options.backend = backend;
+    auto db = Database::Open(std::move(options)).MoveValue();
+    MICROSPEC_CHECK(tpcc::CreateTpccTables(db.get()).ok());
+    rejects += VerifyAll(db.get(), "TPC-C relation bees");
+  }
+  std::printf("\n%s\n", rejects == 0 ? "all relation bees verified"
+                                     : "REJECTS FOUND");
+  return rejects == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--verify") == 0) {
+    return RunVerifyMode();
+  }
   std::string dir = "/tmp/microspec_inspector";
   (void)std::system(("rm -rf " + dir).c_str());
   DatabaseOptions options;

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Static-analysis and test gate for microspec — the CI entry point.
+#
+#   scripts/check.sh            # -Werror build + cppcheck/clang-tidy + ctest
+#   SANITIZE=1 scripts/check.sh # additionally build & test under ASan/UBSan
+#
+# Steps (each must pass):
+#   1. Configure + build with -Werror, so every warning is a failure.
+#   2. cppcheck over src/ if installed (error-level findings fail the gate);
+#      clang-tidy over the bee module if installed. Both are optional tools:
+#      the gate degrades gracefully when they are absent.
+#   3. ctest (the full suite; the bee verifier runs in enforce mode there).
+#   4. With SANITIZE=1, rebuild with -DMICROSPEC_SANITIZE="address;undefined"
+#      and run the suite again under the sanitizers.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== 1/4: -Werror build =="
+# -Wno-restrict: GCC 12's -O2 restrict analysis false-positives inside
+# libstdc++'s std::string append paths; everything else stays fatal.
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_CXX_FLAGS="-Werror -Wno-restrict" >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== 2/4: static analysis =="
+if command -v cppcheck >/dev/null 2>&1; then
+  cppcheck --quiet --error-exitcode=1 \
+    --enable=warning,portability \
+    --inline-suppr \
+    --suppress=internalAstError \
+    -I "$ROOT/src" "$ROOT/src"
+  echo "cppcheck: clean"
+else
+  echo "cppcheck: not installed, skipped"
+fi
+if command -v clang-tidy >/dev/null 2>&1; then
+  clang-tidy --quiet -p "$BUILD_DIR" \
+    "$ROOT"/src/bee/*.cc -- -std=c++20 -I"$ROOT/src" || exit 1
+  echo "clang-tidy: clean"
+else
+  echo "clang-tidy: not installed, skipped"
+fi
+
+echo "== 3/4: tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [ "${SANITIZE:-0}" = "1" ]; then
+  echo "== 4/4: ASan/UBSan build + tests =="
+  SAN_DIR="$BUILD_DIR-asan"
+  cmake -B "$SAN_DIR" -S "$ROOT" \
+    -DMICROSPEC_SANITIZE="address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$SAN_DIR" -j "$JOBS"
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
+else
+  echo "== 4/4: sanitizers skipped (set SANITIZE=1 to enable) =="
+fi
+
+echo "check.sh: all gates passed"

@@ -1,5 +1,6 @@
 #include "bee/bee_module.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sys/stat.h>
@@ -110,24 +111,46 @@ RelationBeeState::RelationBeeState(TableInfo* table,
   stored_ = Schema(std::move(stored_cols));
 }
 
-Status RelationBeeState::Build(BeeBackend backend, NativeJit* jit,
-                               const std::string& cache_dir) {
+Status RelationBeeState::Build(const BeeModuleOptions& options,
+                               NativeJit* jit) {
   const Schema& logical = table_->schema();
   gcl_ = DeformProgram::Compile(logical, stored_, spec_cols_);
   scl_ = FormProgram::Compile(logical, stored_, spec_cols_);
   if (!spec_cols_.empty()) {
     bees_ = std::make_unique<TupleBeeManager>(&logical, spec_cols_);
   }
-  if (backend == BeeBackend::kNative && NativeJit::CompilerAvailable()) {
+  if (options.backend == BeeBackend::kNative &&
+      NativeJit::CompilerAvailable()) {
     std::string symbol = "bee_gcl_t" + std::to_string(table_->id());
     native_source_ =
         NativeJit::GenerateGclSource(logical, stored_, spec_cols_, symbol);
-    Result<NativeGclFn> fn =
-        jit->CompileGcl(logical, stored_, spec_cols_, cache_dir, symbol);
+    Result<NativeGclFn> fn = jit->CompileGcl(logical, stored_, spec_cols_,
+                                             options.cache_dir, symbol);
     if (fn.ok()) {
       native_gcl_ = fn.value();
     }
     // Compilation failure silently degrades to the program backend.
+  }
+  // Static verification before the routines become reachable: a bad bee is
+  // a silent data-corruption bug, so a reject refuses installation under
+  // kEnforce and degrades to a loud warning under kWarn.
+  if (options.verify != VerifyMode::kOff) {
+    Status st = BeeVerifier::VerifyDeform(gcl_, logical, stored_, spec_cols_);
+    if (st.ok()) {
+      st = BeeVerifier::VerifyForm(scl_, logical, stored_, spec_cols_);
+    }
+    if (st.ok() && !native_source_.empty()) {
+      st = BeeVerifier::LintNativeGclSource(native_source_, logical, stored_,
+                                            spec_cols_);
+    }
+    if (!st.ok()) {
+      if (options.verify == VerifyMode::kEnforce) {
+        return Status(st.code(), "relation bee for '" + table_->name() +
+                                     "' rejected: " + st.message());
+      }
+      std::fprintf(stderr, "microspec: bee verifier warning for '%s': %s\n",
+                   table_->name().c_str(), st.ToString().c_str());
+    }
   }
   deformer_ = std::make_unique<GclDeformer>(this);
   former_ = std::make_unique<SclFormer>(this);
@@ -154,8 +177,7 @@ Status BeeModule::CreateRelationBees(TableInfo* table,
     }
   }
   auto state = std::make_unique<RelationBeeState>(table, std::move(spec_cols));
-  MICROSPEC_RETURN_NOT_OK(
-      state->Build(options_.backend, &jit_, options_.cache_dir));
+  MICROSPEC_RETURN_NOT_OK(state->Build(options_, &jit_));
   std::unique_lock<std::shared_mutex> guard(mutex_);
   states_[table->id()] = std::move(state);
   return Status::OK();
@@ -276,8 +298,7 @@ Status BeeModule::LoadCache(Catalog* catalog, bool enable_tuple_bees) {
       return Status::Corruption("bee cache fingerprint mismatch");
     }
     auto state = std::make_unique<RelationBeeState>(table, spec_cols);
-    MICROSPEC_RETURN_NOT_OK(
-        state->Build(options_.backend, &jit_, options_.cache_dir));
+    MICROSPEC_RETURN_NOT_OK(state->Build(options_, &jit_));
     for (uint32_t i = 0; i < nsec; ++i) {
       uint32_t len = 0;
       if (!GetU32(in, &pos, &len) || pos + len > in.size()) {

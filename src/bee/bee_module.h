@@ -12,6 +12,7 @@
 #include "bee/placement.h"
 #include "bee/query_bee.h"
 #include "bee/tuple_bee.h"
+#include "bee/verifier.h"
 #include "catalog/catalog.h"
 #include "exec/operator.h"
 
@@ -34,6 +35,9 @@ struct BeeModuleOptions {
   bool placement_isolation = true;
   /// Directory for generated bee sources/objects and the on-disk bee cache.
   std::string cache_dir;
+  /// Static verification of freshly compiled bee routines (both backends)
+  /// before they are installed. Tests run under kEnforce.
+  VerifyMode verify = VerifyMode::kOff;
 };
 
 /// Aggregate bee statistics (surfaced by the engine and bee_inspector).
@@ -54,9 +58,9 @@ class RelationBeeState {
   RelationBeeState(TableInfo* table, std::vector<int> spec_cols);
   MICROSPEC_DISALLOW_COPY_AND_MOVE(RelationBeeState);
 
-  /// Compiles the GCL/SCL programs (and the native routine when requested).
-  Status Build(BeeBackend backend, NativeJit* jit,
-               const std::string& cache_dir);
+  /// Compiles the GCL/SCL programs (and the native routine when requested),
+  /// then verifies them per `options.verify` before they become reachable.
+  Status Build(const BeeModuleOptions& options, NativeJit* jit);
 
   const Schema& stored_schema() const { return stored_; }
   const std::vector<int>& spec_cols() const { return spec_cols_; }

@@ -72,6 +72,9 @@ class DeformProgram {
                const TupleBeeManager* bees) const;
 
   const std::vector<DeformStep>& steps() const { return steps_; }
+  /// The all-dynamic, null-checked variant taken by tuples carrying NULLs.
+  /// Exposed so the bee verifier can check it agrees with the fast path.
+  const std::vector<DeformStep>& null_steps() const { return null_steps_; }
   bool all_not_null() const { return all_not_null_; }
 
   /// Disassembles the program (debugging / the bee_inspector example).
@@ -147,6 +150,8 @@ class FormProgram {
   }
 
   const std::vector<FormStep>& steps() const { return steps_; }
+  uint32_t header_size() const { return header_size_; }
+  uint32_t header_size_nulls() const { return header_size_nulls_; }
 
  private:
   std::vector<FormStep> steps_;

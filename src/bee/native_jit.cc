@@ -132,20 +132,29 @@ Result<NativeGclFn> NativeJit::CompileGcl(const Schema& logical,
   std::fwrite(src.data(), 1, src.size(), f);
   std::fclose(f);
 
+  // On any failure below, the partial .c/.so artifacts are removed so a
+  // failed compilation cannot leave a stale bee in the on-disk cache.
+  auto fail = [&](std::string msg) {
+    std::remove(c_path.c_str());
+    std::remove(so_path.c_str());
+    return Status::Internal(std::move(msg));
+  };
   std::string cmd =
       "cc -O2 -shared -fPIC -o " + so_path + " " + c_path + " 2>/dev/null";
   if (std::system(cmd.c_str()) != 0) {
-    return Status::Internal("bee compilation failed: " + cmd);
+    return fail("bee compilation failed: " + cmd);
   }
   void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {
-    return Status::Internal(std::string("dlopen failed: ") + dlerror());
+    return fail(std::string("dlopen failed: ") + dlerror());
   }
-  handles_.push_back(handle);
+  // The handle is cached only once the symbol is known to resolve.
   void* sym = dlsym(handle, symbol.c_str());
   if (sym == nullptr) {
-    return Status::Internal("bee symbol missing: " + symbol);
+    dlclose(handle);
+    return fail("bee symbol missing: " + symbol);
   }
+  handles_.push_back(handle);
   return reinterpret_cast<NativeGclFn>(sym);
 }
 

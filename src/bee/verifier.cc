@@ -1,0 +1,488 @@
+#include "bee/verifier.h"
+
+#include <cstdint>
+
+#include "common/align.h"
+#include "storage/tuple.h"
+
+namespace microspec::bee {
+
+const char* VerifyModeName(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kOff:
+      return "off";
+    case VerifyMode::kWarn:
+      return "warn";
+    case VerifyMode::kEnforce:
+      return "enforce";
+  }
+  return "?";
+}
+
+namespace {
+
+Status Reject(size_t step, const std::string& what) {
+  return Status::InvalidArgument("bee verifier: step " + std::to_string(step) +
+                                 ": " + what);
+}
+
+/// What the layout model expects for one column: the canonical ops and how
+/// far the fixed cursor advances past the value.
+struct ColOps {
+  DeformOp fixed_op;
+  DeformOp dyn_op;
+  FormOp form_op;
+  uint32_t advance;    // fixed-cursor advance; 0 for varlena (value-dependent)
+  bool is_varlena;
+  bool is_char;
+};
+
+ColOps OpsFor(const Column& c) {
+  ColOps ops{};
+  if (c.byval()) {
+    switch (c.attlen()) {
+      case 1:
+        ops = {DeformOp::kFixed1, DeformOp::kDyn1, FormOp::kPut1, 1, false,
+               false};
+        break;
+      case 4:
+        ops = {DeformOp::kFixed4, DeformOp::kDyn4, FormOp::kPut4, 4, false,
+               false};
+        break;
+      default:
+        ops = {DeformOp::kFixed8, DeformOp::kDyn8, FormOp::kPut8, 8, false,
+               false};
+        break;
+    }
+  } else if (c.attlen() == kVariableLength) {
+    ops = {DeformOp::kFixedVarlena, DeformOp::kDynVarlena, FormOp::kPutVarlena,
+           0, true, false};
+  } else {
+    ops = {DeformOp::kFixedChar, DeformOp::kDynChar, FormOp::kPutChar,
+           static_cast<uint32_t>(c.attlen()), false, true};
+  }
+  return ops;
+}
+
+bool IsFixedOp(DeformOp op) {
+  return static_cast<uint8_t>(op) <= static_cast<uint8_t>(DeformOp::kFixedVarlena);
+}
+
+/// Validates spec_cols and builds logical-attno -> section-slot and
+/// logical-attno -> stored-ordinal maps, cross-checking that the stored
+/// schema really is the logical schema minus the specialized columns.
+Status BuildMaps(const Schema& logical, const Schema& stored,
+                 const std::vector<int>& spec_cols, std::vector<int>* to_slot,
+                 std::vector<int>* to_stored) {
+  to_slot->assign(static_cast<size_t>(logical.natts()), -1);
+  to_stored->assign(static_cast<size_t>(logical.natts()), -1);
+  for (size_t s = 0; s < spec_cols.size(); ++s) {
+    int c = spec_cols[s];
+    if (c < 0 || c >= logical.natts()) {
+      return Status::InvalidArgument(
+          "bee verifier: specialized column " + std::to_string(c) +
+          " outside the logical schema");
+    }
+    if ((*to_slot)[static_cast<size_t>(c)] >= 0) {
+      return Status::InvalidArgument("bee verifier: specialized column " +
+                                     std::to_string(c) + " listed twice");
+    }
+    (*to_slot)[static_cast<size_t>(c)] = static_cast<int>(s);
+  }
+  int stored_idx = 0;
+  for (int i = 0; i < logical.natts(); ++i) {
+    if ((*to_slot)[static_cast<size_t>(i)] >= 0) continue;
+    if (stored_idx >= stored.natts()) {
+      return Status::InvalidArgument(
+          "bee verifier: stored schema is missing attributes of the logical "
+          "schema");
+    }
+    const Column& lc = logical.column(i);
+    const Column& sc = stored.column(stored_idx);
+    if (lc.attlen() != sc.attlen() || lc.attalign() != sc.attalign() ||
+        lc.byval() != sc.byval() || lc.not_null() != sc.not_null()) {
+      return Status::InvalidArgument(
+          "bee verifier: stored column " + std::to_string(stored_idx) +
+          " physically disagrees with logical column " + std::to_string(i));
+    }
+    (*to_stored)[static_cast<size_t>(i)] = stored_idx++;
+  }
+  if (stored_idx != stored.natts()) {
+    return Status::InvalidArgument(
+        "bee verifier: stored schema has extra attributes not present in the "
+        "logical schema");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BeeVerifier::VerifyDeformSteps(const std::vector<DeformStep>& steps,
+                                      const std::vector<DeformStep>& null_steps,
+                                      const Schema& logical,
+                                      const Schema& stored,
+                                      const std::vector<int>& spec_cols) {
+  std::vector<int> to_slot;
+  std::vector<int> to_stored;
+  MICROSPEC_RETURN_NOT_OK(
+      BuildMaps(logical, stored, spec_cols, &to_slot, &to_stored));
+  const int natts = logical.natts();
+
+  if (steps.size() != static_cast<size_t>(natts)) {
+    return Status::InvalidArgument(
+        "bee verifier: program has " + std::to_string(steps.size()) +
+        " steps for " + std::to_string(natts) +
+        " logical attributes (attribute covered zero times or twice)");
+  }
+
+  // --- Fast path: replay every step through the cursor state machine. ------
+  bool fixed_mode = true;
+  uint32_t off = 0;
+  for (size_t k = 0; k < steps.size(); ++k) {
+    const DeformStep& st = steps[k];
+    if (st.out >= natts) {
+      return Reject(k, "out index " + std::to_string(st.out) +
+                           " outside the logical schema");
+    }
+    if (st.out != static_cast<uint16_t>(k)) {
+      return Reject(k, "covers attribute " + std::to_string(st.out) +
+                           " out of order (duplicate or missing coverage; the "
+                           "partial-deform early-out requires ascending out)");
+    }
+    const int slot = to_slot[k];
+    if (st.op == DeformOp::kSection) {
+      if (slot < 0) {
+        return Reject(k, "section load for a non-specialized attribute");
+      }
+      if (st.arg >= spec_cols.size()) {
+        return Reject(k, "section slot " + std::to_string(st.arg) +
+                             " out of range");
+      }
+      if (st.arg != static_cast<uint32_t>(slot)) {
+        return Reject(k, "wrong section slot (got " + std::to_string(st.arg) +
+                             ", layout says " + std::to_string(slot) + ")");
+      }
+      continue;  // specialized columns occupy no tuple storage
+    }
+    if (slot >= 0) {
+      return Reject(k, "specialized attribute must be a section load");
+    }
+    if (st.stored >= stored.natts()) {
+      return Reject(k, "stored ordinal " + std::to_string(st.stored) +
+                           " outside the stored schema");
+    }
+    if (st.stored != static_cast<uint16_t>(to_stored[k])) {
+      return Reject(k, "wrong stored ordinal (bitmap position) for logical "
+                       "attribute " +
+                           std::to_string(k));
+    }
+    const Column& c = logical.column(static_cast<int>(k));
+    const ColOps ops = OpsFor(c);
+    const uint32_t align = static_cast<uint32_t>(c.attalign());
+    if (st.maybe_null != !c.not_null()) {
+      return Reject(k, c.not_null()
+                           ? "maybe_null set on a NOT NULL attribute"
+                           : "nullable stored attribute missing maybe_null");
+    }
+    if (IsFixedOp(st.op)) {
+      if (!fixed_mode) {
+        return Reject(k,
+                      "fixed-mode step after the first variable-length "
+                      "attribute (offset is no longer a constant)");
+      }
+      if (st.op != ops.fixed_op) {
+        return Reject(k, "op does not match the column's physical type");
+      }
+      const uint32_t want = AlignUp32(off, align);
+      if (st.arg % align != 0) {
+        return Reject(k, "misaligned fixed offset " + std::to_string(st.arg) +
+                             " (attalign " + std::to_string(align) + ")");
+      }
+      if (st.arg != want) {
+        return Reject(k, "fixed offset " + std::to_string(st.arg) +
+                             " disagrees with the cursor model (expected " +
+                             std::to_string(want) +
+                             "; non-monotonic or overlapping layout)");
+      }
+      if (ops.is_char && st.len != ops.advance) {
+        return Reject(k, "char(n) length mismatch");
+      }
+      if (ops.is_varlena) {
+        fixed_mode = false;  // later offsets depend on this value's length
+      } else {
+        off = want + ops.advance;
+      }
+    } else {
+      if (fixed_mode) {
+        return Reject(k,
+                      "dynamic step while the layout prefix is still fixed "
+                      "(the executor's dynamic cursor would be stale)");
+      }
+      if (st.op != ops.dyn_op) {
+        return Reject(k, "op does not match the column's physical type");
+      }
+      if (st.align != align) {
+        return Reject(k, "alignment " + std::to_string(st.align) +
+                             " disagrees with catalog attalign " +
+                             std::to_string(align));
+      }
+      if (ops.is_char && st.len != ops.advance) {
+        return Reject(k, "char(n) length mismatch");
+      }
+    }
+  }
+
+  // --- Null-aware variant: all-dynamic, and shape-identical to the fast
+  // path (same attribute order, same section slots, same widths). ----------
+  if (null_steps.size() != steps.size()) {
+    return Status::InvalidArgument(
+        "bee verifier: fast path and null-aware variant disagree on step "
+        "count (" +
+        std::to_string(steps.size()) + " vs " +
+        std::to_string(null_steps.size()) + ")");
+  }
+  for (size_t k = 0; k < null_steps.size(); ++k) {
+    const DeformStep& ns = null_steps[k];
+    const DeformStep& fast = steps[k];
+    if (ns.out != fast.out) {
+      return Reject(k, "null-aware variant deforms a different attribute "
+                       "than the fast path");
+    }
+    if (fast.op == DeformOp::kSection) {
+      if (ns.op != DeformOp::kSection || ns.arg != fast.arg) {
+        return Reject(k, "null-aware variant disagrees with the fast path "
+                         "on a section load");
+      }
+      continue;
+    }
+    if (ns.op == DeformOp::kSection) {
+      return Reject(k, "null-aware variant treats a stored attribute as "
+                       "specialized");
+    }
+    if (IsFixedOp(ns.op)) {
+      return Reject(k,
+                    "fixed-mode op in the null-aware variant (a NULL earlier "
+                    "in the tuple shifts every later offset)");
+    }
+    if (ns.stored != fast.stored) {
+      return Reject(k, "null-aware variant disagrees with the fast path on "
+                       "the stored ordinal");
+    }
+    const Column& c = logical.column(static_cast<int>(k));
+    const ColOps ops = OpsFor(c);
+    if (ns.op != ops.dyn_op) {
+      return Reject(k, "null-aware variant op disagrees with the fast path's "
+                       "value width");
+    }
+    if (ns.align != static_cast<uint32_t>(c.attalign())) {
+      return Reject(k, "null-aware variant alignment disagrees with catalog "
+                       "attalign");
+    }
+    if (ops.is_char && ns.len != ops.advance) {
+      return Reject(k, "null-aware variant char(n) length mismatch");
+    }
+    const Column& sc = stored.column(ns.stored);
+    if (!sc.not_null() && !ns.maybe_null) {
+      return Reject(k,
+                    "nullable stored attribute missing maybe_null (the "
+                    "bitmap would never be tested and garbage read)");
+    }
+    if (sc.not_null() && ns.maybe_null) {
+      return Reject(k, "maybe_null set on a NOT NULL stored attribute");
+    }
+  }
+  return Status::OK();
+}
+
+Status BeeVerifier::VerifyDeform(const DeformProgram& program,
+                                 const Schema& logical, const Schema& stored,
+                                 const std::vector<int>& spec_cols) {
+  Status st = VerifyDeformSteps(program.steps(), program.null_steps(), logical,
+                                stored, spec_cols);
+  if (st.ok()) return st;
+  return Status(st.code(), st.message() + "\nprogram disassembly:\n" +
+                               program.ToString());
+}
+
+Status BeeVerifier::VerifyFormSteps(const std::vector<FormStep>& steps,
+                                    uint32_t header_size,
+                                    uint32_t header_size_nulls,
+                                    const Schema& logical, const Schema& stored,
+                                    const std::vector<int>& spec_cols) {
+  std::vector<int> to_slot;
+  std::vector<int> to_stored;
+  MICROSPEC_RETURN_NOT_OK(
+      BuildMaps(logical, stored, spec_cols, &to_slot, &to_stored));
+
+  if (header_size != TupleHeaderSize(stored.natts(), /*has_nulls=*/false)) {
+    return Status::InvalidArgument(
+        "bee verifier: form header size disagrees with the tuple layout");
+  }
+  if (header_size_nulls !=
+      TupleHeaderSize(stored.natts(), /*has_nulls=*/true)) {
+    return Status::InvalidArgument(
+        "bee verifier: form null-bitmap header size disagrees with the tuple "
+        "layout");
+  }
+  if (steps.size() != static_cast<size_t>(stored.natts())) {
+    return Status::InvalidArgument(
+        "bee verifier: form program has " + std::to_string(steps.size()) +
+        " steps for " + std::to_string(stored.natts()) +
+        " stored attributes (attribute covered zero times or twice)");
+  }
+  size_t k = 0;
+  for (int i = 0; i < logical.natts(); ++i) {
+    if (to_slot[static_cast<size_t>(i)] >= 0) continue;  // lives in a section
+    const FormStep& st = steps[k];
+    if (st.in >= logical.natts()) {
+      return Reject(k, "in index " + std::to_string(st.in) +
+                           " outside the logical schema");
+    }
+    if (st.in != static_cast<uint16_t>(i)) {
+      return Reject(k, "form step takes its value from attribute " +
+                           std::to_string(st.in) + ", layout says " +
+                           std::to_string(i));
+    }
+    if (st.stored != static_cast<uint16_t>(to_stored[static_cast<size_t>(i)])) {
+      return Reject(k, "wrong stored ordinal (bitmap position)");
+    }
+    const Column& c = logical.column(i);
+    const ColOps ops = OpsFor(c);
+    if (st.op != ops.form_op) {
+      return Reject(k, "op does not match the column's physical type");
+    }
+    if (st.align != static_cast<uint32_t>(c.attalign())) {
+      return Reject(k, "alignment disagrees with catalog attalign");
+    }
+    if (ops.is_char && st.len != ops.advance) {
+      return Reject(k, "char(n) length mismatch");
+    }
+    if (st.maybe_null != !c.not_null()) {
+      return Reject(k, c.not_null()
+                           ? "maybe_null set on a NOT NULL attribute"
+                           : "nullable attribute missing maybe_null (a NULL "
+                             "value's garbage pointer would be stored)");
+    }
+    ++k;
+  }
+  return Status::OK();
+}
+
+Status BeeVerifier::VerifyForm(const FormProgram& program,
+                               const Schema& logical, const Schema& stored,
+                               const std::vector<int>& spec_cols) {
+  return VerifyFormSteps(program.steps(), program.header_size(),
+                         program.header_size_nulls(), logical, stored,
+                         spec_cols);
+}
+
+Status BeeVerifier::LintNativeGclSource(const std::string& source,
+                                        const Schema& logical,
+                                        const Schema& stored,
+                                        const std::vector<int>& spec_cols) {
+  std::vector<int> to_slot;
+  std::vector<int> to_stored;
+  MICROSPEC_RETURN_NOT_OK(
+      BuildMaps(logical, stored, spec_cols, &to_slot, &to_stored));
+
+  auto missing = [](const std::string& what, const std::string& token) {
+    return Status::InvalidArgument("native bee lint: missing or out-of-order " +
+                                   what + " (`" + token + "`)");
+  };
+
+  // Preamble: the isnull collapse, the header-offset constant, and (with
+  // tuple bees) the data-section lookup keyed by the header's beeID byte.
+  size_t pos = source.find("memset(isnull, 0");
+  if (pos == std::string::npos) {
+    return missing("isnull collapse", "memset(isnull, 0");
+  }
+  const std::string hoff_token =
+      "tuple + " +
+      std::to_string(TupleHeaderSize(stored.natts(), /*has_nulls=*/false));
+  pos = source.find(hoff_token, pos);
+  if (pos == std::string::npos) {
+    return missing("header offset constant", hoff_token);
+  }
+  if (!spec_cols.empty()) {
+    const std::string sec_token = "sections[(unsigned char)tuple[3]]";
+    pos = source.find(sec_token, pos);
+    if (pos == std::string::npos) {
+      return missing("data-section lookup", sec_token);
+    }
+  }
+
+  // Per attribute: find the natts early-outs in ascending order, then check
+  // the statement segment between consecutive early-outs against the layout
+  // model (the same cursor state machine the program verifier replays).
+  std::vector<size_t> guard_pos(static_cast<size_t>(logical.natts()) + 1,
+                                source.size());
+  size_t cursor = pos;
+  for (int i = 0; i < logical.natts(); ++i) {
+    const std::string guard =
+        "if (natts < " + std::to_string(i + 1) + ") return;";
+    size_t found = source.find(guard, cursor);
+    if (found == std::string::npos) {
+      return missing("partial-deform early-out for attribute " +
+                         std::to_string(i),
+                     guard);
+    }
+    guard_pos[static_cast<size_t>(i)] = found;
+    cursor = found + guard.size();
+  }
+
+  bool fixed_mode = true;
+  uint32_t off = 0;
+  for (int i = 0; i < logical.natts(); ++i) {
+    const size_t seg_begin = guard_pos[static_cast<size_t>(i)];
+    const size_t seg_end = guard_pos[static_cast<size_t>(i) + 1];
+    const std::string seg = source.substr(seg_begin, seg_end - seg_begin);
+    const std::string attr = "attribute " + std::to_string(i);
+    const std::string out_token = "values[" + std::to_string(i) + "]";
+    if (seg.find(out_token) == std::string::npos) {
+      return missing("store to " + attr, out_token);
+    }
+    const int slot = to_slot[static_cast<size_t>(i)];
+    if (slot >= 0) {
+      const std::string sec = "sec[" + std::to_string(slot) + "]";
+      if (seg.find(sec) == std::string::npos) {
+        return missing("section slot for " + attr, sec);
+      }
+      continue;
+    }
+    const Column& c = logical.column(i);
+    const uint32_t align = static_cast<uint32_t>(c.attalign());
+    if (fixed_mode) {
+      off = AlignUp32(off, align);
+      // The offset constant must be followed by a delimiter so e.g. an
+      // expected "tp + 8" does not accept a generated "tp + 80".
+      const std::string at = "tp + " + std::to_string(off);
+      size_t found = seg.find(at);
+      while (found != std::string::npos &&
+             found + at.size() < seg.size() &&
+             seg[found + at.size()] != ',' && seg[found + at.size()] != ')') {
+        found = seg.find(at, found + 1);
+      }
+      if (found == std::string::npos) {
+        return missing("fixed offset constant for " + attr, at);
+      }
+      if (c.attlen() == kVariableLength) {
+        fixed_mode = false;
+      } else {
+        off += static_cast<uint32_t>(c.attlen());
+      }
+    } else {
+      if (align > 1) {
+        const std::string mask = "& ~" + std::to_string(align - 1) + "u";
+        if (seg.find(mask) == std::string::npos) {
+          return missing("dynamic alignment mask for " + attr, mask);
+        }
+      }
+      if (seg.find("off") == std::string::npos) {
+        return missing("dynamic cursor use for " + attr, "off");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace microspec::bee

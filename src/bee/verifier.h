@@ -1,0 +1,91 @@
+#ifndef MICROSPEC_BEE_VERIFIER_H_
+#define MICROSPEC_BEE_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "bee/deform_program.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace microspec::bee {
+
+/// When the bee module verifies freshly compiled specialization code.
+/// A bee replaces the metadata-checked generic path with straight-line code,
+/// so a bad bee is a silent data-corruption bug; the verifier is the type
+/// system those hot paths otherwise lack.
+enum class VerifyMode : uint8_t {
+  kOff,      // trust the compiler (the seed behaviour)
+  kWarn,     // verify, log rejects to stderr, install the bee anyway
+  kEnforce,  // verify, refuse to install a rejected bee (tests run here)
+};
+
+const char* VerifyModeName(VerifyMode mode);
+
+/// --- The bee verifier -------------------------------------------------------
+/// An eBPF-style static verifier for generated specialization code: before a
+/// relation bee is installed, its compiled DeformProgram / FormProgram is
+/// abstract-interpreted against the catalog schemas. The abstract domain is
+/// the tuple cursor — a state machine that starts in *fixed* mode (every
+/// offset a compile-time constant, aligned per common/align.h) and moves to
+/// *dynamic* mode at the first variable-length stored attribute. The
+/// verifier replays each step through that model and rejects programs that:
+///
+///   - carry a fixed offset that is misaligned or disagrees with the model's
+///     monotonically advancing cursor,
+///   - use a fixed-mode op after the cursor has gone dynamic (or a dynamic
+///     op while the layout is still provably fixed),
+///   - index out of range (`out` past the logical schema, `stored` past the
+///     stored schema, a section slot past the specialized columns),
+///   - mismatch the column's physical type (op width, char(n) length,
+///     alignment),
+///   - omit `maybe_null` on a nullable stored attribute in the null-aware
+///     variant (a missed bitmap test reads garbage),
+///   - fail to cover every logical attribute exactly once in ascending
+///     order (the partial-deform early-out depends on it), or
+///   - let the fast path and the null_steps variant disagree on shape.
+///
+/// The native backend is validated from the same model: LintNativeGclSource
+/// structurally checks the generated C against the layout the verifier
+/// computed, so both backends answer to one source of truth.
+class BeeVerifier {
+ public:
+  /// Verifies a compiled GCL program. On rejection the Status message
+  /// carries a step-level diagnostic plus the program disassembly.
+  static Status VerifyDeform(const DeformProgram& program,
+                             const Schema& logical, const Schema& stored,
+                             const std::vector<int>& spec_cols);
+
+  /// Step-level entry point (also used by negative tests, which feed
+  /// mutated copies of a compiled program's steps).
+  static Status VerifyDeformSteps(const std::vector<DeformStep>& steps,
+                                  const std::vector<DeformStep>& null_steps,
+                                  const Schema& logical, const Schema& stored,
+                                  const std::vector<int>& spec_cols);
+
+  /// Verifies a compiled SCL program (step shape, stored ordinals, header
+  /// sizes) against the same layout model.
+  static Status VerifyForm(const FormProgram& program, const Schema& logical,
+                           const Schema& stored,
+                           const std::vector<int>& spec_cols);
+
+  static Status VerifyFormSteps(const std::vector<FormStep>& steps,
+                                uint32_t header_size,
+                                uint32_t header_size_nulls,
+                                const Schema& logical, const Schema& stored,
+                                const std::vector<int>& spec_cols);
+
+  /// Structural lint of NativeJit::GenerateGclSource output: the attribute
+  /// statements must appear in order, guarded by the per-attribute natts
+  /// early-outs, with the header offset, fixed-offset constants, dynamic
+  /// alignment masks, and section slots all matching the verifier's layout
+  /// model.
+  static Status LintNativeGclSource(const std::string& source,
+                                    const Schema& logical,
+                                    const Schema& stored,
+                                    const std::vector<int>& spec_cols);
+};
+
+}  // namespace microspec::bee
+
+#endif  // MICROSPEC_BEE_VERIFIER_H_

@@ -37,6 +37,7 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     bo.backend = db->options_.backend;
     bo.placement_isolation = db->options_.placement_isolation;
     bo.cache_dir = db->options_.dir + "/bees";
+    bo.verify = db->options_.verify_mode;
     db->bees_ = std::make_unique<bee::BeeModule>(bo);
   }
   return db;

@@ -24,6 +24,9 @@ struct DatabaseOptions {
   bool enable_tuple_bees = false;
   bee::BeeBackend backend = bee::BeeBackend::kProgram;
   bool placement_isolation = true;
+  /// Static verification of generated bee routines at creation time
+  /// (off | warn | enforce); tests run under enforce.
+  bee::VerifyMode verify_mode = bee::VerifyMode::kOff;
 };
 
 /// The engine facade: owns the buffer pool, catalog, and (optionally) the

@@ -202,7 +202,7 @@ TEST(InstructionCounter, StartStopMonotone) {
   c.Start();
   workops::Bump(100);  // ensures the soft fallback counts something
   volatile int sink = 0;
-  for (int i = 0; i < 1000; ++i) sink += i;
+  for (int i = 0; i < 1000; ++i) sink = sink + i;
   uint64_t n = c.Stop();
   EXPECT_GT(n, 0u);
 }

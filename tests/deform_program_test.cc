@@ -92,6 +92,75 @@ TEST(DeformProgram, PartialDeformStopsAtRequestedAttr) {
   EXPECT_EQ(DatumToInt64(out[2]), 12345);  // untouched
 }
 
+/// ExecuteWithNulls edge case: every attribute NULL — the tuple body is
+/// empty and every step must take the bitmap branch without touching it.
+TEST(DeformProgram, NullPathAllAttributesNull) {
+  Schema s({Column("a", TypeId::kInt32, false),
+            Column("v", TypeId::kVarchar, false),
+            Column("c", TypeId::kChar, false, 9),
+            Column("f", TypeId::kFloat64, false)});
+  Datum in[4] = {0, 0, 0, 0};
+  bool nulls[4] = {true, true, true, true};
+  uint32_t size = tupleops::ComputeTupleSize(s, in, nulls);
+  std::string buf(size, '\0');
+  tupleops::FormTuple(s, in, nulls, buf.data());
+  DeformProgram p = DeformProgram::Compile(s, s, {});
+  Datum out[4] = {7, 7, 7, 7};
+  bool out_null[4] = {false, false, false, false};
+  p.Execute(buf.data(), 4, out, out_null, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(out_null[i]) << i;
+    EXPECT_EQ(out[i], 0u) << i;  // NULL slots are zeroed, not left stale
+  }
+}
+
+/// ExecuteWithNulls edge case: a NULL varlena mid-tuple. The attributes
+/// after it shift left by the varlena's entire (value-dependent) size, so
+/// the dynamic cursor must realign from the bytes actually present.
+TEST(DeformProgram, NullPathNullVarlenaForcesRealignment) {
+  Schema s({Column("a", TypeId::kInt32, true),
+            Column("v", TypeId::kVarchar, false),
+            Column("b", TypeId::kInt64, true),
+            Column("w", TypeId::kVarchar, true),
+            Column("d", TypeId::kInt32, true)});
+  Arena arena;
+  Datum in[5] = {DatumFromInt32(11), 0, DatumFromInt64(-42),
+                 tupleops::MakeVarlena(&arena, "tail"), DatumFromInt32(13)};
+  bool nulls[5] = {false, true, false, false, false};
+  CheckDeformAgainstGeneric(s, in, nulls);
+
+  // Same schema, varlena present: both paths must agree with themselves.
+  Datum in2[5] = {DatumFromInt32(1), tupleops::MakeVarlena(&arena, "mid!"),
+                  DatumFromInt64(2), tupleops::MakeVarlena(&arena, ""),
+                  DatumFromInt32(3)};
+  bool nulls2[5] = {false, false, false, false, false};
+  CheckDeformAgainstGeneric(s, in2, nulls2);
+}
+
+/// ExecuteWithNulls edge case: partial deform (natts < logical attribute
+/// count) on a NULL-carrying tuple stops at the requested attribute and
+/// leaves later output slots untouched.
+TEST(DeformProgram, NullPathPartialDeform) {
+  Schema s({Column("a", TypeId::kInt32, false),
+            Column("v", TypeId::kVarchar, false),
+            Column("b", TypeId::kInt64, false)});
+  Arena arena;
+  Datum in[3] = {0, tupleops::MakeVarlena(&arena, "xy"), DatumFromInt64(77)};
+  bool nulls[3] = {true, false, false};
+  uint32_t size = tupleops::ComputeTupleSize(s, in, nulls);
+  std::string buf(size, '\0');
+  tupleops::FormTuple(s, in, nulls, buf.data());
+  DeformProgram p = DeformProgram::Compile(s, s, {});
+  Datum out[3] = {1, 2, 31337};
+  bool out_null[3] = {false, false, false};
+  p.Execute(buf.data(), 2, out, out_null, nullptr);
+  EXPECT_TRUE(out_null[0]);
+  ASSERT_FALSE(out_null[1]);
+  EXPECT_EQ(std::string(VarlenaView(out[1])), "xy");
+  EXPECT_EQ(out[2], 31337u);      // untouched
+  EXPECT_FALSE(out_null[2]);      // untouched
+}
+
 TEST(FormProgram, MatchesGenericBytesExactly) {
   Schema s({Column("a", TypeId::kInt32, true),
             Column("v", TypeId::kVarchar, true),

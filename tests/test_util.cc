@@ -31,6 +31,9 @@ std::unique_ptr<Database> OpenDb(const std::string& dir, bool enable_bees,
   opts.enable_tuple_bees = tuple_bees;
   opts.backend = backend;
   opts.buffer_pool_frames = 2048;
+  // Every test-created database runs the bee verifier in enforce mode: a
+  // bee the verifier rejects fails the test that tried to create it.
+  opts.verify_mode = bee::VerifyMode::kEnforce;
   auto res = Database::Open(std::move(opts));
   MICROSPEC_CHECK(res.ok());
   return res.MoveValue();
