@@ -14,10 +14,11 @@ using benchutil::BenchEnv;
 using benchutil::ImprovementPct;
 using benchutil::RunTpchQuery;
 
-void Run() {
+void Run(int argc, char** argv) {
   BenchEnv env;
   benchutil::PrintHeader(
       "Figure 4: TPC-H run time improvement (warm cache, all bees)", env);
+  benchutil::BenchReport report("tpch_warm", env);
 
   auto stock = benchutil::MakeTpchDb(env, "stock", false, false);
   auto bee = benchutil::MakeTpchDb(env, "bee", true, true);
@@ -44,17 +45,25 @@ void Run() {
     sum_pct += pct;
     std::printf("q%-4d %12.2f %12.2f %8.1f%%   %s\n", q, st * 1e3, bt * 1e3,
                 pct, tpch::TpchQueryDescription(q));
+    std::string metric = "q" + std::to_string(q) + "_seconds";
+    report.Add("stock", metric, st);
+    report.Add("bees", metric, bt);
   }
   std::printf("\nAvg1 (mean of per-query improvements): %.1f%%  (paper: 12.4%%)\n",
               sum_pct / tpch::kNumTpchQueries);
   std::printf("Avg2 (improvement of total time):      %.1f%%  (paper: 23.7%%)\n",
               ImprovementPct(sum_stock, sum_bee));
+  report.Add("bees", "avg1_mean_improvement_pct",
+             sum_pct / tpch::kNumTpchQueries);
+  report.Add("bees", "avg2_total_improvement_pct",
+             ImprovementPct(sum_stock, sum_bee));
+  report.WriteIfRequested(argc, argv);
 }
 
 }  // namespace
 }  // namespace microspec
 
-int main() {
-  microspec::Run();
+int main(int argc, char** argv) {
+  microspec::Run(argc, argv);
   return 0;
 }

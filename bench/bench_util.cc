@@ -72,6 +72,10 @@ std::unique_ptr<Database> MakeTpchDb(const BenchEnv& env,
   auto db = OpenBenchDb(env, name, enable_bees, tuple_bees);
   MICROSPEC_CHECK(tpch::CreateTpchTables(db.get()).ok());
   MICROSPEC_CHECK(tpch::LoadTpch(db.get(), env.sf).ok());
+  // Steady-state harnesses measure the promoted (native) tier; drain the
+  // forge so measurement never races a background compile. bench_forge is
+  // the one harness that measures the promotion window itself.
+  db->QuiesceBees();
   return db;
 }
 
@@ -141,6 +145,91 @@ uint64_t RunTpchQuery(Database* db, const SessionOptions& opts, int q) {
   auto rows = CountRows(plan->get());
   MICROSPEC_CHECK(rows.ok());
   return rows.value();
+}
+
+double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return (samples[mid - 1] + samples[mid]) / 2.0;
+}
+
+namespace {
+
+/// Minimal JSON string escaping; metric/config names are library-chosen but
+/// a path or description could carry quotes or backslashes.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name, const BenchEnv& env)
+    : name_(std::move(bench_name)),
+      sf_(env.sf),
+      reps_(env.reps),
+      backend_(env.backend == bee::BeeBackend::kNative ? "native"
+                                                       : "program") {}
+
+void BenchReport::Add(const std::string& config, const std::string& metric,
+                      double value) {
+  entries_.push_back(Entry{config, metric, value});
+}
+
+Status BenchReport::WriteJson(const std::string& path) const {
+  std::string out = "{\n";
+  out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
+  out += "  \"scale_factor\": " + std::to_string(sf_) + ",\n";
+  out += "  \"reps\": " + std::to_string(reps_) + ",\n";
+  out += "  \"backend\": \"" + backend_ + "\",\n";
+  out += "  \"results\": [\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.9g", entries_[i].value);
+    out += "    {\"config\": \"" + JsonEscape(entries_[i].config) +
+           "\", \"metric\": \"" + JsonEscape(entries_[i].metric) +
+           "\", \"value\": " + value + "}";
+    out += i + 1 < entries_.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot write " + path);
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+std::string BenchReport::WriteIfRequested(int argc, char** argv) const {
+  std::string path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") path = argv[i + 1];
+  }
+  if (path.empty()) {
+    const char* env = std::getenv("BENCH_JSON");
+    if (env != nullptr) path = env;
+  }
+  if (path.empty()) return "";
+  Status st = WriteJson(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench json: %s\n", st.ToString().c_str());
+    return "";
+  }
+  std::printf("\n[json results written to %s]\n", path.c_str());
+  return path;
 }
 
 void PrintHeader(const std::string& title, const BenchEnv& env) {

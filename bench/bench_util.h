@@ -67,6 +67,44 @@ inline double ImprovementPct(double stock, double specialized) {
   return stock <= 0 ? 0 : (stock - specialized) / stock * 100.0;
 }
 
+/// Median of a sample set (by copy; samples are small).
+double Median(std::vector<double> samples);
+
+/// Machine-readable results for the perf-trajectory files: harnesses record
+/// (config, metric, value) entries and the report is written as JSON when
+/// the user asks for it via `--json out.json` or the BENCH_JSON env var:
+///
+///   {"bench": "...", "scale_factor": ..., "reps": ..., "backend": "...",
+///    "results": [{"config": "...", "metric": "...", "value": ...}, ...]}
+///
+/// Values are seconds unless the metric name says otherwise.
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, const BenchEnv& env);
+
+  void Add(const std::string& config, const std::string& metric,
+           double value);
+
+  /// Resolves the output path from `--json <path>` argv or BENCH_JSON; when
+  /// present, writes the report there and returns the path ("" otherwise).
+  std::string WriteIfRequested(int argc, char** argv) const;
+
+  /// Writes the report to `path` unconditionally.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string config;
+    std::string metric;
+    double value;
+  };
+  std::string name_;
+  double sf_;
+  int reps_;
+  std::string backend_;
+  std::vector<Entry> entries_;
+};
+
 /// Prints a separator + title for a figure harness.
 void PrintHeader(const std::string& title, const BenchEnv& env);
 

@@ -10,6 +10,14 @@
 // reports per-relation results; the exit code is non-zero on any reject.
 //
 //   ./build/examples/example_bee_inspector --verify
+//
+// With --forge it opens a native-backend database, creates the TPC-H
+// relations (native compilation runs asynchronously in the forge), drives a
+// skewed scan workload to build up hotness, drains the forge, and prints the
+// per-relation tier table: phase, per-tier invocation counts, and any pinned
+// diagnostic.
+//
+//   ./build/examples/example_bee_inspector --forge
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +27,7 @@
 #include "bee/native_jit.h"
 #include "bee/verifier.h"
 #include "engine/database.h"
+#include "exec/seq_scan.h"
 #include "workloads/tpcc/tpcc_schema.h"
 #include "workloads/tpch/dbgen.h"
 #include "workloads/tpch/tpch_schema.h"
@@ -102,11 +111,87 @@ int RunVerifyMode() {
   return rejects == 0 ? 0 : 1;
 }
 
+/// --forge: live view of the tiered-compilation runtime. Creates the TPC-H
+/// relations under the native backend (DDL returns immediately; compiles run
+/// in the forge), drives a skewed scan workload so relations differ in
+/// hotness, drains the forge, and prints the tier table.
+int RunForgeMode() {
+  if (!bee::NativeJit::CompilerAvailable()) {
+    std::printf("--forge needs the native backend; no C compiler found\n");
+    return 0;
+  }
+  std::string dir = "/tmp/microspec_inspector_forge";
+  (void)std::system(("rm -rf " + dir).c_str());
+  DatabaseOptions options;
+  options.dir = dir;
+  options.enable_bees = true;
+  options.backend = bee::BeeBackend::kNative;
+  auto db = Database::Open(std::move(options)).MoveValue();
+  MICROSPEC_CHECK(tpch::CreateTpchTables(db.get()).ok());
+  MICROSPEC_CHECK(tpch::LoadTpch(db.get(), 0.002).ok());
+
+  // Skewed workload: lineitem is scanned often, orders occasionally, the
+  // rest once — the forge promotes the hottest pending relation first.
+  auto scan = [&](const char* name, int reps) {
+    TableInfo* t = db->catalog()->GetTable(name);
+    for (int i = 0; i < reps; ++i) {
+      auto ctx = db->MakeContext();
+      SeqScan s(ctx.get(), t);
+      MICROSPEC_CHECK(CountRows(&s).ok());
+    }
+  };
+  for (TableInfo* t : db->catalog()->AllTables()) scan(t->name().c_str(), 1);
+  scan("lineitem", 8);
+  scan("orders", 3);
+  db->QuiesceBees();
+  // One more scan per relation: everything promoted now runs natively.
+  for (TableInfo* t : db->catalog()->AllTables()) scan(t->name().c_str(), 1);
+
+  std::printf("=== forge tier table (after quiesce) ===\n\n");
+  std::printf("%-10s %-10s %12s %12s  %s\n", "relation", "phase",
+              "program-invs", "native-invs", "note");
+  for (TableInfo* t : db->catalog()->AllTables()) {
+    bee::RelationBeeState* state = db->bees()->StateFor(t->id());
+    if (state == nullptr) continue;
+    std::printf("%-10s %-10s %12llu %12llu  %s\n", t->name().c_str(),
+                bee::ForgePhaseName(state->forge_phase()),
+                static_cast<unsigned long long>(
+                    state->program_tier_invocations()),
+                static_cast<unsigned long long>(
+                    state->native_tier_invocations()),
+                state->forge_phase() == bee::ForgePhase::kPinned
+                    ? state->forge_error().c_str()
+                    : "");
+  }
+
+  bee::ForgeStats fs = db->bees()->stats().forge;
+  std::printf("\n--- forge stats ---\n");
+  std::printf("enqueued %llu, promoted %llu, retries %llu, failures %llu, "
+              "pinned %llu, cancelled %llu\n",
+              static_cast<unsigned long long>(fs.enqueued),
+              static_cast<unsigned long long>(fs.promotions),
+              static_cast<unsigned long long>(fs.retries),
+              static_cast<unsigned long long>(fs.failures),
+              static_cast<unsigned long long>(fs.pinned),
+              static_cast<unsigned long long>(fs.cancelled));
+  std::printf("compile time: %.1f ms total, %.1f ms max\n",
+              fs.compile_seconds_total * 1e3, fs.compile_seconds_max * 1e3);
+  bee::BeeStats stats = db->bees()->stats();
+  std::printf("tier invocations across all relations: program %llu, "
+              "native %llu\n",
+              static_cast<unsigned long long>(stats.program_tier_invocations),
+              static_cast<unsigned long long>(stats.native_tier_invocations));
+  return fs.promotions > 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--verify") == 0) {
     return RunVerifyMode();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--forge") == 0) {
+    return RunForgeMode();
   }
   std::string dir = "/tmp/microspec_inspector";
   (void)std::system(("rm -rf " + dir).c_str());

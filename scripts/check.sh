@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Static-analysis and test gate for microspec — the CI entry point.
 #
-#   scripts/check.sh            # -Werror build + cppcheck/clang-tidy + ctest
-#   SANITIZE=1 scripts/check.sh # additionally build & test under ASan/UBSan
+#   scripts/check.sh                 # -Werror build + static analysis + ctest
+#   SANITIZE=1 scripts/check.sh      # additionally test under ASan/UBSan
+#   SANITIZE=thread scripts/check.sh # additionally test under TSan (the
+#                                    # forge gate: async compilation races)
 #
 # Steps (each must pass):
 #   1. Configure + build with -Werror, so every warning is a failure.
@@ -11,7 +13,9 @@
 #      the gate degrades gracefully when they are absent.
 #   3. ctest (the full suite; the bee verifier runs in enforce mode there).
 #   4. With SANITIZE=1, rebuild with -DMICROSPEC_SANITIZE="address;undefined"
-#      and run the suite again under the sanitizers.
+#      and run the suite again under the sanitizers. With SANITIZE=thread,
+#      rebuild with -DMICROSPEC_SANITIZE=thread instead (TSan cannot share a
+#      build with ASan). Run both modes for full coverage.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -47,17 +51,31 @@ fi
 echo "== 3/4: tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-if [ "${SANITIZE:-0}" = "1" ]; then
-  echo "== 4/4: ASan/UBSan build + tests =="
-  SAN_DIR="$BUILD_DIR-asan"
-  cmake -B "$SAN_DIR" -S "$ROOT" \
-    -DMICROSPEC_SANITIZE="address;undefined" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build "$SAN_DIR" -j "$JOBS"
-  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
-else
-  echo "== 4/4: sanitizers skipped (set SANITIZE=1 to enable) =="
-fi
+case "${SANITIZE:-0}" in
+  1)
+    echo "== 4/4: ASan/UBSan build + tests =="
+    SAN_DIR="$BUILD_DIR-asan"
+    cmake -B "$SAN_DIR" -S "$ROOT" \
+      -DMICROSPEC_SANITIZE="address;undefined" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build "$SAN_DIR" -j "$JOBS"
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+      ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
+    ;;
+  thread)
+    echo "== 4/4: TSan build + tests =="
+    SAN_DIR="$BUILD_DIR-tsan"
+    cmake -B "$SAN_DIR" -S "$ROOT" \
+      -DMICROSPEC_SANITIZE="thread" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build "$SAN_DIR" -j "$JOBS"
+    TSAN_OPTIONS=halt_on_error=1 \
+      ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
+    ;;
+  *)
+    echo "== 4/4: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
+         "SANITIZE=thread for TSan) =="
+    ;;
+esac
 
 echo "check.sh: all gates passed"

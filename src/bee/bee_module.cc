@@ -20,15 +20,21 @@ class GclDeformer final : public TupleDeformer {
               bool* isnull) const override {
     // Prefer the natively compiled routine on the fast (no NULLs) path; the
     // program backend handles the NULL slow path and serves as fallback.
+    // The acquire load is the forge's swap-in point: a scan racing a
+    // promotion keeps using the program tier and picks up the native
+    // routine on its next tuple. The tier counters feed the forge's
+    // hotness-ordered compile queue.
     TupleBeeManager* bees = state_->tuple_bees();
-    if (state_->native_gcl() != nullptr &&
+    NativeGclFn native = state_->native_gcl();
+    if (native != nullptr &&
         (static_cast<uint8_t>(tuple[2]) & kTupleHasNulls) == 0) {
+      state_->BumpNativeTier();
       workops::Bump(2 * static_cast<uint64_t>(natts));
-      state_->native_gcl()(tuple, natts, values,
-                           reinterpret_cast<char*>(isnull),
-                           bees != nullptr ? bees->datum_table() : nullptr);
+      native(tuple, natts, values, reinterpret_cast<char*>(isnull),
+             bees != nullptr ? bees->datum_table() : nullptr);
       return;
     }
+    state_->BumpProgramTier();
     state_->gcl().Execute(tuple, natts, values, isnull, bees);
   }
 
@@ -43,6 +49,7 @@ class SclFormer final : public TupleFormer {
 
   Status FormTuple(const Datum* values, const bool* isnull,
                    std::string* out) const override {
+    state_->BumpProgramTier();  // SCL always runs on the program tier
     uint8_t bee_id = 0;
     bool has_bee = false;
     TupleBeeManager* bees = state_->tuple_bees();
@@ -100,56 +107,53 @@ constexpr uint32_t kBeeCacheMagic = 0xBEEC0DEu;
 
 RelationBeeState::RelationBeeState(TableInfo* table,
                                    std::vector<int> spec_cols)
-    : table_(table), spec_cols_(std::move(spec_cols)) {
+    : table_(table),
+      name_(table->name()),
+      spec_cols_(std::move(spec_cols)),
+      // Value copy: forge workers verify/compile against this schema and
+      // must not chase the TableInfo, which dies with a DROP TABLE.
+      logical_(table->schema()) {
   std::vector<Column> stored_cols;
-  const Schema& logical = table->schema();
-  for (int i = 0; i < logical.natts(); ++i) {
+  for (int i = 0; i < logical_.natts(); ++i) {
     bool spec = false;
     for (int c : spec_cols_) spec = spec || (c == i);
-    if (!spec) stored_cols.push_back(logical.column(i));
+    if (!spec) stored_cols.push_back(logical_.column(i));
   }
   stored_ = Schema(std::move(stored_cols));
 }
 
-Status RelationBeeState::Build(const BeeModuleOptions& options,
-                               NativeJit* jit) {
-  const Schema& logical = table_->schema();
-  gcl_ = DeformProgram::Compile(logical, stored_, spec_cols_);
-  scl_ = FormProgram::Compile(logical, stored_, spec_cols_);
+Status RelationBeeState::Build(const BeeModuleOptions& options) {
+  gcl_ = DeformProgram::Compile(logical_, stored_, spec_cols_);
+  scl_ = FormProgram::Compile(logical_, stored_, spec_cols_);
   if (!spec_cols_.empty()) {
-    bees_ = std::make_unique<TupleBeeManager>(&logical, spec_cols_);
+    bees_ = std::make_unique<TupleBeeManager>(&logical_, spec_cols_);
   }
   if (options.backend == BeeBackend::kNative &&
       NativeJit::CompilerAvailable()) {
-    std::string symbol = "bee_gcl_t" + std::to_string(table_->id());
-    native_source_ =
-        NativeJit::GenerateGclSource(logical, stored_, spec_cols_, symbol);
-    Result<NativeGclFn> fn = jit->CompileGcl(logical, stored_, spec_cols_,
-                                             options.cache_dir, symbol);
-    if (fn.ok()) {
-      native_gcl_ = fn.value();
-    }
-    // Compilation failure silently degrades to the program backend.
+    // Source generation is cheap string work and happens here, on the DDL
+    // thread; verification, the compiler invocation, and the dlopen are the
+    // forge's job (bee/forge.h) and never block CREATE TABLE in async mode.
+    native_symbol_ = "bee_gcl_t" + std::to_string(table_->id());
+    native_source_ = NativeJit::GenerateGclSource(logical_, stored_,
+                                                  spec_cols_, native_symbol_);
   }
-  // Static verification before the routines become reachable: a bad bee is
-  // a silent data-corruption bug, so a reject refuses installation under
-  // kEnforce and degrades to a loud warning under kWarn.
+  // Static verification of the program tier before its routines become
+  // reachable: a bad bee is a silent data-corruption bug, so a reject
+  // refuses installation under kEnforce and degrades to a loud warning
+  // under kWarn. The native source is linted off-thread by the forge under
+  // the same mode right before compilation.
   if (options.verify != VerifyMode::kOff) {
-    Status st = BeeVerifier::VerifyDeform(gcl_, logical, stored_, spec_cols_);
+    Status st = BeeVerifier::VerifyDeform(gcl_, logical_, stored_, spec_cols_);
     if (st.ok()) {
-      st = BeeVerifier::VerifyForm(scl_, logical, stored_, spec_cols_);
-    }
-    if (st.ok() && !native_source_.empty()) {
-      st = BeeVerifier::LintNativeGclSource(native_source_, logical, stored_,
-                                            spec_cols_);
+      st = BeeVerifier::VerifyForm(scl_, logical_, stored_, spec_cols_);
     }
     if (!st.ok()) {
       if (options.verify == VerifyMode::kEnforce) {
-        return Status(st.code(), "relation bee for '" + table_->name() +
+        return Status(st.code(), "relation bee for '" + name_ +
                                      "' rejected: " + st.message());
       }
       std::fprintf(stderr, "microspec: bee verifier warning for '%s': %s\n",
-                   table_->name().c_str(), st.ToString().c_str());
+                   name_.c_str(), st.ToString().c_str());
     }
   }
   deformer_ = std::make_unique<GclDeformer>(this);
@@ -161,6 +165,11 @@ BeeModule::BeeModule(BeeModuleOptions options)
     : options_(std::move(options)),
       placement_(options_.placement_isolation) {
   if (!options_.cache_dir.empty()) EnsureDir(options_.cache_dir);
+  if (options_.backend == BeeBackend::kNative &&
+      NativeJit::CompilerAvailable()) {
+    forge_ = std::make_unique<Forge>(&jit_, options_.verify,
+                                     options_.cache_dir, options_.forge);
+  }
 }
 
 BeeModule::~BeeModule() = default;
@@ -176,22 +185,42 @@ Status BeeModule::CreateRelationBees(TableInfo* table,
       }
     }
   }
-  auto state = std::make_unique<RelationBeeState>(table, std::move(spec_cols));
-  MICROSPEC_RETURN_NOT_OK(state->Build(options_, &jit_));
-  std::unique_lock<std::shared_mutex> guard(mutex_);
-  states_[table->id()] = std::move(state);
+  auto state = std::make_shared<RelationBeeState>(table, std::move(spec_cols));
+  MICROSPEC_RETURN_NOT_OK(state->Build(options_));
+  {
+    std::unique_lock<std::shared_mutex> guard(mutex_);
+    states_[table->id()] = state;
+  }
+  // Outside the catalog-facing lock: DDL holds mutex_ only for the map
+  // insert, never across forge scheduling (which in sync mode compiles).
+  ScheduleNative(state);
   return Status::OK();
+}
+
+void BeeModule::ScheduleNative(
+    const std::shared_ptr<RelationBeeState>& state) {
+  if (forge_ == nullptr || state->native_source().empty()) return;
+  forge_->Enqueue(state);
 }
 
 void BeeModule::CollectTable(TableId id) {
   std::unique_lock<std::shared_mutex> guard(mutex_);
-  states_.erase(id);
+  auto it = states_.find(id);
+  if (it == states_.end()) return;
+  // A forge job may still hold a reference; the flag turns its eventual
+  // verify/compile/publish into a no-op.
+  it->second->MarkCollected();
+  states_.erase(it);
 }
 
 RelationBeeState* BeeModule::StateFor(TableId id) {
   std::shared_lock<std::shared_mutex> guard(mutex_);
   auto it = states_.find(id);
   return it == states_.end() ? nullptr : it->second.get();
+}
+
+void BeeModule::Quiesce() {
+  if (forge_ != nullptr) forge_->Quiesce();
 }
 
 const TupleDeformer* BeeModule::DeformerFor(TableInfo* table,
@@ -217,7 +246,7 @@ std::unique_ptr<PredicateEvaluator> BeeModule::SpecializePredicate(
   if (!opts.enable_evp) return nullptr;
   std::unique_ptr<PredicateEvaluator> bee =
       TrySpecializePredicate(expr, &placement_, /*input_nullable=*/true);
-  if (bee != nullptr) ++evp_created_;
+  if (bee != nullptr) evp_created_.fetch_add(1, std::memory_order_relaxed);
   return bee;
 }
 
@@ -227,7 +256,7 @@ std::unique_ptr<JoinKeyEvaluator> BeeModule::SpecializeJoinKeys(
   if (!opts.enable_evj) return nullptr;
   std::unique_ptr<JoinKeyEvaluator> bee =
       TrySpecializeJoinKeys(outer_cols, inner_cols, key_meta, &placement_);
-  if (bee != nullptr) ++evj_created_;
+  if (bee != nullptr) evj_created_.fetch_add(1, std::memory_order_relaxed);
   return bee;
 }
 
@@ -242,8 +271,7 @@ Status BeeModule::SaveCache() const {
     PutU64(&out, state->table()->schema().LayoutFingerprint());
     PutU32(&out, static_cast<uint32_t>(state->spec_cols().size()));
     for (int c : state->spec_cols()) PutU32(&out, static_cast<uint32_t>(c));
-    const TupleBeeManager* bees =
-        const_cast<RelationBeeState*>(state.get())->tuple_bees();
+    const TupleBeeManager* bees = state->tuple_bees();
     uint32_t nsec =
         bees == nullptr ? 0 : static_cast<uint32_t>(bees->num_sections());
     PutU32(&out, nsec);
@@ -297,8 +325,8 @@ Status BeeModule::LoadCache(Catalog* catalog, bool enable_tuple_bees) {
     if (table->schema().LayoutFingerprint() != fp) {
       return Status::Corruption("bee cache fingerprint mismatch");
     }
-    auto state = std::make_unique<RelationBeeState>(table, spec_cols);
-    MICROSPEC_RETURN_NOT_OK(state->Build(options_, &jit_));
+    auto state = std::make_shared<RelationBeeState>(table, spec_cols);
+    MICROSPEC_RETURN_NOT_OK(state->Build(options_));
     for (uint32_t i = 0; i < nsec; ++i) {
       uint32_t len = 0;
       if (!GetU32(in, &pos, &len) || pos + len > in.size()) {
@@ -308,29 +336,38 @@ Status BeeModule::LoadCache(Catalog* catalog, bool enable_tuple_bees) {
           state->tuple_bees()->RestoreSection(in.substr(pos, len)));
       pos += len;
     }
-    std::unique_lock<std::shared_mutex> guard(mutex_);
-    states_[static_cast<TableId>(id)] = std::move(state);
+    {
+      std::unique_lock<std::shared_mutex> guard(mutex_);
+      states_[static_cast<TableId>(id)] = state;
+    }
+    // Bee Reconstruction re-enters the promotion pipeline: reloaded
+    // relations start on the program tier and regain native code async.
+    ScheduleNative(state);
   }
   return Status::OK();
 }
 
 BeeStats BeeModule::stats() const {
   BeeStats s;
+  // Forge snapshot first: its mutex is never taken while mutex_ is held (nor
+  // vice versa), keeping the two services free of lock-order coupling.
+  if (forge_ != nullptr) s.forge = forge_->stats();
   std::shared_lock<std::shared_mutex> guard(mutex_);
   for (const auto& [id, state] : states_) {
     (void)id;
     ++s.relation_bees;
     if (state->has_native_gcl()) ++s.native_gcl_routines;
-    TupleBeeManager* bees =
-        const_cast<RelationBeeState*>(state.get())->tuple_bees();
+    s.program_tier_invocations += state->program_tier_invocations();
+    s.native_tier_invocations += state->native_tier_invocations();
+    TupleBeeManager* bees = state->tuple_bees();
     if (bees != nullptr) {
       ++s.tuple_bee_relations;
       s.tuple_sections += bees->num_sections();
       s.section_bytes += bees->section_bytes();
     }
   }
-  s.evp_bees_created = evp_created_;
-  s.evj_bees_created = evj_created_;
+  s.evp_bees_created = evp_created_.load(std::memory_order_relaxed);
+  s.evj_bees_created = evj_created_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -1,26 +1,101 @@
 #include "bee/native_jit.h"
 
 #include <dlfcn.h>
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/align.h"
 #include "storage/tuple.h"
 
+extern char** environ;
+
 namespace microspec::bee {
+
+namespace {
+
+/// Caps how much compiler stderr is folded into a Status message; gcc can
+/// produce pages of notes for one bad line.
+constexpr size_t kMaxStderrCapture = 8 * 1024;
+
+/// Runs `argv` via posix_spawnp with stdout discarded and stderr captured
+/// into `stderr_out` (truncated to kMaxStderrCapture). Unlike std::system
+/// this neither invokes a shell nor races other threads over SIGCHLD
+/// dispositions, so forge workers can compile concurrently.
+Status RunCommand(const std::vector<std::string>& argv,
+                  std::string* stderr_out) {
+  stderr_out->clear();
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) return Status::IoError("pipe failed");
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_addopen(&actions, STDOUT_FILENO, "/dev/null",
+                                   O_WRONLY, 0);
+  posix_spawn_file_actions_adddup2(&actions, pipefd[1], STDERR_FILENO);
+  posix_spawn_file_actions_addclose(&actions, pipefd[0]);
+  posix_spawn_file_actions_addclose(&actions, pipefd[1]);
+
+  pid_t pid = -1;
+  int rc = ::posix_spawnp(&pid, cargv[0], &actions, nullptr, cargv.data(),
+                          environ);
+  posix_spawn_file_actions_destroy(&actions);
+  ::close(pipefd[1]);
+  if (rc != 0) {
+    ::close(pipefd[0]);
+    return Status::Internal(std::string("posix_spawnp ") + argv[0] + ": " +
+                            std::strerror(rc));
+  }
+
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::read(pipefd[0], buf, sizeof(buf))) > 0) {
+    if (stderr_out->size() < kMaxStderrCapture) {
+      stderr_out->append(buf, static_cast<size_t>(n));
+    }
+  }
+  ::close(pipefd[0]);
+  if (stderr_out->size() > kMaxStderrCapture) {
+    stderr_out->resize(kMaxStderrCapture);
+    stderr_out->append("\n[stderr truncated]");
+  }
+
+  int wstatus = 0;
+  while (::waitpid(pid, &wstatus, 0) < 0) {
+    if (errno != EINTR) return Status::Internal("waitpid failed");
+  }
+  if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) return Status::OK();
+  return Status::Internal(argv[0] + std::string(" exited with status ") +
+                          std::to_string(WIFEXITED(wstatus)
+                                             ? WEXITSTATUS(wstatus)
+                                             : -1));
+}
+
+}  // namespace
 
 NativeJit::~NativeJit() {
   for (void* h : handles_) dlclose(h);
 }
 
 bool NativeJit::CompilerAvailable() {
-  static int available = -1;
-  if (available < 0) {
-    available = std::system("cc --version > /dev/null 2>&1") == 0 ? 1 : 0;
-  }
-  return available == 1;
+  // Magic-static initialization: the probe runs exactly once even when DDL
+  // threads and forge workers race the first call.
+  static const bool available = [] {
+    std::string err;
+    return RunCommand({"cc", "--version"}, &err).ok();
+  }();
+  return available;
 }
 
 std::string NativeJit::GenerateGclSource(const Schema& logical,
@@ -118,18 +193,23 @@ Result<NativeGclFn> NativeJit::CompileGcl(const Schema& logical,
                                           const std::vector<int>& spec_cols,
                                           const std::string& work_dir,
                                           const std::string& symbol) {
+  // NULLs take the program backend's slow path before reaching native code;
+  // the generated routine assumes the no-nulls fixed layout.
+  return CompileSource(GenerateGclSource(logical, stored, spec_cols, symbol),
+                       work_dir, symbol);
+}
+
+Result<NativeGclFn> NativeJit::CompileSource(const std::string& source,
+                                             const std::string& work_dir,
+                                             const std::string& symbol) {
   if (!CompilerAvailable()) {
     return Status::NotSupported("no C compiler on this host");
   }
-  // NULLs take the program backend's slow path before reaching native code;
-  // the generated routine assumes the no-nulls fixed layout.
-  std::string src =
-      GenerateGclSource(logical, stored, spec_cols, symbol);
   std::string c_path = work_dir + "/" + symbol + ".c";
   std::string so_path = work_dir + "/" + symbol + ".so";
   FILE* f = std::fopen(c_path.c_str(), "w");
   if (f == nullptr) return Status::IoError("cannot write " + c_path);
-  std::fwrite(src.data(), 1, src.size(), f);
+  std::fwrite(source.data(), 1, source.size(), f);
   std::fclose(f);
 
   // On any failure below, the partial .c/.so artifacts are removed so a
@@ -139,10 +219,16 @@ Result<NativeGclFn> NativeJit::CompileGcl(const Schema& logical,
     std::remove(so_path.c_str());
     return Status::Internal(std::move(msg));
   };
-  std::string cmd =
-      "cc -O2 -shared -fPIC -o " + so_path + " " + c_path + " 2>/dev/null";
-  if (std::system(cmd.c_str()) != 0) {
-    return fail("bee compilation failed: " + cmd);
+  std::string compiler_stderr;
+  Status st = RunCommand(
+      {"cc", "-O2", "-shared", "-fPIC", "-o", so_path, c_path},
+      &compiler_stderr);
+  if (!st.ok()) {
+    // The captured diagnostics ride along in the Status so an async compile
+    // failure is debuggable from forge state instead of silently lost.
+    std::string msg = "bee compilation failed (" + st.message() + ")";
+    if (!compiler_stderr.empty()) msg += ":\n" + compiler_stderr;
+    return fail(std::move(msg));
   }
   void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {
@@ -154,7 +240,10 @@ Result<NativeGclFn> NativeJit::CompileGcl(const Schema& logical,
     dlclose(handle);
     return fail("bee symbol missing: " + symbol);
   }
-  handles_.push_back(handle);
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    handles_.push_back(handle);
+  }
   return reinterpret_cast<NativeGclFn>(sym);
 }
 

@@ -1,6 +1,7 @@
 #ifndef MICROSPEC_BEE_NATIVE_JIT_H_
 #define MICROSPEC_BEE_NATIVE_JIT_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,19 +21,23 @@ using NativeGclFn = void (*)(const char* tuple, int natts,
                              const unsigned long* const* sections);
 
 /// --- The native bee backend -------------------------------------------------
-/// At relation-bee creation time (CREATE TABLE — where, per Section III-B,
-/// "bee creation overhead is not critical ... we can invoke gcc"), this
-/// backend emits C source equivalent to the paper's Listing 2, invokes the
-/// system C compiler to build a shared object, and dlopens the resulting
+/// This backend emits C source equivalent to the paper's Listing 2, invokes
+/// the system C compiler to build a shared object, and dlopens the resulting
 /// bee routine. The paper extracts function bodies from the ELF object into
 /// its bee cache; we keep the .so itself as the cached executable form.
+///
+/// The paper invokes gcc inline at CREATE TABLE ("bee creation overhead is
+/// not critical ... we can invoke gcc", Section III-B); under the forge
+/// (bee/forge.h) compilation instead happens on background workers, so every
+/// entry point here is safe to call from multiple threads concurrently.
 class NativeJit {
  public:
   NativeJit() = default;
   ~NativeJit();
   MICROSPEC_DISALLOW_COPY_AND_MOVE(NativeJit);
 
-  /// True if a C compiler is available on this host (checked once).
+  /// True if a C compiler is available on this host. Probed exactly once
+  /// (thread-safe: forge workers and DDL threads may race the first call).
   static bool CompilerAvailable();
 
   /// Generates the Listing-2-style C source of the GCL routine for
@@ -51,7 +56,17 @@ class NativeJit {
                                  const std::string& work_dir,
                                  const std::string& symbol);
 
+  /// Lower-level entry point used by the forge, which generates (and
+  /// verifies) the source itself before scheduling the compile: writes
+  /// `source` to `work_dir`, compiles it to a shared object, and resolves
+  /// `symbol`. On compiler failure the Status message carries the compiler's
+  /// captured stderr.
+  Result<NativeGclFn> CompileSource(const std::string& source,
+                                    const std::string& work_dir,
+                                    const std::string& symbol);
+
  private:
+  std::mutex mutex_;            // guards handles_ (forge workers race here)
   std::vector<void*> handles_;  // dlopen handles, closed on destruction
 };
 

@@ -1,0 +1,53 @@
+#include "common/thread_pool.h"
+
+namespace microspec {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stop_ = true;
+    queue_.clear();
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (stop_) return;
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::Quiesce() {
+  std::unique_lock<std::mutex> guard(mutex_);
+  drain_.wait(guard, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> guard(mutex_);
+  for (;;) {
+    wake_.wait(guard, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    guard.unlock();
+    task();
+    guard.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) drain_.notify_all();
+  }
+}
+
+}  // namespace microspec

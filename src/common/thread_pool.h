@@ -1,0 +1,53 @@
+#ifndef MICROSPEC_COMMON_THREAD_POOL_H_
+#define MICROSPEC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace microspec {
+
+/// A small fixed-size worker pool for background services (the bee forge,
+/// future checkpointers). Tasks are plain closures executed FIFO; any
+/// ordering beyond that (e.g. the forge's hotness priority) belongs to the
+/// submitting service, which can decide *what* to run when its task fires.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least one).
+  explicit ThreadPool(int num_threads);
+
+  /// Signals shutdown and joins. Tasks already running complete; tasks
+  /// still queued are discarded — services needing drain-before-destroy
+  /// semantics expose their own Quiesce() on top of this pool.
+  ~ThreadPool();
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  /// Enqueues a task. Silently dropped after shutdown has begun (the only
+  /// caller doing that is a service mid-destruction).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished running.
+  void Quiesce();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;   // workers: queue non-empty or stopping
+  std::condition_variable drain_;  // Quiesce: queue empty and none running
+  std::deque<std::function<void()>> queue_;
+  int running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_COMMON_THREAD_POOL_H_

@@ -38,6 +38,7 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     bo.placement_isolation = db->options_.placement_isolation;
     bo.cache_dir = db->options_.dir + "/bees";
     bo.verify = db->options_.verify_mode;
+    bo.forge = db->options_.forge;
     db->bees_ = std::make_unique<bee::BeeModule>(bo);
   }
   return db;

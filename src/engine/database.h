@@ -27,6 +27,10 @@ struct DatabaseOptions {
   /// Static verification of generated bee routines at creation time
   /// (off | warn | enforce); tests run under enforce.
   bee::VerifyMode verify_mode = bee::VerifyMode::kOff;
+  /// Bee forge configuration (kNative only): async background compilation
+  /// with hotness-driven promotion by default; `forge.async = false`
+  /// restores the paper's compile-inline-at-CREATE-TABLE behaviour.
+  bee::ForgeOptions forge;
 };
 
 /// The engine facade: owns the buffer pool, catalog, and (optionally) the
@@ -99,6 +103,13 @@ class Database {
     std::string buf_;
     uint64_t count_ = 0;
   };
+
+  /// Drains the bee forge: every pending native compile has been promoted,
+  /// pinned, or cancelled when this returns. No-op on stock/program
+  /// databases. Deterministic-measurement and shutdown hook.
+  void QuiesceBees() {
+    if (bees_ != nullptr) bees_->Quiesce();
+  }
 
   /// Flushes and evicts the entire buffer pool (cold-cache experiments).
   Status DropCaches() { return pool_->DropAll(); }
