@@ -37,13 +37,13 @@ void Run() {
            MICROSPEC_CHECK(stock->DropCaches().ok());
            stock->io_stats()->Reset();
            RunTpchQuery(stock.get(), SessionOptions::Stock(), q);
-           stock_reads = stock->io_stats()->pages_read.load();
+           stock_reads = stock->io_stats()->pages_read.Value();
          },
          [&] {
            MICROSPEC_CHECK(bee->DropCaches().ok());
            bee->io_stats()->Reset();
            RunTpchQuery(bee.get(), SessionOptions::AllBees(), q);
-           bee_reads = bee->io_stats()->pages_read.load();
+           bee_reads = bee->io_stats()->pages_read.Value();
          }});
     double st = t[0];
     double bt = t[1];

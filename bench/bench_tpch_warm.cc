@@ -2,8 +2,17 @@
 // routines enabled (GCL + EVP + EVJ + tuple bees) vs the stock engine.
 // Paper: improvements of 1.4%..32.8%, Avg1 12.4% (per-query mean),
 // Avg2 23.7% (total-time ratio).
+//
+// With --telemetry-gate it instead verifies that the telemetry substrate
+// costs nothing when off: the full query suite is timed with instrumentation
+// off and on (interleaved), and the run fails if the OFF path is more than
+// MICROSPEC_GATE_TOL_PCT (default 2) percent slower than the ON path — i.e.
+// if turning instrumentation OFF somehow fails to be at least as fast.
+// Retried a few times to damp scheduler noise; wired into scripts/check.sh.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_util.h"
 
@@ -57,13 +66,70 @@ void Run(int argc, char** argv) {
              sum_pct / tpch::kNumTpchQueries);
   report.Add("bees", "avg2_total_improvement_pct",
              ImprovementPct(sum_stock, sum_bee));
+  report.AttachTelemetry(bee->SnapshotTelemetry());
   report.WriteIfRequested(argc, argv);
+}
+
+/// --telemetry-gate: fails (exit 1) if the instrumentation-OFF path is
+/// measurably slower than the ON path — which would mean the "zero-overhead
+/// when off" claim regressed. The comparison is interleaved (off,on,off,on)
+/// and retried up to three attempts; one pass is enough, since a real
+/// always-on cost would fail every attempt.
+int RunTelemetryGate() {
+  BenchEnv env;
+  benchutil::PrintHeader("Telemetry gate: instrumentation-off must stay free",
+                         env);
+  auto db = benchutil::MakeTpchDb(env, "gate", true, true);
+
+  double tol_pct = 2.0;
+  const char* tol_env = std::getenv("MICROSPEC_GATE_TOL_PCT");
+  if (tol_env != nullptr && std::atof(tol_env) > 0) {
+    tol_pct = std::atof(tol_env);
+  }
+
+  auto run_all = [&] {
+    for (int q = 1; q <= tpch::kNumTpchQueries; ++q) {
+      RunTpchQuery(db.get(), SessionOptions::AllBees(), q);
+    }
+  };
+  run_all();  // warm
+
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    double t_off = 0;
+    double t_on = 0;
+    benchutil::PaperMeanPair(
+        env.reps,
+        [&] {
+          telemetry::SetEnabled(false);
+          run_all();
+        },
+        [&] {
+          telemetry::SetEnabled(true);
+          run_all();
+        },
+        &t_off, &t_on);
+    telemetry::SetEnabled(false);
+    double delta_pct = (t_off - t_on) / t_on * 100.0;
+    std::printf("attempt %d: off %.2f ms, on %.2f ms (off-on delta %+.2f%%, "
+                "tolerance %.1f%%)\n",
+                attempt, t_off * 1e3, t_on * 1e3, delta_pct, tol_pct);
+    if (t_off <= t_on * (1.0 + tol_pct / 100.0)) {
+      std::printf("telemetry gate PASS\n");
+      return 0;
+    }
+  }
+  std::printf("telemetry gate FAIL: instrumentation-off path is consistently "
+              "slower than instrumentation-on\n");
+  return 1;
 }
 
 }  // namespace
 }  // namespace microspec
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--telemetry-gate") == 0) {
+    return microspec::RunTelemetryGate();
+  }
   microspec::Run(argc, argv);
   return 0;
 }

@@ -190,6 +190,10 @@ void BenchReport::Add(const std::string& config, const std::string& metric,
   entries_.push_back(Entry{config, metric, value});
 }
 
+void BenchReport::AttachTelemetry(const telemetry::TelemetrySnapshot& snap) {
+  telemetry_json_ = snap.ToJson();
+}
+
 Status BenchReport::WriteJson(const std::string& path) const {
   std::string out = "{\n";
   out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
@@ -205,7 +209,14 @@ Status BenchReport::WriteJson(const std::string& path) const {
            "\", \"value\": " + value + "}";
     out += i + 1 < entries_.size() ? ",\n" : "\n";
   }
-  out += "  ]\n}\n";
+  out += "  ]";
+  if (!telemetry_json_.empty()) {
+    // The snapshot serializes itself; embed verbatim (minus trailing \n).
+    std::string t = telemetry_json_;
+    while (!t.empty() && t.back() == '\n') t.pop_back();
+    out += ",\n  \"telemetry\": " + t;
+  }
+  out += "\n}\n";
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IoError("cannot write " + path);
   std::fwrite(out.data(), 1, out.size(), f);

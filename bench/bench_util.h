@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bee/native_jit.h"
+#include "common/telemetry.h"
 #include "engine/database.h"
 #include "workloads/tpch/dbgen.h"
 #include "workloads/tpch/tpch_queries.h"
@@ -85,6 +86,11 @@ class BenchReport {
   void Add(const std::string& config, const std::string& metric,
            double value);
 
+  /// Embeds a telemetry snapshot (tier counts, histogram percentiles, io
+  /// stats, forge events) in the report; the JSON gains a "telemetry" key
+  /// holding the snapshot's own JSON tree.
+  void AttachTelemetry(const telemetry::TelemetrySnapshot& snap);
+
   /// Resolves the output path from `--json <path>` argv or BENCH_JSON; when
   /// present, writes the report there and returns the path ("" otherwise).
   std::string WriteIfRequested(int argc, char** argv) const;
@@ -103,6 +109,7 @@ class BenchReport {
   int reps_;
   std::string backend_;
   std::vector<Entry> entries_;
+  std::string telemetry_json_;  // empty until AttachTelemetry
 };
 
 /// Prints a separator + title for a figure harness.

@@ -18,14 +18,24 @@
 // diagnostic.
 //
 //   ./build/examples/example_bee_inspector --forge
+//
+// With --metrics it runs a short TPC-H workload on a bee-enabled database
+// with full instrumentation and prints the unified telemetry snapshot: a
+// per-relation tier table, forge event trace, and the full Prometheus text
+// exposition.
+//
+//   ./build/examples/example_bee_inspector --metrics
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "bee/bee_module.h"
 #include "bee/native_jit.h"
 #include "bee/verifier.h"
+#include "common/telemetry.h"
 #include "engine/database.h"
 #include "exec/seq_scan.h"
 #include "workloads/tpcc/tpcc_schema.h"
@@ -111,6 +121,74 @@ int RunVerifyMode() {
   return rejects == 0 ? 0 : 1;
 }
 
+/// Per-relation tier table rendered with the shared telemetry::TextTable —
+/// the same helper --metrics uses, so the two modes cannot drift apart in
+/// column-width logic.
+std::string TierTable(Database* db) {
+  telemetry::TextTable table;
+  table.Header({"relation", "phase", "program-invs", "native-invs", "note"});
+  for (TableInfo* t : db->catalog()->AllTables()) {
+    bee::RelationBeeState* state = db->bees()->StateFor(t->id());
+    if (state == nullptr) continue;
+    table.Row({t->name(), bee::ForgePhaseName(state->forge_phase()),
+               std::to_string(state->program_tier_invocations()),
+               std::to_string(state->native_tier_invocations()),
+               state->forge_phase() == bee::ForgePhase::kPinned
+                   ? state->forge_error()
+                   : ""});
+  }
+  return table.ToString();
+}
+
+/// --metrics: runs a short instrumented TPC-H workload and prints the
+/// unified telemetry view — tier table, forge event trace, Prometheus text.
+int RunMetricsMode() {
+  telemetry::SetEnabled(true);
+  std::string dir = "/tmp/microspec_inspector_metrics";
+  (void)std::system(("rm -rf " + dir).c_str());
+  DatabaseOptions options;
+  options.dir = dir;
+  options.enable_bees = true;
+  options.enable_tuple_bees = true;
+  if (bee::NativeJit::CompilerAvailable()) {
+    options.backend = bee::BeeBackend::kNative;
+  }
+  auto db = Database::Open(std::move(options)).MoveValue();
+  MICROSPEC_CHECK(tpch::CreateTpchTables(db.get()).ok());
+  MICROSPEC_CHECK(tpch::LoadTpch(db.get(), 0.002).ok());
+  for (TableInfo* t : db->catalog()->AllTables()) {
+    auto ctx = db->MakeContext();
+    SeqScan s(ctx.get(), t);
+    MICROSPEC_CHECK(CountRows(&s).ok());
+  }
+  db->QuiesceBees();
+  for (TableInfo* t : db->catalog()->AllTables()) {
+    auto ctx = db->MakeContext();
+    SeqScan s(ctx.get(), t);
+    MICROSPEC_CHECK(CountRows(&s).ok());
+  }
+
+  std::printf("=== per-relation tiers ===\n\n%s", TierTable(db.get()).c_str());
+
+  telemetry::TelemetrySnapshot snap = db->SnapshotTelemetry();
+
+  std::printf("\n=== forge event trace ===\n\n");
+  telemetry::TextTable events;
+  events.Header({"seq", "event", "relation", "duration(ms)"});
+  for (const telemetry::ForgeEvent& ev : snap.forge_events) {
+    char dur[32];
+    std::snprintf(dur, sizeof(dur), "%.2f",
+                  static_cast<double>(ev.duration_ns) / 1e6);
+    events.Row({std::to_string(ev.seq), telemetry::ForgeEventKindName(ev.kind),
+                ev.relation, ev.duration_ns == 0 ? "" : dur});
+  }
+  std::printf("%s", events.ToString().c_str());
+
+  std::printf("\n=== prometheus exposition ===\n\n%s",
+              snap.ToPrometheusText().c_str());
+  return 0;
+}
+
 /// --forge: live view of the tiered-compilation runtime. Creates the TPC-H
 /// relations under the native backend (DDL returns immediately; compiles run
 /// in the forge), drives a skewed scan workload so relations differ in
@@ -148,21 +226,7 @@ int RunForgeMode() {
   for (TableInfo* t : db->catalog()->AllTables()) scan(t->name().c_str(), 1);
 
   std::printf("=== forge tier table (after quiesce) ===\n\n");
-  std::printf("%-10s %-10s %12s %12s  %s\n", "relation", "phase",
-              "program-invs", "native-invs", "note");
-  for (TableInfo* t : db->catalog()->AllTables()) {
-    bee::RelationBeeState* state = db->bees()->StateFor(t->id());
-    if (state == nullptr) continue;
-    std::printf("%-10s %-10s %12llu %12llu  %s\n", t->name().c_str(),
-                bee::ForgePhaseName(state->forge_phase()),
-                static_cast<unsigned long long>(
-                    state->program_tier_invocations()),
-                static_cast<unsigned long long>(
-                    state->native_tier_invocations()),
-                state->forge_phase() == bee::ForgePhase::kPinned
-                    ? state->forge_error().c_str()
-                    : "");
-  }
+  std::printf("%s", TierTable(db.get()).c_str());
 
   bee::ForgeStats fs = db->bees()->stats().forge;
   std::printf("\n--- forge stats ---\n");
@@ -192,6 +256,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "--forge") == 0) {
     return RunForgeMode();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--metrics") == 0) {
+    return RunMetricsMode();
   }
   std::string dir = "/tmp/microspec_inspector";
   (void)std::system(("rm -rf " + dir).c_str());

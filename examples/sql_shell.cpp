@@ -4,6 +4,10 @@
 // deform via GCL, WHERE clauses become EVP bees, inserts go through SCL and
 // tuple-bee interning for LOW CARDINALITY columns.
 //
+// Shell commands: `\metrics` prints the database's telemetry snapshot in
+// Prometheus text format, `EXPLAIN ANALYZE SELECT ...` returns the
+// per-operator stats tree instead of the rows, `\q` quits.
+//
 //   echo "SELECT 1" | ./build/examples/example_sql_shell
 //   ./build/examples/example_sql_shell --demo
 
@@ -12,6 +16,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/telemetry.h"
 #include "sqlfe/engine.h"
 
 using namespace microspec;
@@ -27,9 +32,16 @@ const char* kDemo[] = {
     "SELECT * FROM city WHERE pop > 1 ORDER BY pop DESC",
     "SELECT country, count(*) AS cities, sum(pop) AS total_pop "
     "FROM city GROUP BY country ORDER BY country",
+    "EXPLAIN ANALYZE SELECT country, count(*) AS cities "
+    "FROM city WHERE pop > 1 GROUP BY country",
+    "\\metrics",
 };
 
 void RunOne(Database* db, ExecContext* ctx, const std::string& sql) {
+  if (sql == "\\metrics") {
+    std::printf("%s", db->SnapshotTelemetry().ToPrometheusText().c_str());
+    return;
+  }
   auto result = sqlfe::ExecuteSql(db, ctx, sql);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
@@ -51,6 +63,9 @@ void RunOne(Database* db, ExecContext* ctx, const std::string& sql) {
 int main(int argc, char** argv) {
   std::string dir = "/tmp/microspec_sql_shell";
   (void)std::system(("rm -rf " + dir).c_str());
+  // Full instrumentation in an interactive shell: per-call deform latency
+  // histograms feed the \metrics output.
+  telemetry::SetEnabled(true);
   DatabaseOptions options;
   options.dir = dir;
   options.enable_bees = true;

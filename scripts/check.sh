@@ -12,24 +12,30 @@
 #      clang-tidy over the bee module if installed. Both are optional tools:
 #      the gate degrades gracefully when they are absent.
 #   3. ctest (the full suite; the bee verifier runs in enforce mode there).
-#   4. With SANITIZE=1, rebuild with -DMICROSPEC_SANITIZE="address;undefined"
+#   4. Telemetry-overhead gate: bench_tpch_warm --telemetry-gate times the
+#      TPC-H suite with instrumentation off and on (interleaved) and fails
+#      if the off path is measurably slower — i.e. if the "zero overhead
+#      when disabled" property regressed. Tiny scale factor, so it's fast.
+#   5. With SANITIZE=1, rebuild with -DMICROSPEC_SANITIZE="address;undefined"
 #      and run the suite again under the sanitizers. With SANITIZE=thread,
 #      rebuild with -DMICROSPEC_SANITIZE=thread instead (TSan cannot share a
-#      build with ASan). Run both modes for full coverage.
+#      build with ASan). Run both modes for full coverage. The telemetry
+#      concurrency tests (sharded counters/histograms + snapshot readers)
+#      are part of the suite, so TSan covers the lock-free paths.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== 1/4: -Werror build =="
+echo "== 1/5: -Werror build =="
 # -Wno-restrict: GCC 12's -O2 restrict analysis false-positives inside
 # libstdc++'s std::string append paths; everything else stays fatal.
 cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-Werror -Wno-restrict" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== 2/4: static analysis =="
+echo "== 2/5: static analysis =="
 if command -v cppcheck >/dev/null 2>&1; then
   cppcheck --quiet --error-exitcode=1 \
     --enable=warning,portability \
@@ -48,12 +54,19 @@ else
   echo "clang-tidy: not installed, skipped"
 fi
 
-echo "== 3/4: tests =="
+echo "== 3/5: tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== 4/5: telemetry overhead gate =="
+# Small scale + few reps keep this quick; the gate retries internally to
+# damp scheduler noise and exits nonzero only on a consistent regression.
+MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
+MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
+  "$BUILD_DIR"/bench/bench_tpch_warm --telemetry-gate
 
 case "${SANITIZE:-0}" in
   1)
-    echo "== 4/4: ASan/UBSan build + tests =="
+    echo "== 5/5: ASan/UBSan build + tests =="
     SAN_DIR="$BUILD_DIR-asan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="address;undefined" \
@@ -63,7 +76,7 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   thread)
-    echo "== 4/4: TSan build + tests =="
+    echo "== 5/5: TSan build + tests =="
     SAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="thread" \
@@ -73,7 +86,7 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   *)
-    echo "== 4/4: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
+    echo "== 5/5: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
          "SANITIZE=thread for TSan) =="
     ;;
 esac

@@ -26,16 +26,23 @@ class GclDeformer final : public TupleDeformer {
     // hotness-ordered compile queue.
     TupleBeeManager* bees = state_->tuple_bees();
     NativeGclFn native = state_->native_gcl();
+    // Per-call latency timing costs two clock reads per tuple, so it only
+    // runs when the process-wide telemetry flag is up; the flag itself is a
+    // relaxed load, cheap enough for this per-tuple path.
+    const bool timed = telemetry::Enabled();
+    const uint64_t t0 = timed ? telemetry::NowNs() : 0;
     if (native != nullptr &&
         (static_cast<uint8_t>(tuple[2]) & kTupleHasNulls) == 0) {
       state_->BumpNativeTier();
       workops::Bump(2 * static_cast<uint64_t>(natts));
       native(tuple, natts, values, reinterpret_cast<char*>(isnull),
              bees != nullptr ? bees->datum_table() : nullptr);
+      if (timed) state_->native_deform_ns()->Observe(telemetry::NowNs() - t0);
       return;
     }
     state_->BumpProgramTier();
     state_->gcl().Execute(tuple, natts, values, isnull, bees);
+    if (timed) state_->program_deform_ns()->Observe(telemetry::NowNs() - t0);
   }
 
  private:
@@ -369,6 +376,62 @@ BeeStats BeeModule::stats() const {
   s.evp_bees_created = evp_created_.load(std::memory_order_relaxed);
   s.evj_bees_created = evj_created_.load(std::memory_order_relaxed);
   return s;
+}
+
+void BeeModule::FillTelemetry(telemetry::TelemetrySnapshot* snap) const {
+  BeeStats agg = stats();
+  snap->AddCounter("microspec_bee_tier_invocations_total",
+                   static_cast<double>(agg.program_tier_invocations),
+                   {{"tier", "program"}});
+  snap->AddCounter("microspec_bee_tier_invocations_total",
+                   static_cast<double>(agg.native_tier_invocations),
+                   {{"tier", "native"}});
+  snap->AddGauge("microspec_bee_relation_bees", agg.relation_bees);
+  snap->AddGauge("microspec_bee_native_gcl_routines", agg.native_gcl_routines);
+  snap->AddCounter("microspec_bee_evp_created_total",
+                   static_cast<double>(agg.evp_bees_created));
+  snap->AddCounter("microspec_bee_evj_created_total",
+                   static_cast<double>(agg.evj_bees_created));
+  snap->AddCounter("microspec_forge_enqueued_total",
+                   static_cast<double>(agg.forge.enqueued));
+  snap->AddCounter("microspec_forge_promotions_total",
+                   static_cast<double>(agg.forge.promotions));
+  snap->AddCounter("microspec_forge_retries_total",
+                   static_cast<double>(agg.forge.retries));
+  snap->AddCounter("microspec_forge_failures_total",
+                   static_cast<double>(agg.forge.failures));
+  snap->AddCounter("microspec_forge_pinned_total",
+                   static_cast<double>(agg.forge.pinned));
+  snap->AddCounter("microspec_forge_cancelled_total",
+                   static_cast<double>(agg.forge.cancelled));
+  snap->AddCounter("microspec_forge_compile_seconds_total",
+                   agg.forge.compile_seconds_total);
+
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  for (const auto& [id, state] : states_) {
+    (void)id;
+    const std::string& rel = state->table_name();
+    snap->AddCounter("microspec_bee_relation_invocations_total",
+                     static_cast<double>(state->program_tier_invocations()),
+                     {{"relation", rel}, {"tier", "program"}});
+    snap->AddCounter("microspec_bee_relation_invocations_total",
+                     static_cast<double>(state->native_tier_invocations()),
+                     {{"relation", rel}, {"tier", "native"}});
+    snap->AddGauge("microspec_bee_forge_phase",
+                   static_cast<double>(state->forge_phase()),
+                   {{"relation", rel},
+                    {"phase", ForgePhaseName(state->forge_phase())}});
+    telemetry::Histogram::Snapshot prog = state->program_deform_ns()->Snap();
+    if (!prog.empty()) {
+      snap->AddHistogram("microspec_bee_deform_latency_ns", prog,
+                         {{"relation", rel}, {"tier", "program"}});
+    }
+    telemetry::Histogram::Snapshot nat = state->native_deform_ns()->Snap();
+    if (!nat.empty()) {
+      snap->AddHistogram("microspec_bee_deform_latency_ns", nat,
+                         {{"relation", rel}, {"tier", "native"}});
+    }
+  }
 }
 
 }  // namespace microspec::bee

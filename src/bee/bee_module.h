@@ -16,6 +16,7 @@
 #include "bee/tuple_bee.h"
 #include "bee/verifier.h"
 #include "catalog/catalog.h"
+#include "common/telemetry.h"
 #include "exec/operator.h"
 
 namespace microspec::bee {
@@ -151,6 +152,13 @@ class RelationBeeState {
     return program_tier_invocations() + native_tier_invocations();
   }
 
+  /// --- per-call deform latency ----------------------------------------------
+  /// Observed only when telemetry::Enabled() — the timing (two clock reads
+  /// per tuple) is far costlier than the histograms' relaxed atomics.
+
+  telemetry::Histogram* program_deform_ns() { return &program_deform_ns_; }
+  telemetry::Histogram* native_deform_ns() { return &native_deform_ns_; }
+
  private:
   TableInfo* table_;
   std::string name_;
@@ -166,6 +174,8 @@ class RelationBeeState {
   std::atomic<bool> collected_{false};
   std::atomic<uint64_t> program_invocations_{0};
   std::atomic<uint64_t> native_invocations_{0};
+  telemetry::Histogram program_deform_ns_;
+  telemetry::Histogram native_deform_ns_;
   std::string forge_error_;
   std::string native_source_;
   std::string native_symbol_;
@@ -224,6 +234,13 @@ class BeeModule final : public BeeHooks {
   Status LoadCache(Catalog* catalog, bool enable_tuple_bees);
 
   BeeStats stats() const;
+
+  /// Appends per-relation tier counters, phase gauges, and deform latency
+  /// histograms (plus module/forge aggregates) to `snap`. Labels carry the
+  /// relation name, so a multi-table database yields one sample family with
+  /// one labelled series per relation.
+  void FillTelemetry(telemetry::TelemetrySnapshot* snap) const;
+
   PlacementArena* placement() { return &placement_; }
   const BeeModuleOptions& options() const { return options_; }
 

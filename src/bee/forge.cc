@@ -5,10 +5,20 @@
 
 #include "bee/bee_module.h"
 #include "bee/native_jit.h"
+#include "common/telemetry.h"
 
 namespace microspec::bee {
 
 namespace {
+
+/// The process-wide forge event trace: one Record per lifecycle transition.
+/// Events are per-compile (rare), so routing every forge in the process into
+/// one ring keeps bee_inspector/SnapshotTelemetry trivially complete.
+void Trace(telemetry::ForgeEventKind kind, const std::string& relation,
+           uint64_t duration_ns = 0) {
+  telemetry::Registry::Global().forge_trace()->Record(kind, relation,
+                                                      duration_ns);
+}
 
 int AutoWorkers() {
   unsigned hw = std::thread::hardware_concurrency();
@@ -47,6 +57,9 @@ Forge::~Forge() {
     std::lock_guard<std::mutex> guard(mutex_);
     stop_ = true;
     stats_.cancelled += pending_.size();
+    for (const Job& job : pending_) {
+      Trace(telemetry::ForgeEventKind::kCancelled, job.state->table_name());
+    }
     pending_.clear();
   }
   pending_cv_.notify_all();
@@ -56,6 +69,7 @@ Forge::~Forge() {
 
 void Forge::Enqueue(std::shared_ptr<RelationBeeState> state) {
   state->SetForgePhase(ForgePhase::kPending);
+  Trace(telemetry::ForgeEventKind::kQueued, state->table_name());
   if (!options_.async) {
     // Sync (paper Section III-B) mode: one attempt on the DDL thread — the
     // baseline bench_forge measures async DDL latency against. Starting at
@@ -145,11 +159,13 @@ void Forge::RunOne() {
 void Forge::ProcessJob(Job job) {
   RelationBeeState* state = job.state.get();
   if (state->collected()) {
+    Trace(telemetry::ForgeEventKind::kCancelled, state->table_name());
     std::lock_guard<std::mutex> guard(mutex_);
     ++stats_.cancelled;
     return;
   }
   state->SetForgePhase(ForgePhase::kCompiling);
+  Trace(telemetry::ForgeEventKind::kStarted, state->table_name());
 
   // Off-thread verification — the same VerifyMode path CREATE TABLE used to
   // run inline. A reject never retries (the generated source is
@@ -162,6 +178,7 @@ void Forge::ProcessJob(Job job) {
     if (!st.ok()) {
       if (verify_ == VerifyMode::kEnforce) {
         state->PinToProgram("native bee rejected: " + st.message());
+        Trace(telemetry::ForgeEventKind::kPinned, state->table_name());
         std::lock_guard<std::mutex> guard(mutex_);
         ++stats_.failures;
         ++stats_.pinned;
@@ -182,6 +199,8 @@ void Forge::ProcessJob(Job job) {
 
   if (fn.ok()) {
     state->PublishNative(fn.value());
+    Trace(telemetry::ForgeEventKind::kSucceeded, state->table_name(),
+          static_cast<uint64_t>(seconds * 1e9));
     std::lock_guard<std::mutex> guard(mutex_);
     ++stats_.promotions;
     stats_.compile_seconds_total += seconds;
@@ -196,12 +215,14 @@ void Forge::ProcessJob(Job job) {
     ++stats_.pinned;
     guard.unlock();
     state->PinToProgram(fn.status().message());
+    Trace(telemetry::ForgeEventKind::kPinned, state->table_name());
     return;
   }
   // Capped exponential backoff before the next attempt; transient failures
   // (compiler farm hiccups, disk pressure) get another chance, persistent
   // ones converge on the pin above.
   ++stats_.retries;
+  Trace(telemetry::ForgeEventKind::kRetried, state->table_name());
   int64_t backoff_ms = static_cast<int64_t>(options_.backoff_base_ms)
                        << (job.attempts - 1);
   backoff_ms = std::min<int64_t>(backoff_ms, options_.backoff_cap_ms);

@@ -1,6 +1,8 @@
 #include "common/counters.h"
 
 #include <cstring>
+#include <mutex>
+#include <unordered_set>
 
 #if defined(__linux__)
 #include <linux/perf_event.h>
@@ -12,7 +14,53 @@
 namespace microspec {
 
 namespace workops {
-thread_local uint64_t g_work_ops = 0;
+
+namespace {
+
+/// Tracks live per-thread cells and banks the totals of exited threads.
+/// Leaked so cells destructing during static teardown still have a registry
+/// to report to.
+struct CellRegistry {
+  std::mutex mutex;
+  std::unordered_set<ThreadCell*> live;
+  uint64_t retired = 0;
+
+  static CellRegistry& Get() {
+    static CellRegistry* r = new CellRegistry();
+    return *r;
+  }
+};
+
+}  // namespace
+
+ThreadCell::ThreadCell() {
+  CellRegistry& reg = CellRegistry::Get();
+  std::lock_guard<std::mutex> guard(reg.mutex);
+  reg.live.insert(this);
+}
+
+ThreadCell::~ThreadCell() {
+  CellRegistry& reg = CellRegistry::Get();
+  std::lock_guard<std::mutex> guard(reg.mutex);
+  reg.live.erase(this);
+  reg.retired += ops.load(std::memory_order_relaxed);
+}
+
+ThreadCell& Cell() {
+  thread_local ThreadCell cell;
+  return cell;
+}
+
+uint64_t TotalAcrossThreads() {
+  CellRegistry& reg = CellRegistry::Get();
+  std::lock_guard<std::mutex> guard(reg.mutex);
+  uint64_t total = reg.retired;
+  for (ThreadCell* c : reg.live) {
+    total += c->ops.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 }  // namespace workops
 
 InstructionCounter::InstructionCounter() {

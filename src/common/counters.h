@@ -1,6 +1,7 @@
 #ifndef MICROSPEC_COMMON_COUNTERS_H_
 #define MICROSPEC_COMMON_COUNTERS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace microspec {
@@ -16,13 +17,47 @@ namespace microspec {
 /// software proxy of relative instruction counts. When the kernel permits
 /// perf_event_open, InstructionCounter below reports true retired
 /// instructions instead; harnesses label which source was used.
+///
+/// Each thread owns an atomic cell registered with a process-wide (leaked)
+/// registry, so TotalAcrossThreads() also sees work done by forge/ThreadPool
+/// workers — a plain thread_local would silently drop it. The hot path is
+/// single-writer: store(load+n, relaxed) compiles to plain load/add/store
+/// with no lock prefix, and cross-thread readers stay TSan-clean because the
+/// cell is an atomic.
 namespace workops {
 
-extern thread_local uint64_t g_work_ops;
+struct ThreadCell {
+  ThreadCell();
+  ~ThreadCell();
+  std::atomic<uint64_t> ops{0};
+  /// Value of `ops` at the last per-thread Reset(); Read() subtracts it so
+  /// harness deltas keep their old thread-local semantics while the global
+  /// total stays monotonic.
+  uint64_t reset_base = 0;
+};
 
-inline void Bump(uint64_t n = 1) { g_work_ops += n; }
-inline uint64_t Read() { return g_work_ops; }
-inline void Reset() { g_work_ops = 0; }
+ThreadCell& Cell();
+
+inline void Bump(uint64_t n = 1) {
+  std::atomic<uint64_t>& c = Cell().ops;
+  c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+/// This thread's ops since its last Reset() (single-measurement-thread
+/// harness semantics, unchanged from the plain thread_local days).
+inline uint64_t Read() {
+  ThreadCell& cell = Cell();
+  return cell.ops.load(std::memory_order_relaxed) - cell.reset_base;
+}
+
+inline void Reset() {
+  ThreadCell& cell = Cell();
+  cell.reset_base = cell.ops.load(std::memory_order_relaxed);
+}
+
+/// Sum over every thread that ever bumped: live cells plus the accumulated
+/// total of exited threads. Monotonic; unaffected by per-thread Reset().
+uint64_t TotalAcrossThreads();
 
 }  // namespace workops
 

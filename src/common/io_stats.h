@@ -1,8 +1,9 @@
 #ifndef MICROSPEC_COMMON_IO_STATS_H_
 #define MICROSPEC_COMMON_IO_STATS_H_
 
-#include <atomic>
 #include <cstdint>
+
+#include "common/telemetry.h"
 
 namespace microspec {
 
@@ -10,18 +11,20 @@ namespace microspec {
 /// the BufferPool. The cold-cache experiments (Figure 5) and the bulk-load
 /// experiment (Figure 8) compare pages_read/pages_written between the stock
 /// and bee-enabled configurations: tuple bees shrink tuples, so the same
-/// relation occupies fewer pages.
+/// relation occupies fewer pages. The fields are sharded telemetry counters;
+/// they stay per-database (benches open stock and bee databases side by
+/// side) and Database::SnapshotTelemetry() registers them in its snapshot.
 struct IoStats {
-  std::atomic<uint64_t> pages_read{0};
-  std::atomic<uint64_t> pages_written{0};
-  std::atomic<uint64_t> buffer_hits{0};
-  std::atomic<uint64_t> buffer_misses{0};
+  telemetry::Counter pages_read;
+  telemetry::Counter pages_written;
+  telemetry::Counter buffer_hits;
+  telemetry::Counter buffer_misses;
 
   void Reset() {
-    pages_read.store(0, std::memory_order_relaxed);
-    pages_written.store(0, std::memory_order_relaxed);
-    buffer_hits.store(0, std::memory_order_relaxed);
-    buffer_misses.store(0, std::memory_order_relaxed);
+    pages_read.Reset();
+    pages_written.Reset();
+    buffer_hits.Reset();
+    buffer_misses.Reset();
   }
 };
 

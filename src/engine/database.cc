@@ -194,4 +194,23 @@ Status Database::Checkpoint() {
   return Status::OK();
 }
 
+telemetry::TelemetrySnapshot Database::SnapshotTelemetry() {
+  telemetry::TelemetrySnapshot snap;
+  snap.AddCounter("microspec_pages_read_total",
+                  static_cast<double>(stats_.pages_read.Value()));
+  snap.AddCounter("microspec_pages_written_total",
+                  static_cast<double>(stats_.pages_written.Value()));
+  snap.AddCounter("microspec_buffer_hits_total",
+                  static_cast<double>(stats_.buffer_hits.Value()));
+  snap.AddCounter("microspec_buffer_misses_total",
+                  static_cast<double>(stats_.buffer_misses.Value()));
+  // All threads, not just this one: forge/ThreadPool workers' deform work
+  // counts too (the old thread_local read silently dropped it).
+  snap.AddCounter("microspec_work_ops_total",
+                  static_cast<double>(workops::TotalAcrossThreads()));
+  if (bees_ != nullptr) bees_->FillTelemetry(&snap);
+  telemetry::Registry::Global().FillSnapshot(&snap);
+  return snap;
+}
+
 }  // namespace microspec

@@ -117,6 +117,14 @@ class Database {
   /// Flushes dirty pages and persists the bee cache.
   Status Checkpoint();
 
+  /// One merged point-in-time view of everything measurable: this database's
+  /// io/buffer counters, the process-wide work-op total (all threads,
+  /// including forge workers), per-relation bee tier stats and deform
+  /// latency histograms, forge counters, the global registry, and the forge
+  /// event trace. Serializes to Prometheus text or JSON — see
+  /// telemetry::TelemetrySnapshot.
+  telemetry::TelemetrySnapshot SnapshotTelemetry();
+
  private:
   explicit Database(DatabaseOptions options) : options_(std::move(options)) {}
 

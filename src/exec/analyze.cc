@@ -1,0 +1,59 @@
+#include "exec/analyze.h"
+
+#include <cstdio>
+
+namespace microspec {
+
+namespace {
+
+std::string FormatTimeNs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+int QueryStats::AddNode(std::string label, std::vector<int> children) {
+  Node n;
+  n.label = std::move(label);
+  n.children = std::move(children);
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::vector<std::string> QueryStats::ToLines() const {
+  std::vector<bool> is_child(nodes_.size(), false);
+  for (const Node& n : nodes_) {
+    for (int c : n.children) is_child[static_cast<size_t>(c)] = true;
+  }
+  std::vector<std::string> lines;
+  // Recursive lambda: emit a node, then its children indented one level.
+  auto emit = [&](auto&& self, int id, int depth) -> void {
+    const Node& n = nodes_[static_cast<size_t>(id)];
+    std::string line(static_cast<size_t>(depth) * 2, ' ');
+    line += n.label + " rows=" + std::to_string(n.rows) +
+            " next=" + std::to_string(n.next_calls) +
+            " time=" + FormatTimeNs(n.time_ns) +
+            " work_ops=" + std::to_string(n.work_ops);
+    lines.push_back(std::move(line));
+    for (int c : n.children) self(self, c, depth + 1);
+  };
+  // Roots in registration order; a plan registers leaves first, so the last
+  // root is the plan's top — still emit every root for robustness.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!is_child[i]) emit(emit, static_cast<int>(i), 0);
+  }
+  return lines;
+}
+
+std::string QueryStats::ToString() const {
+  std::string out;
+  for (const std::string& line : ToLines()) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace microspec

@@ -1,0 +1,101 @@
+#ifndef MICROSPEC_EXEC_ANALYZE_H_
+#define MICROSPEC_EXEC_ANALYZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/telemetry.h"
+#include "exec/operator.h"
+
+namespace microspec {
+
+/// --- EXPLAIN ANALYZE --------------------------------------------------------
+/// Per-operator execution statistics: rows produced, Next() calls, cumulative
+/// wall time, and the work-op delta attributable to the operator's subtree.
+/// Collection is decorator-based: Plan wraps each operator in an OpProfiler
+/// only when ExecContext::analyze() is set, so an uninstrumented query runs
+/// the exact same operator tree as before this feature existed.
+
+class QueryStats {
+ public:
+  struct Node {
+    std::string label;           // e.g. "HashJoin", "SeqScan(lineitem)"
+    std::vector<int> children;   // node ids, in plan order
+    uint64_t rows = 0;           // rows this operator produced
+    uint64_t next_calls = 0;     // Next() invocations (rows + the EOS call)
+    uint64_t time_ns = 0;        // wall time inside Init+Next, inclusive of
+                                 // children (Volcano pulls nest the clocks)
+    uint64_t work_ops = 0;       // work-op delta, likewise inclusive
+  };
+
+  /// Registers a plan node; `children` are ids returned by earlier calls.
+  int AddNode(std::string label, std::vector<int> children = {});
+
+  Node* node(int id) { return &nodes_[static_cast<size_t>(id)]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Indented plan tree, one operator per line:
+  ///   HashAggregate rows=4 next=5 time=1.234ms work_ops=5678
+  ///     HashJoin rows=100 ...
+  /// Roots are nodes never referenced as a child. Times are inclusive of
+  /// children, matching PostgreSQL's EXPLAIN ANALYZE convention.
+  std::string ToString() const;
+
+  /// The ToString() tree as lines (sql_shell returns one row per line).
+  std::vector<std::string> ToLines() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// Measuring decorator: forwards Init/Next/Close to `child`, accumulating
+/// wall time and work-op deltas into its QueryStats node. The child's output
+/// row is re-exposed as this operator's own, so parents are none the wiser.
+class OpProfiler final : public Operator {
+ public:
+  OpProfiler(OperatorPtr child, QueryStats* stats, int node_id)
+      : child_(std::move(child)), stats_(stats), node_id_(node_id) {
+    meta_ = child_->output_meta();
+  }
+
+  Status Init() override {
+    const uint64_t t0 = telemetry::NowNs();
+    const uint64_t w0 = workops::Read();
+    Status st = child_->Init();
+    QueryStats::Node* n = stats_->node(node_id_);
+    n->time_ns += telemetry::NowNs() - t0;
+    n->work_ops += workops::Read() - w0;
+    // Some operators (Sort) finalize meta in their ctor, others by Init.
+    meta_ = child_->output_meta();
+    return st;
+  }
+
+  Status Next(bool* has_row) override {
+    const uint64_t t0 = telemetry::NowNs();
+    const uint64_t w0 = workops::Read();
+    Status st = child_->Next(has_row);
+    QueryStats::Node* n = stats_->node(node_id_);
+    n->time_ns += telemetry::NowNs() - t0;
+    n->work_ops += workops::Read() - w0;
+    ++n->next_calls;
+    if (st.ok() && *has_row) {
+      ++n->rows;
+      values_ = child_->values();
+      isnull_ = child_->isnull();
+    }
+    return st;
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  QueryStats* stats_;
+  int node_id_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_ANALYZE_H_

@@ -68,6 +68,8 @@ class BeeHooks {
       const std::vector<ColMeta>& key_meta, const SessionOptions& opts) = 0;
 };
 
+class QueryStats;
+
 /// Per-query execution context: catalog access, the session's bee switches,
 /// scratch memory, and factories that route through bees when enabled.
 class ExecContext {
@@ -80,6 +82,13 @@ class ExecContext {
   Arena* arena() { return &arena_; }
   const SessionOptions& options() const { return opts_; }
   BeeHooks* bees() { return bees_; }
+
+  /// EXPLAIN ANALYZE collector. When set, Plan wraps each freshly built
+  /// operator in an OpProfiler (exec/analyze.h); when null — the default —
+  /// plans are built exactly as before, so the uninstrumented path carries
+  /// zero overhead (not even a branch per Next).
+  void set_analyze(QueryStats* stats) { analyze_ = stats; }
+  QueryStats* analyze() { return analyze_; }
 
   /// Deformer for scans of `table`: the GCL bee when enabled, else stock.
   /// Resolution is memoized per context — OLTP point reads would otherwise
@@ -145,6 +154,7 @@ class ExecContext {
   Catalog* catalog_;
   BeeHooks* bees_;
   SessionOptions opts_;
+  QueryStats* analyze_ = nullptr;
   Arena arena_;
   std::unordered_map<TableId, std::unique_ptr<StockDeformer>> stock_deformers_;
   std::unordered_map<TableId, std::unique_ptr<StockFormer>> stock_formers_;

@@ -1,10 +1,20 @@
 #include "exec/plan_builder.h"
 
+#include "exec/analyze.h"
 #include "exec/filter.h"
 #include "exec/project.h"
 #include "exec/seq_scan.h"
 
 namespace microspec {
+
+void Plan::Instrument(std::string label, std::vector<int> children) {
+  QueryStats* qs = ctx_->analyze();
+  if (qs == nullptr) return;
+  // Drop placeholders from inputs built before collection was enabled.
+  std::erase_if(children, [](int id) { return id < 0; });
+  stats_id_ = qs->AddNode(std::move(label), std::move(children));
+  op_ = std::make_unique<OpProfiler>(std::move(op_), qs, stats_id_);
+}
 
 Plan Plan::Scan(ExecContext* ctx, TableInfo* table, int natts) {
   auto scan = std::make_unique<SeqScan>(ctx, table, natts);
@@ -12,11 +22,15 @@ Plan Plan::Scan(ExecContext* ctx, TableInfo* table, int natts) {
   std::vector<std::string> names;
   names.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) names.push_back(table->schema().column(i).name());
-  return Plan(ctx, std::move(scan), std::move(names));
+  Plan plan(ctx, std::move(scan), std::move(names));
+  plan.Instrument("SeqScan(" + table->name() + ")", {});
+  return plan;
 }
 
 Plan& Plan::Where(ExprPtr predicate) {
+  int child = stats_id_;
   op_ = std::make_unique<Filter>(ctx_, std::move(op_), std::move(predicate));
+  Instrument("Filter", {child});
   return *this;
 }
 
@@ -37,7 +51,9 @@ Plan Plan::Join(Plan outer, Plan inner,
   auto join = std::make_unique<HashJoin>(
       ctx, std::move(outer.op_), std::move(inner.op_), std::move(outer_keys),
       std::move(inner_keys), type, std::move(residual));
-  return Plan(ctx, std::move(join), std::move(names));
+  Plan plan(ctx, std::move(join), std::move(names));
+  plan.Instrument("HashJoin", {outer.stats_id_, inner.stats_id_});
+  return plan;
 }
 
 Plan Plan::LoopJoin(Plan outer, Plan inner, JoinType type, ExprPtr predicate) {
@@ -49,7 +65,9 @@ Plan Plan::LoopJoin(Plan outer, Plan inner, JoinType type, ExprPtr predicate) {
   auto join = std::make_unique<NestedLoopJoin>(
       ctx, std::move(outer.op_), std::move(inner.op_), type,
       std::move(predicate));
-  return Plan(ctx, std::move(join), std::move(names));
+  Plan plan(ctx, std::move(join), std::move(names));
+  plan.Instrument("NestedLoopJoin", {outer.stats_id_, inner.stats_id_});
+  return plan;
 }
 
 Plan& Plan::GroupBy(const std::vector<std::string>& group_cols,
@@ -65,9 +83,11 @@ Plan& Plan::GroupBy(const std::vector<std::string>& group_cols,
     specs.push_back(std::move(spec));
     names.push_back(name);
   }
+  int child = stats_id_;
   op_ = std::make_unique<HashAggregate>(ctx_, std::move(op_), std::move(cols),
                                         std::move(specs));
   names_ = std::move(names);
+  Instrument("HashAggregate", {child});
   return *this;
 }
 
@@ -78,8 +98,10 @@ Plan& Plan::Select(std::vector<std::pair<ExprPtr, std::string>> exprs) {
     list.push_back(std::move(e));
     names.push_back(name);
   }
+  int child = stats_id_;
   op_ = std::make_unique<Project>(ctx_, std::move(op_), std::move(list));
   names_ = std::move(names);
+  Instrument("Project", {child});
   return *this;
 }
 
@@ -88,12 +110,16 @@ Plan& Plan::OrderBy(const std::vector<std::pair<std::string, bool>>& keys) {
   for (const auto& [name, desc] : keys) {
     sort_keys.push_back(SortKey{col(name), desc});
   }
+  int child = stats_id_;
   op_ = std::make_unique<Sort>(ctx_, std::move(op_), std::move(sort_keys));
+  Instrument("Sort", {child});
   return *this;
 }
 
 Plan& Plan::Take(uint64_t limit) {
+  int child = stats_id_;
   op_ = std::make_unique<Limit>(std::move(op_), limit);
+  Instrument("Limit", {child});
   return *this;
 }
 

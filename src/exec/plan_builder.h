@@ -98,9 +98,16 @@ class Plan {
   Plan(ExecContext* ctx, OperatorPtr op, std::vector<std::string> names)
       : ctx_(ctx), op_(std::move(op)), names_(std::move(names)) {}
 
+  /// EXPLAIN ANALYZE seam: when ctx_->analyze() is set, registers a stats
+  /// node labelled `label` (children = the wrapped inputs' node ids) and
+  /// wraps op_ in an OpProfiler; otherwise leaves the tree untouched.
+  void Instrument(std::string label, std::vector<int> children);
+
   ExecContext* ctx_;
   OperatorPtr op_;
   std::vector<std::string> names_;
+  /// This plan's current QueryStats node id (-1 when not collecting).
+  int stats_id_ = -1;
 };
 
 }  // namespace microspec

@@ -101,6 +101,9 @@ struct Statement {
   CreateTableStmt create;
   InsertStmt insert;
   SelectStmt select;
+  /// EXPLAIN ANALYZE <select>: execute the query, discard its rows, and
+  /// return the per-operator stats tree instead (kSelect only).
+  bool explain_analyze = false;
 };
 
 }  // namespace microspec::sqlfe

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "exec/analyze.h"
 #include "exec/plan_builder.h"
 
 namespace microspec::sqlfe {
@@ -384,6 +385,25 @@ Result<SqlResult> RunSelect(Database* db, ExecContext* ctx,
   return result;
 }
 
+/// EXPLAIN ANALYZE: installs a QueryStats collector on the context (Plan
+/// then wraps each operator in an OpProfiler), runs the query, discards its
+/// rows, and returns the stats tree — one line per operator, PostgreSQL
+/// style.
+Result<SqlResult> RunExplainAnalyze(Database* db, ExecContext* ctx,
+                                    const SelectStmt& stmt) {
+  QueryStats qs;
+  ctx->set_analyze(&qs);
+  Result<SqlResult> run = RunSelect(db, ctx, stmt);
+  ctx->set_analyze(nullptr);
+  MICROSPEC_RETURN_NOT_OK(run.status());
+  SqlResult result;
+  result.columns = {"QUERY PLAN"};
+  for (std::string& line : qs.ToLines()) {
+    result.rows.push_back({std::move(line)});
+  }
+  return result;
+}
+
 }  // namespace
 
 std::string SqlResult::ToString() const {
@@ -425,7 +445,8 @@ Result<SqlResult> ExecuteSql(Database* db, ExecContext* ctx,
     case Statement::Kind::kInsert:
       return RunInsert(db, ctx, stmt.insert);
     case Statement::Kind::kSelect:
-      return RunSelect(db, ctx, stmt.select);
+      return stmt.explain_analyze ? RunExplainAnalyze(db, ctx, stmt.select)
+                                  : RunSelect(db, ctx, stmt.select);
   }
   return Status::Internal("unreachable statement kind");
 }

@@ -16,6 +16,16 @@ class Parser {
 
   Result<Statement> ParseStatement() {
     Statement stmt;
+    if (MatchIdent("explain")) {
+      MICROSPEC_RETURN_NOT_OK(ExpectIdent("analyze"));
+      MICROSPEC_RETURN_NOT_OK(ExpectIdent("select"));
+      stmt.kind = Statement::Kind::kSelect;
+      stmt.explain_analyze = true;
+      MICROSPEC_RETURN_NOT_OK(ParseSelect(&stmt.select));
+      (void)MatchSymbol(";");
+      if (!AtEnd()) return Error("trailing input after statement");
+      return stmt;
+    }
     if (MatchIdent("create")) {
       stmt.kind = Statement::Kind::kCreateTable;
       MICROSPEC_RETURN_NOT_OK(ParseCreate(&stmt.create));

@@ -89,10 +89,10 @@ Result<PageGuard> BufferPool::Pin(uint32_t file_id, PageNo page_no) {
     Frame& f = frames_[it->second];
     ++f.pin_count;
     TouchLru(it->second);
-    stats_->buffer_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_->buffer_hits.Add(1);
     return PageGuard(this, file_id, page_no, f.data.get());
   }
-  stats_->buffer_misses.fetch_add(1, std::memory_order_relaxed);
+  stats_->buffer_misses.Add(1);
   Status st = Status::OK();
   int victim = FindVictim(&st);
   if (victim < 0) return st;

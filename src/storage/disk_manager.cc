@@ -49,7 +49,7 @@ Status DiskManager::ReadPage(PageNo page_no, char* out) {
                            " in " + path_);
   }
   if (stats_ != nullptr) {
-    stats_->pages_read.fetch_add(1, std::memory_order_relaxed);
+    stats_->pages_read.Add(1);
   }
   return Status::OK();
 }
@@ -63,7 +63,7 @@ Status DiskManager::WritePage(PageNo page_no, const char* data) {
                            " in " + path_);
   }
   if (stats_ != nullptr) {
-    stats_->pages_written.fetch_add(1, std::memory_order_relaxed);
+    stats_->pages_written.Add(1);
   }
   return Status::OK();
 }

@@ -122,7 +122,7 @@ TEST_P(DatabaseTest, ColdCacheScanStillCorrect) {
   auto rows = CountRows(&scan);
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(*rows, 500u);
-  EXPECT_GT(db_->io_stats()->pages_read.load(), 0u);
+  EXPECT_GT(db_->io_stats()->pages_read.Value(), 0u);
 }
 
 TEST_P(DatabaseTest, CheckpointSurvivesReopenOfHeap) {

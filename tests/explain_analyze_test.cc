@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "exec/analyze.h"
+#include "exec/plan_builder.h"
+#include "sqlfe/engine.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+using sqlfe::ExecuteSql;
+using sqlfe::SqlResult;
+using testing::OpenDb;
+using testing::ScratchDir;
+
+/// One parsed line of EXPLAIN ANALYZE output.
+struct PlanLine {
+  int depth = 0;
+  std::string label;
+  uint64_t rows = 0;
+  uint64_t next = 0;
+  std::string time;
+  uint64_t work_ops = 0;
+};
+
+PlanLine ParsePlanLine(const std::string& line) {
+  PlanLine out;
+  size_t start = line.find_first_not_of(' ');
+  EXPECT_NE(start, std::string::npos) << "blank plan line";
+  EXPECT_EQ(start % 2, 0u) << "odd indent: " << line;
+  out.depth = static_cast<int>(start / 2);
+  char label[64] = {0};
+  char time[32] = {0};
+  int n = std::sscanf(line.c_str() + start,
+                      "%63s rows=%" SCNu64 " next=%" SCNu64
+                      " time=%31s work_ops=%" SCNu64,
+                      label, &out.rows, &out.next, time, &out.work_ops);
+  EXPECT_EQ(n, 5) << "unparseable plan line: " << line;
+  out.label = label;
+  out.time = time;
+  return out;
+}
+
+/// End-to-end over the SQL front end, stock and bee-enabled.
+class ExplainAnalyzeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    db_ = OpenDb(dir_.path() + "/db", GetParam(), GetParam());
+    ctx_ = db_->MakeContext();
+    Sql("CREATE TABLE region (rid INT NOT NULL, rname VARCHAR NOT NULL)");
+    Sql("CREATE TABLE nation (nid INT NOT NULL, region_id INT NOT NULL, "
+        "nname VARCHAR NOT NULL)");
+    Sql("CREATE TABLE city (cid INT NOT NULL, nation_id INT NOT NULL, "
+        "cname VARCHAR NOT NULL)");
+    Sql("INSERT INTO region VALUES (1, 'emea'), (2, 'apac')");
+    Sql("INSERT INTO nation VALUES (1, 1, 'france'), (2, 1, 'spain'), "
+        "(3, 2, 'japan')");
+    Sql("INSERT INTO city VALUES (1, 1, 'paris'), (2, 1, 'lyon'), "
+        "(3, 2, 'madrid'), (4, 3, 'tokyo'), (5, 3, 'osaka')");
+  }
+
+  SqlResult Sql(const std::string& sql) {
+    auto r = ExecuteSql(db_.get(), ctx_.get(), sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r.MoveValue() : SqlResult{};
+  }
+
+  std::vector<PlanLine> Explain(const std::string& sql) {
+    SqlResult r = Sql(sql);
+    EXPECT_EQ(r.columns, std::vector<std::string>{"QUERY PLAN"});
+    std::vector<PlanLine> lines;
+    for (const auto& row : r.rows) {
+      EXPECT_EQ(row.size(), 1u);
+      lines.push_back(ParsePlanLine(row[0]));
+    }
+    return lines;
+  }
+
+  ScratchDir dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ExecContext> ctx_;
+};
+
+/// Golden test on a 3-way join + aggregate + sort: the tree shape, the
+/// per-operator row counts, and the Volcano invariant next == rows + 1
+/// (every operator here is drained to exhaustion).
+TEST_P(ExplainAnalyzeTest, ThreeWayJoinGolden) {
+  std::vector<PlanLine> plan = Explain(
+      "EXPLAIN ANALYZE SELECT rname, count(*) AS n FROM city "
+      "JOIN nation ON city.nation_id = nation.nid "
+      "JOIN region ON nation.region_id = region.rid "
+      "GROUP BY rname ORDER BY rname");
+  // (depth, label, rows): city has 5 rows, nation 3, region 2; every city
+  // matches exactly one nation and every nation one region, so both joins
+  // emit 5; two regions survive the aggregate.
+  struct Want {
+    int depth;
+    const char* label;
+    uint64_t rows;
+  };
+  const Want want[] = {
+      {0, "Sort", 2},          {1, "HashAggregate", 2},
+      {2, "HashJoin", 5},      {3, "HashJoin", 5},
+      {4, "SeqScan(city)", 5}, {4, "SeqScan(nation)", 3},
+      {3, "SeqScan(region)", 2},
+  };
+  ASSERT_EQ(plan.size(), std::size(want));
+  for (size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].depth, want[i].depth) << "line " << i;
+    EXPECT_EQ(plan[i].label, want[i].label) << "line " << i;
+    EXPECT_EQ(plan[i].rows, want[i].rows) << "line " << i;
+    EXPECT_EQ(plan[i].next, want[i].rows + 1) << "line " << i;
+    EXPECT_EQ(plan[i].time.substr(plan[i].time.size() - 2), "ms")
+        << "line " << i;
+  }
+  // The same query sans EXPLAIN still runs uninstrumented and agrees with
+  // the plan's aggregate row count.
+  SqlResult r = Sql(
+      "SELECT rname, count(*) AS n FROM city "
+      "JOIN nation ON city.nation_id = nation.nid "
+      "JOIN region ON nation.region_id = region.rid "
+      "GROUP BY rname ORDER BY rname");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], "apac");
+  EXPECT_EQ(r.rows[0][1], "2");
+  EXPECT_EQ(r.rows[1][0], "emea");
+  EXPECT_EQ(r.rows[1][1], "3");
+}
+
+/// Filter / Project / Sort / Limit labels, and early termination: LIMIT
+/// stops the root after two rows while the subtree below the Sort still
+/// drains fully.
+TEST_P(ExplainAnalyzeTest, FilterProjectSortLimit) {
+  std::vector<PlanLine> plan = Explain(
+      "EXPLAIN ANALYZE SELECT cname FROM city WHERE cid > 2 "
+      "ORDER BY cname LIMIT 2");
+  ASSERT_EQ(plan.size(), 5u);
+  EXPECT_EQ(plan[0].label, "Limit");
+  EXPECT_EQ(plan[1].label, "Sort");
+  EXPECT_EQ(plan[2].label, "Project");
+  EXPECT_EQ(plan[3].label, "Filter");
+  EXPECT_EQ(plan[4].label, "SeqScan(city)");
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(plan[i].depth, i);
+  EXPECT_EQ(plan[0].rows, 2u);  // LIMIT 2
+  EXPECT_EQ(plan[1].rows, 2u);  // sort only pulled twice
+  EXPECT_EQ(plan[2].rows, 3u);  // cid in {3,4,5}
+  EXPECT_EQ(plan[3].rows, 3u);
+  EXPECT_EQ(plan[4].rows, 5u);
+  // Below the (pipeline-breaking) sort everything drains to exhaustion.
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_EQ(plan[i].next, plan[i].rows + 1) << "line " << i;
+  }
+}
+
+TEST_P(ExplainAnalyzeTest, RejectsTrailingGarbageAndNonSelect) {
+  auto bad = ExecuteSql(db_.get(), ctx_.get(),
+                        "EXPLAIN ANALYZE SELECT cid FROM city extra");
+  EXPECT_FALSE(bad.ok());
+  auto ddl = ExecuteSql(db_.get(), ctx_.get(),
+                        "EXPLAIN ANALYZE CREATE TABLE t (x INT)");
+  EXPECT_FALSE(ddl.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(StockAndBees, ExplainAnalyzeTest, ::testing::Bool());
+
+/// Plan-API level: no collector installed -> no OpProfiler wrapping, and an
+/// installed collector records inclusive times/work-ops.
+TEST(QueryStatsTest, PlanApiInclusiveStats) {
+  ScratchDir dir;
+  auto db = OpenDb(dir.path() + "/db", /*enable_bees=*/true,
+                   /*tuple_bees=*/false);
+  auto ctx = db->MakeContext();
+  {
+    auto r = ExecuteSql(db.get(), ctx.get(),
+                        "CREATE TABLE t (k INT NOT NULL, v INT NOT NULL)");
+    ASSERT_TRUE(r.ok());
+    std::string ins = "INSERT INTO t VALUES (0, 0)";
+    for (int i = 1; i < 64; ++i) {
+      ins += ", (" + std::to_string(i) + ", " + std::to_string(i * 3) + ")";
+    }
+    ASSERT_TRUE(ExecuteSql(db.get(), ctx.get(), ins).ok());
+  }
+  TableInfo* t = db->catalog()->GetTable("t");
+  ASSERT_NE(t, nullptr);
+
+  // Uninstrumented: no stats nodes appear anywhere.
+  {
+    Plan plan = Plan::Scan(ctx.get(), t);
+    plan.OrderBy({{"k", /*desc=*/true}}).Take(10);
+    OperatorPtr op = std::move(plan).Build();
+    ASSERT_OK_AND_ASSIGN(uint64_t rows, CountRows(op.get()));
+    EXPECT_EQ(rows, 10u);
+  }
+
+  QueryStats qs;
+  ctx->set_analyze(&qs);
+  Plan plan = Plan::Scan(ctx.get(), t);
+  plan.OrderBy({{"k", /*desc=*/true}}).Take(10);
+  OperatorPtr op = std::move(plan).Build();
+  ASSERT_OK_AND_ASSIGN(uint64_t rows, CountRows(op.get()));
+  ctx->set_analyze(nullptr);
+  EXPECT_EQ(rows, 10u);
+
+  ASSERT_EQ(qs.nodes().size(), 3u);
+  const QueryStats::Node& scan = qs.nodes()[0];
+  const QueryStats::Node& sort = qs.nodes()[1];
+  const QueryStats::Node& limit = qs.nodes()[2];
+  EXPECT_EQ(scan.label, "SeqScan(t)");
+  EXPECT_EQ(sort.label, "Sort");
+  EXPECT_EQ(limit.label, "Limit");
+  EXPECT_EQ(scan.rows, 64u);
+  EXPECT_EQ(scan.next_calls, 65u);
+  EXPECT_EQ(sort.rows, 10u);
+  EXPECT_EQ(limit.rows, 10u);
+  // Inclusive semantics: the root's time and work-ops cover the whole tree.
+  EXPECT_GT(limit.time_ns, 0u);
+  EXPECT_GE(limit.time_ns, sort.time_ns);
+  EXPECT_GE(sort.time_ns, scan.time_ns);
+  EXPECT_GE(limit.work_ops, sort.work_ops);
+  EXPECT_GE(sort.work_ops, scan.work_ops);
+  // The tree renders with the root first and children indented.
+  std::string rendered = qs.ToString();
+  EXPECT_EQ(rendered.find("Limit"), 0u);
+  EXPECT_NE(rendered.find("\n  Sort"), std::string::npos);
+  EXPECT_NE(rendered.find("\n    SeqScan(t)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microspec

@@ -91,8 +91,8 @@ TEST(DiskManager, PagesPersistAcrossReopen) {
     ASSERT_OK(dm.ReadPage(0, readback));
     EXPECT_EQ(std::memcmp(page, readback, kPageSize), 0);
   }
-  EXPECT_EQ(stats.pages_read.load(), 1u);
-  EXPECT_GE(stats.pages_written.load(), 1u);
+  EXPECT_EQ(stats.pages_read.Value(), 1u);
+  EXPECT_GE(stats.pages_written.Value(), 1u);
 }
 
 TEST(BufferPool, HitAvoidsDiskRead) {
@@ -113,8 +113,8 @@ TEST(BufferPool, HitAvoidsDiskRead) {
     ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(dm.file_id(), no));
     EXPECT_EQ(g.data()[0], 'A');
   }
-  EXPECT_EQ(stats.pages_read.load(), 0u);
-  EXPECT_EQ(stats.buffer_hits.load(), 1u);
+  EXPECT_EQ(stats.pages_read.Value(), 0u);
+  EXPECT_EQ(stats.buffer_hits.Value(), 1u);
 }
 
 TEST(BufferPool, EvictionWritesBackDirtyPages) {
@@ -173,7 +173,7 @@ TEST(BufferPool, DropAllFlushesAndEvicts) {
     ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(dm.file_id(), no));
     EXPECT_EQ(g.data()[7], 'Z');
   }
-  EXPECT_EQ(stats.pages_read.load(), 1u);  // cold: had to hit disk
+  EXPECT_EQ(stats.pages_read.Value(), 1u);  // cold: had to hit disk
 }
 
 class HeapFileTest : public ::testing::Test {
