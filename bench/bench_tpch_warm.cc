@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "bench_util.h"
+#include "exec/plan_builder.h"
 
 namespace microspec {
 namespace {
@@ -66,6 +67,73 @@ void Run(int argc, char** argv) {
              sum_pct / tpch::kNumTpchQueries);
   report.Add("bees", "avg2_total_improvement_pct",
              ImprovementPct(sum_stock, sum_bee));
+  report.AttachTelemetry(bee->SnapshotTelemetry());
+  report.WriteIfRequested(argc, argv);
+}
+
+/// --dop N: per-dop scaling of morsel-driven parallel execution on the
+/// bee-enabled engine. Times every TPC-H query at dop 1 and dop N
+/// (interleaved), plus a pure warm-scan metric — a group-less aggregate over
+/// the full lineitem relation, the shape where morsel parallelism is pure
+/// scan/deform fan-out — and reports the scan speedup.
+void RunDopScaling(int argc, char** argv, int dop) {
+  BenchEnv env;
+  benchutil::PrintHeader(
+      "Parallel scaling: TPC-H warm cache at dop " + std::to_string(dop), env);
+  benchutil::BenchReport report("tpch_warm_dop", env);
+  const std::string cfg1 = "dop1";
+  const std::string cfgN = "dop" + std::to_string(dop);
+
+  auto bee = benchutil::MakeTpchDb(env, "bee", true, true);
+  TableInfo* lineitem = bee->catalog()->GetTable("lineitem");
+  MICROSPEC_CHECK(lineitem != nullptr);
+
+  // Warm-scan metric: count(*) + sum(l_extendedprice) over lineitem — one
+  // full scan, no join/sort stages to serialize on.
+  auto warm_scan = [&](int d) {
+    auto ctx = bee->MakeContext(bee->DefaultSession(), d);
+    Plan plan = Plan::Scan(ctx.get(), lineitem);
+    plan.GroupBy({}, AggList(Ag(AggSpec::CountStar(), "n"),
+                             Ag(AggSpec::Sum(plan.var("l_extendedprice")),
+                                "total")));
+    OperatorPtr op = std::move(plan).Build();
+    auto rows = CountRows(op.get());
+    MICROSPEC_CHECK(rows.ok() && rows.value() == 1);
+  };
+  warm_scan(1);  // warm the cache (and the executor pool via dop)
+  warm_scan(dop);
+  std::vector<double> scan_t = benchutil::PaperMeanMulti(
+      env.reps, {[&] { warm_scan(1); }, [&] { warm_scan(dop); }});
+  double speedup = scan_t[1] > 0 ? scan_t[0] / scan_t[1] : 0;
+  std::printf("warm scan: dop1 %.2f ms, dop%d %.2f ms -> %.2fx\n\n",
+              scan_t[0] * 1e3, dop, scan_t[1] * 1e3, speedup);
+  report.Add(cfg1, "warm_scan_seconds", scan_t[0]);
+  report.Add(cfgN, "warm_scan_seconds", scan_t[1]);
+  report.Add(cfgN, "warm_scan_speedup", speedup);
+
+  std::printf("%-5s %12s %12s %9s   %s\n", "query", "dop1(ms)",
+              (cfgN + "(ms)").c_str(), "speedup", "analog");
+  double sum_1 = 0;
+  double sum_n = 0;
+  for (int q = 1; q <= tpch::kNumTpchQueries; ++q) {
+    RunTpchQuery(bee.get(), SessionOptions::AllBees(), q, 1);
+    RunTpchQuery(bee.get(), SessionOptions::AllBees(), q, dop);
+    std::vector<double> t = benchutil::PaperMeanMulti(
+        env.reps,
+        {[&] { RunTpchQuery(bee.get(), SessionOptions::AllBees(), q, 1); },
+         [&] { RunTpchQuery(bee.get(), SessionOptions::AllBees(), q, dop); }});
+    sum_1 += t[0];
+    sum_n += t[1];
+    std::printf("q%-4d %12.2f %12.2f %8.2fx   %s\n", q, t[0] * 1e3,
+                t[1] * 1e3, t[1] > 0 ? t[0] / t[1] : 0,
+                tpch::TpchQueryDescription(q));
+    std::string metric = "q" + std::to_string(q) + "_seconds";
+    report.Add(cfg1, metric, t[0]);
+    report.Add(cfgN, metric, t[1]);
+  }
+  std::printf("\ntotal: dop1 %.1f ms, dop%d %.1f ms -> %.2fx\n", sum_1 * 1e3,
+              dop, sum_n * 1e3, sum_n > 0 ? sum_1 / sum_n : 0);
+  report.Add(cfgN, "total_speedup", sum_n > 0 ? sum_1 / sum_n : 0);
   report.AttachTelemetry(bee->SnapshotTelemetry());
   report.WriteIfRequested(argc, argv);
 }
@@ -129,6 +197,15 @@ int RunTelemetryGate() {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--telemetry-gate") == 0) {
     return microspec::RunTelemetryGate();
+  }
+  if (argc > 2 && std::strcmp(argv[1], "--dop") == 0) {
+    int dop = std::atoi(argv[2]);
+    if (dop < 2) {
+      std::fprintf(stderr, "--dop requires an integer >= 2\n");
+      return 2;
+    }
+    microspec::RunDopScaling(argc, argv, dop);
+    return 0;
   }
   microspec::Run(argc, argv);
   return 0;

@@ -147,6 +147,16 @@ uint64_t RunTpchQuery(Database* db, const SessionOptions& opts, int q) {
   return rows.value();
 }
 
+uint64_t RunTpchQuery(Database* db, const SessionOptions& opts, int q,
+                      int dop) {
+  auto ctx = db->MakeContext(opts, dop);
+  auto plan = tpch::BuildTpchQuery(q, ctx.get());
+  MICROSPEC_CHECK(plan.ok());
+  auto rows = CountRows(plan->get());
+  MICROSPEC_CHECK(rows.ok());
+  return rows.value();
+}
+
 double Median(std::vector<double> samples) {
   if (samples.empty()) return 0;
   std::sort(samples.begin(), samples.end());

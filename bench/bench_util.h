@@ -63,6 +63,10 @@ std::vector<double> PaperMeanMulti(int reps,
 /// Executes TPC-H query `q` once under `opts`; returns rows produced.
 uint64_t RunTpchQuery(Database* db, const SessionOptions& opts, int q);
 
+/// Same, at an explicit degree of parallelism (morsel-driven execution).
+uint64_t RunTpchQuery(Database* db, const SessionOptions& opts, int q,
+                      int dop);
+
 /// Percentage improvement of `specialized` over `stock` (positive = faster).
 inline double ImprovementPct(double stock, double specialized) {
   return stock <= 0 ? 0 : (stock - specialized) / stock * 100.0;

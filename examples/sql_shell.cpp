@@ -70,6 +70,12 @@ int main(int argc, char** argv) {
   options.dir = dir;
   options.enable_bees = true;
   options.enable_tuple_bees = true;
+  // MICROSPEC_DOP=N runs every query with morsel-driven parallel execution
+  // at dop N (DESIGN.md §6); unset or 1 keeps the serial executor.
+  const char* dop_env = std::getenv("MICROSPEC_DOP");
+  if (dop_env != nullptr && std::atoi(dop_env) > 1) {
+    options.dop = std::atoi(dop_env);
+  }
   auto db = Database::Open(std::move(options)).MoveValue();
   auto ctx = db->MakeContext();
 

@@ -22,20 +22,26 @@
 #      build with ASan). Run both modes for full coverage. The telemetry
 #      concurrency tests (sharded counters/histograms + snapshot readers)
 #      are part of the suite, so TSan covers the lock-free paths.
+#   6. Parallel-execution sanitizer gate, run unconditionally: targeted
+#      sanitizer builds of the morsel-driven executor's standalone tests —
+#      the TPC-H differential test under ASan/UBSan and under TSan, and the
+#      forge stress test under TSan. These are the binaries whose whole
+#      point is racing workers against each other and against the forge, so
+#      they never ship without sanitizer coverage, even on plain runs.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== 1/5: -Werror build =="
+echo "== 1/6: -Werror build =="
 # -Wno-restrict: GCC 12's -O2 restrict analysis false-positives inside
 # libstdc++'s std::string append paths; everything else stays fatal.
 cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-Werror -Wno-restrict" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== 2/5: static analysis =="
+echo "== 2/6: static analysis =="
 if command -v cppcheck >/dev/null 2>&1; then
   cppcheck --quiet --error-exitcode=1 \
     --enable=warning,portability \
@@ -54,10 +60,10 @@ else
   echo "clang-tidy: not installed, skipped"
 fi
 
-echo "== 3/5: tests =="
+echo "== 3/6: tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== 4/5: telemetry overhead gate =="
+echo "== 4/6: telemetry overhead gate =="
 # Small scale + few reps keep this quick; the gate retries internally to
 # damp scheduler noise and exits nonzero only on a consistent regression.
 MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
@@ -66,7 +72,7 @@ MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
 
 case "${SANITIZE:-0}" in
   1)
-    echo "== 5/5: ASan/UBSan build + tests =="
+    echo "== 5/6: ASan/UBSan build + tests =="
     SAN_DIR="$BUILD_DIR-asan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="address;undefined" \
@@ -76,7 +82,7 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   thread)
-    echo "== 5/5: TSan build + tests =="
+    echo "== 5/6: TSan build + tests =="
     SAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="thread" \
@@ -86,9 +92,30 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   *)
-    echo "== 5/5: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
+    echo "== 5/6: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
          "SANITIZE=thread for TSan) =="
     ;;
 esac
+
+echo "== 6/6: parallel-execution sanitizer gate =="
+# Targeted builds: only the standalone parallel test binaries (plus their
+# dependencies) are compiled in the sanitizer trees, so this stays cheap
+# even when SANITIZE is unset and the full sanitized suites did not run.
+ASAN_DIR="$BUILD_DIR-asan"
+cmake -B "$ASAN_DIR" -S "$ROOT" \
+  -DMICROSPEC_SANITIZE="address;undefined" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$ASAN_DIR" -j "$JOBS" --target parallel_differential_test
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  "$ASAN_DIR"/tests/parallel_differential_test
+
+TSAN_DIR="$BUILD_DIR-tsan"
+cmake -B "$TSAN_DIR" -S "$ROOT" \
+  -DMICROSPEC_SANITIZE="thread" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+  --target parallel_differential_test parallel_forge_stress_test
+TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_forge_stress_test
+TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_differential_test
 
 echo "check.sh: all gates passed"

@@ -2,6 +2,7 @@
 #define MICROSPEC_BEE_PLACEMENT_H_
 
 #include <cstddef>
+#include <mutex>
 
 #include "common/align.h"
 #include "common/arena.h"
@@ -25,8 +26,12 @@ class PlacementArena {
   MICROSPEC_DISALLOW_COPY_AND_MOVE(PlacementArena);
 
   /// Allocates a bee context block. With isolation on, each block starts on
-  /// its own cache line so two bees never share one.
+  /// its own cache line so two bees never share one. Thread-safe: under
+  /// parallel execution each worker fragment specializes its own EVP/EVJ
+  /// context at Init through this one module-wide arena; allocation is
+  /// plan-instantiation-time only (never per-row), so a mutex suffices.
   void* Allocate(size_t size) {
+    std::lock_guard<std::mutex> guard(mu_);
     if (isolate_) {
       return arena_.Allocate(AlignUp(size, kCacheLineSize), kCacheLineSize);
     }
@@ -40,10 +45,14 @@ class PlacementArena {
     return p;
   }
 
-  size_t bytes_used() const { return arena_.bytes_used(); }
+  size_t bytes_used() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return arena_.bytes_used();
+  }
   bool isolation() const { return isolate_; }
 
  private:
+  mutable std::mutex mu_;
   Arena arena_;
   bool isolate_;
 };

@@ -2,6 +2,12 @@
 
 namespace microspec {
 
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
   threads_.reserve(static_cast<size_t>(num_threads));
@@ -35,6 +41,7 @@ void ThreadPool::Quiesce() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
   std::unique_lock<std::mutex> guard(mutex_);
   for (;;) {
     wake_.wait(guard, [this] { return stop_ || !queue_.empty(); });

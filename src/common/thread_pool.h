@@ -36,6 +36,12 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  /// True when the calling thread is a pool worker (of any ThreadPool).
+  /// Parallel query operators use this to run nested fan-out inline instead
+  /// of waiting on a pool slot that may never free while every worker is
+  /// occupied upstream (deadlock avoidance; see exec/parallel.h).
+  static bool OnWorkerThread();
+
  private:
   void WorkerLoop();
 

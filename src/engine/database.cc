@@ -194,6 +194,17 @@ Status Database::Checkpoint() {
   return Status::OK();
 }
 
+ThreadPool* Database::Executor(int dop) {
+  std::lock_guard<std::mutex> guard(executor_mu_);
+  if (executor_ == nullptr || executor_threads_ < dop) {
+    // Growing replaces the pool (ThreadPool is fixed-size); the old pool's
+    // dtor joins its workers, so this is only safe between queries.
+    executor_ = std::make_unique<ThreadPool>(dop);
+    executor_threads_ = dop;
+  }
+  return executor_.get();
+}
+
 telemetry::TelemetrySnapshot Database::SnapshotTelemetry() {
   telemetry::TelemetrySnapshot snap;
   snap.AddCounter("microspec_pages_read_total",

@@ -8,6 +8,7 @@
 #include "bee/bee_module.h"
 #include "catalog/catalog.h"
 #include "common/io_stats.h"
+#include "common/thread_pool.h"
 #include "exec/operator.h"
 
 namespace microspec {
@@ -31,6 +32,13 @@ struct DatabaseOptions {
   /// with hotness-driven promotion by default; `forge.async = false`
   /// restores the paper's compile-inline-at-CREATE-TABLE behaviour.
   bee::ForgeOptions forge;
+  /// Degree of parallelism for query execution (morsel-driven; DESIGN.md
+  /// "Parallel execution"). The default of 1 builds the exact serial
+  /// operator trees this engine always built — no executor pool is even
+  /// created.
+  int dop = 1;
+  /// Pages per morsel for parallel scans; 0 => kDefaultMorselPages.
+  uint32_t morsel_pages = 0;
 };
 
 /// The engine facade: owns the buffer pool, catalog, and (optionally) the
@@ -62,10 +70,20 @@ class Database {
   }
 
   std::unique_ptr<ExecContext> MakeContext(const SessionOptions& opts) {
-    return std::make_unique<ExecContext>(catalog_.get(), bees_.get(), opts);
+    return MakeContext(opts, options_.dop);
   }
   std::unique_ptr<ExecContext> MakeContext() {
     return MakeContext(DefaultSession());
+  }
+  /// Context with an explicit degree of parallelism (the per-query override
+  /// used by bench_tpch_warm --dop and the parallel tests). dop <= 1 yields
+  /// a plain serial context.
+  std::unique_ptr<ExecContext> MakeContext(const SessionOptions& opts,
+                                           int dop) {
+    auto ctx =
+        std::make_unique<ExecContext>(catalog_.get(), bees_.get(), opts);
+    if (dop > 1) ctx->set_parallel(Executor(dop), dop, options_.morsel_pages);
+    return ctx;
   }
 
   /// --- DML helpers (used by the TPC-C transactions and the loaders) ---------
@@ -130,11 +148,21 @@ class Database {
 
   static IndexKey KeyFor(const IndexInfo& idx, const Datum* values);
 
+  /// Lazily creates (or grows) the shared query-executor pool so it has at
+  /// least `dop` threads. Growing replaces the pool, so it is only safe
+  /// between queries — contexts hold the pool pointer for their lifetime.
+  ThreadPool* Executor(int dop);
+
   DatabaseOptions options_;
   IoStats stats_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<bee::BeeModule> bees_;
+  std::mutex executor_mu_;
+  int executor_threads_ = 0;
+  /// Declared last: destroyed first, so in-flight worker tasks finish (the
+  /// pool dtor joins) before the catalog/pool/bee module they use go away.
+  std::unique_ptr<ThreadPool> executor_;
 };
 
 }  // namespace microspec

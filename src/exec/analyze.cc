@@ -22,6 +22,16 @@ int QueryStats::AddNode(std::string label, std::vector<int> children) {
   return static_cast<int>(nodes_.size()) - 1;
 }
 
+void QueryStats::Merge(int id, uint64_t rows, uint64_t next_calls,
+                       uint64_t time_ns, uint64_t work_ops) {
+  std::lock_guard<std::mutex> guard(merge_mu_);
+  Node* n = &nodes_[static_cast<size_t>(id)];
+  n->rows += rows;
+  n->next_calls += next_calls;
+  n->time_ns += time_ns;
+  n->work_ops += work_ops;
+}
+
 std::vector<std::string> QueryStats::ToLines() const {
   std::vector<bool> is_child(nodes_.size(), false);
   for (const Node& n : nodes_) {

@@ -2,6 +2,7 @@
 #define MICROSPEC_EXEC_ANALYZE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,15 @@ class QueryStats {
   };
 
   /// Registers a plan node; `children` are ids returned by earlier calls.
+  /// Plan construction is single-threaded, so AddNode takes no lock.
   int AddNode(std::string label, std::vector<int> children = {});
+
+  /// Folds one profiler's accumulated counters into node `id`. Thread-safe:
+  /// under parallelism each of a node's dop fragment profilers flushes its
+  /// share here from its worker thread (on Close), so a fragment node shows
+  /// the whole-operator totals instead of one worker's slice.
+  void Merge(int id, uint64_t rows, uint64_t next_calls, uint64_t time_ns,
+             uint64_t work_ops);
 
   Node* node(int id) { return &nodes_[static_cast<size_t>(id)]; }
   const std::vector<Node>& nodes() const { return nodes_; }
@@ -48,11 +57,17 @@ class QueryStats {
 
  private:
   std::vector<Node> nodes_;
+  std::mutex merge_mu_;  // guards the counter fields during Merge
 };
 
 /// Measuring decorator: forwards Init/Next/Close to `child`, accumulating
-/// wall time and work-op deltas into its QueryStats node. The child's output
-/// row is re-exposed as this operator's own, so parents are none the wiser.
+/// wall time and work-op deltas locally and flushing them into its
+/// QueryStats node on Close. Local accumulation (rather than mutating the
+/// shared node per call) keeps the hot path write-free of shared state, so
+/// the dop fragment profilers that share one node id under parallel
+/// execution never race: each flushes once, through QueryStats::Merge, from
+/// whichever thread ran the fragment. The child's output row is re-exposed
+/// as this operator's own, so parents are none the wiser.
 class OpProfiler final : public Operator {
  public:
   OpProfiler(OperatorPtr child, QueryStats* stats, int node_id)
@@ -60,13 +75,14 @@ class OpProfiler final : public Operator {
     meta_ = child_->output_meta();
   }
 
+  ~OpProfiler() override { Flush(); }
+
   Status Init() override {
     const uint64_t t0 = telemetry::NowNs();
     const uint64_t w0 = workops::Read();
     Status st = child_->Init();
-    QueryStats::Node* n = stats_->node(node_id_);
-    n->time_ns += telemetry::NowNs() - t0;
-    n->work_ops += workops::Read() - w0;
+    time_local_ += telemetry::NowNs() - t0;
+    work_local_ += workops::Read() - w0;
     // Some operators (Sort) finalize meta in their ctor, others by Init.
     meta_ = child_->output_meta();
     return st;
@@ -76,24 +92,40 @@ class OpProfiler final : public Operator {
     const uint64_t t0 = telemetry::NowNs();
     const uint64_t w0 = workops::Read();
     Status st = child_->Next(has_row);
-    QueryStats::Node* n = stats_->node(node_id_);
-    n->time_ns += telemetry::NowNs() - t0;
-    n->work_ops += workops::Read() - w0;
-    ++n->next_calls;
+    time_local_ += telemetry::NowNs() - t0;
+    work_local_ += workops::Read() - w0;
+    ++next_local_;
     if (st.ok() && *has_row) {
-      ++n->rows;
+      ++rows_local_;
       values_ = child_->values();
       isnull_ = child_->isnull();
     }
     return st;
   }
 
-  void Close() override { child_->Close(); }
+  void Close() override {
+    child_->Close();
+    Flush();
+  }
 
  private:
+  void Flush() {
+    if (rows_local_ == 0 && next_local_ == 0 && time_local_ == 0 &&
+        work_local_ == 0) {
+      return;
+    }
+    stats_->Merge(node_id_, rows_local_, next_local_, time_local_,
+                  work_local_);
+    rows_local_ = next_local_ = time_local_ = work_local_ = 0;
+  }
+
   OperatorPtr child_;
   QueryStats* stats_;
   int node_id_;
+  uint64_t rows_local_ = 0;
+  uint64_t next_local_ = 0;
+  uint64_t time_local_ = 0;
+  uint64_t work_local_ = 0;
 };
 
 }  // namespace microspec

@@ -349,6 +349,11 @@ Status HashAggregate::Accumulate() {
         sizeof(AggState) * (aggs_.empty() ? 1 : aggs_.size()),
         alignof(AggState)));
     for (size_t i = 0; i < aggs_.size(); ++i) g->states[i] = AggState{};
+    // Chain into the table too so MergeFrom finds it: dop parallel partials
+    // over an empty input each synthesize this group, and the merge must
+    // collapse them into one output row, not dop of them.
+    g->next = buckets_[g->hash & bucket_mask_];
+    buckets_[g->hash & bucket_mask_] = g;
     groups_.push_back(g);
   }
   return Status::OK();
@@ -399,6 +404,77 @@ void HashAggregate::EmitGroup(const Group* g) {
           values_buf_[out] = st.extreme;
         }
         break;
+    }
+  }
+}
+
+Status HashAggregate::PartialAccumulate() {
+  MICROSPEC_RETURN_NOT_OK(Init());
+  MICROSPEC_RETURN_NOT_OK(Accumulate());
+  accumulated_ = true;
+  return Status::OK();
+}
+
+void HashAggregate::MergeFrom(HashAggregate* src) {
+  const size_t nkeys = group_cols_.size();
+  for (Group* sg : src->groups_) {
+    // Find or create the destination group; unlike Accumulate the key
+    // values come from the source group, not a child row.
+    uint64_t h = sg->hash;
+    Group* g = buckets_[h & bucket_mask_];
+    while (g != nullptr) {
+      if (g->hash == h) {
+        bool eq = true;
+        for (size_t i = 0; i < nkeys; ++i) {
+          if (sg->keynull[i] != g->keynull[i] ||
+              (!sg->keynull[i] &&
+               !DatumEqualsGeneric(sg->keys[i], g->keys[i], group_meta_[i]))) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) break;
+      }
+      g = g->next;
+    }
+    if (g == nullptr) {
+      g = static_cast<Group*>(arena_.Allocate(sizeof(Group), alignof(Group)));
+      g->hash = h;
+      g->keys = static_cast<Datum*>(
+          arena_.Allocate(sizeof(Datum) * (nkeys == 0 ? 1 : nkeys), 8));
+      g->keynull =
+          static_cast<bool*>(arena_.Allocate(nkeys == 0 ? 1 : nkeys, 1));
+      for (size_t i = 0; i < nkeys; ++i) {
+        g->keynull[i] = sg->keynull[i];
+        g->keys[i] =
+            g->keynull[i] ? 0 : CopyDatum(&arena_, sg->keys[i], group_meta_[i]);
+      }
+      g->states = static_cast<AggState*>(arena_.Allocate(
+          sizeof(AggState) * (aggs_.empty() ? 1 : aggs_.size()),
+          alignof(AggState)));
+      for (size_t i = 0; i < aggs_.size(); ++i) g->states[i] = AggState{};
+      g->next = buckets_[h & bucket_mask_];
+      buckets_[h & bucket_mask_] = g;
+      groups_.push_back(g);
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      AggState& d = g->states[i];
+      const AggState& s = sg->states[i];
+      d.fsum += s.fsum;
+      d.isum += s.isum;
+      d.count += s.count;
+      if (s.has_value) {
+        if (!d.has_value) {
+          d.extreme = CopyDatum(&arena_, s.extreme, agg_arg_meta_[i]);
+          d.has_value = true;
+        } else {
+          int c = DatumCompareGeneric(s.extreme, d.extreme, agg_arg_meta_[i]);
+          if ((aggs_[i].kind == AggKind::kMin && c < 0) ||
+              (aggs_[i].kind == AggKind::kMax && c > 0)) {
+            d.extreme = CopyDatum(&arena_, s.extreme, agg_arg_meta_[i]);
+          }
+        }
+      }
     }
   }
 }

@@ -42,6 +42,16 @@ class HashAggregate final : public Operator {
   Status Next(bool* has_row) override;
   void Close() override;
 
+  /// --- Parallel-merge hooks (used by ParallelHashAggregate) ----------------
+  /// Runs Init + the accumulation phase without emitting, leaving this
+  /// aggregate ready to be merged or drained. Called on a worker thread.
+  Status PartialAccumulate();
+  /// Folds `src`'s groups into this aggregate: counts and sums add, MIN/MAX
+  /// compare, and group keys / extreme values are deep-copied into this
+  /// aggregate's arena (the source is closed after the merge). Both sides
+  /// must share group columns and aggregate specs.
+  void MergeFrom(HashAggregate* src);
+
   /// Accumulator state; public so the aggregation-bee kernels (file-local
   /// free functions in hash_agg.cc) can operate on it.
   struct AggState {

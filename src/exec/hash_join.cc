@@ -1,6 +1,7 @@
 #include "exec/hash_join.h"
 
 #include "common/counters.h"
+#include "exec/parallel.h"
 
 namespace microspec {
 
@@ -22,6 +23,28 @@ HashJoin::HashJoin(ExecContext* ctx, OperatorPtr outer, OperatorPtr inner,
     for (const ColMeta& m : inner_->output_meta()) meta_.push_back(m);
   }
 }
+
+HashJoin::HashJoin(ExecContext* ctx, OperatorPtr outer,
+                   std::shared_ptr<SharedJoinBuild> shared,
+                   std::vector<int> outer_keys, std::vector<int> inner_keys,
+                   JoinType join_type, ExprPtr residual)
+    : ctx_(ctx),
+      outer_(std::move(outer)),
+      shared_(std::move(shared)),
+      outer_keys_(std::move(outer_keys)),
+      inner_keys_(std::move(inner_keys)),
+      join_type_(join_type),
+      residual_expr_(std::move(residual)) {
+  MICROSPEC_CHECK(outer_keys_.size() == inner_keys_.size());
+  outer_width_ = outer_->output_meta().size();
+  inner_width_ = shared_->inner_meta().size();
+  meta_ = outer_->output_meta();
+  if (join_type_ == JoinType::kInner || join_type_ == JoinType::kLeft) {
+    for (const ColMeta& m : shared_->inner_meta()) meta_.push_back(m);
+  }
+}
+
+HashJoin::~HashJoin() = default;
 
 Status HashJoin::Init() {
   // Query-preparation-time decisions: key kernel (EVJ seam) and join-type
@@ -70,6 +93,14 @@ Status HashJoin::Init() {
 }
 
 Status HashJoin::BuildTable() {
+  if (shared_ != nullptr) {
+    // Parallel build: participate in (or wait out) the cooperative build,
+    // then probe the shared table. Built once; re-Init reuses it.
+    MICROSPEC_RETURN_NOT_OK(shared_->EnsureBuilt());
+    buckets_data_ = shared_->buckets();
+    bucket_mask_ = shared_->bucket_mask();
+    return Status::OK();
+  }
   build_arena_.Reset();  // re-Init rebuilds from scratch
   MICROSPEC_RETURN_NOT_OK(inner_->Init());
   std::vector<BuildRow*> rows;
@@ -105,6 +136,7 @@ Status HashJoin::BuildTable() {
     row->next = buckets_[b];
     buckets_[b] = row;
   }
+  buckets_data_ = buckets_.data();
   return Status::OK();
 }
 
@@ -197,7 +229,7 @@ Status HashJoin::NextGeneric(bool* has_row) {
     MICROSPEC_RETURN_NOT_OK(outer_->Next(has_row));
     if (!*has_row) return Status::OK();
     cur_hash_ = keys_->HashOuter(outer_->values(), outer_->isnull());
-    chain_ = buckets_[cur_hash_ & bucket_mask_];
+    chain_ = buckets_data_[cur_hash_ & bucket_mask_];
     outer_matched_ = false;
     outer_valid_ = true;
     workops::Bump(5);  // bucket computation + probe setup in the stock path
@@ -252,7 +284,7 @@ Status HashJoin::NextStatic(bool* has_row) {
     MICROSPEC_RETURN_NOT_OK(outer_->Next(has_row));
     if (!*has_row) return Status::OK();
     cur_hash_ = keys_->HashOuter(outer_->values(), outer_->isnull());
-    chain_ = buckets_[cur_hash_ & bucket_mask_];
+    chain_ = buckets_data_[cur_hash_ & bucket_mask_];
     outer_matched_ = false;
     outer_valid_ = true;
     workops::Bump(3);
@@ -263,7 +295,9 @@ Status HashJoin::Next(bool* has_row) { return (this->*next_fn_)(has_row); }
 
 void HashJoin::Close() {
   outer_->Close();
+  if (shared_ != nullptr) return;  // the shared table outlives this probe
   buckets_.clear();
+  buckets_data_ = nullptr;
   build_arena_.Reset();
 }
 

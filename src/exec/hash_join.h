@@ -9,6 +9,18 @@
 
 namespace microspec {
 
+class SharedJoinBuild;
+
+/// One row of a join build table: the key hash, the intrusive bucket chain,
+/// and the materialized inner columns. Allocated from a build arena by the
+/// serial HashJoin build or by SharedJoinBuild's parallel partitions.
+struct JoinBuildRow {
+  uint64_t hash;
+  JoinBuildRow* next;
+  Datum* values;
+  bool* isnull;
+};
+
 /// Hash equi-join. The inner child is built into an in-memory chained hash
 /// table; the outer child probes. Per-probe key hashing/comparison goes
 /// through a JoinKeyEvaluator: the generic implementation consults runtime
@@ -27,17 +39,23 @@ class HashJoin final : public Operator {
            std::vector<int> outer_keys, std::vector<int> inner_keys,
            JoinType join_type, ExprPtr residual = nullptr);
 
+  /// Parallel probe instance: one of dop HashJoins sharing `shared`'s build
+  /// table (built cooperatively by the probe workers on first Init). Probe
+  /// semantics are unchanged — each outer row lives in exactly one
+  /// fragment, so kLeft/kSemi/kAnti stay correct per fragment.
+  HashJoin(ExecContext* ctx, OperatorPtr outer,
+           std::shared_ptr<SharedJoinBuild> shared,
+           std::vector<int> outer_keys, std::vector<int> inner_keys,
+           JoinType join_type, ExprPtr residual = nullptr);
+
+  ~HashJoin() override;
+
   Status Init() override;
   Status Next(bool* has_row) override;
   void Close() override;
 
  private:
-  struct BuildRow {
-    uint64_t hash;
-    BuildRow* next;
-    Datum* values;
-    bool* isnull;
-  };
+  using BuildRow = JoinBuildRow;
 
   Status BuildTable();
   /// Emits outer ++ inner (inner may be nullptr => NULLs for kLeft).
@@ -52,7 +70,8 @@ class HashJoin final : public Operator {
 
   ExecContext* ctx_;
   OperatorPtr outer_;
-  OperatorPtr inner_;
+  OperatorPtr inner_;  // null when shared_ supplies the build table
+  std::shared_ptr<SharedJoinBuild> shared_;
   std::vector<int> outer_keys_;
   std::vector<int> inner_keys_;
   JoinType join_type_;
@@ -63,6 +82,8 @@ class HashJoin final : public Operator {
   Status (HashJoin::*next_fn_)(bool*) = nullptr;
 
   std::vector<BuildRow*> buckets_;
+  /// Probe view of the bucket table: own buckets_ or the shared build's.
+  BuildRow* const* buckets_data_ = nullptr;
   uint64_t bucket_mask_ = 0;
   Arena build_arena_;
 

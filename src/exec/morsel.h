@@ -1,0 +1,64 @@
+#ifndef MICROSPEC_EXEC_MORSEL_H_
+#define MICROSPEC_EXEC_MORSEL_H_
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/macros.h"
+#include "storage/page.h"
+
+namespace microspec {
+
+/// Default morsel size, in heap pages. Small enough that workers rebalance
+/// on skew (a LIMIT or a selective filter finishing one worker early), large
+/// enough that the shared-cursor fetch_add is invisible next to the per-page
+/// pin and per-tuple deform work.
+inline constexpr uint32_t kDefaultMorselPages = 16;
+
+/// The shared work queue of a morsel-driven scan: a single atomic page
+/// cursor over [0, num_pages). Each worker claims the next fixed-size page
+/// range with one fetch_add and scans it to completion before claiming
+/// again, so pages are partitioned exactly — every tuple is produced by
+/// exactly one worker regardless of scheduling.
+///
+/// Claim() is relaxed: the cursor orders nothing but itself. Page contents
+/// are published to workers by the buffer pool's internal lock, and bee
+/// routine pointers by RelationBeeState's release-store/acquire-load pair
+/// (see DESIGN.md "Parallel execution").
+class MorselCursor {
+ public:
+  /// Snapshots the relation size at plan-build time; rows appended while
+  /// the query runs are not part of the scan (same snapshot the serial
+  /// executor would have seen at its first page-boundary check).
+  MorselCursor(PageNo num_pages, uint32_t morsel_pages)
+      : num_pages_(num_pages),
+        morsel_pages_(morsel_pages == 0 ? kDefaultMorselPages : morsel_pages) {}
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(MorselCursor);
+
+  /// Claims the next morsel as [*begin, *end). Returns false when the
+  /// relation is exhausted.
+  bool Claim(PageNo* begin, PageNo* end) {
+    uint64_t b = next_.fetch_add(morsel_pages_, std::memory_order_relaxed);
+    if (b >= num_pages_) return false;
+    *begin = static_cast<PageNo>(b);
+    *end = static_cast<PageNo>(
+        std::min<uint64_t>(b + morsel_pages_, num_pages_));
+    return true;
+  }
+
+  /// Rewinds for a rescan (Gather re-Init). Callers must guarantee no
+  /// worker is concurrently claiming — Gather stops its workers first.
+  void Reset() { next_.store(0, std::memory_order_relaxed); }
+
+  PageNo num_pages() const { return num_pages_; }
+  uint32_t morsel_pages() const { return morsel_pages_; }
+
+ private:
+  std::atomic<uint64_t> next_{0};
+  PageNo num_pages_;
+  uint32_t morsel_pages_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_MORSEL_H_

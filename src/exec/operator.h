@@ -69,9 +69,16 @@ class BeeHooks {
 };
 
 class QueryStats;
+class ThreadPool;
 
 /// Per-query execution context: catalog access, the session's bee switches,
 /// scratch memory, and factories that route through bees when enabled.
+///
+/// An ExecContext is single-threaded: the deformer/former memoization maps
+/// and the arena are unsynchronized. Parallel plans therefore give each
+/// worker its own context via MakeWorkerContext(), which also keeps bee tier
+/// counters and deform-latency telemetry on the worker thread's shards
+/// (merged on read, never contended on the hot path).
 class ExecContext {
  public:
   ExecContext(Catalog* catalog, BeeHooks* bees, SessionOptions opts)
@@ -89,6 +96,29 @@ class ExecContext {
   /// zero overhead (not even a branch per Next).
   void set_analyze(QueryStats* stats) { analyze_ = stats; }
   QueryStats* analyze() { return analyze_; }
+
+  /// --- Parallel execution (morsel-driven; DESIGN.md "Parallel execution") ---
+  /// Wired by Database::MakeContext when DatabaseOptions::dop > 1. With the
+  /// default dop of 1 nothing here is set and Plan builds the exact serial
+  /// operator tree this engine always built.
+  void set_parallel(ThreadPool* executor, int dop, uint32_t morsel_pages) {
+    executor_ = executor;
+    dop_ = dop < 1 ? 1 : dop;
+    morsel_pages_ = morsel_pages;
+  }
+  /// Degree of parallelism for plans built on this context; 1 == serial.
+  int dop() const { return executor_ != nullptr ? dop_ : 1; }
+  /// The lazily-started executor pool (null on serial contexts).
+  ThreadPool* executor() { return executor_; }
+  uint32_t morsel_pages() const { return morsel_pages_; }
+
+  /// A fresh context for one parallel worker: same catalog, bee module and
+  /// session switches, but its own arena and memoization maps (and no
+  /// executor — workers never build nested parallel plans). The worker
+  /// context must not outlive this context's catalog/bee module.
+  std::unique_ptr<ExecContext> MakeWorkerContext() {
+    return std::make_unique<ExecContext>(catalog_, bees_, opts_);
+  }
 
   /// Deformer for scans of `table`: the GCL bee when enabled, else stock.
   /// Resolution is memoized per context — OLTP point reads would otherwise
@@ -155,6 +185,9 @@ class ExecContext {
   BeeHooks* bees_;
   SessionOptions opts_;
   QueryStats* analyze_ = nullptr;
+  ThreadPool* executor_ = nullptr;
+  int dop_ = 1;
+  uint32_t morsel_pages_ = 0;  // 0 => kDefaultMorselPages
   Arena arena_;
   std::unordered_map<TableId, std::unique_ptr<StockDeformer>> stock_deformers_;
   std::unordered_map<TableId, std::unique_ptr<StockFormer>> stock_formers_;

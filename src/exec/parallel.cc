@@ -1,0 +1,322 @@
+#include "exec/parallel.h"
+
+namespace microspec {
+
+// --- Gather -----------------------------------------------------------------
+
+Gather::Gather(ExecContext* ctx, std::vector<OperatorPtr> workers,
+               std::vector<std::unique_ptr<ExecContext>> worker_ctxs,
+               std::vector<std::shared_ptr<MorselCursor>> cursors)
+    : ctx_(ctx),
+      workers_(std::move(workers)),
+      worker_ctxs_(std::move(worker_ctxs)),
+      cursors_(std::move(cursors)) {
+  MICROSPEC_CHECK(!workers_.empty());
+  meta_ = workers_[0]->output_meta();
+  width_ = meta_.size();
+}
+
+Gather::~Gather() { StopWorkers(); }
+
+Status Gather::Init() {
+  StopWorkers();  // rescan: quiesce any previous run first
+  cur_.reset();
+  cur_row_ = 0;
+  worker_status_ = Status::OK();
+  cancelled_.store(false, std::memory_order_release);
+  for (const auto& c : cursors_) c->Reset();
+  inline_mode_ =
+      ctx_->executor() == nullptr || ThreadPool::OnWorkerThread();
+  inline_cur_ = 0;
+  inline_open_ = false;
+  if (inline_mode_) return Status::OK();
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    queue_.clear();
+    active_ = workers_.size();
+    started_ = true;
+  }
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    ctx_->executor()->Submit([this, i] { WorkerMain(i); });
+  }
+  return Status::OK();
+}
+
+void Gather::WorkerMain(size_t i) {
+  Operator* op = workers_[i].get();
+  Status st = op->Init();
+  std::unique_ptr<RowBatch> batch;
+  if (st.ok()) {
+    batch = std::make_unique<RowBatch>(width_);
+    bool has_row = false;
+    while (!cancelled_.load(std::memory_order_acquire)) {
+      st = op->Next(&has_row);
+      if (!st.ok() || !has_row) break;
+      const Datum* v = op->values();
+      const bool* n = op->isnull();
+      size_t base = batch->nrows * width_;
+      for (size_t c = 0; c < width_; ++c) {
+        bool null = n != nullptr && n[c];
+        batch->isnull[base + c] = null;
+        batch->values[base + c] =
+            null ? 0 : CopyDatum(&batch->arena, v[c], meta_[c]);
+      }
+      if (++batch->nrows == kBatchRows) {
+        {
+          std::lock_guard<std::mutex> l(mu_);
+          queue_.push_back(std::move(batch));
+          ready_.notify_one();
+        }
+        batch = std::make_unique<RowBatch>(width_);
+      }
+    }
+    op->Close();  // releases the fragment's pinned pages
+  }
+  // Final bookkeeping and notification happen under the lock: once active_
+  // hits zero a waiter may destroy this operator, so nothing — including the
+  // condition variables — may be touched after the lock is released.
+  std::lock_guard<std::mutex> l(mu_);
+  if (batch != nullptr && batch->nrows > 0 && st.ok() &&
+      !cancelled_.load(std::memory_order_relaxed)) {
+    queue_.push_back(std::move(batch));
+  }
+  if (!st.ok() && worker_status_.ok()) worker_status_ = st;
+  --active_;
+  ready_.notify_all();
+  idle_.notify_all();
+}
+
+Status Gather::Next(bool* has_row) {
+  if (inline_mode_) {
+    for (;;) {
+      if (!inline_open_) {
+        if (inline_cur_ >= workers_.size()) {
+          *has_row = false;
+          return Status::OK();
+        }
+        MICROSPEC_RETURN_NOT_OK(workers_[inline_cur_]->Init());
+        inline_open_ = true;
+      }
+      MICROSPEC_RETURN_NOT_OK(workers_[inline_cur_]->Next(has_row));
+      if (*has_row) {
+        values_ = workers_[inline_cur_]->values();
+        isnull_ = workers_[inline_cur_]->isnull();
+        return Status::OK();
+      }
+      workers_[inline_cur_]->Close();
+      inline_open_ = false;
+      ++inline_cur_;
+    }
+  }
+  for (;;) {
+    if (cur_ != nullptr && cur_row_ < cur_->nrows) {
+      values_ = &cur_->values[cur_row_ * width_];
+      isnull_ = &cur_->isnull[cur_row_ * width_];
+      ++cur_row_;
+      *has_row = true;
+      return Status::OK();
+    }
+    std::unique_lock<std::mutex> l(mu_);
+    ready_.wait(l, [&] { return !queue_.empty() || active_ == 0; });
+    if (!queue_.empty()) {
+      cur_ = std::move(queue_.front());
+      queue_.pop_front();
+      cur_row_ = 0;
+      continue;
+    }
+    *has_row = false;
+    return worker_status_;
+  }
+}
+
+void Gather::StopWorkers() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (!started_) return;
+  cancelled_.store(true, std::memory_order_release);
+  idle_.wait(l, [&] { return active_ == 0; });
+  queue_.clear();
+  started_ = false;
+}
+
+void Gather::Close() {
+  if (inline_mode_) {
+    if (inline_open_) {
+      workers_[inline_cur_]->Close();
+      inline_open_ = false;
+    }
+    return;
+  }
+  StopWorkers();
+  cur_.reset();
+}
+
+// --- SharedJoinBuild --------------------------------------------------------
+
+SharedJoinBuild::SharedJoinBuild(
+    std::vector<OperatorPtr> partitions,
+    std::vector<std::unique_ptr<ExecContext>> partition_ctxs,
+    std::vector<std::shared_ptr<MorselCursor>> cursors,
+    std::vector<int> outer_keys, std::vector<int> inner_keys,
+    std::vector<ColMeta> key_meta, std::vector<ColMeta> inner_meta)
+    : partition_ops_(std::move(partitions)),
+      partition_ctxs_(std::move(partition_ctxs)),
+      cursors_(std::move(cursors)),
+      outer_keys_(std::move(outer_keys)),
+      inner_keys_(std::move(inner_keys)),
+      key_meta_(std::move(key_meta)),
+      inner_meta_(std::move(inner_meta)),
+      partials_(partition_ops_.size()) {
+  MICROSPEC_CHECK(partition_ops_.size() == partition_ctxs_.size());
+}
+
+Status SharedJoinBuild::DrainPartition(size_t i) {
+  Partition& p = partials_[i];
+  Operator* op = partition_ops_[i].get();
+  // Each partition hashes through its own key evaluator (same EVJ/generic
+  // decision as the probes — deterministic for a given key list), created
+  // from the partition's worker context on the draining thread.
+  std::unique_ptr<JoinKeyEvaluator> keys =
+      partition_ctxs_[i]->MakeJoinKeys(outer_keys_, inner_keys_, key_meta_);
+  const size_t width = inner_meta_.size();
+  MICROSPEC_RETURN_NOT_OK(op->Init());
+  Status st;
+  bool has_row = false;
+  for (;;) {
+    st = op->Next(&has_row);
+    if (!st.ok() || !has_row) break;
+    auto* row = static_cast<JoinBuildRow*>(
+        p.arena.Allocate(sizeof(JoinBuildRow), alignof(JoinBuildRow)));
+    row->values =
+        static_cast<Datum*>(p.arena.Allocate(sizeof(Datum) * width, 8));
+    row->isnull = static_cast<bool*>(p.arena.Allocate(width, 1));
+    const Datum* v = op->values();
+    const bool* n = op->isnull();
+    for (size_t c = 0; c < width; ++c) {
+      row->isnull[c] = n != nullptr && n[c];
+      row->values[c] =
+          row->isnull[c] ? 0 : CopyDatum(&p.arena, v[c], inner_meta_[c]);
+    }
+    row->hash = keys->HashInner(row->values, row->isnull);
+    p.rows.push_back(row);
+  }
+  op->Close();
+  return st;
+}
+
+void SharedJoinBuild::MergeLocked() {
+  size_t total = 0;
+  for (const Partition& p : partials_) total += p.rows.size();
+  size_t nbuckets = 16;
+  while (nbuckets < total * 2) nbuckets <<= 1;
+  buckets_.assign(nbuckets, nullptr);
+  bucket_mask_ = nbuckets - 1;
+  for (Partition& p : partials_) {
+    for (JoinBuildRow* row : p.rows) {
+      size_t b = row->hash & bucket_mask_;
+      row->next = buckets_[b];
+      buckets_[b] = row;
+    }
+    p.rows.clear();
+    p.rows.shrink_to_fit();
+  }
+}
+
+Status SharedJoinBuild::EnsureBuilt() {
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    if (built_) return status_;
+  }
+  // Work-steal undrained partitions; never wait for a pool slot.
+  for (;;) {
+    size_t i = next_partition_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= partition_ops_.size()) break;
+    Status st = DrainPartition(i);
+    std::lock_guard<std::mutex> l(mutex_);
+    if (!st.ok() && status_.ok()) status_ = st;
+    ++drained_;
+  }
+  std::unique_lock<std::mutex> l(mutex_);
+  if (!built_ && drained_ == partition_ops_.size()) {
+    if (status_.ok()) MergeLocked();
+    built_ = true;
+    built_cv_.notify_all();
+  } else {
+    built_cv_.wait(l, [&] { return built_; });
+  }
+  return status_;
+}
+
+// --- ParallelHashAggregate --------------------------------------------------
+
+ParallelHashAggregate::ParallelHashAggregate(
+    ExecContext* ctx, std::vector<std::unique_ptr<HashAggregate>> locals,
+    std::vector<std::unique_ptr<ExecContext>> worker_ctxs,
+    std::vector<std::shared_ptr<MorselCursor>> cursors)
+    : ctx_(ctx),
+      locals_(std::move(locals)),
+      worker_ctxs_(std::move(worker_ctxs)),
+      cursors_(std::move(cursors)) {
+  MICROSPEC_CHECK(!locals_.empty());
+  meta_ = locals_[0]->output_meta();
+}
+
+Status ParallelHashAggregate::Init() {
+  merged_ = false;
+  return Status::OK();
+}
+
+Status ParallelHashAggregate::RunPartials() {
+  for (const auto& c : cursors_) c->Reset();
+  ThreadPool* pool = ctx_->executor();
+  if (pool == nullptr || ThreadPool::OnWorkerThread()) {
+    // Nested below another parallel operator (or no executor): run the
+    // partials sequentially right here rather than wait on a pool slot.
+    for (auto& local : locals_) {
+      MICROSPEC_RETURN_NOT_OK(local->PartialAccumulate());
+    }
+    return Status::OK();
+  }
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = locals_.size();
+  Status first_error;
+  for (auto& local : locals_) {
+    HashAggregate* agg = local.get();
+    pool->Submit([&, agg] {
+      Status st = agg->PartialAccumulate();
+      // Notify under the lock: the waiter's stack frame (and with it mu/done)
+      // may unwind as soon as the lock is released.
+      std::lock_guard<std::mutex> l(mu);
+      if (!st.ok() && first_error.ok()) first_error = st;
+      if (--remaining == 0) done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> l(mu);
+  done.wait(l, [&] { return remaining == 0; });
+  return first_error;
+}
+
+Status ParallelHashAggregate::Next(bool* has_row) {
+  if (!merged_) {
+    Status st = RunPartials();
+    if (!st.ok()) {
+      for (auto& local : locals_) local->Close();
+      return st;
+    }
+    for (size_t i = 1; i < locals_.size(); ++i) {
+      locals_[0]->MergeFrom(locals_[i].get());
+      locals_[i]->Close();
+    }
+    merged_ = true;
+  }
+  MICROSPEC_RETURN_NOT_OK(locals_[0]->Next(has_row));
+  if (*has_row) {
+    values_ = locals_[0]->values();
+    isnull_ = locals_[0]->isnull();
+  }
+  return Status::OK();
+}
+
+void ParallelHashAggregate::Close() { locals_[0]->Close(); }
+
+}  // namespace microspec

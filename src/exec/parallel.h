@@ -1,0 +1,186 @@
+#ifndef MICROSPEC_EXEC_PARALLEL_H_
+#define MICROSPEC_EXEC_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/hash_agg.h"
+#include "exec/hash_join.h"
+#include "exec/morsel.h"
+#include "exec/operator.h"
+
+namespace microspec {
+
+/// --- Morsel-driven parallel execution ---------------------------------------
+/// A parallel pipeline exists as `dop` per-worker operator fragments, each
+/// owning a worker ExecContext, all fed by shared MorselCursors at the scan
+/// leaves. The operators here are the points where fragments meet:
+///
+///   Gather                — fans worker rows into the serial Volcano tree.
+///   SharedJoinBuild       — one build table, built cooperatively by the
+///                           probe workers, shared by dop HashJoin instances.
+///   ParallelHashAggregate — per-worker local aggregation, merged on finish.
+///
+/// Deadlock discipline: executor-pool tasks never *wait for a pool slot*.
+/// Gather workers push to an unbounded queue (they block on nothing);
+/// SharedJoinBuild waits only on co-workers that are actively draining; and
+/// Gather/ParallelHashAggregate detect that they are running *on* a pool
+/// thread (a fragment nested below another parallel operator) and fall back
+/// to inline sequential execution instead of submitting.
+
+/// Exchange operator: runs its worker fragments on the executor pool and
+/// re-exposes their rows, one at a time, on the consuming thread. Row data
+/// is deep-copied into per-batch arenas on the worker side — scan output
+/// points into pinned buffer-pool pages, which a worker unpins as it
+/// advances, so rows must not cross the exchange by reference.
+///
+/// Close() (or a re-Init rescan) cancels: workers observe cancelled_ per
+/// row, close their fragments — releasing any pinned pages — and Close
+/// returns only once every worker has quiesced, so a LIMIT above a Gather
+/// never leaks pins.
+class Gather final : public Operator {
+ public:
+  Gather(ExecContext* ctx, std::vector<OperatorPtr> workers,
+         std::vector<std::unique_ptr<ExecContext>> worker_ctxs,
+         std::vector<std::shared_ptr<MorselCursor>> cursors);
+  ~Gather() override;
+
+  Status Init() override;
+  Status Next(bool* has_row) override;
+  void Close() override;
+
+ private:
+  static constexpr size_t kBatchRows = 1024;
+
+  /// One batch of deep-copied rows handed from a worker to the consumer.
+  struct RowBatch {
+    explicit RowBatch(size_t width)
+        : values(kBatchRows * width + 1),
+          isnull(new bool[kBatchRows * width + 1]) {}
+    size_t nrows = 0;
+    std::vector<Datum> values;
+    std::unique_ptr<bool[]> isnull;
+    Arena arena;  // by-reference datum payloads
+  };
+
+  void WorkerMain(size_t i);
+  /// Cancels and joins in-flight workers; idempotent.
+  void StopWorkers();
+
+  ExecContext* ctx_;
+  std::vector<OperatorPtr> workers_;
+  std::vector<std::unique_ptr<ExecContext>> worker_ctxs_;
+  std::vector<std::shared_ptr<MorselCursor>> cursors_;
+  size_t width_;
+
+  // Inline fallback (no executor, or already on a pool thread): drain the
+  // fragments sequentially on the calling thread, no copies, no queue.
+  bool inline_mode_ = false;
+  size_t inline_cur_ = 0;
+  bool inline_open_ = false;
+
+  std::mutex mu_;
+  std::condition_variable ready_;  // consumer: queue non-empty or all done
+  std::condition_variable idle_;   // StopWorkers: active_ == 0
+  std::deque<std::unique_ptr<RowBatch>> queue_;
+  size_t active_ = 0;
+  bool started_ = false;
+  Status worker_status_;
+  std::atomic<bool> cancelled_{false};
+
+  std::unique_ptr<RowBatch> cur_;
+  size_t cur_row_ = 0;
+};
+
+/// The build side of a parallel hash join: dop probe-side HashJoin instances
+/// share one bucket table. The first Init calls arrive on the probe worker
+/// threads; each arriving worker claims undrained build partitions (the
+/// inner plan's fragments) from an atomic index and drains them into
+/// per-partition row lists, and the last to finish merges the lists into
+/// the shared chained table. Workers that arrive after all partitions are
+/// claimed wait for the merge. The table is built once and reused across
+/// probe re-Inits (the data under a query does not change mid-plan).
+class SharedJoinBuild {
+ public:
+  SharedJoinBuild(std::vector<OperatorPtr> partitions,
+                  std::vector<std::unique_ptr<ExecContext>> partition_ctxs,
+                  std::vector<std::shared_ptr<MorselCursor>> cursors,
+                  std::vector<int> outer_keys, std::vector<int> inner_keys,
+                  std::vector<ColMeta> key_meta,
+                  std::vector<ColMeta> inner_meta);
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(SharedJoinBuild);
+
+  /// Cooperative build; returns once the shared table is published (or the
+  /// first drain error). Safe to call from any number of threads.
+  Status EnsureBuilt();
+
+  const std::vector<ColMeta>& inner_meta() const { return inner_meta_; }
+  JoinBuildRow* const* buckets() const { return buckets_.data(); }
+  uint64_t bucket_mask() const { return bucket_mask_; }
+
+ private:
+  struct Partition {
+    std::vector<JoinBuildRow*> rows;
+    Arena arena;
+  };
+
+  Status DrainPartition(size_t i);
+  /// Chains every partition's rows into buckets_ (mutex_ held).
+  void MergeLocked();
+
+  std::vector<OperatorPtr> partition_ops_;
+  std::vector<std::unique_ptr<ExecContext>> partition_ctxs_;
+  std::vector<std::shared_ptr<MorselCursor>> cursors_;
+  std::vector<int> outer_keys_;
+  std::vector<int> inner_keys_;
+  std::vector<ColMeta> key_meta_;
+  std::vector<ColMeta> inner_meta_;
+
+  std::atomic<size_t> next_partition_{0};
+  std::vector<Partition> partials_;
+
+  std::mutex mutex_;
+  std::condition_variable built_cv_;
+  size_t drained_ = 0;
+  bool built_ = false;
+  Status status_;
+
+  std::vector<JoinBuildRow*> buckets_;
+  uint64_t bucket_mask_ = 0;
+};
+
+/// Parallel aggregation: each worker fragment feeds its own HashAggregate
+/// (local groups, no sharing, so the per-row update path is untouched); on
+/// the first Next the partials run on the executor pool, then merge into
+/// locals[0] — sums and counts add, MIN/MAX compare, group keys deep-copy
+/// into the surviving aggregate's arena — and emission proceeds serially.
+class ParallelHashAggregate final : public Operator {
+ public:
+  ParallelHashAggregate(ExecContext* ctx,
+                        std::vector<std::unique_ptr<HashAggregate>> locals,
+                        std::vector<std::unique_ptr<ExecContext>> worker_ctxs,
+                        std::vector<std::shared_ptr<MorselCursor>> cursors);
+
+  Status Init() override;
+  Status Next(bool* has_row) override;
+  void Close() override;
+
+ private:
+  Status RunPartials();
+
+  ExecContext* ctx_;
+  std::vector<std::unique_ptr<HashAggregate>> locals_;
+  std::vector<std::unique_ptr<ExecContext>> worker_ctxs_;
+  std::vector<std::shared_ptr<MorselCursor>> cursors_;
+  bool merged_ = false;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_PARALLEL_H_

@@ -2,6 +2,7 @@
 
 #include "exec/analyze.h"
 #include "exec/filter.h"
+#include "exec/parallel.h"
 #include "exec/project.h"
 #include "exec/seq_scan.h"
 
@@ -16,10 +17,50 @@ void Plan::Instrument(std::string label, std::vector<int> children) {
   op_ = std::make_unique<OpProfiler>(std::move(op_), qs, stats_id_);
 }
 
+void Plan::InstrumentFragments(std::string label, std::vector<int> children) {
+  QueryStats* qs = ctx_->analyze();
+  if (qs == nullptr) return;
+  std::erase_if(children, [](int id) { return id < 0; });
+  stats_id_ = qs->AddNode(std::move(label), std::move(children));
+  for (OperatorPtr& f : frags_) {
+    f = std::make_unique<OpProfiler>(std::move(f), qs, stats_id_);
+  }
+}
+
+void Plan::EnsureSerial() {
+  if (!parallel()) return;
+  int child = stats_id_;
+  op_ = std::make_unique<Gather>(ctx_, std::move(frags_),
+                                 std::move(frag_ctxs_), std::move(cursors_));
+  frags_.clear();
+  frag_ctxs_.clear();
+  cursors_.clear();
+  Instrument("Gather", {child});
+}
+
 Plan Plan::Scan(ExecContext* ctx, TableInfo* table, int natts) {
+  std::vector<std::string> names;
+  const int dop = ctx->dop();
+  if (dop > 1) {
+    auto cursor = std::make_shared<MorselCursor>(table->heap()->num_pages(),
+                                                 ctx->morsel_pages());
+    Plan plan(ctx, nullptr, {});
+    for (int i = 0; i < dop; ++i) {
+      std::unique_ptr<ExecContext> wctx = ctx->MakeWorkerContext();
+      plan.frags_.push_back(
+          std::make_unique<ParallelScan>(wctx.get(), table, cursor, natts));
+      plan.frag_ctxs_.push_back(std::move(wctx));
+    }
+    plan.cursors_.push_back(std::move(cursor));
+    int n = static_cast<int>(plan.frags_[0]->output_meta().size());
+    for (int i = 0; i < n; ++i) {
+      plan.names_.push_back(table->schema().column(i).name());
+    }
+    plan.InstrumentFragments("ParallelScan(" + table->name() + ")", {});
+    return plan;
+  }
   auto scan = std::make_unique<SeqScan>(ctx, table, natts);
   int n = static_cast<int>(scan->output_meta().size());
-  std::vector<std::string> names;
   names.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) names.push_back(table->schema().column(i).name());
   Plan plan(ctx, std::move(scan), std::move(names));
@@ -29,6 +70,20 @@ Plan Plan::Scan(ExecContext* ctx, TableInfo* table, int natts) {
 
 Plan& Plan::Where(ExprPtr predicate) {
   int child = stats_id_;
+  if (parallel()) {
+    // Filters are row-local: replicate across the fragments (each worker
+    // context makes its own EVP decision — deterministic for a given expr).
+    for (size_t i = 0; i + 1 < frags_.size(); ++i) {
+      frags_[i] = std::make_unique<Filter>(frag_ctxs_[i].get(),
+                                           std::move(frags_[i]),
+                                           predicate->Clone());
+    }
+    size_t last = frags_.size() - 1;
+    frags_[last] = std::make_unique<Filter>(
+        frag_ctxs_[last].get(), std::move(frags_[last]), std::move(predicate));
+    InstrumentFragments("Filter", {child});
+    return *this;
+  }
   op_ = std::make_unique<Filter>(ctx_, std::move(op_), std::move(predicate));
   Instrument("Filter", {child});
   return *this;
@@ -48,6 +103,40 @@ Plan Plan::Join(Plan outer, Plan inner,
     for (const std::string& n : inner.names_) names.push_back(n);
   }
   ExecContext* ctx = outer.ctx_;
+  if (outer.parallel() && inner.parallel()) {
+    // Parallel hash join: the inner fragments become a cooperatively built
+    // shared table; each outer fragment probes it with its own HashJoin.
+    // Each outer row lives in exactly one fragment, so kLeft/kSemi/kAnti
+    // stay correct per fragment.
+    std::vector<ColMeta> key_meta;
+    key_meta.reserve(outer_keys.size());
+    for (int k : outer_keys) {
+      key_meta.push_back(outer.frags_[0]->output_meta()[static_cast<size_t>(k)]);
+    }
+    std::vector<ColMeta> inner_meta = inner.frags_[0]->output_meta();
+    auto shared = std::make_shared<SharedJoinBuild>(
+        std::move(inner.frags_), std::move(inner.frag_ctxs_),
+        std::move(inner.cursors_), outer_keys, inner_keys, std::move(key_meta),
+        std::move(inner_meta));
+    Plan plan(ctx, nullptr, std::move(names));
+    plan.frag_ctxs_ = std::move(outer.frag_ctxs_);
+    plan.cursors_ = std::move(outer.cursors_);
+    const size_t n = outer.frags_.size();
+    for (size_t i = 0; i < n; ++i) {
+      ExprPtr res;
+      if (residual != nullptr) {
+        res = i + 1 < n ? residual->Clone() : std::move(residual);
+      }
+      plan.frags_.push_back(std::make_unique<HashJoin>(
+          plan.frag_ctxs_[i].get(), std::move(outer.frags_[i]), shared,
+          outer_keys, inner_keys, type, std::move(res)));
+    }
+    plan.InstrumentFragments("HashJoin", {outer.stats_id_, inner.stats_id_});
+    return plan;
+  }
+  // Mixed parallel/serial inputs fall back to a serial join below a Gather.
+  outer.EnsureSerial();
+  inner.EnsureSerial();
   auto join = std::make_unique<HashJoin>(
       ctx, std::move(outer.op_), std::move(inner.op_), std::move(outer_keys),
       std::move(inner_keys), type, std::move(residual));
@@ -57,6 +146,8 @@ Plan Plan::Join(Plan outer, Plan inner,
 }
 
 Plan Plan::LoopJoin(Plan outer, Plan inner, JoinType type, ExprPtr predicate) {
+  outer.EnsureSerial();
+  inner.EnsureSerial();
   std::vector<std::string> names = outer.names_;
   if (type == JoinType::kInner || type == JoinType::kLeft) {
     for (const std::string& n : inner.names_) names.push_back(n);
@@ -84,6 +175,36 @@ Plan& Plan::GroupBy(const std::vector<std::string>& group_cols,
     names.push_back(name);
   }
   int child = stats_id_;
+  if (parallel()) {
+    // Parallel aggregation: each fragment feeds its own local HashAggregate
+    // (cloned specs — AggSpec holds a move-only expression); the merge
+    // operator absorbs the fragments, their contexts and the cursors, and
+    // the plan is serial from here up.
+    std::vector<std::unique_ptr<HashAggregate>> locals;
+    const size_t n = frags_.size();
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<AggSpec> s;
+      if (i + 1 < n) {
+        s.reserve(specs.size());
+        for (const AggSpec& spec : specs) {
+          s.push_back(AggSpec{
+              spec.kind, spec.arg != nullptr ? spec.arg->Clone() : nullptr});
+        }
+      } else {
+        s = std::move(specs);
+      }
+      locals.push_back(std::make_unique<HashAggregate>(
+          frag_ctxs_[i].get(), std::move(frags_[i]), cols, std::move(s)));
+    }
+    op_ = std::make_unique<ParallelHashAggregate>(
+        ctx_, std::move(locals), std::move(frag_ctxs_), std::move(cursors_));
+    frags_.clear();
+    frag_ctxs_.clear();
+    cursors_.clear();
+    names_ = std::move(names);
+    Instrument("ParallelHashAggregate", {child});
+    return *this;
+  }
   op_ = std::make_unique<HashAggregate>(ctx_, std::move(op_), std::move(cols),
                                         std::move(specs));
   names_ = std::move(names);
@@ -92,6 +213,7 @@ Plan& Plan::GroupBy(const std::vector<std::string>& group_cols,
 }
 
 Plan& Plan::Select(std::vector<std::pair<ExprPtr, std::string>> exprs) {
+  EnsureSerial();
   std::vector<ExprPtr> list;
   std::vector<std::string> names;
   for (auto& [e, name] : exprs) {
@@ -106,6 +228,7 @@ Plan& Plan::Select(std::vector<std::pair<ExprPtr, std::string>> exprs) {
 }
 
 Plan& Plan::OrderBy(const std::vector<std::pair<std::string, bool>>& keys) {
+  EnsureSerial();
   std::vector<SortKey> sort_keys;
   for (const auto& [name, desc] : keys) {
     sort_keys.push_back(SortKey{col(name), desc});
@@ -117,6 +240,7 @@ Plan& Plan::OrderBy(const std::vector<std::pair<std::string, bool>>& keys) {
 }
 
 Plan& Plan::Take(uint64_t limit) {
+  EnsureSerial();
   int child = stats_id_;
   op_ = std::make_unique<Limit>(std::move(op_), limit);
   Instrument("Limit", {child});
@@ -140,7 +264,8 @@ int Plan::TryCol(const std::string& name) const {
 }
 
 ColMeta Plan::meta(const std::string& name) const {
-  return op_->output_meta()[static_cast<size_t>(col(name))];
+  const Operator* top = op_ != nullptr ? op_.get() : frags_[0].get();
+  return top->output_meta()[static_cast<size_t>(col(name))];
 }
 
 ExprPtr Plan::var(const std::string& name) const {
@@ -151,6 +276,9 @@ ExprPtr Plan::inner_var(const std::string& name) const {
   return Var(RowSide::kInner, col(name), meta(name));
 }
 
-OperatorPtr Plan::Build() && { return std::move(op_); }
+OperatorPtr Plan::Build() && {
+  EnsureSerial();
+  return std::move(op_);
+}
 
 }  // namespace microspec

@@ -8,6 +8,7 @@
 
 #include "exec/hash_agg.h"
 #include "exec/hash_join.h"
+#include "exec/morsel.h"
 #include "exec/nested_loop_join.h"
 #include "exec/operator.h"
 #include "exec/sort.h"
@@ -47,6 +48,14 @@ std::vector<std::pair<ExprPtr, std::string>> SelList(Ps&&... ps) {
 ///
 /// All bee seams remain in force: scans deform through GCL, filters go
 /// through MakePredicate (EVP), hash joins through MakeJoinKeys (EVJ).
+///
+/// Parallelism: when the context's dop() > 1 a plan starts as dop per-worker
+/// pipeline fragments fed by a shared MorselCursor. Per-row operators
+/// (Filter) replicate across the fragments; pipeline breakers either merge
+/// the fragments (GroupBy -> ParallelHashAggregate, Join's build side ->
+/// SharedJoinBuild) or force a Gather (Sort, Project, Limit, LoopJoin,
+/// Build). At dop() == 1 none of this machinery engages and the built tree
+/// is byte-identical to the serial planner's.
 class Plan {
  public:
   /// Sequential scan of all (or the first `natts`) columns.
@@ -98,14 +107,37 @@ class Plan {
   Plan(ExecContext* ctx, OperatorPtr op, std::vector<std::string> names)
       : ctx_(ctx), op_(std::move(op)), names_(std::move(names)) {}
 
+  /// True while the plan is dop parallel fragments (op_ is null).
+  bool parallel() const { return !frags_.empty(); }
+
+  /// Collapses parallel fragments into a single serial tree by inserting a
+  /// Gather exchange; no-op for serial plans. Called by every operator that
+  /// needs a single input stream, and by Build().
+  void EnsureSerial();
+
   /// EXPLAIN ANALYZE seam: when ctx_->analyze() is set, registers a stats
   /// node labelled `label` (children = the wrapped inputs' node ids) and
   /// wraps op_ in an OpProfiler; otherwise leaves the tree untouched.
   void Instrument(std::string label, std::vector<int> children);
 
+  /// Fragment flavor of Instrument: one stats node shared by all dop
+  /// fragments, each wrapped in its own OpProfiler. The profilers accumulate
+  /// locally on their worker threads and merge into the shared node on
+  /// Close, so the node reports whole-operator totals (rows sum across
+  /// workers; next_calls = rows + dop EOS probes).
+  void InstrumentFragments(std::string label, std::vector<int> children);
+
   ExecContext* ctx_;
   OperatorPtr op_;
   std::vector<std::string> names_;
+
+  /// Parallel pipeline state: fragment i runs on frag_ctxs_[i] (a worker
+  /// ExecContext), and cursors_ holds the morsel cursors feeding the
+  /// fragments' scan leaves (reset on rescans by the downstream breaker).
+  std::vector<OperatorPtr> frags_;
+  std::vector<std::unique_ptr<ExecContext>> frag_ctxs_;
+  std::vector<std::shared_ptr<MorselCursor>> cursors_;
+
   /// This plan's current QueryStats node id (-1 when not collecting).
   int stats_id_ = -1;
 };

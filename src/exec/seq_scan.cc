@@ -40,4 +40,53 @@ Status SeqScan::Next(bool* has_row) {
 
 void SeqScan::Close() { iter_.reset(); }
 
+ParallelScan::ParallelScan(ExecContext* ctx, TableInfo* table,
+                           std::shared_ptr<MorselCursor> cursor,
+                           int natts_to_fetch)
+    : ctx_(ctx), table_(table), cursor_(std::move(cursor)) {
+  int all = table->schema().natts();
+  natts_ = (natts_to_fetch < 0 || natts_to_fetch > all) ? all : natts_to_fetch;
+  meta_.reserve(static_cast<size_t>(natts_));
+  for (int i = 0; i < natts_; ++i) {
+    meta_.push_back(ColMeta::FromColumn(table->schema().column(i)));
+  }
+}
+
+Status ParallelScan::Init() {
+  deformer_ = ctx_->DeformerFor(table_);
+  values_buf_.assign(static_cast<size_t>(natts_), 0);
+  isnull_buf_ = std::make_unique<bool[]>(static_cast<size_t>(natts_));
+  for (int i = 0; i < natts_; ++i) isnull_buf_[i] = false;
+  iter_.reset();  // first Next() claims the first morsel
+  values_ = values_buf_.data();
+  isnull_ = isnull_buf_.get();
+  return Status::OK();
+}
+
+Status ParallelScan::Next(bool* has_row) {
+  const char* tuple = nullptr;
+  uint32_t len = 0;
+  TupleId tid = 0;
+  for (;;) {
+    if (iter_.has_value()) {
+      if (iter_->Next(&tuple, &len, &tid)) break;
+      if (!iter_->status().ok()) return iter_->status();
+      iter_.reset();  // morsel exhausted; release its last page pin
+    }
+    PageNo begin = 0;
+    PageNo end = 0;
+    if (!cursor_->Claim(&begin, &end)) {
+      *has_row = false;
+      return Status::OK();
+    }
+    iter_.emplace(table_->heap()->Scan(begin, end));
+  }
+  workops::Bump(10);  // executor node dispatch (ExecProcNode analog)
+  deformer_->Deform(tuple, natts_, values_buf_.data(), isnull_buf_.get());
+  *has_row = true;
+  return Status::OK();
+}
+
+void ParallelScan::Close() { iter_.reset(); }
+
 }  // namespace microspec

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "exec/morsel.h"
 #include "exec/operator.h"
 #include "storage/heap_file.h"
 
@@ -27,6 +28,33 @@ class SeqScan final : public Operator {
  private:
   ExecContext* ctx_;
   TableInfo* table_;
+  int natts_;
+  const TupleDeformer* deformer_ = nullptr;
+  std::optional<HeapFile::Iterator> iter_;
+  std::vector<Datum> values_buf_;
+  std::unique_ptr<bool[]> isnull_buf_;
+};
+
+/// One worker's slice of a morsel-driven parallel scan. dop instances share
+/// a MorselCursor; each claims fixed-size page ranges and scans them with
+/// the bounded heap iterator, so together they produce every tuple exactly
+/// once. The deform path is identical to SeqScan — each instance resolves
+/// its deformer through its *worker* ExecContext, which keeps GCL bee
+/// invocation (and the program→native tier switch via the bee state's
+/// acquire load) on the worker thread.
+class ParallelScan final : public Operator {
+ public:
+  ParallelScan(ExecContext* ctx, TableInfo* table,
+               std::shared_ptr<MorselCursor> cursor, int natts_to_fetch = -1);
+
+  Status Init() override;
+  Status Next(bool* has_row) override;
+  void Close() override;
+
+ private:
+  ExecContext* ctx_;
+  TableInfo* table_;
+  std::shared_ptr<MorselCursor> cursor_;
   int natts_;
   const TupleDeformer* deformer_ = nullptr;
   std::optional<HeapFile::Iterator> iter_;

@@ -93,7 +93,9 @@ Status HeapFile::Fetch(TupleId tid, char* buf, uint32_t cap, uint32_t* len) {
 bool HeapFile::Iterator::Next(const char** tuple, uint32_t* len, TupleId* tid) {
   for (;;) {
     if (!page_loaded_) {
-      if (page_ >= hf_->dm_->num_pages()) return false;
+      PageNo limit =
+          end_page_ == kInvalidPageNo ? hf_->dm_->num_pages() : end_page_;
+      if (page_ >= limit) return false;
       auto res = hf_->pool_->Pin(hf_->dm_->file_id(), page_);
       if (!res.ok()) {
         status_ = res.status();

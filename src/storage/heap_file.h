@@ -46,6 +46,12 @@ class HeapFile {
   class Iterator {
    public:
     explicit Iterator(HeapFile* hf) : hf_(hf) {}
+    /// Bounded variant over the page range [begin, end): the unit of work a
+    /// morsel-driven ParallelScan claims from a shared cursor. Unlike the
+    /// unbounded iterator, which chases the live tail of a growing file, the
+    /// bound is fixed at claim time.
+    Iterator(HeapFile* hf, PageNo begin, PageNo end)
+        : hf_(hf), page_(begin), end_page_(end) {}
 
     /// Advances to the next live tuple. Returns false at end-of-relation.
     /// On I/O error sets status() and returns false.
@@ -57,12 +63,16 @@ class HeapFile {
     HeapFile* hf_;
     PageGuard guard_;
     PageNo page_ = 0;
+    /// kInvalidPageNo => unbounded (ends at the file's current last page).
+    PageNo end_page_ = kInvalidPageNo;
     uint16_t slot_ = 0;
     bool page_loaded_ = false;
     Status status_;
   };
 
   Iterator Scan() { return Iterator(this); }
+  /// Scan restricted to the page range [begin, end) — one morsel.
+  Iterator Scan(PageNo begin, PageNo end) { return Iterator(this, begin, end); }
 
   /// Bulk appender: keeps the tail page pinned across inserts so loading
   /// does not pay a pin/unpin round trip per tuple.

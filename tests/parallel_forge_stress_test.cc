@@ -1,0 +1,184 @@
+// Stress test racing morsel-driven parallel scans against the bee forge:
+// while several threads run dop-4 parallel scans of a hot relation, the
+// forge promotes its GCL bee from the program tier to native, and a churn
+// thread concurrently creates and drops other relations (exercising
+// drop-during-compile and the Bee Collector under load). Every scan must
+// see identical content regardless of which tier serves which worker, and
+// afterwards the relation's tier invocation counters must account for every
+// deform exactly — across all workers, with no lost updates.
+//
+// This is a standalone binary: scripts/check.sh runs it under TSan, where
+// the RelationBeeState release-store/acquire-load tier switch, the shared
+// MorselCursor, and the Gather queue are all exercised with real contention.
+// Tests skip themselves on hosts without a C compiler.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bee/bee_module.h"
+#include "bee/forge.h"
+#include "bee/native_jit.h"
+#include "exec/plan_builder.h"
+#include "test_util.h"
+
+namespace microspec::testing {
+namespace {
+
+using bee::BeeBackend;
+using bee::ForgePhase;
+using bee::RelationBeeState;
+
+#define SKIP_WITHOUT_COMPILER()                       \
+  do {                                                \
+    if (!bee::NativeJit::CompilerAvailable()) {       \
+      GTEST_SKIP() << "no C compiler on this host";   \
+    }                                                 \
+  } while (0)
+
+/// All-NOT-NULL mixed-type schema, eligible for the fast fixed-layout
+/// native path (mirrors forge_test.cc).
+Schema StressSchema() {
+  return Schema({Column("id", TypeId::kInt32, /*not_null=*/true),
+                 Column("weight", TypeId::kFloat64, /*not_null=*/true),
+                 Column("tag", TypeId::kChar, /*not_null=*/true,
+                        /*declared_length=*/12),
+                 Column("flag", TypeId::kBool, /*not_null=*/true)});
+}
+
+std::unique_ptr<Database> OpenForgeDb(const std::string& dir) {
+  DatabaseOptions opts;
+  opts.dir = dir;
+  opts.enable_bees = true;
+  opts.backend = BeeBackend::kNative;
+  opts.verify_mode = bee::VerifyMode::kEnforce;
+  auto res = Database::Open(std::move(opts));
+  MICROSPEC_CHECK(res.ok());
+  return res.MoveValue();
+}
+
+std::vector<std::string> LoadRows(Database* db, TableInfo* table, int nrows) {
+  auto ctx = db->MakeContext();
+  Database::BulkLoader loader(db, ctx.get(), table);
+  std::vector<std::string> expected;
+  for (int r = 0; r < nrows; ++r) {
+    char tag[13];
+    std::snprintf(tag, sizeof(tag), "tag-%08d", r % 5000);
+    Datum values[4] = {DatumFromInt32(r), DatumFromFloat64(r * 0.25),
+                       DatumFromPointer(tag), DatumFromBool(r % 3 == 0)};
+    bool isnull[4] = {false, false, false, false};
+    MICROSPEC_CHECK(loader.Append(values, isnull).ok());
+    expected.push_back(RowToString(table->schema(), values, isnull));
+  }
+  MICROSPEC_CHECK(loader.Finish().ok());
+  return expected;
+}
+
+/// One dop-4 parallel scan, returning the (sorted) rows. Small morsels so
+/// every scan claims many of them and workers interleave heavily.
+std::vector<std::string> ParallelScanAll(Database* db, TableInfo* table,
+                                         int dop) {
+  auto ctx = db->MakeContext(db->DefaultSession(), dop);
+  ctx->set_parallel(ctx->executor(), dop, /*morsel_pages=*/1);
+  Plan plan = Plan::Scan(ctx.get(), table);
+  OperatorPtr op = std::move(plan).Build();
+  std::vector<std::string> rows = CollectRows(op.get());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+uint64_t ParallelScanCount(Database* db, TableInfo* table, int dop) {
+  auto ctx = db->MakeContext(db->DefaultSession(), dop);
+  ctx->set_parallel(ctx->executor(), dop, /*morsel_pages=*/1);
+  Plan plan = Plan::Scan(ctx.get(), table);
+  OperatorPtr op = std::move(plan).Build();
+  auto rows = CountRows(op.get());
+  MICROSPEC_CHECK(rows.ok());
+  return rows.value();
+}
+
+TEST(ParallelForgeStressTest, ScansRacePromotionAndDdlChurn) {
+  SKIP_WITHOUT_COMPILER();
+  ScratchDir scratch;
+  auto db = OpenForgeDb(scratch.path() + "/db");
+  ASSERT_OK_AND_ASSIGN(TableInfo * table,
+                       db->CreateTable("hot", StressSchema()));
+  const int kRows = 400;
+  const int kDop = 4;
+  const int kScanThreads = 3;
+  const int kReps = 10;
+  const int kChurnTables = 12;
+  std::vector<std::string> expected = LoadRows(db.get(), table, kRows);
+  std::sort(expected.begin(), expected.end());
+
+  // One parallel scan before the race: on a loaded box this usually still
+  // runs on the program tier, so the race below spans the promotion.
+  ASSERT_EQ(ParallelScanAll(db.get(), table, kDop), expected);
+
+  // Scan threads hammer `hot` with parallel scans while the churn thread
+  // creates and drops other relations — each CREATE enqueues a native
+  // compile, each DROP runs the Bee Collector, so the forge queue is in
+  // constant motion while `hot` is being promoted underneath the scans.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kScanThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kReps; ++r) {
+        if ((t + r) % 3 == 0) {
+          if (ParallelScanAll(db.get(), table, kDop) != expected) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (ParallelScanCount(db.get(), table, kDop) !=
+                   static_cast<uint64_t>(kRows)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kChurnTables; ++i) {
+      std::string name = "churn_" + std::to_string(i);
+      auto res = db->CreateTable(name, StressSchema());
+      MICROSPEC_CHECK(res.ok());
+      LoadRows(db.get(), res.value(), 32);
+      // Drop immediately: on a busy forge this regularly lands while the
+      // churn table's own compile is pending or in flight.
+      MICROSPEC_CHECK(db->DropTable(name).ok());
+    }
+  });
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  db->QuiesceBees();
+  RelationBeeState* state = db->bees()->StateFor(table->id());
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->forge_phase(), ForgePhase::kPromoted);
+  ASSERT_EQ(ParallelScanAll(db.get(), table, kDop), expected);
+
+  // Exact accounting across workers: kRows forms from the load, plus one
+  // deform per row per scan — regardless of which worker deformed which
+  // morsel or which tier served it. A lost update anywhere in the sharded
+  // counters or the tier handoff breaks this equality.
+  const uint64_t scans = 1 + kScanThreads * kReps + 1;
+  EXPECT_EQ(state->invocations(),
+            static_cast<uint64_t>(kRows) * (scans + /*forms*/ 1))
+      << "program=" << state->program_tier_invocations()
+      << " native=" << state->native_tier_invocations();
+
+  // The churn tables are fully collected: no leaked bee state.
+  for (int i = 0; i < kChurnTables; ++i) {
+    EXPECT_EQ(db->catalog()->GetTable("churn_" + std::to_string(i)), nullptr);
+  }
+  bee::ForgeStats fs = db->bees()->stats().forge;
+  EXPECT_EQ(fs.queue_depth, 0);
+  EXPECT_EQ(fs.in_flight, 0);
+  EXPECT_EQ(fs.enqueued, static_cast<uint64_t>(1 + kChurnTables));
+}
+
+}  // namespace
+}  // namespace microspec::testing
