@@ -15,6 +15,8 @@
 #include <cstring>
 
 #include "bench_util.h"
+#include "common/counters.h"
+#include "exec/batch.h"
 #include "exec/plan_builder.h"
 
 namespace microspec {
@@ -138,6 +140,151 @@ void RunDopScaling(int argc, char** argv, int dop) {
   report.WriteIfRequested(argc, argv);
 }
 
+/// --batch: batch-size sweep of the warm scan-aggregate (count + sum over
+/// the full lineitem relation) on the bee-enabled engine. Each configuration
+/// runs the same NextBatch() pipeline at a different RowBatch capacity —
+/// batch1 is the degenerate one-row batch, batchpage is a full 8 KiB page's
+/// worth of tuples, the unit the GCL-B bee deforms in one call. Reports
+/// rows/sec and per-tuple work-ops (the paper's machine-independent cost
+/// model) per configuration, so the JSON shows both the wall-clock speedup
+/// and the amortized bookkeeping that produces it.
+void RunBatchSweep(int argc, char** argv) {
+  BenchEnv env;
+  benchutil::PrintHeader(
+      "Batch execution: warm scan-aggregate vs batch size", env);
+  benchutil::BenchReport report("tpch_warm_batch", env);
+
+  auto bee = benchutil::MakeTpchDb(env, "bee", true, true);
+  // The sweep measures the steady state: every native (GCL-B) compile has
+  // promoted before the first timed repetition.
+  bee->QuiesceBees();
+  TableInfo* lineitem = bee->catalog()->GetTable("lineitem");
+  MICROSPEC_CHECK(lineitem != nullptr);
+
+  auto warm_scan = [&](int batch_rows) {
+    auto ctx = bee->MakeContext();
+    ctx->set_batch(batch_rows, 4);
+    Plan plan = Plan::Scan(ctx.get(), lineitem);
+    plan.GroupBy({}, AggList(Ag(AggSpec::CountStar(), "n"),
+                             Ag(AggSpec::Sum(plan.var("l_extendedprice")),
+                                "total")));
+    OperatorPtr op = std::move(plan).Build();
+    auto rows = CountRows(op.get());
+    MICROSPEC_CHECK(rows.ok() && rows.value() == 1);
+  };
+
+  uint64_t nrows = 0;
+  {
+    auto ctx = bee->MakeContext();
+    Plan plan = Plan::Scan(ctx.get(), lineitem);
+    OperatorPtr op = std::move(plan).Build();
+    auto rows = CountRows(op.get());
+    MICROSPEC_CHECK(rows.ok());
+    nrows = rows.value();
+  }
+
+  struct Config {
+    int batch_rows;
+    std::string name;
+  };
+  const Config configs[] = {{1, "batch1"},
+                            {64, "batch64"},
+                            {256, "batch256"},
+                            {kMaxTuplesPerPage, "batchpage"}};
+  const int ncfg = 4;
+
+  // Per-tuple work-ops per configuration, measured on a dedicated pass so
+  // the timed repetitions below stay untouched. TotalAcrossThreads is
+  // monotonic and process-wide, so the delta is exact even if the forge
+  // bumped counters earlier.
+  double workops_per_tuple[4];
+  for (int i = 0; i < ncfg; ++i) {
+    warm_scan(configs[i].batch_rows);  // warm cache + steady tier
+    uint64_t before = workops::TotalAcrossThreads();
+    warm_scan(configs[i].batch_rows);
+    workops_per_tuple[i] =
+        nrows > 0 ? static_cast<double>(workops::TotalAcrossThreads() - before) /
+                        static_cast<double>(nrows)
+                  : 0;
+  }
+
+  std::vector<std::function<void()>> fns;
+  for (int i = 0; i < ncfg; ++i) {
+    int n = configs[i].batch_rows;
+    fns.push_back([&warm_scan, n] { warm_scan(n); });
+  }
+  std::vector<double> t = benchutil::PaperMeanMulti(env.reps, fns);
+
+  std::printf("%-10s %12s %14s %12s %10s\n", "config", "time(ms)",
+              "rows/sec", "workops/row", "speedup");
+  for (int i = 0; i < ncfg; ++i) {
+    double rps = t[i] > 0 ? static_cast<double>(nrows) / t[i] : 0;
+    double speedup = t[i] > 0 ? t[0] / t[i] : 0;
+    std::printf("%-10s %12.2f %14.0f %12.2f %9.2fx\n",
+                configs[i].name.c_str(), t[i] * 1e3, rps, workops_per_tuple[i],
+                speedup);
+    report.Add(configs[i].name, "warm_scan_seconds", t[i]);
+    report.Add(configs[i].name, "warm_scan_rows_per_sec", rps);
+    report.Add(configs[i].name, "workops_per_tuple", workops_per_tuple[i]);
+    report.Add(configs[i].name, "speedup_vs_batch1", speedup);
+  }
+  report.AttachTelemetry(bee->SnapshotTelemetry());
+  report.WriteIfRequested(argc, argv);
+}
+
+/// --batch-gate: fails (exit 1) if the batched (full-page) warm scan is
+/// consistently slower than the scalar row-at-a-time pipeline on the same
+/// build — batching must never cost throughput. Interleaved and retried
+/// like the telemetry gate; wired into scripts/check.sh.
+int RunBatchGate() {
+  BenchEnv env;
+  benchutil::PrintHeader(
+      "Batch gate: page-batched warm scan must not lose to scalar", env);
+  auto bee = benchutil::MakeTpchDb(env, "gate", true, true);
+  bee->QuiesceBees();
+  TableInfo* lineitem = bee->catalog()->GetTable("lineitem");
+  MICROSPEC_CHECK(lineitem != nullptr);
+
+  double tol_pct = 5.0;
+  const char* tol_env = std::getenv("MICROSPEC_GATE_TOL_PCT");
+  if (tol_env != nullptr && std::atof(tol_env) > 0) {
+    tol_pct = std::atof(tol_env);
+  }
+
+  auto warm_scan = [&](int batch_rows) {
+    auto ctx = bee->MakeContext();
+    ctx->set_batch(batch_rows, 4);
+    Plan plan = Plan::Scan(ctx.get(), lineitem);
+    plan.GroupBy({}, AggList(Ag(AggSpec::CountStar(), "n"),
+                             Ag(AggSpec::Sum(plan.var("l_extendedprice")),
+                                "total")));
+    OperatorPtr op = std::move(plan).Build();
+    auto rows = CountRows(op.get());
+    MICROSPEC_CHECK(rows.ok() && rows.value() == 1);
+  };
+  warm_scan(0);
+  warm_scan(kMaxTuplesPerPage);
+
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    double t_scalar = 0;
+    double t_batch = 0;
+    benchutil::PaperMeanPair(
+        env.reps, [&] { warm_scan(0); },
+        [&] { warm_scan(kMaxTuplesPerPage); }, &t_scalar, &t_batch);
+    std::printf("attempt %d: scalar %.2f ms, batched %.2f ms (%.2fx, "
+                "tolerance %.1f%%)\n",
+                attempt, t_scalar * 1e3, t_batch * 1e3,
+                t_batch > 0 ? t_scalar / t_batch : 0, tol_pct);
+    if (t_batch <= t_scalar * (1.0 + tol_pct / 100.0)) {
+      std::printf("batch gate PASS\n");
+      return 0;
+    }
+  }
+  std::printf("batch gate FAIL: page-batched warm scan is consistently "
+              "slower than the scalar pipeline\n");
+  return 1;
+}
+
 /// --telemetry-gate: fails (exit 1) if the instrumentation-OFF path is
 /// measurably slower than the ON path — which would mean the "zero-overhead
 /// when off" claim regressed. The comparison is interleaved (off,on,off,on)
@@ -197,6 +344,13 @@ int RunTelemetryGate() {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--telemetry-gate") == 0) {
     return microspec::RunTelemetryGate();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--batch-gate") == 0) {
+    return microspec::RunBatchGate();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--batch") == 0) {
+    microspec::RunBatchSweep(argc, argv);
+    return 0;
   }
   if (argc > 2 && std::strcmp(argv[1], "--dop") == 0) {
     int dop = std::atoi(argv[2]);

@@ -15,8 +15,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "common/telemetry.h"
+#include "exec/batch.h"
 #include "sqlfe/engine.h"
 
 using namespace microspec;
@@ -75,6 +77,15 @@ int main(int argc, char** argv) {
   const char* dop_env = std::getenv("MICROSPEC_DOP");
   if (dop_env != nullptr && std::atoi(dop_env) > 1) {
     options.dop = std::atoi(dop_env);
+  }
+  // MICROSPEC_BATCH=N (or "page") switches the executor to batch-at-a-time
+  // NextBatch() pipelines with the GCL-B/EVP-B batch bees (DESIGN.md §8);
+  // unset or 0 keeps row-at-a-time Next().
+  const char* batch_env = std::getenv("MICROSPEC_BATCH");
+  if (batch_env != nullptr) {
+    options.batch_rows = std::string_view(batch_env) == "page"
+                             ? kMaxTuplesPerPage
+                             : std::atoi(batch_env);
   }
   auto db = Database::Open(std::move(options)).MoveValue();
   auto ctx = db->MakeContext();

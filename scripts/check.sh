@@ -28,20 +28,28 @@
 #      forge stress test under TSan. These are the binaries whose whole
 #      point is racing workers against each other and against the forge, so
 #      they never ship without sanitizer coverage, even on plain runs.
+#   7. Batch-execution gate, run unconditionally: the batch differential
+#      test (every TPC-H query, batching on/off × bees on/off × dop 1/4,
+#      against the scalar serial engine) under ASan/UBSan and under TSan
+#      (batches cross the Gather queue between threads carrying page pins),
+#      then bench_tpch_warm --batch-gate, which fails if the page-batched
+#      warm scan is slower than the scalar pipeline. Unlike the dop-scaling
+#      checks, the batch gate runs even on 1-CPU machines: batching must
+#      win (or at worst tie) without any parallelism.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== 1/6: -Werror build =="
+echo "== 1/7: -Werror build =="
 # -Wno-restrict: GCC 12's -O2 restrict analysis false-positives inside
 # libstdc++'s std::string append paths; everything else stays fatal.
 cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-Werror -Wno-restrict" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== 2/6: static analysis =="
+echo "== 2/7: static analysis =="
 if command -v cppcheck >/dev/null 2>&1; then
   cppcheck --quiet --error-exitcode=1 \
     --enable=warning,portability \
@@ -60,10 +68,10 @@ else
   echo "clang-tidy: not installed, skipped"
 fi
 
-echo "== 3/6: tests =="
+echo "== 3/7: tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== 4/6: telemetry overhead gate =="
+echo "== 4/7: telemetry overhead gate =="
 # Small scale + few reps keep this quick; the gate retries internally to
 # damp scheduler noise and exits nonzero only on a consistent regression.
 MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
@@ -72,7 +80,7 @@ MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
 
 case "${SANITIZE:-0}" in
   1)
-    echo "== 5/6: ASan/UBSan build + tests =="
+    echo "== 5/7: ASan/UBSan build + tests =="
     SAN_DIR="$BUILD_DIR-asan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="address;undefined" \
@@ -82,7 +90,7 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   thread)
-    echo "== 5/6: TSan build + tests =="
+    echo "== 5/7: TSan build + tests =="
     SAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="thread" \
@@ -92,12 +100,12 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   *)
-    echo "== 5/6: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
+    echo "== 5/7: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
          "SANITIZE=thread for TSan) =="
     ;;
 esac
 
-echo "== 6/6: parallel-execution sanitizer gate =="
+echo "== 6/7: parallel-execution sanitizer gate =="
 # Targeted builds: only the standalone parallel test binaries (plus their
 # dependencies) are compiled in the sanitizer trees, so this stays cheap
 # even when SANITIZE is unset and the full sanitized suites did not run.
@@ -117,5 +125,22 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target parallel_differential_test parallel_forge_stress_test
 TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_forge_stress_test
 TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_differential_test
+
+echo "== 7/7: batch-execution gate =="
+# Differential correctness first: batched plans must be row-identical to
+# the scalar serial engine under both sanitizer families (batches carry
+# page pins across the bounded Gather queue, so TSan coverage matters).
+cmake --build "$ASAN_DIR" -j "$JOBS" --target batch_differential_test
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  "$ASAN_DIR"/tests/batch_differential_test
+cmake --build "$TSAN_DIR" -j "$JOBS" --target batch_differential_test
+TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/batch_differential_test
+
+# Then the throughput gate: page-granular batching must not lose to the
+# scalar pipeline. This runs unconditionally — the 1-CPU skip applies only
+# to dop-scaling checks, never here, since batching needs no parallelism.
+MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
+MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
+  "$BUILD_DIR"/bench/bench_tpch_warm --batch-gate
 
 echo "check.sh: all gates passed"

@@ -45,6 +45,49 @@ class GclDeformer final : public TupleDeformer {
     if (timed) state_->program_deform_ns()->Observe(telemetry::NowNs() - t0);
   }
 
+  /// GCL-B: deforms all live tuples of one pinned page in a single call.
+  /// The native batch routine (like its scalar sibling) assumes the
+  /// no-nulls fixed layout, so one header-flag sweep decides the tier for
+  /// the whole page; a page carrying any NULL tuple runs the program-tier
+  /// batch loop, which handles mixed pages tuple by tuple.
+  void DeformBatch(const char* const* tuples, int ntuples, int natts,
+                   Datum* const* cols, bool* const* nulls) const override {
+    if (ntuples <= 0) return;
+    TupleBeeManager* bees = state_->tuple_bees();
+    NativeGclBatchFn native = state_->native_gcl_batch();
+    const bool timed = telemetry::Enabled();
+    const uint64_t t0 = timed ? telemetry::NowNs() : 0;
+    if (native != nullptr) {
+      bool clean = true;
+      for (int r = 0; r < ntuples; ++r) {
+        if ((static_cast<uint8_t>(tuples[r][2]) & kTupleHasNulls) != 0) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) {
+        state_->BumpNativeBatchTier(static_cast<uint64_t>(ntuples));
+        // One batch dispatch for the page; the scalar native tier pays
+        // 2*natts per tuple, the page loop amortizes half of that away.
+        workops::Bump(2 + static_cast<uint64_t>(natts) *
+                              static_cast<uint64_t>(ntuples));
+        std::vector<char*> nullp(static_cast<size_t>(natts));
+        for (int c = 0; c < natts; ++c) {
+          nullp[static_cast<size_t>(c)] = reinterpret_cast<char*>(nulls[c]);
+        }
+        native(tuples, ntuples, natts, cols, nullp.data(),
+               bees != nullptr ? bees->datum_table() : nullptr);
+        if (timed) {
+          state_->native_deform_ns()->Observe(telemetry::NowNs() - t0);
+        }
+        return;
+      }
+    }
+    state_->BumpProgramBatchTier(static_cast<uint64_t>(ntuples));
+    state_->gcl().ExecuteBatch(tuples, ntuples, natts, cols, nulls, bees);
+    if (timed) state_->program_deform_ns()->Observe(telemetry::NowNs() - t0);
+  }
+
  private:
   RelationBeeState* state_;
 };
@@ -366,6 +409,8 @@ BeeStats BeeModule::stats() const {
     if (state->has_native_gcl()) ++s.native_gcl_routines;
     s.program_tier_invocations += state->program_tier_invocations();
     s.native_tier_invocations += state->native_tier_invocations();
+    s.program_batch_tier_invocations += state->program_batch_calls();
+    s.native_batch_tier_invocations += state->native_batch_calls();
     TupleBeeManager* bees = state->tuple_bees();
     if (bees != nullptr) {
       ++s.tuple_bee_relations;
@@ -385,6 +430,14 @@ void BeeModule::FillTelemetry(telemetry::TelemetrySnapshot* snap) const {
                    {{"tier", "program"}});
   snap->AddCounter("microspec_bee_tier_invocations_total",
                    static_cast<double>(agg.native_tier_invocations),
+                   {{"tier", "native"}});
+  // GCL-B page-batch calls (each covering a whole page; the per-tuple share
+  // is already folded into the program/native tier counters above).
+  snap->AddCounter("microspec_bee_batch_calls_total",
+                   static_cast<double>(agg.program_batch_tier_invocations),
+                   {{"tier", "program"}});
+  snap->AddCounter("microspec_bee_batch_calls_total",
+                   static_cast<double>(agg.native_batch_tier_invocations),
                    {{"tier", "native"}});
   snap->AddGauge("microspec_bee_relation_bees", agg.relation_bees);
   snap->AddGauge("microspec_bee_native_gcl_routines", agg.native_gcl_routines);
@@ -416,6 +469,12 @@ void BeeModule::FillTelemetry(telemetry::TelemetrySnapshot* snap) const {
                      {{"relation", rel}, {"tier", "program"}});
     snap->AddCounter("microspec_bee_relation_invocations_total",
                      static_cast<double>(state->native_tier_invocations()),
+                     {{"relation", rel}, {"tier", "native"}});
+    snap->AddCounter("microspec_bee_relation_batch_calls_total",
+                     static_cast<double>(state->program_batch_calls()),
+                     {{"relation", rel}, {"tier", "program"}});
+    snap->AddCounter("microspec_bee_relation_batch_calls_total",
+                     static_cast<double>(state->native_batch_calls()),
                      {{"relation", rel}, {"tier", "native"}});
     snap->AddGauge("microspec_bee_forge_phase",
                    static_cast<double>(state->forge_phase()),

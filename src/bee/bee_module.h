@@ -59,6 +59,9 @@ struct BeeStats {
   /// Deform/form invocations served by each tier across all relations.
   uint64_t program_tier_invocations = 0;
   uint64_t native_tier_invocations = 0;
+  /// Batch (GCL-B) deform calls per tier; each call covers a whole page.
+  uint64_t program_batch_tier_invocations = 0;
+  uint64_t native_batch_tier_invocations = 0;
   /// Forge activity (all zero on a program-backend module).
   ForgeStats forge;
 };
@@ -104,6 +107,11 @@ class RelationBeeState {
   NativeGclFn native_gcl() const {
     return native_gcl_.load(std::memory_order_acquire);
   }
+  /// The GCL-B page-batch routine; published together with the scalar
+  /// routine (same shared object, same forge promotion).
+  NativeGclBatchFn native_gcl_batch() const {
+    return native_gclb_.load(std::memory_order_acquire);
+  }
 
   ForgePhase forge_phase() const {
     return phase_.load(std::memory_order_acquire);
@@ -113,8 +121,12 @@ class RelationBeeState {
   const std::string& forge_error() const { return forge_error_; }
 
   /// Atomic publish: called by a forge worker (or the sync path) after the
-  /// routine has been verified and dlopened.
-  void PublishNative(NativeGclFn fn) {
+  /// routines have been verified and dlopened. The batch routine is stored
+  /// first so any thread that observes the scalar tier as native finds its
+  /// batch sibling already in place (each store is release; the hot paths
+  /// load each pointer with its own acquire anyway).
+  void PublishNative(NativeGclFn fn, NativeGclBatchFn batch_fn = nullptr) {
+    native_gclb_.store(batch_fn, std::memory_order_release);
     native_gcl_.store(fn, std::memory_order_release);
     phase_.store(ForgePhase::kPromoted, std::memory_order_release);
   }
@@ -141,13 +153,30 @@ class RelationBeeState {
   void BumpNativeTier() {
     native_invocations_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Batch (GCL-B) calls; `ntuples` keeps hotness comparable to the scalar
+  /// counters — one page-batch call represents that many tuple deforms.
+  void BumpProgramBatchTier(uint64_t ntuples) {
+    program_batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    program_invocations_.fetch_add(ntuples, std::memory_order_relaxed);
+  }
+  void BumpNativeBatchTier(uint64_t ntuples) {
+    native_batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    native_invocations_.fetch_add(ntuples, std::memory_order_relaxed);
+  }
   uint64_t program_tier_invocations() const {
     return program_invocations_.load(std::memory_order_relaxed);
   }
   uint64_t native_tier_invocations() const {
     return native_invocations_.load(std::memory_order_relaxed);
   }
-  /// Total observed hotness — the forge's priority key.
+  uint64_t program_batch_calls() const {
+    return program_batch_calls_.load(std::memory_order_relaxed);
+  }
+  uint64_t native_batch_calls() const {
+    return native_batch_calls_.load(std::memory_order_relaxed);
+  }
+  /// Total observed hotness — the forge's priority key. Batch calls already
+  /// feed the per-tuple counters, so hotness keeps its per-tuple meaning.
   uint64_t invocations() const {
     return program_tier_invocations() + native_tier_invocations();
   }
@@ -170,10 +199,13 @@ class RelationBeeState {
   DeformProgram gcl_;
   FormProgram scl_;
   std::atomic<NativeGclFn> native_gcl_{nullptr};
+  std::atomic<NativeGclBatchFn> native_gclb_{nullptr};
   std::atomic<ForgePhase> phase_{ForgePhase::kProgram};
   std::atomic<bool> collected_{false};
   std::atomic<uint64_t> program_invocations_{0};
   std::atomic<uint64_t> native_invocations_{0};
+  std::atomic<uint64_t> program_batch_calls_{0};
+  std::atomic<uint64_t> native_batch_calls_{0};
   telemetry::Histogram program_deform_ns_;
   telemetry::Histogram native_deform_ns_;
   std::string forge_error_;

@@ -228,6 +228,149 @@ void DeformProgram::Execute(const char* tuple, int natts, Datum* values,
   workops::Bump(ops);
 }
 
+void DeformProgram::ExecuteBatch(const char* const* tuples, int ntuples,
+                                 int natts, Datum* const* cols,
+                                 bool* const* nulls,
+                                 const TupleBeeManager* bees) const {
+  uint64_t ops = 2;  // one bee dispatch for the whole page
+  for (int r = 0; r < ntuples; ++r) {
+    const char* tuple = tuples[r];
+    TupleHeader h = ReadHeader(tuple);
+    const char* tp = tuple + h.hoff;
+    const DataSection* section = nullptr;
+    if (bees != nullptr && (h.flags & kTupleHasBeeId) != 0) {
+      section = bees->section(h.bee_id);
+    }
+    uint32_t off = 0;
+    if (MICROSPEC_UNLIKELY((h.flags & kTupleHasNulls) != 0)) {
+      // Null-carrying tuple: the null-aware step list, column-major writes.
+      for (const DeformStep& step : null_steps_) {
+        if (step.out >= natts) break;
+        ops += 3;  // amortized loop body + bitmap branch
+        if (step.op == DeformOp::kSection) {
+          cols[step.out][r] = section->datums[step.arg];
+          nulls[step.out][r] = false;
+          continue;
+        }
+        if (step.maybe_null && TupleAttIsNull(tuple, step.stored)) {
+          cols[step.out][r] = 0;
+          nulls[step.out][r] = true;
+          continue;
+        }
+        nulls[step.out][r] = false;
+        switch (step.op) {
+          case DeformOp::kDyn1: {
+            uint8_t v;
+            std::memcpy(&v, tp + off, 1);
+            cols[step.out][r] = static_cast<Datum>(v);
+            off += 1;
+            break;
+          }
+          case DeformOp::kDyn4: {
+            off = AlignUp32(off, 4);
+            int32_t v;
+            std::memcpy(&v, tp + off, 4);
+            cols[step.out][r] = DatumFromInt32(v);
+            off += 4;
+            break;
+          }
+          case DeformOp::kDyn8: {
+            off = AlignUp32(off, 8);
+            Datum v;
+            std::memcpy(&v, tp + off, 8);
+            cols[step.out][r] = v;
+            off += 8;
+            break;
+          }
+          case DeformOp::kDynChar:
+            cols[step.out][r] = DatumFromPointer(tp + off);
+            off += step.len;
+            break;
+          case DeformOp::kDynVarlena:
+            off = AlignUp32(off, 4);
+            cols[step.out][r] = DatumFromPointer(tp + off);
+            off += VarlenaSize(tp + off);
+            break;
+          default:
+            MICROSPEC_CHECK(false);  // null variant holds only dynamic ops
+        }
+      }
+      continue;
+    }
+    // No-nulls fast path: the Listing 2 body, one iteration of the page
+    // loop. The per-attribute cost drops to 2 — the dispatch share of the
+    // scalar bee call is paid once per page instead of once per tuple.
+    for (const DeformStep& step : steps_) {
+      if (step.out >= natts) break;
+      ops += 2;
+      nulls[step.out][r] = false;
+      switch (step.op) {
+        case DeformOp::kFixed1: {
+          uint8_t v;
+          std::memcpy(&v, tp + step.arg, 1);
+          cols[step.out][r] = static_cast<Datum>(v);
+          break;
+        }
+        case DeformOp::kFixed4: {
+          int32_t v;
+          std::memcpy(&v, tp + step.arg, 4);
+          cols[step.out][r] = DatumFromInt32(v);
+          break;
+        }
+        case DeformOp::kFixed8: {
+          Datum v;
+          std::memcpy(&v, tp + step.arg, 8);
+          cols[step.out][r] = v;
+          break;
+        }
+        case DeformOp::kFixedChar:
+          cols[step.out][r] = DatumFromPointer(tp + step.arg);
+          break;
+        case DeformOp::kFixedVarlena:
+          cols[step.out][r] = DatumFromPointer(tp + step.arg);
+          off = step.arg + VarlenaSize(tp + step.arg);
+          break;
+        case DeformOp::kDyn1: {
+          uint8_t v;
+          std::memcpy(&v, tp + off, 1);
+          cols[step.out][r] = static_cast<Datum>(v);
+          off += 1;
+          break;
+        }
+        case DeformOp::kDyn4: {
+          off = AlignUp32(off, 4);
+          int32_t v;
+          std::memcpy(&v, tp + off, 4);
+          cols[step.out][r] = DatumFromInt32(v);
+          off += 4;
+          break;
+        }
+        case DeformOp::kDyn8: {
+          off = AlignUp32(off, 8);
+          Datum v;
+          std::memcpy(&v, tp + off, 8);
+          cols[step.out][r] = v;
+          off += 8;
+          break;
+        }
+        case DeformOp::kDynChar:
+          cols[step.out][r] = DatumFromPointer(tp + off);
+          off += step.len;
+          break;
+        case DeformOp::kDynVarlena:
+          off = AlignUp32(off, 4);
+          cols[step.out][r] = DatumFromPointer(tp + off);
+          off += VarlenaSize(tp + off);
+          break;
+        case DeformOp::kSection:
+          cols[step.out][r] = section->datums[step.arg];
+          break;
+      }
+    }
+  }
+  workops::Bump(ops);
+}
+
 void DeformProgram::ExecuteWithNulls(const char* tuple, int natts,
                                      Datum* values, bool* isnull,
                                      const TupleBeeManager* bees) const {

@@ -71,6 +71,16 @@ class DeformProgram {
   void Execute(const char* tuple, int natts, Datum* values, bool* isnull,
                const TupleBeeManager* bees) const;
 
+  /// Batch (GCL-B) variant of the bee routine: deforms `ntuples` tuples —
+  /// all live tuples of one pinned page — in a single call, writing
+  /// column-major: cols[a][r] / nulls[a][r] receive logical attribute `a`
+  /// of tuples[r]. The per-call dispatch is amortized across the page;
+  /// tuples carrying NULLs take the null-aware step list individually, so
+  /// a mixed page stays exact.
+  void ExecuteBatch(const char* const* tuples, int ntuples, int natts,
+                    Datum* const* cols, bool* const* nulls,
+                    const TupleBeeManager* bees) const;
+
   const std::vector<DeformStep>& steps() const { return steps_; }
   /// The all-dynamic, null-checked variant taken by tuples carrying NULLs.
   /// Exposed so the bee verifier can check it agrees with the fast path.

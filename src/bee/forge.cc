@@ -191,14 +191,17 @@ void Forge::ProcessJob(Job job) {
   }
 
   auto t0 = std::chrono::steady_clock::now();
-  Result<NativeGclFn> fn = jit_->CompileSource(
+  // One compile covers both routines: the scalar GCL entry point and its
+  // GCL-B page-batch sibling live in the same generated translation unit
+  // and promote together.
+  Result<NativeGclPair> fn = jit_->CompileSourcePair(
       state->native_source(), cache_dir_, state->native_symbol());
   double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
   if (fn.ok()) {
-    state->PublishNative(fn.value());
+    state->PublishNative(fn.value().scalar, fn.value().batch);
     Trace(telemetry::ForgeEventKind::kSucceeded, state->table_name(),
           static_cast<uint64_t>(seconds * 1e9));
     std::lock_guard<std::mutex> guard(mutex_);

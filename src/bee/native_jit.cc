@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 
 #include "common/align.h"
 #include "storage/tuple.h"
@@ -82,6 +83,82 @@ Status RunCommand(const std::vector<std::string>& argv,
                                              : -1));
 }
 
+/// Emits the straight-line per-attribute extraction shared by the scalar
+/// and batch (GCL-B) routines. `out(i)` names attribute i's destination
+/// lvalue; `stop` is the statement ending extraction once `natts` is
+/// exhausted ("return" in the scalar routine, "break" inside the batch
+/// routine's page loop — a `return` there would skip the remaining tuples);
+/// `null_out` when set emits a per-attribute null clear (the batch routine
+/// writes column-major, so there is no contiguous isnull run to memset).
+void EmitGclAtts(const Schema& logical, const std::vector<int>& slot_of,
+                 const std::string& indent, const char* stop,
+                 const std::function<std::string(int)>& out,
+                 const std::function<std::string(int)>& null_out,
+                 std::string* srcp) {
+  std::string& src = *srcp;
+  bool fixed_mode = true;
+  uint32_t off = 0;
+  for (int i = 0; i < logical.natts(); ++i) {
+    const Column& c = logical.column(i);
+    std::string o = out(i);
+    src += indent + "if (natts < " + std::to_string(i + 1) + ") " + stop +
+           ";\n";
+    if (null_out != nullptr) src += indent + null_out(i) + " = 0;\n";
+    if (slot_of[static_cast<size_t>(i)] >= 0) {
+      src += indent + o + " = sec[" +
+             std::to_string(slot_of[static_cast<size_t>(i)]) + "];\n";
+      continue;
+    }
+    uint32_t align = static_cast<uint32_t>(c.attalign());
+    if (fixed_mode) {
+      off = AlignUp32(off, align);
+      std::string at = "tp + " + std::to_string(off);
+      if (c.byval()) {
+        if (c.attlen() == 1) {
+          src += indent + o + " = (Datum)(unsigned char)*(" + at + ");\n";
+          off += 1;
+        } else if (c.attlen() == 4) {
+          src += indent + "{ int32_t v; memcpy(&v, " + at + ", 4); " + o +
+                 " = (Datum)(long)v; }\n";
+          off += 4;
+        } else {
+          src += indent + "memcpy(&" + o + ", " + at + ", 8);\n";
+          off += 8;
+        }
+      } else if (c.attlen() == kVariableLength) {
+        src += indent + o + " = (Datum)(" + at + ");\n";
+        src += indent + "{ uint32_t sz; memcpy(&sz, " + at + ", 4); off = " +
+               std::to_string(off) + " + sz; }\n";
+        fixed_mode = false;
+      } else {
+        src += indent + o + " = (Datum)(" + at + ");\n";
+        off += static_cast<uint32_t>(c.attlen());
+      }
+    } else {
+      if (align > 1) {
+        src += indent + "off = (off + " + std::to_string(align - 1) +
+               "u) & ~" + std::to_string(align - 1) + "u;\n";
+      }
+      if (c.byval()) {
+        if (c.attlen() == 1) {
+          src += indent + o + " = (Datum)(unsigned char)tp[off]; off += 1;\n";
+        } else if (c.attlen() == 4) {
+          src += indent + "{ int32_t v; memcpy(&v, tp + off, 4); " + o +
+                 " = (Datum)(long)v; off += 4; }\n";
+        } else {
+          src += indent + "memcpy(&" + o + ", tp + off, 8); off += 8;\n";
+        }
+      } else if (c.attlen() == kVariableLength) {
+        src += indent + o + " = (Datum)(tp + off);\n";
+        src += indent + "{ uint32_t sz; memcpy(&sz, tp + off, 4); off += sz; }\n";
+      } else {
+        src += indent + o + " = (Datum)(tp + off); off += " +
+               std::to_string(c.attlen()) + ";\n";
+      }
+    }
+  }
+}
+
 }  // namespace
 
 NativeJit::~NativeJit() {
@@ -124,66 +201,36 @@ std::string NativeJit::GenerateGclSource(const Schema& logical,
     src += "  const Datum* sec = sections[(unsigned char)tuple[3]];\n";
   }
   src += "  unsigned off = 0; (void)off; (void)tp;\n";
+  EmitGclAtts(
+      logical, slot_of, "  ", "return",
+      [](int i) { return "values[" + std::to_string(i) + "]"; },
+      /*null_out=*/nullptr, &src);
+  src += "}\n";
 
-  bool fixed_mode = true;
-  uint32_t off = 0;
-  for (int i = 0; i < logical.natts(); ++i) {
-    const Column& c = logical.column(i);
-    std::string out = "values[" + std::to_string(i) + "]";
-    src += "  if (natts < " + std::to_string(i + 1) + ") return;\n";
-    if (slot_of[static_cast<size_t>(i)] >= 0) {
-      src += "  " + out + " = sec[" +
-             std::to_string(slot_of[static_cast<size_t>(i)]) + "];\n";
-      continue;
-    }
-    uint32_t align = static_cast<uint32_t>(c.attalign());
-    if (fixed_mode) {
-      off = AlignUp32(off, align);
-      std::string at = "tp + " + std::to_string(off);
-      if (c.byval()) {
-        if (c.attlen() == 1) {
-          src += "  " + out + " = (Datum)(unsigned char)*(" + at + ");\n";
-          off += 1;
-        } else if (c.attlen() == 4) {
-          src += "  { int32_t v; memcpy(&v, " + at +
-                 ", 4); " + out + " = (Datum)(long)v; }\n";
-          off += 4;
-        } else {
-          src += "  memcpy(&" + out + ", " + at + ", 8);\n";
-          off += 8;
-        }
-      } else if (c.attlen() == kVariableLength) {
-        src += "  " + out + " = (Datum)(" + at + ");\n";
-        src += "  { uint32_t sz; memcpy(&sz, " + at + ", 4); off = " +
-               std::to_string(off) + " + sz; }\n";
-        fixed_mode = false;
-      } else {
-        src += "  " + out + " = (Datum)(" + at + ");\n";
-        off += static_cast<uint32_t>(c.attlen());
-      }
-    } else {
-      if (align > 1) {
-        src += "  off = (off + " + std::to_string(align - 1) + "u) & ~" +
-               std::to_string(align - 1) + "u;\n";
-      }
-      if (c.byval()) {
-        if (c.attlen() == 1) {
-          src += "  " + out + " = (Datum)(unsigned char)tp[off]; off += 1;\n";
-        } else if (c.attlen() == 4) {
-          src += "  { int32_t v; memcpy(&v, tp + off, 4); " + out +
-                 " = (Datum)(long)v; off += 4; }\n";
-        } else {
-          src += "  memcpy(&" + out + ", tp + off, 8); off += 8;\n";
-        }
-      } else if (c.attlen() == kVariableLength) {
-        src += "  " + out + " = (Datum)(tp + off);\n";
-        src += "  { uint32_t sz; memcpy(&sz, tp + off, 4); off += sz; }\n";
-      } else {
-        src += "  " + out + " = (Datum)(tp + off); off += " +
-               std::to_string(c.attlen()) + ";\n";
-      }
-    }
+  // The GCL-B page-batch variant: the same specialized per-tuple body
+  // wrapped in the page loop, writing column-major. Guards `break` out of
+  // the per-tuple do/while so partial deform still advances to the next
+  // tuple, and null clears are per-attribute stores (no contiguous run).
+  src += "\n/* GCL-B: deforms every live tuple of one pinned page in a\n"
+         "   single call; the per-call dispatch is paid once per page. */\n";
+  src += "void " + symbol +
+         "_b(const char* const* tuples, int ntuples, int natts,\n"
+         "    Datum* const* cols, char* const* nulls,\n"
+         "    const Datum* const* sections) {\n";
+  src += "  for (int r = 0; r < ntuples; ++r) {\n";
+  src += "    const char* tuple = tuples[r];\n";
+  src += "    const char* tp = tuple + " + std::to_string(hoff) + ";\n";
+  if (!spec_cols.empty()) {
+    src += "    const Datum* sec = sections[(unsigned char)tuple[3]];\n";
   }
+  src += "    unsigned off = 0; (void)off; (void)tp;\n";
+  src += "    do {\n";
+  EmitGclAtts(
+      logical, slot_of, "      ", "break",
+      [](int i) { return "cols[" + std::to_string(i) + "][r]"; },
+      [](int i) { return "nulls[" + std::to_string(i) + "][r]"; }, &src);
+  src += "    } while (0);\n";
+  src += "  }\n";
   src += "}\n";
   return src;
 }
@@ -245,6 +292,56 @@ Result<NativeGclFn> NativeJit::CompileSource(const std::string& source,
     handles_.push_back(handle);
   }
   return reinterpret_cast<NativeGclFn>(sym);
+}
+
+Result<NativeGclPair> NativeJit::CompileSourcePair(const std::string& source,
+                                                   const std::string& work_dir,
+                                                   const std::string& symbol) {
+  if (!CompilerAvailable()) {
+    return Status::NotSupported("no C compiler on this host");
+  }
+  std::string c_path = work_dir + "/" + symbol + ".c";
+  std::string so_path = work_dir + "/" + symbol + ".so";
+  FILE* f = std::fopen(c_path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot write " + c_path);
+  std::fwrite(source.data(), 1, source.size(), f);
+  std::fclose(f);
+
+  auto fail = [&](std::string msg) {
+    std::remove(c_path.c_str());
+    std::remove(so_path.c_str());
+    return Status::Internal(std::move(msg));
+  };
+  std::string compiler_stderr;
+  Status st = RunCommand(
+      {"cc", "-O2", "-shared", "-fPIC", "-o", so_path, c_path},
+      &compiler_stderr);
+  if (!st.ok()) {
+    std::string msg = "bee compilation failed (" + st.message() + ")";
+    if (!compiler_stderr.empty()) msg += ":\n" + compiler_stderr;
+    return fail(std::move(msg));
+  }
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    return fail(std::string("dlopen failed: ") + dlerror());
+  }
+  // Both entry points must resolve before the handle is cached — a source
+  // missing its batch half never half-publishes.
+  void* scalar = dlsym(handle, symbol.c_str());
+  void* batch = dlsym(handle, (symbol + "_b").c_str());
+  if (scalar == nullptr || batch == nullptr) {
+    dlclose(handle);
+    return fail("bee symbol missing: " + symbol +
+                (scalar == nullptr ? "" : "_b"));
+  }
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    handles_.push_back(handle);
+  }
+  NativeGclPair pair;
+  pair.scalar = reinterpret_cast<NativeGclFn>(scalar);
+  pair.batch = reinterpret_cast<NativeGclBatchFn>(batch);
+  return pair;
 }
 
 }  // namespace microspec::bee

@@ -20,6 +20,22 @@ using NativeGclFn = void (*)(const char* tuple, int natts,
                              unsigned long* values, char* isnull,
                              const unsigned long* const* sections);
 
+/// Signature of the natively compiled GCL-B routine: deforms `ntuples`
+/// tuples — all live tuples of one pinned page — in a single call, writing
+/// column-major (cols[a][r] / nulls[a][r] receive attribute `a` of
+/// tuples[r]). Generated alongside the scalar routine in the same source
+/// under the symbol `<symbol>_b`.
+using NativeGclBatchFn = void (*)(const char* const* tuples, int ntuples,
+                                  int natts, unsigned long* const* cols,
+                                  char* const* nulls,
+                                  const unsigned long* const* sections);
+
+/// Both entry points of one compiled GCL shared object.
+struct NativeGclPair {
+  NativeGclFn scalar = nullptr;
+  NativeGclBatchFn batch = nullptr;
+};
+
 /// --- The native bee backend -------------------------------------------------
 /// This backend emits C source equivalent to the paper's Listing 2, invokes
 /// the system C compiler to build a shared object, and dlopens the resulting
@@ -64,6 +80,13 @@ class NativeJit {
   Result<NativeGclFn> CompileSource(const std::string& source,
                                     const std::string& work_dir,
                                     const std::string& symbol);
+
+  /// Like CompileSource but resolves both the scalar `symbol` and the
+  /// page-batch `symbol`_b entry points (GenerateGclSource emits the pair
+  /// into one translation unit; they ship, verify and publish together).
+  Result<NativeGclPair> CompileSourcePair(const std::string& source,
+                                          const std::string& work_dir,
+                                          const std::string& symbol);
 
  private:
   std::mutex mutex_;            // guards handles_ (forge workers race here)

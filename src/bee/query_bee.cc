@@ -33,35 +33,33 @@ inline bool ApplyCmp(int c) {
   return false;
 }
 
+/// Comparison cores shared by the row-form kernels and their value-form
+/// (EVP-B batch) siblings — one monomorphized comparison, two entry shapes.
+
 template <CmpOp Op>
-bool CmpIntKernel(const EvpClause& c, const Datum* v, const bool* n) {
-  if (n != nullptr && n[c.attno]) return false;
-  int64_t x = DatumToInt64(v[c.attno]);
+inline bool CmpIntVal(const EvpClause& c, Datum v) {
+  int64_t x = DatumToInt64(v);
   int64_t k = DatumToInt64(c.constant);
   return ApplyCmp<Op>(x < k ? -1 : (x > k ? 1 : 0));
 }
 
 template <CmpOp Op>
-bool CmpFloatKernel(const EvpClause& c, const Datum* v, const bool* n) {
-  if (n != nullptr && n[c.attno]) return false;
-  double x = DatumToFloat64(v[c.attno]);
+inline bool CmpFloatVal(const EvpClause& c, Datum v) {
+  double x = DatumToFloat64(v);
   double k = DatumToFloat64(c.constant);
   return ApplyCmp<Op>(x < k ? -1 : (x > k ? 1 : 0));
 }
 
 template <CmpOp Op>
-bool CmpCharKernel(const EvpClause& c, const Datum* v, const bool* n) {
-  if (n != nullptr && n[c.attno]) return false;
-  int cmp = std::memcmp(DatumToPointer(v[c.attno]),
-                        DatumToPointer(c.constant),
+inline bool CmpCharVal(const EvpClause& c, Datum v) {
+  int cmp = std::memcmp(DatumToPointer(v), DatumToPointer(c.constant),
                         static_cast<size_t>(c.charlen));
   return ApplyCmp<Op>(cmp);
 }
 
 template <CmpOp Op>
-bool CmpVarcharKernel(const EvpClause& c, const Datum* v, const bool* n) {
-  if (n != nullptr && n[c.attno]) return false;
-  const char* a = DatumToPointer(v[c.attno]);
+inline bool CmpVarcharVal(const EvpClause& c, Datum v) {
+  const char* a = DatumToPointer(v);
   const char* b = DatumToPointer(c.constant);
   uint32_t la = VarlenaPayloadSize(a);
   uint32_t lb = VarlenaPayloadSize(b);
@@ -69,6 +67,50 @@ bool CmpVarcharKernel(const EvpClause& c, const Datum* v, const bool* n) {
   int cmp = std::memcmp(VarlenaPayload(a), VarlenaPayload(b), m);
   if (cmp == 0) cmp = la < lb ? -1 : (la > lb ? 1 : 0);
   return ApplyCmp<Op>(cmp);
+}
+
+template <CmpOp Op>
+bool CmpIntKernel(const EvpClause& c, const Datum* v, const bool* n) {
+  if (n != nullptr && n[c.attno]) return false;
+  return CmpIntVal<Op>(c, v[c.attno]);
+}
+
+template <CmpOp Op>
+bool CmpFloatKernel(const EvpClause& c, const Datum* v, const bool* n) {
+  if (n != nullptr && n[c.attno]) return false;
+  return CmpFloatVal<Op>(c, v[c.attno]);
+}
+
+template <CmpOp Op>
+bool CmpCharKernel(const EvpClause& c, const Datum* v, const bool* n) {
+  if (n != nullptr && n[c.attno]) return false;
+  return CmpCharVal<Op>(c, v[c.attno]);
+}
+
+template <CmpOp Op>
+bool CmpVarcharKernel(const EvpClause& c, const Datum* v, const bool* n) {
+  if (n != nullptr && n[c.attno]) return false;
+  return CmpVarcharVal<Op>(c, v[c.attno]);
+}
+
+template <CmpOp Op>
+bool CmpIntColKernel(const EvpClause& c, Datum v, bool isnull) {
+  return !isnull && CmpIntVal<Op>(c, v);
+}
+
+template <CmpOp Op>
+bool CmpFloatColKernel(const EvpClause& c, Datum v, bool isnull) {
+  return !isnull && CmpFloatVal<Op>(c, v);
+}
+
+template <CmpOp Op>
+bool CmpCharColKernel(const EvpClause& c, Datum v, bool isnull) {
+  return !isnull && CmpCharVal<Op>(c, v);
+}
+
+template <CmpOp Op>
+bool CmpVarcharColKernel(const EvpClause& c, Datum v, bool isnull) {
+  return !isnull && CmpVarcharVal<Op>(c, v);
 }
 
 EvpKernelFn SelectCmpKernel(KernelClass cls, CmpOp op) {
@@ -101,15 +143,43 @@ EvpKernelFn SelectCmpKernel(KernelClass cls, CmpOp op) {
   return nullptr;
 }
 
+EvpColKernelFn SelectCmpColKernel(KernelClass cls, CmpOp op) {
+  static constexpr EvpColKernelFn kInt[] = {
+      CmpIntColKernel<CmpOp::kEq>, CmpIntColKernel<CmpOp::kNe>,
+      CmpIntColKernel<CmpOp::kLt>, CmpIntColKernel<CmpOp::kLe>,
+      CmpIntColKernel<CmpOp::kGt>, CmpIntColKernel<CmpOp::kGe>};
+  static constexpr EvpColKernelFn kFloat[] = {
+      CmpFloatColKernel<CmpOp::kEq>, CmpFloatColKernel<CmpOp::kNe>,
+      CmpFloatColKernel<CmpOp::kLt>, CmpFloatColKernel<CmpOp::kLe>,
+      CmpFloatColKernel<CmpOp::kGt>, CmpFloatColKernel<CmpOp::kGe>};
+  static constexpr EvpColKernelFn kChar[] = {
+      CmpCharColKernel<CmpOp::kEq>, CmpCharColKernel<CmpOp::kNe>,
+      CmpCharColKernel<CmpOp::kLt>, CmpCharColKernel<CmpOp::kLe>,
+      CmpCharColKernel<CmpOp::kGt>, CmpCharColKernel<CmpOp::kGe>};
+  static constexpr EvpColKernelFn kVarchar[] = {
+      CmpVarcharColKernel<CmpOp::kEq>, CmpVarcharColKernel<CmpOp::kNe>,
+      CmpVarcharColKernel<CmpOp::kLt>, CmpVarcharColKernel<CmpOp::kLe>,
+      CmpVarcharColKernel<CmpOp::kGt>, CmpVarcharColKernel<CmpOp::kGe>};
+  switch (cls) {
+    case KernelClass::kInt:
+      return kInt[static_cast<int>(op)];
+    case KernelClass::kFloat:
+      return kFloat[static_cast<int>(op)];
+    case KernelClass::kChar:
+      return kChar[static_cast<int>(op)];
+    case KernelClass::kVarchar:
+      return kVarchar[static_cast<int>(op)];
+  }
+  return nullptr;
+}
+
 template <LikeExpr::Mode Mode, bool Negated, bool FixedChar>
-bool LikeKernel(const EvpClause& c, const Datum* v, const bool* n) {
-  if (n != nullptr && n[c.attno]) return false;
+inline bool LikeVal(const EvpClause& c, Datum v) {
   std::string_view hay;
   if constexpr (FixedChar) {
-    hay = std::string_view(DatumToPointer(v[c.attno]),
-                           static_cast<size_t>(c.charlen));
+    hay = std::string_view(DatumToPointer(v), static_cast<size_t>(c.charlen));
   } else {
-    const char* p = DatumToPointer(v[c.attno]);
+    const char* p = DatumToPointer(v);
     hay = std::string_view(VarlenaPayload(p), VarlenaPayloadSize(p));
   }
   std::string_view needle(c.aux, c.aux_len);
@@ -132,6 +202,17 @@ bool LikeKernel(const EvpClause& c, const Datum* v, const bool* n) {
   return Negated ? !match : match;
 }
 
+template <LikeExpr::Mode Mode, bool Negated, bool FixedChar>
+bool LikeKernel(const EvpClause& c, const Datum* v, const bool* n) {
+  if (n != nullptr && n[c.attno]) return false;
+  return LikeVal<Mode, Negated, FixedChar>(c, v[c.attno]);
+}
+
+template <LikeExpr::Mode Mode, bool Negated, bool FixedChar>
+bool LikeColKernel(const EvpClause& c, Datum v, bool isnull) {
+  return !isnull && LikeVal<Mode, Negated, FixedChar>(c, v);
+}
+
 template <bool FixedChar>
 EvpKernelFn SelectLikeKernel(LikeExpr::Mode mode, bool negated) {
   switch (mode) {
@@ -152,9 +233,30 @@ EvpKernelFn SelectLikeKernel(LikeExpr::Mode mode, bool negated) {
   return nullptr;
 }
 
-bool InListIntKernel(const EvpClause& c, const Datum* v, const bool* n) {
-  if (n != nullptr && n[c.attno]) return false;
-  int64_t x = DatumToInt64(v[c.attno]);
+template <bool FixedChar>
+EvpColKernelFn SelectLikeColKernel(LikeExpr::Mode mode, bool negated) {
+  switch (mode) {
+    case LikeExpr::Mode::kExact:
+      return negated ? LikeColKernel<LikeExpr::Mode::kExact, true, FixedChar>
+                     : LikeColKernel<LikeExpr::Mode::kExact, false, FixedChar>;
+    case LikeExpr::Mode::kPrefix:
+      return negated
+                 ? LikeColKernel<LikeExpr::Mode::kPrefix, true, FixedChar>
+                 : LikeColKernel<LikeExpr::Mode::kPrefix, false, FixedChar>;
+    case LikeExpr::Mode::kSuffix:
+      return negated
+                 ? LikeColKernel<LikeExpr::Mode::kSuffix, true, FixedChar>
+                 : LikeColKernel<LikeExpr::Mode::kSuffix, false, FixedChar>;
+    case LikeExpr::Mode::kContains:
+      return negated
+                 ? LikeColKernel<LikeExpr::Mode::kContains, true, FixedChar>
+                 : LikeColKernel<LikeExpr::Mode::kContains, false, FixedChar>;
+  }
+  return nullptr;
+}
+
+inline bool InListIntVal(const EvpClause& c, Datum v) {
+  int64_t x = DatumToInt64(v);
   const int64_t* items = reinterpret_cast<const int64_t*>(c.aux);
   for (uint32_t i = 0; i < c.aux_len; ++i) {
     workops::Bump(1);
@@ -163,9 +265,8 @@ bool InListIntKernel(const EvpClause& c, const Datum* v, const bool* n) {
   return false;
 }
 
-bool InListVarcharKernel(const EvpClause& c, const Datum* v, const bool* n) {
-  if (n != nullptr && n[c.attno]) return false;
-  const char* p = DatumToPointer(v[c.attno]);
+inline bool InListVarcharVal(const EvpClause& c, Datum v) {
+  const char* p = DatumToPointer(v);
   std::string_view hay(VarlenaPayload(p), VarlenaPayloadSize(p));
   // aux holds concatenated (u32 len, bytes) entries; aux_len is item count.
   const char* q = c.aux;
@@ -178,6 +279,24 @@ bool InListVarcharKernel(const EvpClause& c, const Datum* v, const bool* n) {
     q += len;
   }
   return false;
+}
+
+bool InListIntKernel(const EvpClause& c, const Datum* v, const bool* n) {
+  if (n != nullptr && n[c.attno]) return false;
+  return InListIntVal(c, v[c.attno]);
+}
+
+bool InListVarcharKernel(const EvpClause& c, const Datum* v, const bool* n) {
+  if (n != nullptr && n[c.attno]) return false;
+  return InListVarcharVal(c, v[c.attno]);
+}
+
+bool InListIntColKernel(const EvpClause& c, Datum v, bool isnull) {
+  return !isnull && InListIntVal(c, v);
+}
+
+bool InListVarcharColKernel(const EvpClause& c, Datum v, bool isnull) {
+  return !isnull && InListVarcharVal(c, v);
 }
 
 KernelClass ClassOf(TypeId t) {
@@ -264,8 +383,9 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
       owned->push_back(std::move(padded));
       ctx.constant = DatumFromPointer(owned->back().data());
     }
-    clauses->push_back(
-        EvpBee::Clause{SelectCmpKernel(cls, op), arena->New(ctx)});
+    clauses->push_back(EvpBee::Clause{SelectCmpKernel(cls, op),
+                                      SelectCmpColKernel(cls, op),
+                                      arena->New(ctx)});
     return true;
   }
 
@@ -285,7 +405,11 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
     EvpKernelFn fn = vm.type == TypeId::kChar
                          ? SelectLikeKernel<true>(like.mode(), like.negated())
                          : SelectLikeKernel<false>(like.mode(), like.negated());
-    clauses->push_back(EvpBee::Clause{fn, arena->New(ctx)});
+    EvpColKernelFn col_fn =
+        vm.type == TypeId::kChar
+            ? SelectLikeColKernel<true>(like.mode(), like.negated())
+            : SelectLikeColKernel<false>(like.mode(), like.negated());
+    clauses->push_back(EvpBee::Clause{fn, col_fn, arena->New(ctx)});
     return true;
   }
 
@@ -307,7 +431,8 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
       owned->push_back(std::move(storage));
       ctx.aux = owned->back().data();
       ctx.aux_len = static_cast<uint32_t>(in.items().size());
-      clauses->push_back(EvpBee::Clause{InListIntKernel, arena->New(ctx)});
+      clauses->push_back(EvpBee::Clause{InListIntKernel, InListIntColKernel,
+                                        arena->New(ctx)});
       return true;
     }
     if (cls == KernelClass::kVarchar) {
@@ -321,8 +446,8 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
       owned->push_back(std::move(storage));
       ctx.aux = owned->back().data();
       ctx.aux_len = static_cast<uint32_t>(in.items().size());
-      clauses->push_back(
-          EvpBee::Clause{InListVarcharKernel, arena->New(ctx)});
+      clauses->push_back(EvpBee::Clause{
+          InListVarcharKernel, InListVarcharColKernel, arena->New(ctx)});
       return true;
     }
     return false;

@@ -37,13 +37,21 @@ struct EvpClause {
 using EvpKernelFn = bool (*)(const EvpClause& c, const Datum* values,
                              const bool* isnull);
 
+/// Value-form sibling of EvpKernelFn, used by the batch (EVP-B) path: the
+/// clause verdict for one column cell. The attribute load happens in the
+/// caller's clause-major loop over the batch's column array — the kernels
+/// share their comparison cores with the row-form variants, so both forms
+/// are the same ahead-of-time enumerated object code.
+using EvpColKernelFn = bool (*)(const EvpClause& c, Datum v, bool isnull);
+
 /// An EVP query bee: a conjunction of monomorphized clause kernels replacing
 /// the generic expression-tree walk.
 class EvpBee final : public PredicateEvaluator {
  public:
   struct Clause {
     EvpKernelFn fn;
-    const EvpClause* ctx;  // lives in the placement arena
+    EvpColKernelFn col_fn;  // value-form sibling (same monomorphization)
+    const EvpClause* ctx;   // lives in the placement arena
   };
 
   explicit EvpBee(std::vector<Clause> clauses,
@@ -62,6 +70,33 @@ class EvpBee final : public PredicateEvaluator {
     }
     workops::Bump(ops);
     return result;
+  }
+
+  /// EVP-B: evaluates the conjunction over a batch, compacting the selection
+  /// vector in place. Clause-major: each kernel streams down one column
+  /// array (the batch's native layout) and rows failing a clause drop out
+  /// before the next clause reads them — NULL cells fail a clause exactly
+  /// as in the row form.
+  int MatchBatch(const Datum* const* cols, const bool* const* nulls,
+                 int ncols, int* sel, int nsel) const override {
+    (void)ncols;
+    uint64_t ops = 0;
+    for (const Clause& cl : clauses_) {
+      const Datum* col = cols[cl.ctx->attno];
+      const bool* nul = nulls[cl.ctx->attno];
+      // 2 per row entering the clause: the batch form amortizes the
+      // per-row dispatch share of the scalar bee's 3-op clause cost.
+      ops += 1 + 2 * static_cast<uint64_t>(nsel);
+      int out = 0;
+      for (int i = 0; i < nsel; ++i) {
+        const int r = sel[i];
+        if (cl.col_fn(*cl.ctx, col[r], nul[r])) sel[out++] = r;
+      }
+      nsel = out;
+      if (nsel == 0) break;
+    }
+    workops::Bump(ops);
+    return nsel;
   }
 
   size_t num_clauses() const { return clauses_.size(); }

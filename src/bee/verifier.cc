@@ -482,6 +482,69 @@ Status BeeVerifier::LintNativeGclSource(const std::string& source,
       }
     }
   }
+
+  // --- GCL-B half: the page-batch routine generated into the same
+  // translation unit. Checked structurally against the same layout model:
+  // the page loop must be bounded strictly by the caller's live-tuple count
+  // (`r < ntuples` — the batch's slot count for the page), every write must
+  // stay inside the loop variable's range (stores index `[i][r]`, never a
+  // constant row), guards must `break` (a `return` would silently skip the
+  // remaining tuples of the page), and every attribute needs its
+  // per-attribute null clear (the batch routine has no contiguous isnull
+  // run to memset).
+  size_t bpos = source.find("_b(const char* const* tuples");
+  if (bpos == std::string::npos) {
+    return missing("GCL-B batch routine", "_b(const char* const* tuples");
+  }
+  const std::string loop_token = "for (int r = 0; r < ntuples; ++r)";
+  if (source.find(loop_token, bpos) == std::string::npos) {
+    return missing("page loop bound (live-tuple count)", loop_token);
+  }
+  if (source.find("tuples[r]", bpos) == std::string::npos) {
+    return missing("per-iteration tuple load", "tuples[r]");
+  }
+  const std::string bhoff_token =
+      "tuple + " +
+      std::to_string(TupleHeaderSize(stored.natts(), /*has_nulls=*/false));
+  if (source.find(bhoff_token, bpos) == std::string::npos) {
+    return missing("batch header offset constant", bhoff_token);
+  }
+  std::vector<size_t> bguard(static_cast<size_t>(logical.natts()) + 1,
+                             source.size());
+  size_t bcursor = bpos;
+  for (int i = 0; i < logical.natts(); ++i) {
+    const std::string guard =
+        "if (natts < " + std::to_string(i + 1) + ") break;";
+    size_t found = source.find(guard, bcursor);
+    if (found == std::string::npos) {
+      return missing("batch partial-deform early-out for attribute " +
+                         std::to_string(i) + " (must break, not return)",
+                     guard);
+    }
+    bguard[static_cast<size_t>(i)] = found;
+    bcursor = found + guard.size();
+  }
+  for (int i = 0; i < logical.natts(); ++i) {
+    const size_t seg_begin = bguard[static_cast<size_t>(i)];
+    const size_t seg_end = bguard[static_cast<size_t>(i) + 1];
+    const std::string seg = source.substr(seg_begin, seg_end - seg_begin);
+    const std::string attr = "batch attribute " + std::to_string(i);
+    const std::string out_token = "cols[" + std::to_string(i) + "][r]";
+    if (seg.find(out_token) == std::string::npos) {
+      return missing("column-major store to " + attr, out_token);
+    }
+    const std::string null_token = "nulls[" + std::to_string(i) + "][r] = 0";
+    if (seg.find(null_token) == std::string::npos) {
+      return missing("per-attribute null clear for " + attr, null_token);
+    }
+    const int slot = to_slot[static_cast<size_t>(i)];
+    if (slot >= 0) {
+      const std::string sec = "sec[" + std::to_string(slot) + "]";
+      if (seg.find(sec) == std::string::npos) {
+        return missing("section slot for " + attr, sec);
+      }
+    }
+  }
   return Status::OK();
 }
 

@@ -79,7 +79,11 @@ class BeeVerifier {
   /// statements must appear in order, guarded by the per-attribute natts
   /// early-outs, with the header offset, fixed-offset constants, dynamic
   /// alignment masks, and section slots all matching the verifier's layout
-  /// model.
+  /// model. The GCL-B page-batch routine emitted into the same source is
+  /// linted too: its page loop must be bounded strictly by the caller's
+  /// live-tuple count, its guards must `break` out of the per-tuple body
+  /// (not return from the loop), every store must be column-major `[i][r]`,
+  /// and each attribute needs a per-attribute null clear.
   static Status LintNativeGclSource(const std::string& source,
                                     const Schema& logical,
                                     const Schema& stored,

@@ -10,7 +10,8 @@ bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
-  threads_.reserve(static_cast<size_t>(num_threads));
+  base_threads_ = static_cast<size_t>(num_threads);
+  threads_.reserve(base_threads_);
   for (int i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
@@ -38,6 +39,24 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Quiesce() {
   std::unique_lock<std::mutex> guard(mutex_);
   drain_.wait(guard, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::Reserve(int n) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (stop_) return;
+  reserved_ += n;
+  // One thread per concurrently reserved (blockable) task *on top of* the
+  // base size, so even with every reserved task parked on its own wait the
+  // original capacity stays available to unreserved submissions (whose
+  // co-worker waits assume at least base_threads_ of them can run at once).
+  while (threads_.size() < base_threads_ + static_cast<size_t>(reserved_)) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Release(int n) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  reserved_ -= n;
 }
 
 void ThreadPool::WorkerLoop() {

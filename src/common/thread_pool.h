@@ -34,6 +34,17 @@ class ThreadPool {
   /// Blocks until every task submitted so far has finished running.
   void Quiesce();
 
+  /// Declares `n` upcoming tasks that may *block mid-task* on progress made
+  /// by the submitter (e.g. Gather producers waiting on their bounded
+  /// queue's consumer). The pool grows so every reserved task can hold a
+  /// thread while blocked without starving unreserved work — otherwise two
+  /// sibling exchanges could deadlock: one's blocked producers pinning
+  /// every thread while the other's workers (whom the consumer is waiting
+  /// on) never get scheduled. Pair with Release() once the tasks finish;
+  /// the pool never shrinks back (threads are cheap, deadlocks are not).
+  void Reserve(int n);
+  void Release(int n);
+
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
   /// True when the calling thread is a pool worker (of any ThreadPool).
@@ -50,6 +61,8 @@ class ThreadPool {
   std::condition_variable drain_;  // Quiesce: queue empty and none running
   std::deque<std::function<void()>> queue_;
   int running_ = 0;
+  int reserved_ = 0;
+  size_t base_threads_ = 0;
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };

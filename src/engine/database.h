@@ -39,6 +39,14 @@ struct DatabaseOptions {
   int dop = 1;
   /// Pages per morsel for parallel scans; 0 => kDefaultMorselPages.
   uint32_t morsel_pages = 0;
+  /// Rows per execution batch (DESIGN.md "Batch execution"). 0 (the
+  /// default) keeps the row-at-a-time Next() pipeline; > 0 drives the
+  /// NextBatch() path and enables the GCL-B/EVP-B batch bees. Clamped to
+  /// kMaxTuplesPerPage — one 8 KiB page's worth of tuples.
+  int batch_rows = 0;
+  /// Bound on Gather's hand-off queue, in batches per worker; keeps a
+  /// fast producer from buffering an unbounded deep copy of the input.
+  int gather_max_batches = 4;
 };
 
 /// The engine facade: owns the buffer pool, catalog, and (optionally) the
@@ -83,6 +91,7 @@ class Database {
     auto ctx =
         std::make_unique<ExecContext>(catalog_.get(), bees_.get(), opts);
     if (dop > 1) ctx->set_parallel(Executor(dop), dop, options_.morsel_pages);
+    ctx->set_batch(options_.batch_rows, options_.gather_max_batches);
     return ctx;
   }
 

@@ -31,6 +31,24 @@ class TupleDeformer {
   /// into `tuple` or into bee data sections; valid while both stay alive.
   virtual void Deform(const char* tuple, int natts, Datum* values,
                       bool* isnull) const = 0;
+
+  /// Deforms a batch of same-relation tuples (typically all live tuples of
+  /// one pinned page) into column-major arrays: cols[a][t] / nulls[a][t] is
+  /// attribute a of tuples[t]. The default scatters the per-row Deform
+  /// through a per-call scratch row; the GCL-B relation bee overrides it
+  /// with a single per-page loop (program or native tier).
+  virtual void DeformBatch(const char* const* tuples, int ntuples, int natts,
+                           Datum* const* cols, bool* const* nulls) const {
+    std::vector<Datum> values(static_cast<size_t>(natts));
+    std::unique_ptr<bool[]> isnull(new bool[static_cast<size_t>(natts)]);
+    for (int t = 0; t < ntuples; ++t) {
+      Deform(tuples[t], natts, values.data(), isnull.get());
+      for (int a = 0; a < natts; ++a) {
+        cols[a][t] = values[static_cast<size_t>(a)];
+        nulls[a][t] = isnull[a];
+      }
+    }
+  }
 };
 
 /// The generic deform loop over the relation's logical schema.
@@ -83,6 +101,28 @@ class PredicateEvaluator {
  public:
   virtual ~PredicateEvaluator() = default;
   virtual bool Matches(const ExecRow& row) const = 0;
+
+  /// Batch variant: compacts sel[0..nsel) in place to the row indices (into
+  /// column-major cols/nulls arrays of `ncols` columns) satisfying the
+  /// predicate, and returns the new count. The default gathers each selected
+  /// row into a scratch row and calls Matches; the EVP-B query bee overrides
+  /// it with value-form kernels that write the selection vector directly.
+  virtual int MatchBatch(const Datum* const* cols, const bool* const* nulls,
+                         int ncols, int* sel, int nsel) const {
+    std::vector<Datum> values(static_cast<size_t>(ncols));
+    std::unique_ptr<bool[]> isnull(new bool[static_cast<size_t>(ncols)]);
+    int out = 0;
+    for (int i = 0; i < nsel; ++i) {
+      const int r = sel[i];
+      for (int c = 0; c < ncols; ++c) {
+        values[static_cast<size_t>(c)] = cols[c][r];
+        isnull[c] = nulls[c][r];
+      }
+      ExecRow row{values.data(), isnull.get(), nullptr, nullptr};
+      if (Matches(row)) sel[out++] = r;
+    }
+    return out;
+  }
 };
 
 /// Generic interpreted predicate: walks the expression tree per row.

@@ -103,6 +103,22 @@ class OpProfiler final : public Operator {
     return st;
   }
 
+  /// Forwarded so an instrumented plan keeps its real batch implementations
+  /// (and BatchCapable signal) — otherwise EXPLAIN ANALYZE would silently
+  /// degrade every batch-driven subtree to the scalar adapter.
+  Status NextBatch(RowBatch* batch) override {
+    const uint64_t t0 = telemetry::NowNs();
+    const uint64_t w0 = workops::Read();
+    Status st = child_->NextBatch(batch);
+    time_local_ += telemetry::NowNs() - t0;
+    work_local_ += workops::Read() - w0;
+    ++next_local_;
+    if (st.ok()) rows_local_ += static_cast<uint64_t>(batch->selected());
+    return st;
+  }
+
+  bool BatchCapable() const override { return child_->BatchCapable(); }
+
   void Close() override {
     child_->Close();
     Flush();

@@ -1,0 +1,124 @@
+#ifndef MICROSPEC_EXEC_BATCH_H_
+#define MICROSPEC_EXEC_BATCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/datum.h"
+#include "common/macros.h"
+#include "exec/row.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace microspec {
+
+/// Upper bound on live tuples in one slotted page, and therefore on the
+/// batch size a page-granular scan can ever fill: each tuple costs at least
+/// a 4-byte slot entry plus 8 bytes of kMaxAlign-aligned tuple data out of
+/// the kPageSize - 8 bytes left after the page header.
+inline constexpr int kMaxTuplesPerPage =
+    static_cast<int>((kPageSize - 8) / (4 + 8));  // 682
+
+/// A batch of rows in column-major layout: per-column Datum/null arrays of
+/// `capacity` entries plus a selection vector listing the live row indices
+/// in increasing order. Operators producing batches fill rows [0, size())
+/// and select all of them; filters narrow the selection vector in place
+/// without moving any data (DESIGN.md "Batch execution").
+///
+/// Lifetime of by-reference Datums: a scan-produced batch holds its heap
+/// page pinned via pin(), so pointer Datums into the page stay valid until
+/// the next Reset()/refill — including across threads when a Gather hands
+/// the whole batch to its consumer. Rows accumulated through the scalar
+/// adapter instead deep-copy by-reference values into arena().
+class RowBatch {
+ public:
+  RowBatch(int ncols, int capacity)
+      : ncols_(ncols < 0 ? 0 : ncols),
+        capacity_(capacity < 1 ? 1 : capacity) {
+    const size_t cells =
+        static_cast<size_t>(ncols_) * static_cast<size_t>(capacity_);
+    values_.assign(cells, 0);
+    nulls_ = std::make_unique<bool[]>(cells);
+    sel_.assign(static_cast<size_t>(capacity_), 0);
+    col_ptrs_.reserve(static_cast<size_t>(ncols_));
+    null_ptrs_.reserve(static_cast<size_t>(ncols_));
+    for (int c = 0; c < ncols_; ++c) {
+      col_ptrs_.push_back(values_.data() +
+                          static_cast<size_t>(c) * capacity_);
+      null_ptrs_.push_back(nulls_.get() + static_cast<size_t>(c) * capacity_);
+    }
+  }
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(RowBatch);
+
+  int ncols() const { return ncols_; }
+  int capacity() const { return capacity_; }
+  /// Rows materialized in the column arrays (dense prefix [0, size())).
+  int size() const { return nrows_; }
+  /// Rows surviving the selection vector; 0 also signals end-of-stream.
+  int selected() const { return nsel_; }
+
+  Datum* col(int c) { return col_ptrs_[static_cast<size_t>(c)]; }
+  const Datum* col(int c) const { return col_ptrs_[static_cast<size_t>(c)]; }
+  bool* nulls(int c) { return null_ptrs_[static_cast<size_t>(c)]; }
+  const bool* nulls(int c) const {
+    return null_ptrs_[static_cast<size_t>(c)];
+  }
+  /// Per-column base pointers — the shape batch bee entry points take.
+  Datum* const* cols() { return col_ptrs_.data(); }
+  bool* const* null_cols() { return null_ptrs_.data(); }
+
+  int* sel() { return sel_.data(); }
+  const int* sel() const { return sel_.data(); }
+
+  /// Marks rows [0, n) materialized with the identity selection.
+  void SetAllSelected(int n) {
+    nrows_ = n;
+    nsel_ = n;
+    for (int i = 0; i < n; ++i) sel_[static_cast<size_t>(i)] = i;
+  }
+  /// Shrinks the selection count after in-place compaction of sel().
+  void SetSelected(int n) { nsel_ = n; }
+
+  /// Scratch space for by-reference values owned by this batch (scalar
+  /// adapter copies, projection results).
+  Arena* arena() { return &arena_; }
+  /// The pinned heap page backing pointer Datums of a scan-filled batch.
+  /// Assigning a new guard releases the previous pin.
+  PageGuard* pin() { return &pin_; }
+
+  /// Empties the batch: drops the selection, releases the page pin and the
+  /// arena. Column arrays keep their storage (no reallocation per refill).
+  void Reset() {
+    nrows_ = 0;
+    nsel_ = 0;
+    pin_ = PageGuard();
+    arena_.Reset();
+  }
+
+  /// Copies row `r`'s cells into row-major `values`/`isnull` arrays — the
+  /// bridge to per-row consumers (expression evaluation, scalar parents).
+  void GatherRow(int r, Datum* values, bool* isnull) const {
+    for (int c = 0; c < ncols_; ++c) {
+      values[c] = col_ptrs_[static_cast<size_t>(c)][r];
+      isnull[c] = null_ptrs_[static_cast<size_t>(c)][r];
+    }
+  }
+
+ private:
+  int ncols_;
+  int capacity_;
+  int nrows_ = 0;
+  int nsel_ = 0;
+  std::vector<Datum> values_;  // column-major: values_[c * capacity_ + r]
+  std::unique_ptr<bool[]> nulls_;
+  std::vector<Datum*> col_ptrs_;
+  std::vector<bool*> null_ptrs_;
+  std::vector<int> sel_;
+  Arena arena_;
+  PageGuard pin_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_BATCH_H_

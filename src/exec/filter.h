@@ -44,6 +44,26 @@ class Filter final : public Operator {
     }
   }
 
+  /// Batch path: narrows the child batch's selection vector in place — no
+  /// row is copied or moved. With an EVP bee the compaction runs through
+  /// the bee's batch kernels (EVP-B); otherwise through the generic
+  /// gather-and-interpret fallback.
+  Status NextBatch(RowBatch* batch) override {
+    for (;;) {
+      MICROSPEC_RETURN_NOT_OK(child_->NextBatch(batch));
+      if (batch->selected() == 0) return Status::OK();  // end of stream
+      workops::Bump(6);  // qual-node dispatch, amortized over the batch
+      const int nsel = evaluator_->MatchBatch(
+          batch->cols(), batch->null_cols(), batch->ncols(), batch->sel(),
+          batch->selected());
+      batch->SetSelected(nsel);
+      // A fully filtered-out batch must not read as end-of-stream.
+      if (nsel > 0) return Status::OK();
+    }
+  }
+
+  bool BatchCapable() const override { return child_->BatchCapable(); }
+
   void Close() override { child_->Close(); }
 
  private:

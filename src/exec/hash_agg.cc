@@ -78,6 +78,47 @@ bool IsIntKind(TypeId t) {
          t == TypeId::kDate;
 }
 
+/// Value-form update kernels for batch accumulation: one column cell in,
+/// no row pointer. Only by-value argument types get one, so storing the
+/// extreme Datum directly (no arena copy) is always safe.
+void SumFloatColKernel(HashAggregate::AggState& st, Datum v, bool n) {
+  if (n) return;
+  st.fsum += DatumToFloat64(v);
+  ++st.count;
+}
+void SumIntColKernel(HashAggregate::AggState& st, Datum v, bool n) {
+  if (n) return;
+  st.isum += DatumToInt64(v);
+  ++st.count;
+}
+void CountColKernel(HashAggregate::AggState& st, Datum, bool n) {
+  if (n) return;
+  ++st.count;
+}
+void CountStarColKernel(HashAggregate::AggState& st, Datum, bool) {
+  ++st.count;
+}
+template <bool kMin>
+void ExtremeFloatColKernel(HashAggregate::AggState& st, Datum v, bool n) {
+  if (n) return;
+  double x = DatumToFloat64(v);
+  if (!st.has_value ||
+      (kMin ? x < DatumToFloat64(st.extreme) : x > DatumToFloat64(st.extreme))) {
+    st.extreme = DatumFromFloat64(x);
+    st.has_value = true;
+  }
+}
+template <bool kMin>
+void ExtremeIntColKernel(HashAggregate::AggState& st, Datum v, bool n) {
+  if (n) return;
+  int64_t x = DatumToInt64(v);
+  if (!st.has_value ||
+      (kMin ? x < DatumToInt64(st.extreme) : x > DatumToInt64(st.extreme))) {
+    st.extreme = DatumFromInt64(x);
+    st.has_value = true;
+  }
+}
+
 }  // namespace
 
 void HashAggregate::BuildAggKernels() {
@@ -134,6 +175,61 @@ void HashAggregate::BuildAggKernels() {
         break;
     }
     kernels_.push_back(k);
+  }
+}
+
+void HashAggregate::BuildColKernels() {
+  col_kernels_.clear();
+  batch_all_kernels_ = true;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    AggColKernel k;
+    const AggSpec& spec = aggs_[i];
+    if (spec.kind == AggKind::kCountStar) {
+      k.fn = CountStarColKernel;
+      col_kernels_.push_back(k);
+      continue;
+    }
+    // Same qualification rule as the agg bee's kernels: bare outer columns
+    // of by-value type; everything else gathers the row per update.
+    if (spec.arg->kind() == ExprKind::kVar) {
+      const auto& var = static_cast<const VarExpr&>(*spec.arg);
+      if (var.side() == RowSide::kOuter) {
+        k.attno = var.attno();
+        bool is_float = agg_arg_meta_[i].type == TypeId::kFloat64;
+        bool is_int = IsIntKind(agg_arg_meta_[i].type);
+        switch (spec.kind) {
+          case AggKind::kCount:
+            k.fn = CountColKernel;
+            break;
+          case AggKind::kSum:
+          case AggKind::kAvg:
+            if (is_float) {
+              k.fn = SumFloatColKernel;
+            } else if (is_int) {
+              k.fn = SumIntColKernel;
+            }
+            break;
+          case AggKind::kMin:
+            if (is_float) {
+              k.fn = ExtremeFloatColKernel<true>;
+            } else if (is_int) {
+              k.fn = ExtremeIntColKernel<true>;
+            }
+            break;
+          case AggKind::kMax:
+            if (is_float) {
+              k.fn = ExtremeFloatColKernel<false>;
+            } else if (is_int) {
+              k.fn = ExtremeIntColKernel<false>;
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    if (k.fn == nullptr) batch_all_kernels_ = false;
+    col_kernels_.push_back(k);
   }
 }
 
@@ -270,7 +366,29 @@ void HashAggregate::UpdateGeneric(Group* g, const ExecRow& row) {
   }
 }
 
+void HashAggregate::SynthesizeEmptyGlobalGroup() {
+  // Global aggregation over an empty input still yields one row.
+  if (!groups_.empty() || !group_cols_.empty()) return;
+  Group* g = static_cast<Group*>(arena_.Allocate(sizeof(Group), alignof(Group)));
+  g->hash = 0;
+  g->keys = nullptr;
+  g->keynull = nullptr;
+  g->states = static_cast<AggState*>(arena_.Allocate(
+      sizeof(AggState) * (aggs_.empty() ? 1 : aggs_.size()),
+      alignof(AggState)));
+  for (size_t i = 0; i < aggs_.size(); ++i) g->states[i] = AggState{};
+  // Chain into the table too so MergeFrom finds it: dop parallel partials
+  // over an empty input each synthesize this group, and the merge must
+  // collapse them into one output row, not dop of them.
+  g->next = buckets_[g->hash & bucket_mask_];
+  buckets_[g->hash & bucket_mask_] = g;
+  groups_.push_back(g);
+}
+
 Status HashAggregate::Accumulate() {
+  if (ctx_->batch_rows() > 0 && child_->BatchCapable()) {
+    return AccumulateBatch();
+  }
   bool has_row = false;
   const size_t nkeys = group_cols_.size();
   for (;;) {
@@ -338,24 +456,114 @@ Status HashAggregate::Accumulate() {
     }
   }
   child_->Close();
+  SynthesizeEmptyGlobalGroup();
+  return Status::OK();
+}
 
-  // Global aggregation over an empty input still yields one row.
-  if (groups_.empty() && group_cols_.empty()) {
-    Group* g = static_cast<Group*>(arena_.Allocate(sizeof(Group), alignof(Group)));
-    g->hash = 0;
-    g->keys = nullptr;
-    g->keynull = nullptr;
-    g->states = static_cast<AggState*>(arena_.Allocate(
-        sizeof(AggState) * (aggs_.empty() ? 1 : aggs_.size()),
-        alignof(AggState)));
-    for (size_t i = 0; i < aggs_.size(); ++i) g->states[i] = AggState{};
-    // Chain into the table too so MergeFrom finds it: dop parallel partials
-    // over an empty input each synthesize this group, and the merge must
-    // collapse them into one output row, not dop of them.
-    g->next = buckets_[g->hash & bucket_mask_];
-    buckets_[g->hash & bucket_mask_] = g;
-    groups_.push_back(g);
+Status HashAggregate::AccumulateBatch() {
+  const size_t nkeys = group_cols_.size();
+  const int child_ncols = static_cast<int>(child_->output_meta().size());
+  const int cap = ctx_->batch_rows();
+  if (batch_ == nullptr || batch_->capacity() != cap ||
+      batch_->ncols() != child_ncols) {
+    batch_ = std::make_unique<RowBatch>(child_ncols, cap);
   }
+  crow_values_.assign(static_cast<size_t>(child_ncols), 0);
+  crow_isnull_ = std::make_unique<bool[]>(static_cast<size_t>(child_ncols));
+  BuildColKernels();
+  for (;;) {
+    MICROSPEC_RETURN_NOT_OK(child_->NextBatch(batch_.get()));
+    const int nsel = batch_->selected();
+    if (nsel == 0) break;
+    workops::Bump(8);  // agg-node dispatch, amortized over the batch
+    const int* sel = batch_->sel();
+    for (int si = 0; si < nsel; ++si) {
+      const int r = sel[si];
+
+      // Hash the group key straight out of the column arrays.
+      uint64_t h = 0;
+      for (size_t i = 0; i < nkeys; ++i) {
+        int c = group_cols_[i];
+        workops::Bump(2);
+        if (batch_->nulls(c)[r]) continue;
+        h = DatumHashGeneric(batch_->col(c)[r], group_meta_[i], h);
+      }
+
+      // Find or create the group (column-array flavor of Accumulate's probe).
+      Group* g = buckets_[h & bucket_mask_];
+      while (g != nullptr) {
+        workops::Bump(2);
+        if (g->hash == h) {
+          bool eq = true;
+          for (size_t i = 0; i < nkeys; ++i) {
+            int c = group_cols_[i];
+            bool rn = batch_->nulls(c)[r];
+            if (rn != g->keynull[i] ||
+                (!rn && !DatumEqualsGeneric(batch_->col(c)[r], g->keys[i],
+                                            group_meta_[i]))) {
+              eq = false;
+              break;
+            }
+          }
+          if (eq) break;
+        }
+        g = g->next;
+      }
+      if (g == nullptr) {
+        g = static_cast<Group*>(arena_.Allocate(sizeof(Group), alignof(Group)));
+        g->hash = h;
+        g->keys = static_cast<Datum*>(
+            arena_.Allocate(sizeof(Datum) * (nkeys == 0 ? 1 : nkeys), 8));
+        g->keynull = static_cast<bool*>(
+            arena_.Allocate(nkeys == 0 ? 1 : nkeys, 1));
+        for (size_t i = 0; i < nkeys; ++i) {
+          int c = group_cols_[i];
+          g->keynull[i] = batch_->nulls(c)[r];
+          g->keys[i] = g->keynull[i]
+                           ? 0
+                           : CopyDatum(&arena_, batch_->col(c)[r],
+                                       group_meta_[i]);
+        }
+        g->states = static_cast<AggState*>(arena_.Allocate(
+            sizeof(AggState) * (aggs_.empty() ? 1 : aggs_.size()),
+            alignof(AggState)));
+        for (size_t i = 0; i < aggs_.size(); ++i) g->states[i] = AggState{};
+        g->next = buckets_[h & bucket_mask_];
+        buckets_[h & bucket_mask_] = g;
+        groups_.push_back(g);
+      }
+
+      if (batch_all_kernels_) {
+        // Column-at-a-time update: one cell load per aggregate, no row.
+        uint64_t ops = 0;
+        for (size_t i = 0; i < col_kernels_.size(); ++i) {
+          const AggColKernel& k = col_kernels_[i];
+          // Same modeled cost as the scalar update in each bee mode; the
+          // batch savings are the amortized dispatch, not the arithmetic.
+          ops += use_kernels_ ? 2 : 8;
+          if (k.attno < 0) {
+            k.fn(g->states[i], 0, false);
+          } else {
+            k.fn(g->states[i], batch_->col(k.attno)[r],
+                 batch_->nulls(k.attno)[r]);
+          }
+        }
+        workops::Bump(ops);
+      } else {
+        // Some aggregate needs the full row (expression argument or
+        // by-reference extreme): gather once and reuse the scalar update.
+        batch_->GatherRow(r, crow_values_.data(), crow_isnull_.get());
+        ExecRow row{crow_values_.data(), crow_isnull_.get(), nullptr, nullptr};
+        if (use_kernels_) {
+          UpdateWithKernels(g, row);
+        } else {
+          UpdateGeneric(g, row);
+        }
+      }
+    }
+  }
+  child_->Close();
+  SynthesizeEmptyGlobalGroup();
   return Status::OK();
 }
 
@@ -497,6 +705,7 @@ void HashAggregate::Close() {
   groups_.clear();
   buckets_.clear();
   arena_.Reset();
+  if (batch_ != nullptr) batch_->Reset();  // drop any page pin held mid-error
 }
 
 }  // namespace microspec

@@ -88,6 +88,31 @@ class HashAggregate final : public Operator {
   void BuildAggKernels();
   void UpdateWithKernels(Group* g, const ExecRow& row);
 
+  /// --- Batch accumulation ---------------------------------------------------
+  /// When the context enables batching and the child subtree is batch
+  /// capable, Accumulate() drains the child through NextBatch instead of
+  /// per-row Next. Group keys hash/compare straight out of the batch's
+  /// column arrays; aggregate arguments that are bare outer columns update
+  /// through value-form kernels reading one column cell (no row is ever
+  /// gathered), and anything else falls back to gathering the row and
+  /// reusing the scalar update path. This is independent of the agg bee:
+  /// the value kernels are an execution-layout detail, the bee switch only
+  /// changes the modeled per-aggregate work cost.
+  using AggColKernelFn = void (*)(AggState&, Datum v, bool isnull);
+  struct AggColKernel {
+    AggColKernelFn fn = nullptr;  // nullptr -> this spec needs the full row
+    int attno = -1;               // -1: kernel reads no column (COUNT(*))
+  };
+  void BuildColKernels();
+  Status AccumulateBatch();
+  void SynthesizeEmptyGlobalGroup();
+
+  std::vector<AggColKernel> col_kernels_;
+  bool batch_all_kernels_ = false;
+  std::unique_ptr<RowBatch> batch_;
+  std::vector<Datum> crow_values_;
+  std::unique_ptr<bool[]> crow_isnull_;
+
   std::vector<AggKernel> kernels_;
   bool use_kernels_ = false;
 

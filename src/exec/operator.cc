@@ -2,6 +2,31 @@
 
 namespace microspec {
 
+Status ScalarNextIntoBatch(Operator* op, RowBatch* batch) {
+  batch->Reset();
+  const std::vector<ColMeta>& meta = op->output_meta();
+  const int ncols = batch->ncols();
+  const int cap = batch->capacity();
+  int n = 0;
+  bool has_row = false;
+  while (n < cap) {
+    MICROSPEC_RETURN_NOT_OK(op->Next(&has_row));
+    if (!has_row) break;
+    const Datum* v = op->values();
+    const bool* nu = op->isnull();
+    for (int c = 0; c < ncols; ++c) {
+      const bool null = nu[c];
+      batch->nulls(c)[n] = null;
+      batch->col(c)[n] =
+          null ? 0
+               : CopyDatum(batch->arena(), v[c], meta[static_cast<size_t>(c)]);
+    }
+    ++n;
+  }
+  batch->SetAllSelected(n);
+  return Status::OK();
+}
+
 Result<uint64_t> CountRows(Operator* op) {
   MICROSPEC_RETURN_NOT_OK(op->Init());
   uint64_t n = 0;

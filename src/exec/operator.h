@@ -9,6 +9,7 @@
 #include "common/arena.h"
 #include "common/status.h"
 #include "exec/access.h"
+#include "exec/batch.h"
 #include "exec/row.h"
 
 namespace microspec {
@@ -112,12 +113,34 @@ class ExecContext {
   ThreadPool* executor() { return executor_; }
   uint32_t morsel_pages() const { return morsel_pages_; }
 
-  /// A fresh context for one parallel worker: same catalog, bee module and
-  /// session switches, but its own arena and memoization maps (and no
-  /// executor — workers never build nested parallel plans). The worker
-  /// context must not outlive this context's catalog/bee module.
+  /// --- Batch execution (DESIGN.md "Batch execution") ---
+  /// Wired by Database::MakeContext from DatabaseOptions::batch_rows. 0 (the
+  /// default) keeps every operator on the scalar Next path — batch-aware
+  /// parents only engage NextBatch when batch_rows() > 0 and the child
+  /// subtree is BatchCapable(), so the default tree executes exactly as
+  /// before this seam existed.
+  void set_batch(int batch_rows, int gather_max_batches) {
+    batch_rows_ = batch_rows < 0 ? 0 : batch_rows;
+    gather_max_batches_ = gather_max_batches < 1 ? 1 : gather_max_batches;
+  }
+  /// RowBatch capacity for batch-driving parents; 0 == batching disabled.
+  /// Values above kMaxTuplesPerPage are clamped: a page-granular scan can
+  /// never fill more rows than one page holds.
+  int batch_rows() const {
+    return batch_rows_ > kMaxTuplesPerPage ? kMaxTuplesPerPage : batch_rows_;
+  }
+  /// Gather's bounded-queue capacity, in batches per worker.
+  int gather_max_batches() const { return gather_max_batches_; }
+
+  /// A fresh context for one parallel worker: same catalog, bee module,
+  /// session switches and batch configuration, but its own arena and
+  /// memoization maps (and no executor — workers never build nested
+  /// parallel plans). The worker context must not outlive this context's
+  /// catalog/bee module.
   std::unique_ptr<ExecContext> MakeWorkerContext() {
-    return std::make_unique<ExecContext>(catalog_, bees_, opts_);
+    auto ctx = std::make_unique<ExecContext>(catalog_, bees_, opts_);
+    ctx->set_batch(batch_rows_, gather_max_batches_);
+    return ctx;
   }
 
   /// Deformer for scans of `table`: the GCL bee when enabled, else stock.
@@ -188,6 +211,8 @@ class ExecContext {
   ThreadPool* executor_ = nullptr;
   int dop_ = 1;
   uint32_t morsel_pages_ = 0;  // 0 => kDefaultMorselPages
+  int batch_rows_ = 0;         // 0 => batch execution disabled
+  int gather_max_batches_ = 4;
   Arena arena_;
   std::unordered_map<TableId, std::unique_ptr<StockDeformer>> stock_deformers_;
   std::unordered_map<TableId, std::unique_ptr<StockFormer>> stock_formers_;
@@ -195,9 +220,26 @@ class ExecContext {
   std::unordered_map<TableId, const TupleFormer*> former_cache_;
 };
 
+class Operator;
+
+/// The batch adapter: drains scalar Next() into `batch` (up to capacity),
+/// deep-copying by-reference Datums into the batch arena — row i's pointers
+/// die at row i+1's Next, so the copies are mandatory. This is both the
+/// default NextBatch implementation and the explicit "batching off" path a
+/// Gather uses so a batch_rows() == 0 run never dispatches to a real batch
+/// implementation.
+Status ScalarNextIntoBatch(Operator* op, RowBatch* batch);
+
 /// Volcano-style physical operator: Init once, Next per row, Close once.
 /// Output rows are exposed as parallel values()/isnull() arrays described by
 /// output_meta().
+///
+/// Batch seam: NextBatch(RowBatch*) produces up to a batch of rows per call
+/// (selected() == 0 signals end of stream). The default adapter wraps the
+/// scalar Next, so every operator works under a batch-driving parent;
+/// operators with a real column-at-a-time implementation (scans, Filter,
+/// Project, Limit) override it and report BatchCapable() so parents only
+/// batch-drive subtrees where batching is a win, never a copy tax.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -205,7 +247,17 @@ class Operator {
   virtual Status Init() = 0;
   /// Produces the next row; sets *has_row=false at end of stream.
   virtual Status Next(bool* has_row) = 0;
+  /// Produces the next batch; batch->selected() == 0 at end of stream.
+  /// A caller must not interleave Next and NextBatch on the same operator
+  /// between Init and end-of-stream.
+  virtual Status NextBatch(RowBatch* batch) {
+    return ScalarNextIntoBatch(this, batch);
+  }
   virtual void Close() {}
+
+  /// True when this operator — and, for pass-through operators, its whole
+  /// child chain — implements NextBatch natively (no scalar adapter).
+  virtual bool BatchCapable() const { return false; }
 
   const std::vector<ColMeta>& output_meta() const { return meta_; }
   const Datum* values() const { return values_; }

@@ -14,6 +14,8 @@ Gather::Gather(ExecContext* ctx, std::vector<OperatorPtr> workers,
   MICROSPEC_CHECK(!workers_.empty());
   meta_ = workers_[0]->output_meta();
   width_ = meta_.size();
+  row_values_.assign(width_, 0);
+  row_isnull_ = std::make_unique<bool[]>(width_ + 1);
 }
 
 Gather::~Gather() { StopWorkers(); }
@@ -21,7 +23,7 @@ Gather::~Gather() { StopWorkers(); }
 Status Gather::Init() {
   StopWorkers();  // rescan: quiesce any previous run first
   cur_.reset();
-  cur_row_ = 0;
+  cur_sel_ = 0;
   worker_status_ = Status::OK();
   cancelled_.store(false, std::memory_order_release);
   for (const auto& c : cursors_) c->Reset();
@@ -33,9 +35,15 @@ Status Gather::Init() {
   {
     std::lock_guard<std::mutex> l(mu_);
     queue_.clear();
+    max_queue_ =
+        workers_.size() * static_cast<size_t>(ctx_->gather_max_batches());
     active_ = workers_.size();
     started_ = true;
   }
+  // Producers may block mid-task on the bounded queue; reserve pool
+  // capacity so they can all hold threads while parked without starving a
+  // sibling exchange's workers (see ThreadPool::Reserve).
+  ctx_->executor()->Reserve(static_cast<int>(workers_.size()));
   for (size_t i = 0; i < workers_.size(); ++i) {
     ctx_->executor()->Submit([this, i] { WorkerMain(i); });
   }
@@ -45,41 +53,50 @@ Status Gather::Init() {
 void Gather::WorkerMain(size_t i) {
   Operator* op = workers_[i].get();
   Status st = op->Init();
-  std::unique_ptr<RowBatch> batch;
   if (st.ok()) {
-    batch = std::make_unique<RowBatch>(width_);
-    bool has_row = false;
+    // With batching on, each hand-off batch is the fragment's real NextBatch
+    // output (page-granular at a scan leaf, the page pin riding inside).
+    // With batching off, the scalar adapter deep-copies kScalarBatchRows
+    // rows per batch — the explicit ScalarNextIntoBatch call (not the
+    // virtual) guarantees batch-off runs never enter a batch implementation.
+    const int cap = ctx_->batch_rows();
+    const bool use_batch = cap > 0;
+    auto batch = std::make_unique<RowBatch>(static_cast<int>(width_),
+                                            use_batch ? cap : kScalarBatchRows);
     while (!cancelled_.load(std::memory_order_acquire)) {
-      st = op->Next(&has_row);
-      if (!st.ok() || !has_row) break;
-      const Datum* v = op->values();
-      const bool* n = op->isnull();
-      size_t base = batch->nrows * width_;
-      for (size_t c = 0; c < width_; ++c) {
-        bool null = n != nullptr && n[c];
-        batch->isnull[base + c] = null;
-        batch->values[base + c] =
-            null ? 0 : CopyDatum(&batch->arena, v[c], meta_[c]);
-      }
-      if (++batch->nrows == kBatchRows) {
-        {
-          std::lock_guard<std::mutex> l(mu_);
+      st = use_batch ? op->NextBatch(batch.get())
+                     : ScalarNextIntoBatch(op, batch.get());
+      if (!st.ok() || batch->selected() == 0) break;
+      // The scalar adapter only under-fills on end-of-stream, so a partial
+      // batch is the fragment's last — hand it off and stop without paying
+      // one more Next() after EOS. (A real NextBatch has no such guarantee:
+      // a Filter can legally return a partial batch mid-stream.)
+      const bool last = !use_batch && batch->selected() < batch->capacity();
+      bool dropped = false;
+      {
+        std::unique_lock<std::mutex> l(mu_);
+        space_.wait(l, [&] {
+          return queue_.size() < max_queue_ ||
+                 cancelled_.load(std::memory_order_relaxed);
+        });
+        if (cancelled_.load(std::memory_order_relaxed)) {
+          dropped = true;
+        } else {
           queue_.push_back(std::move(batch));
           ready_.notify_one();
         }
-        batch = std::make_unique<RowBatch>(width_);
       }
+      if (dropped || last) break;
+      batch = std::make_unique<RowBatch>(static_cast<int>(width_),
+                                         use_batch ? cap : kScalarBatchRows);
     }
-    op->Close();  // releases the fragment's pinned pages
+    batch.reset();  // before Close: a scan batch's pin references the file
+    op->Close();    // releases the fragment's pinned pages
   }
   // Final bookkeeping and notification happen under the lock: once active_
   // hits zero a waiter may destroy this operator, so nothing — including the
   // condition variables — may be touched after the lock is released.
   std::lock_guard<std::mutex> l(mu_);
-  if (batch != nullptr && batch->nrows > 0 && st.ok() &&
-      !cancelled_.load(std::memory_order_relaxed)) {
-    queue_.push_back(std::move(batch));
-  }
   if (!st.ok() && worker_status_.ok()) worker_status_ = st;
   --active_;
   ready_.notify_all();
@@ -109,10 +126,15 @@ Status Gather::Next(bool* has_row) {
     }
   }
   for (;;) {
-    if (cur_ != nullptr && cur_row_ < cur_->nrows) {
-      values_ = &cur_->values[cur_row_ * width_];
-      isnull_ = &cur_->isnull[cur_row_ * width_];
-      ++cur_row_;
+    if (cur_ != nullptr && cur_sel_ < cur_->selected()) {
+      // Gather the selected row into the consumer's row-major scratch: the
+      // batch's column data (and any page pin backing pointer Datums) stays
+      // alive in cur_ until the next batch replaces it.
+      cur_->GatherRow(cur_->sel()[cur_sel_], row_values_.data(),
+                      row_isnull_.get());
+      values_ = row_values_.data();
+      isnull_ = row_isnull_.get();
+      ++cur_sel_;
       *has_row = true;
       return Status::OK();
     }
@@ -121,7 +143,8 @@ Status Gather::Next(bool* has_row) {
     if (!queue_.empty()) {
       cur_ = std::move(queue_.front());
       queue_.pop_front();
-      cur_row_ = 0;
+      cur_sel_ = 0;
+      space_.notify_one();  // a producer may be blocked on the bound
       continue;
     }
     *has_row = false;
@@ -130,12 +153,16 @@ Status Gather::Next(bool* has_row) {
 }
 
 void Gather::StopWorkers() {
-  std::unique_lock<std::mutex> l(mu_);
-  if (!started_) return;
-  cancelled_.store(true, std::memory_order_release);
-  idle_.wait(l, [&] { return active_ == 0; });
-  queue_.clear();
-  started_ = false;
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    if (!started_) return;
+    cancelled_.store(true, std::memory_order_release);
+    space_.notify_all();  // wake producers blocked on the full queue
+    idle_.wait(l, [&] { return active_ == 0; });
+    queue_.clear();  // releases any page pins the batches carry
+    started_ = false;
+  }
+  ctx_->executor()->Release(static_cast<int>(workers_.size()));
 }
 
 void Gather::Close() {

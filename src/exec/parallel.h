@@ -28,22 +28,32 @@ namespace microspec {
 ///   ParallelHashAggregate — per-worker local aggregation, merged on finish.
 ///
 /// Deadlock discipline: executor-pool tasks never *wait for a pool slot*.
-/// Gather workers push to an unbounded queue (they block on nothing);
-/// SharedJoinBuild waits only on co-workers that are actively draining; and
-/// Gather/ParallelHashAggregate detect that they are running *on* a pool
-/// thread (a fragment nested below another parallel operator) and fall back
-/// to inline sequential execution instead of submitting.
+/// Gather workers block only on the exchange's bounded queue, which the
+/// consumer is guaranteed to either drain (Next) or cancel (Close /
+/// StopWorkers wake every waiter); SharedJoinBuild waits only on co-workers
+/// that are actively draining; and Gather/ParallelHashAggregate detect that
+/// they are running *on* a pool thread (a fragment nested below another
+/// parallel operator) and fall back to inline sequential execution instead
+/// of submitting.
 
 /// Exchange operator: runs its worker fragments on the executor pool and
-/// re-exposes their rows, one at a time, on the consuming thread. Row data
-/// is deep-copied into per-batch arenas on the worker side — scan output
-/// points into pinned buffer-pool pages, which a worker unpins as it
-/// advances, so rows must not cross the exchange by reference.
+/// re-exposes their rows, one at a time, on the consuming thread. Workers
+/// hand whole RowBatches across: with batching enabled each batch is the
+/// fragment's real NextBatch output — for a scan leaf a page-granular batch
+/// whose pointer Datums stay valid because the batch carries the page pin
+/// across the thread boundary, no per-row deep copy. With batching off the
+/// scalar adapter fills the batch (deep-copying by-reference Datums into
+/// the batch arena), which is exactly the pre-batch exchange behavior.
+///
+/// The queue is bounded at gather_max_batches() batches per worker; a full
+/// queue blocks the producing worker until the consumer pops or cancels, so
+/// a slow consumer bounds the exchange's memory (and pinned pages) instead
+/// of letting it grow without limit.
 ///
 /// Close() (or a re-Init rescan) cancels: workers observe cancelled_ per
-/// row, close their fragments — releasing any pinned pages — and Close
-/// returns only once every worker has quiesced, so a LIMIT above a Gather
-/// never leaks pins.
+/// batch (including while blocked on the full queue), close their fragments
+/// — releasing any pinned pages — and Close returns only once every worker
+/// has quiesced, so a LIMIT above a Gather never leaks pins.
 class Gather final : public Operator {
  public:
   Gather(ExecContext* ctx, std::vector<OperatorPtr> workers,
@@ -56,18 +66,9 @@ class Gather final : public Operator {
   void Close() override;
 
  private:
-  static constexpr size_t kBatchRows = 1024;
-
-  /// One batch of deep-copied rows handed from a worker to the consumer.
-  struct RowBatch {
-    explicit RowBatch(size_t width)
-        : values(kBatchRows * width + 1),
-          isnull(new bool[kBatchRows * width + 1]) {}
-    size_t nrows = 0;
-    std::vector<Datum> values;
-    std::unique_ptr<bool[]> isnull;
-    Arena arena;  // by-reference datum payloads
-  };
+  /// Adapter batch capacity when batching is disabled (legacy exchange
+  /// granularity).
+  static constexpr int kScalarBatchRows = 1024;
 
   void WorkerMain(size_t i);
   /// Cancels and joins in-flight workers; idempotent.
@@ -87,15 +88,19 @@ class Gather final : public Operator {
 
   std::mutex mu_;
   std::condition_variable ready_;  // consumer: queue non-empty or all done
+  std::condition_variable space_;  // producers: queue below bound or cancel
   std::condition_variable idle_;   // StopWorkers: active_ == 0
   std::deque<std::unique_ptr<RowBatch>> queue_;
+  size_t max_queue_ = 0;
   size_t active_ = 0;
   bool started_ = false;
   Status worker_status_;
   std::atomic<bool> cancelled_{false};
 
   std::unique_ptr<RowBatch> cur_;
-  size_t cur_row_ = 0;
+  int cur_sel_ = 0;  // position within cur_'s selection vector
+  std::vector<Datum> row_values_;        // consumer-side row-major view
+  std::unique_ptr<bool[]> row_isnull_;
 };
 
 /// The build side of a parallel hash join: dop probe-side HashJoin instances

@@ -23,6 +23,8 @@ class Project final : public Operator {
     MICROSPEC_RETURN_NOT_OK(child_->Init());
     values_buf_.assign(exprs_.size(), 0);
     isnull_buf_ = std::make_unique<bool[]>(exprs_.size());
+    crow_values_.assign(child_->output_meta().size(), 0);
+    crow_isnull_ = std::make_unique<bool[]>(child_->output_meta().size());
     values_ = values_buf_.data();
     isnull_ = isnull_buf_.get();
     return Status::OK();
@@ -41,6 +43,40 @@ class Project final : public Operator {
     return Status::OK();
   }
 
+  /// Batch path: evaluates the projection per selected child row into a
+  /// fresh dense batch. By-reference results are copied into the output
+  /// batch's arena — expressions may compute them in per-row scratch that
+  /// the next row's Eval overwrites.
+  Status NextBatch(RowBatch* batch) override {
+    batch->Reset();
+    if (child_batch_ == nullptr ||
+        child_batch_->capacity() != batch->capacity()) {
+      child_batch_ = std::make_unique<RowBatch>(
+          static_cast<int>(child_->output_meta().size()), batch->capacity());
+    }
+    MICROSPEC_RETURN_NOT_OK(child_->NextBatch(child_batch_.get()));
+    const int nsel = child_batch_->selected();
+    if (nsel == 0) return Status::OK();
+    workops::Bump(6);  // projection-node dispatch, amortized over the batch
+    const int* sel = child_batch_->sel();
+    for (int i = 0; i < nsel; ++i) {
+      child_batch_->GatherRow(sel[i], crow_values_.data(), crow_isnull_.get());
+      ExecRow row{crow_values_.data(), crow_isnull_.get(), nullptr, nullptr};
+      for (size_t e = 0; e < exprs_.size(); ++e) {
+        bool n = false;
+        Datum d = exprs_[e]->Eval(row, &n);
+        const int c = static_cast<int>(e);
+        batch->nulls(c)[i] = n;
+        batch->col(c)[i] =
+            n ? 0 : CopyDatum(batch->arena(), d, meta_[e]);
+      }
+    }
+    batch->SetAllSelected(nsel);
+    return Status::OK();
+  }
+
+  bool BatchCapable() const override { return child_->BatchCapable(); }
+
   void Close() override { child_->Close(); }
 
  private:
@@ -49,6 +85,9 @@ class Project final : public Operator {
   std::vector<ExprPtr> exprs_;
   std::vector<Datum> values_buf_;
   std::unique_ptr<bool[]> isnull_buf_;
+  std::vector<Datum> crow_values_;
+  std::unique_ptr<bool[]> crow_isnull_;
+  std::unique_ptr<RowBatch> child_batch_;
 };
 
 /// Passes through at most `limit` rows.
@@ -78,6 +117,25 @@ class Limit final : public Operator {
     }
     return Status::OK();
   }
+
+  /// Batch path: truncates the selection of the final batch to the
+  /// remaining quota (mid-batch cancel). The batch's page pin is dropped by
+  /// the caller's Reset/destruction as usual — nothing leaks.
+  Status NextBatch(RowBatch* batch) override {
+    if (produced_ >= limit_) {
+      batch->Reset();  // selected() == 0 => end of stream
+      return Status::OK();
+    }
+    MICROSPEC_RETURN_NOT_OK(child_->NextBatch(batch));
+    const uint64_t remaining = limit_ - produced_;
+    if (static_cast<uint64_t>(batch->selected()) > remaining) {
+      batch->SetSelected(static_cast<int>(remaining));
+    }
+    produced_ += static_cast<uint64_t>(batch->selected());
+    return Status::OK();
+  }
+
+  bool BatchCapable() const override { return child_->BatchCapable(); }
 
   void Close() override { child_->Close(); }
 

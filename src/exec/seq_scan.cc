@@ -38,6 +38,21 @@ Status SeqScan::Next(bool* has_row) {
   return Status::OK();
 }
 
+Status SeqScan::NextBatch(RowBatch* batch) {
+  batch->Reset();
+  const int cap = batch->capacity();
+  tuple_buf_.resize(static_cast<size_t>(cap));
+  int n = iter_->NextPageBatch(tuple_buf_.data(), cap, batch->pin());
+  if (n == 0) {
+    return iter_->status();  // OK at end-of-relation; selected() stays 0
+  }
+  workops::Bump(10);  // executor node dispatch, amortized over the batch
+  deformer_->DeformBatch(tuple_buf_.data(), n, natts_, batch->cols(),
+                         batch->null_cols());
+  batch->SetAllSelected(n);
+  return Status::OK();
+}
+
 void SeqScan::Close() { iter_.reset(); }
 
 ParallelScan::ParallelScan(ExecContext* ctx, TableInfo* table,
@@ -84,6 +99,32 @@ Status ParallelScan::Next(bool* has_row) {
   workops::Bump(10);  // executor node dispatch (ExecProcNode analog)
   deformer_->Deform(tuple, natts_, values_buf_.data(), isnull_buf_.get());
   *has_row = true;
+  return Status::OK();
+}
+
+Status ParallelScan::NextBatch(RowBatch* batch) {
+  batch->Reset();
+  const int cap = batch->capacity();
+  tuple_buf_.resize(static_cast<size_t>(cap));
+  int n = 0;
+  for (;;) {
+    if (iter_.has_value()) {
+      n = iter_->NextPageBatch(tuple_buf_.data(), cap, batch->pin());
+      if (n > 0) break;
+      if (!iter_->status().ok()) return iter_->status();
+      iter_.reset();  // morsel exhausted; release its last page pin
+    }
+    PageNo begin = 0;
+    PageNo end = 0;
+    if (!cursor_->Claim(&begin, &end)) {
+      return Status::OK();  // end of relation; selected() stays 0
+    }
+    iter_.emplace(table_->heap()->Scan(begin, end));
+  }
+  workops::Bump(10);  // executor node dispatch, amortized over the batch
+  deformer_->DeformBatch(tuple_buf_.data(), n, natts_, batch->cols(),
+                         batch->null_cols());
+  batch->SetAllSelected(n);
   return Status::OK();
 }
 

@@ -23,6 +23,10 @@ class SeqScan final : public Operator {
 
   Status Init() override;
   Status Next(bool* has_row) override;
+  /// Page-granular batch: all live tuples of the next heap page, deformed
+  /// in one GCL-B call, with the page pinned by the batch.
+  Status NextBatch(RowBatch* batch) override;
+  bool BatchCapable() const override { return true; }
   void Close() override;
 
  private:
@@ -33,6 +37,7 @@ class SeqScan final : public Operator {
   std::optional<HeapFile::Iterator> iter_;
   std::vector<Datum> values_buf_;
   std::unique_ptr<bool[]> isnull_buf_;
+  std::vector<const char*> tuple_buf_;
 };
 
 /// One worker's slice of a morsel-driven parallel scan. dop instances share
@@ -49,6 +54,10 @@ class ParallelScan final : public Operator {
 
   Status Init() override;
   Status Next(bool* has_row) override;
+  /// Page-granular batch within the claimed morsel; claims stay page-
+  /// granular, so dop composes with batching unchanged.
+  Status NextBatch(RowBatch* batch) override;
+  bool BatchCapable() const override { return true; }
   void Close() override;
 
  private:
@@ -60,6 +69,7 @@ class ParallelScan final : public Operator {
   std::optional<HeapFile::Iterator> iter_;
   std::vector<Datum> values_buf_;
   std::unique_ptr<bool[]> isnull_buf_;
+  std::vector<const char*> tuple_buf_;
 };
 
 }  // namespace microspec

@@ -124,6 +124,55 @@ bool HeapFile::Iterator::Next(const char** tuple, uint32_t* len, TupleId* tid) {
   }
 }
 
+int HeapFile::Iterator::NextPageBatch(const char** tuples, int max,
+                                      PageGuard* pin) {
+  if (max <= 0) return 0;
+  for (;;) {
+    if (!page_loaded_) {
+      PageNo limit =
+          end_page_ == kInvalidPageNo ? hf_->dm_->num_pages() : end_page_;
+      if (page_ >= limit) return 0;
+      auto res = hf_->pool_->Pin(hf_->dm_->file_id(), page_);
+      if (!res.ok()) {
+        status_ = res.status();
+        return 0;
+      }
+      guard_ = res.MoveValue();
+      page_loaded_ = true;
+      slot_ = 0;
+    }
+    SlottedPage page(guard_.data());
+    int n = 0;
+    uint32_t len = 0;
+    while (slot_ < page.slot_count() && n < max) {
+      uint16_t s = slot_++;
+      const char* t = page.GetTuple(s, &len);
+      // Page/slot bookkeeping work shared by both engine configurations.
+      workops::Bump(6);
+      if (t != nullptr) tuples[n++] = t;
+    }
+    const bool exhausted = slot_ >= page.slot_count();
+    if (n > 0) {
+      // A second pin for the batch: its tuple pointers must survive this
+      // iterator moving on (and, for Gather hand-offs, the batch crossing
+      // threads), while a partially consumed page keeps guard_ for resume.
+      auto res = hf_->pool_->Pin(hf_->dm_->file_id(), page_);
+      if (!res.ok()) {
+        status_ = res.status();
+        return 0;
+      }
+      *pin = res.MoveValue();
+    }
+    if (exhausted) {
+      guard_.Release();
+      page_loaded_ = false;
+      workops::Bump(40);  // page pin/unpin + header processing
+      ++page_;
+    }
+    if (n > 0) return n;
+  }
+}
+
 Result<TupleId> HeapFile::BulkAppender::Append(const char* tuple, uint32_t len) {
   if (page_ != kInvalidPageNo) {
     SlottedPage page(guard_.data());

@@ -57,6 +57,15 @@ class HeapFile {
     /// On I/O error sets status() and returns false.
     bool Next(const char** tuple, uint32_t* len, TupleId* tid);
 
+    /// Batch variant: fills `tuples[0..max)` with pointers to the next live
+    /// tuples of the *current* page, never crossing a page boundary — the
+    /// unit a page-granular batch bee (GCL-B) deforms in one call. Returns
+    /// the count (0 at end-of-relation or on error; see status()). `*pin`
+    /// receives its own pin on the backing page, so the pointers outlive
+    /// this iterator's advance to the next page; a partially consumed page
+    /// (max reached first) resumes at the following call.
+    int NextPageBatch(const char** tuples, int max, PageGuard* pin);
+
     const Status& status() const { return status_; }
 
    private:

@@ -1,0 +1,134 @@
+// Differential harness for batch-at-a-time execution: every TPC-H query,
+// with batching at several RowBatch capacities (including the degenerate
+// one-row batch and the full page-granular batch that engages the GCL-B /
+// EVP-B bees), must produce the same result multiset as the scalar serial
+// plan — with bees on and off, and at dop 1 and 4 (batched Gather hand-off).
+// When a C compiler is available the matrix also runs against a
+// native-backend database after quiescing the forge, so the compiled GCL-B
+// page-batch routine is the deform tier under test.
+//
+// This is a standalone binary (not part of microspec_tests): check.sh runs
+// it under ASan/UBSan (batch lifetime: page pins, arena copies) and TSan
+// (whole-batch hand-off across the bounded Gather queue).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bee/native_jit.h"
+#include "exec/batch.h"
+#include "test_util.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/tpch_queries.h"
+#include "workloads/tpch/tpch_schema.h"
+
+namespace microspec {
+namespace {
+
+using testing::CollectRows;
+using testing::OpenDb;
+using testing::ScratchDir;
+
+constexpr double kTestSf = 0.002;  // tiny but non-degenerate
+
+/// One stock and one bee-enabled database (plus a native-backend one when a
+/// compiler exists) with identical TPC-H data, shared by every parameterized
+/// query test in this binary.
+class BatchDifferentialTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new ScratchDir();
+    stock_ = OpenDb(dir_->path() + "/stock", /*enable_bees=*/false).release();
+    bee_ = OpenDb(dir_->path() + "/bee", /*enable_bees=*/true,
+                  /*tuple_bees=*/true)
+               .release();
+    ASSERT_OK(tpch::CreateTpchTables(stock_));
+    ASSERT_OK(tpch::CreateTpchTables(bee_));
+    ASSERT_OK(tpch::LoadTpch(stock_, kTestSf));
+    ASSERT_OK(tpch::LoadTpch(bee_, kTestSf));
+    if (bee::NativeJit::CompilerAvailable()) {
+      native_ = OpenDb(dir_->path() + "/native", /*enable_bees=*/true,
+                       /*tuple_bees=*/true, bee::BeeBackend::kNative)
+                    .release();
+      ASSERT_OK(tpch::CreateTpchTables(native_));
+      ASSERT_OK(tpch::LoadTpch(native_, kTestSf));
+      // Every GCL-B native compile has promoted (or pinned) before the
+      // first query, so the batch runs exercise the compiled tier.
+      native_->QuiesceBees();
+    }
+  }
+  static void TearDownTestSuite() {
+    delete native_;
+    delete bee_;
+    delete stock_;
+    delete dir_;
+    native_ = nullptr;
+    bee_ = nullptr;
+    stock_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  static std::vector<std::string> RunAt(Database* db, int q, int batch_rows,
+                                        int dop) {
+    auto ctx = db->MakeContext(db->DefaultSession(), dop);
+    ctx->set_batch(batch_rows, 2);
+    auto plan = tpch::BuildTpchQuery(q, ctx.get());
+    MICROSPEC_CHECK(plan.ok());
+    return CollectRows(plan->get());
+  }
+
+  static ScratchDir* dir_;
+  static Database* stock_;
+  static Database* bee_;
+  static Database* native_;
+};
+
+ScratchDir* BatchDifferentialTest::dir_ = nullptr;
+Database* BatchDifferentialTest::stock_ = nullptr;
+Database* BatchDifferentialTest::bee_ = nullptr;
+Database* BatchDifferentialTest::native_ = nullptr;
+
+TEST_P(BatchDifferentialTest, AllBatchSizesMatchScalarSerial) {
+  const int q = GetParam();
+  std::vector<Database*> dbs = {stock_, bee_};
+  if (native_ != nullptr) dbs.push_back(native_);
+  for (Database* db : dbs) {
+    const char* which =
+        db == stock_ ? "stock" : (db == bee_ ? "bee" : "native");
+    // The batch-off serial plan is the reference — the exact pipeline the
+    // engine ran before the NextBatch seam existed.
+    std::vector<std::string> serial = RunAt(db, q, 0, 1);
+
+    // Batching off must be the identity at dop 1: same rows, same order.
+    EXPECT_EQ(RunAt(db, q, 0, 1), serial)
+        << "q" << q << " " << which << " batch=0 dop=1 not identical";
+
+    std::vector<std::string> sorted_serial = serial;
+    std::sort(sorted_serial.begin(), sorted_serial.end());
+    for (int batch : {1, 64, kMaxTuplesPerPage}) {
+      for (int dop : {1, 4}) {
+        std::vector<std::string> rows = RunAt(db, q, batch, dop);
+        std::sort(rows.begin(), rows.end());
+        EXPECT_EQ(rows, sorted_serial)
+            << "q" << q << " " << which << " batch=" << batch
+            << " dop=" << dop;
+      }
+    }
+    // Batching off at dop 4: the scalar-adapter Gather hand-off.
+    std::vector<std::string> rows = RunAt(db, q, 0, 4);
+    std::sort(rows.begin(), rows.end());
+    EXPECT_EQ(rows, sorted_serial) << "q" << q << " " << which
+                                   << " batch=0 dop=4";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, BatchDifferentialTest,
+                         ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace microspec

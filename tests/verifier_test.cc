@@ -307,6 +307,65 @@ TEST(BeeVerifier, NativeLintCrossChecksGeneratedSource) {
       << st.message();
 }
 
+/// The GCL-B page-batch routine in the same translation unit is linted from
+/// the same layout model: loop bound, break-guards, column-major stores,
+/// and per-attribute null clears are all load-bearing.
+TEST(BeeVerifier, NativeLintChecksBatchRoutine) {
+  Schema s = VerifierSchema();
+  std::string src = bee::NativeJit::GenerateGclSource(s, s, {}, "bee_lint_b");
+  EXPECT_OK(BeeVerifier::LintNativeGclSource(src, s, s, {}));
+  const size_t bpos = src.find("_b(const char* const* tuples");
+  ASSERT_NE(bpos, std::string::npos);
+
+  // Loosen the page-loop bound past the live-tuple count.
+  std::string bad = src;
+  size_t at = bad.find("r < ntuples", bpos);
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 11, "r <= ntuples");
+  Status st = BeeVerifier::LintNativeGclSource(bad, s, s, {});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("page loop bound"), std::string::npos)
+      << st.message();
+
+  // A guard that returns instead of breaking would skip the rest of the
+  // page's tuples.
+  bad = src;
+  at = bad.find("if (natts < 3) break;", bpos);
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 21, "if (natts < 3) return;");
+  st = BeeVerifier::LintNativeGclSource(bad, s, s, {});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("must break, not return"), std::string::npos)
+      << st.message();
+
+  // A row-constant store writes one cell for the whole page.
+  bad = src;
+  at = bad.find("cols[1][r]", bpos);
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 10, "cols[1][0]");
+  st = BeeVerifier::LintNativeGclSource(bad, s, s, {});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("column-major store"), std::string::npos)
+      << st.message();
+
+  // Dropping a null clear leaves stale isnull flags from the last batch.
+  bad = src;
+  at = bad.find("nulls[4][r] = 0;", bpos);
+  ASSERT_NE(at, std::string::npos);
+  bad.erase(at, 16);
+  st = BeeVerifier::LintNativeGclSource(bad, s, s, {});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("null clear"), std::string::npos)
+      << st.message();
+
+  // Removing the batch routine entirely must be rejected: the scalar and
+  // batch halves publish together.
+  bad = src.substr(0, bpos);
+  st = BeeVerifier::LintNativeGclSource(bad, s, s, {});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("GCL-B"), std::string::npos) << st.message();
+}
+
 TEST(BeeVerifier, NativeLintChecksSectionHoles) {
   Column lc("flag", TypeId::kChar, true, 1);
   lc.set_low_cardinality(true);
