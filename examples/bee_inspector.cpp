@@ -25,6 +25,14 @@
 // exposition.
 //
 //   ./build/examples/example_bee_inspector --metrics
+//
+// With --fuzz it runs the mutation-fuzz proof harness: thousands of seeded
+// single-step mutants across every verification family (GCL, SCL, EVP, EVJ,
+// native-gcl, native-evp), each of which must be rejected. Optional
+// arguments pin the seed and per-family mutant count; the exit code is
+// non-zero if any catalog-inconsistent mutant goes undetected.
+//
+//   ./build/examples/example_bee_inspector --fuzz [seed [count]]
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +41,7 @@
 #include <vector>
 
 #include "bee/bee_module.h"
+#include "bee/mutation_fuzz.h"
 #include "bee/native_jit.h"
 #include "bee/verifier.h"
 #include "common/telemetry.h"
@@ -195,13 +204,13 @@ int RunMetricsMode() {
 
   std::printf("\n=== forge event trace ===\n\n");
   telemetry::TextTable events;
-  events.Header({"seq", "event", "relation", "duration(ms)"});
+  events.Header({"seq", "event", "relation", "duration(ms)", "detail"});
   for (const telemetry::ForgeEvent& ev : snap.forge_events) {
     char dur[32];
     std::snprintf(dur, sizeof(dur), "%.2f",
                   static_cast<double>(ev.duration_ns) / 1e6);
     events.Row({std::to_string(ev.seq), telemetry::ForgeEventKindName(ev.kind),
-                ev.relation, ev.duration_ns == 0 ? "" : dur});
+                ev.relation, ev.duration_ns == 0 ? "" : dur, ev.detail});
   }
   std::printf("%s", events.ToString().c_str());
 
@@ -291,11 +300,33 @@ int RunForgeMode() {
   return fs.promotions > 0 ? 0 : 1;
 }
 
+/// --fuzz: the mutation-fuzz proof harness as a standalone gate (CI runs it
+/// through scripts/check.sh with a pinned seed).
+int RunFuzzMode(int argc, char** argv) {
+  uint64_t seed = 0xC0FFEE;
+  int per_family = 350;
+  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 0);
+  if (argc > 3) per_family = std::atoi(argv[3]);
+  std::printf("mutation fuzz: seed 0x%llx, %d mutants per family\n\n",
+              static_cast<unsigned long long>(seed), per_family);
+  bee::FuzzReport rep = bee::RunMutationFuzz(seed, per_family);
+  std::printf("%s", rep.ToString().c_str());
+  if (rep.undetected() == 0) {
+    std::printf("\nPASS: every catalog-inconsistent mutant was rejected\n");
+    return 0;
+  }
+  std::printf("\nFAIL: %d mutants escaped verification\n", rep.undetected());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--verify") == 0) {
     return RunVerifyMode();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--fuzz") == 0) {
+    return RunFuzzMode(argc, argv);
   }
   if (argc > 1 && std::strcmp(argv[1], "--forge") == 0) {
     return RunForgeMode();

@@ -9,26 +9,31 @@
 # Steps (each must pass):
 #   1. Configure + build with -Werror, so every warning is a failure.
 #   2. cppcheck over src/ if installed (error-level findings fail the gate);
-#      clang-tidy over the bee module if installed. Both are optional tools:
-#      the gate degrades gracefully when they are absent.
+#      clang-tidy over all of src/ (via the build tree's
+#      compile_commands.json) if installed. Both are optional tools: the
+#      gate degrades gracefully when they are absent.
 #   3. ctest (the full suite; the bee verifier runs in enforce mode there).
-#   4. Telemetry-overhead gate: bench_tpch_warm --telemetry-gate times the
+#   4. Mutation-fuzz proof harness: bee_inspector --fuzz with a pinned seed
+#      generates thousands of catalog-inconsistent single-step mutants
+#      across every verification family (GCL, SCL, EVP, EVJ, and both
+#      native-source lints) and fails if any mutant escapes.
+#   5. Telemetry-overhead gate: bench_tpch_warm --telemetry-gate times the
 #      TPC-H suite with instrumentation off and on (interleaved) and fails
 #      if the off path is measurably slower — i.e. if the "zero overhead
 #      when disabled" property regressed. Tiny scale factor, so it's fast.
-#   5. With SANITIZE=1, rebuild with -DMICROSPEC_SANITIZE="address;undefined"
+#   6. With SANITIZE=1, rebuild with -DMICROSPEC_SANITIZE="address;undefined"
 #      and run the suite again under the sanitizers. With SANITIZE=thread,
 #      rebuild with -DMICROSPEC_SANITIZE=thread instead (TSan cannot share a
 #      build with ASan). Run both modes for full coverage. The telemetry
 #      concurrency tests (sharded counters/histograms + snapshot readers)
 #      are part of the suite, so TSan covers the lock-free paths.
-#   6. Parallel-execution sanitizer gate, run unconditionally: targeted
+#   7. Parallel-execution sanitizer gate, run unconditionally: targeted
 #      sanitizer builds of the morsel-driven executor's standalone tests —
 #      the TPC-H differential test under ASan/UBSan and under TSan, and the
 #      forge stress test under TSan. These are the binaries whose whole
 #      point is racing workers against each other and against the forge, so
 #      they never ship without sanitizer coverage, even on plain runs.
-#   7. Batch-execution gate, run unconditionally: the batch differential
+#   8. Batch-execution gate, run unconditionally: the batch differential
 #      test (every TPC-H query, batching on/off × bees on/off × dop 1/4,
 #      against the scalar serial engine) under ASan/UBSan and under TSan
 #      (batches cross the Gather queue between threads carrying page pins),
@@ -42,14 +47,14 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== 1/7: -Werror build =="
+echo "== 1/8: -Werror build =="
 # -Wno-restrict: GCC 12's -O2 restrict analysis false-positives inside
 # libstdc++'s std::string append paths; everything else stays fatal.
 cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-Werror -Wno-restrict" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== 2/7: static analysis =="
+echo "== 2/8: static analysis =="
 if command -v cppcheck >/dev/null 2>&1; then
   cppcheck --quiet --error-exitcode=1 \
     --enable=warning,portability \
@@ -61,17 +66,26 @@ else
   echo "cppcheck: not installed, skipped"
 fi
 if command -v clang-tidy >/dev/null 2>&1; then
-  clang-tidy --quiet -p "$BUILD_DIR" \
-    "$ROOT"/src/bee/*.cc -- -std=c++20 -I"$ROOT/src" || exit 1
+  # All of src/, driven by the build tree's compile_commands.json
+  # (CMAKE_EXPORT_COMPILE_COMMANDS is on in CMakeLists.txt); .clang-tidy at
+  # the repo root selects the check set.
+  find "$ROOT/src" -name '*.cc' -print0 |
+    xargs -0 clang-tidy --quiet -p "$BUILD_DIR" || exit 1
   echo "clang-tidy: clean"
 else
   echo "clang-tidy: not installed, skipped"
 fi
 
-echo "== 3/7: tests =="
+echo "== 3/8: tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== 4/7: telemetry overhead gate =="
+echo "== 4/8: mutation-fuzz proof harness =="
+# Fixed seed so any escape reproduces locally; 350 mutants per family x 6
+# families comfortably clears the 2000-mutant floor and runs in well under
+# a second.
+"$BUILD_DIR"/examples/example_bee_inspector --fuzz 0xC0FFEE 350
+
+echo "== 5/8: telemetry overhead gate =="
 # Small scale + few reps keep this quick; the gate retries internally to
 # damp scheduler noise and exits nonzero only on a consistent regression.
 MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
@@ -80,7 +94,7 @@ MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
 
 case "${SANITIZE:-0}" in
   1)
-    echo "== 5/7: ASan/UBSan build + tests =="
+    echo "== 6/8: ASan/UBSan build + tests =="
     SAN_DIR="$BUILD_DIR-asan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="address;undefined" \
@@ -90,7 +104,7 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   thread)
-    echo "== 5/7: TSan build + tests =="
+    echo "== 6/8: TSan build + tests =="
     SAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="thread" \
@@ -100,12 +114,12 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   *)
-    echo "== 5/7: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
+    echo "== 6/8: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
          "SANITIZE=thread for TSan) =="
     ;;
 esac
 
-echo "== 6/7: parallel-execution sanitizer gate =="
+echo "== 7/8: parallel-execution sanitizer gate =="
 # Targeted builds: only the standalone parallel test binaries (plus their
 # dependencies) are compiled in the sanitizer trees, so this stays cheap
 # even when SANITIZE is unset and the full sanitized suites did not run.
@@ -126,7 +140,7 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
 TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_forge_stress_test
 TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_differential_test
 
-echo "== 7/7: batch-execution gate =="
+echo "== 8/8: batch-execution gate =="
 # Differential correctness first: batched plans must be row-identical to
 # the scalar serial engine under both sanitizer families (batches carry
 # page pins across the bounded Gather queue, so TSan coverage matters).

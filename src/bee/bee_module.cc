@@ -198,12 +198,12 @@ Status RelationBeeState::Build(const BeeModuleOptions& options) {
       st = BeeVerifier::VerifyForm(scl_, logical_, stored_, spec_cols_);
     }
     if (!st.ok()) {
-      if (options.verify == VerifyMode::kEnforce) {
+      // Rejections surface through telemetry (counter + trace event), not
+      // stderr; under kEnforce the relation bee is refused outright.
+      if (BeeVerifier::ReportReject("relation", name_, st, options.verify)) {
         return Status(st.code(), "relation bee for '" + name_ +
                                      "' rejected: " + st.message());
       }
-      std::fprintf(stderr, "microspec: bee verifier warning for '%s': %s\n",
-                   name_.c_str(), st.ToString().c_str());
     }
   }
   deformer_ = std::make_unique<GclDeformer>(this);
@@ -292,20 +292,24 @@ const TupleFormer* BeeModule::FormerFor(TableInfo* table,
 }
 
 std::unique_ptr<PredicateEvaluator> BeeModule::SpecializePredicate(
-    const Expr& expr, const SessionOptions& opts) {
+    const Expr& expr, const SessionOptions& opts,
+    const std::vector<ColMeta>* input_meta) {
   if (!opts.enable_evp) return nullptr;
-  std::unique_ptr<PredicateEvaluator> bee =
-      TrySpecializePredicate(expr, &placement_, /*input_nullable=*/true);
+  std::unique_ptr<PredicateEvaluator> bee = TrySpecializePredicateChecked(
+      expr, &placement_, /*input_nullable=*/true, input_meta,
+      options_.verify);
   if (bee != nullptr) evp_created_.fetch_add(1, std::memory_order_relaxed);
   return bee;
 }
 
 std::unique_ptr<JoinKeyEvaluator> BeeModule::SpecializeJoinKeys(
     const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
-    const std::vector<ColMeta>& key_meta, const SessionOptions& opts) {
+    const std::vector<ColMeta>& key_meta, const SessionOptions& opts,
+    int outer_width, int inner_width) {
   if (!opts.enable_evj) return nullptr;
-  std::unique_ptr<JoinKeyEvaluator> bee =
-      TrySpecializeJoinKeys(outer_cols, inner_cols, key_meta, &placement_);
+  std::unique_ptr<JoinKeyEvaluator> bee = TrySpecializeJoinKeysChecked(
+      outer_cols, inner_cols, key_meta, &placement_, outer_width,
+      inner_width, options_.verify);
   if (bee != nullptr) evj_created_.fetch_add(1, std::memory_order_relaxed);
   return bee;
 }

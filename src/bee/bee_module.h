@@ -252,11 +252,12 @@ class BeeModule final : public BeeHooks {
   const TupleFormer* FormerFor(TableInfo* table,
                                const SessionOptions& opts) override;
   std::unique_ptr<PredicateEvaluator> SpecializePredicate(
-      const Expr& expr, const SessionOptions& opts) override;
+      const Expr& expr, const SessionOptions& opts,
+      const std::vector<ColMeta>* input_meta) override;
   std::unique_ptr<JoinKeyEvaluator> SpecializeJoinKeys(
       const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
-      const std::vector<ColMeta>& key_meta,
-      const SessionOptions& opts) override;
+      const std::vector<ColMeta>& key_meta, const SessionOptions& opts,
+      int outer_width, int inner_width) override;
 
   /// --- Bee cache persistence -------------------------------------------------
   /// Tuple-bee data sections hold real data and must survive restarts; the

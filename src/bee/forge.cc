@@ -176,7 +176,10 @@ void Forge::ProcessJob(Job job) {
         state->native_source(), state->logical_schema(),
         state->stored_schema(), state->spec_cols());
     if (!st.ok()) {
-      if (verify_ == VerifyMode::kEnforce) {
+      // Rejections surface through telemetry (counter + trace event), not
+      // stderr; under kEnforce the relation pins to the program tier.
+      if (BeeVerifier::ReportReject("native-gcl", state->table_name(), st,
+                                    verify_)) {
         state->PinToProgram("native bee rejected: " + st.message());
         Trace(telemetry::ForgeEventKind::kPinned, state->table_name());
         std::lock_guard<std::mutex> guard(mutex_);
@@ -184,9 +187,6 @@ void Forge::ProcessJob(Job job) {
         ++stats_.pinned;
         return;
       }
-      std::fprintf(stderr,
-                   "microspec: bee verifier warning for '%s': %s\n",
-                   state->table_name().c_str(), st.ToString().c_str());
     }
   }
 

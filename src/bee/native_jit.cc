@@ -235,6 +235,110 @@ std::string NativeJit::GenerateGclSource(const Schema& logical,
   return src;
 }
 
+namespace {
+
+const char* KernelClassName(KernelClass cls) {
+  switch (cls) {
+    case KernelClass::kInt:
+      return "int";
+    case KernelClass::kFloat:
+      return "float";
+    case KernelClass::kChar:
+      return "char";
+    case KernelClass::kVarchar:
+      return "varchar";
+  }
+  return "?";
+}
+
+const char* LikeModeName(LikeExpr::Mode mode) {
+  switch (mode) {
+    case LikeExpr::Mode::kExact:
+      return "exact";
+    case LikeExpr::Mode::kPrefix:
+      return "prefix";
+    case LikeExpr::Mode::kSuffix:
+      return "suffix";
+    case LikeExpr::Mode::kContains:
+      return "contains";
+  }
+  return "?";
+}
+
+/// Human-readable monomorphization tag for a clause marker comment.
+std::string EvpClauseTag(const EvpClauseInfo& ci, const EvpClause& ctx) {
+  switch (ci.kind) {
+    case EvpClauseKind::kCmp:
+      return std::string("cmp ") + CmpOpName(ci.op) + " " +
+             KernelClassName(ci.cls);
+    case EvpClauseKind::kLike:
+      return std::string(ci.negated ? "not-like " : "like ") +
+             LikeModeName(ci.like_mode) + " " + KernelClassName(ci.cls);
+    case EvpClauseKind::kInList:
+      return std::string("in ") + KernelClassName(ci.cls) +
+             " n=" + std::to_string(ctx.aux_len);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string NativeJit::GenerateEvpSource(const EvpBee& bee,
+                                         const std::string& symbol) {
+  std::string src;
+  src += "/* EVP query bee '" + symbol +
+         "': specification artifact. Query bees select\n"
+         "   ahead-of-time enumerated kernels at query preparation (no\n"
+         "   compiler invocation); this source states the shape those\n"
+         "   kernels must have and is linted, never compiled. */\n";
+  // One comparison core per clause index, shared by the row form and the
+  // batch form — the C statement of the row/batch shape-equivalence the
+  // verifier proves on the kernel pointers.
+  src += "static int " + symbol + "_clause(int c, unsigned long v);\n\n";
+
+  const auto& clauses = bee.clauses();
+  const auto& info = bee.clause_info();
+
+  src += "int " + symbol +
+         "(const unsigned long* values, const char* isnull) {\n";
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    const EvpClause& ctx = *clauses[i].ctx;
+    std::string a = std::to_string(ctx.attno);
+    src += "  /* clause " + std::to_string(i) + ": attr " + a + " (" +
+           EvpClauseTag(info[i], ctx) + ") */\n";
+    src += "  if (isnull[" + a + "]) return 0;\n";
+    src += "  if (!" + symbol + "_clause(" + std::to_string(i) + ", values[" +
+           a + "])) return 0;\n";
+  }
+  src += "  return 1;\n}\n\n";
+
+  src += "int " + symbol +
+         "_b(const unsigned long* const* cols, const char* const* nulls,\n"
+         "    int* sel, int nsel) {\n";
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    const EvpClause& ctx = *clauses[i].ctx;
+    std::string a = std::to_string(ctx.attno);
+    src += "  /* clause " + std::to_string(i) + ": attr " + a + " (" +
+           EvpClauseTag(info[i], ctx) + ") */\n";
+    src += "  {\n";
+    src += "    const unsigned long* col = cols[" + a + "];\n";
+    src += "    const char* nul = nulls[" + a + "];\n";
+    src += "    int out = 0;\n";
+    src += "    for (int i = 0; i < nsel; ++i) {\n";
+    src += "      const int r = sel[i];\n";
+    src += "      if (nul[r]) continue;\n";
+    src += "      if (!" + symbol + "_clause(" + std::to_string(i) +
+           ", col[r])) continue;\n";
+    src += "      sel[out++] = r;\n";
+    src += "    }\n";
+    src += "    nsel = out;\n";
+    src += "    if (nsel == 0) return 0;\n";
+    src += "  }\n";
+  }
+  src += "  return nsel;\n}\n";
+  return src;
+}
+
 Result<NativeGclFn> NativeJit::CompileGcl(const Schema& logical,
                                           const Schema& stored,
                                           const std::vector<int>& spec_cols,

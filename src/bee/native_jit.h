@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "bee/query_bee.h"
 #include "bee/tuple_bee.h"
 #include "catalog/schema.h"
 #include "common/macros.h"
@@ -63,6 +64,16 @@ class NativeJit {
   static std::string GenerateGclSource(const Schema& logical,
                                        const Schema& stored,
                                        const std::vector<int>& spec_cols,
+                                       const std::string& symbol);
+
+  /// Generates the C form of an EVP query bee: the row-form routine and its
+  /// `<symbol>_b` clause-major batch sibling, both dispatching every clause
+  /// through one shared `<symbol>_clause` comparison core. Query bees never
+  /// invoke a compiler at query-preparation time (Section III-B) — this
+  /// source is a specification artifact for LintNativeEvpSource, stating the
+  /// shape the ahead-of-time enumerated kernels must have; it is linted at
+  /// install time but never compiled.
+  static std::string GenerateEvpSource(const EvpBee& bee,
                                        const std::string& symbol);
 
   /// Compiles and loads the GCL routine. `work_dir` receives the .c and .so

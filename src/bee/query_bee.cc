@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "bee/native_jit.h"
+#include "bee/verifier.h"
 #include "common/counters.h"
 #include "common/hash.h"
 
@@ -335,6 +337,7 @@ CmpOp FlipOp(CmpOp op) {
 /// is not specializable.
 bool LowerClause(const Expr& e, PlacementArena* arena,
                  std::vector<EvpBee::Clause>* clauses,
+                 std::vector<EvpClauseInfo>* info,
                  std::vector<std::string>* owned) {
   if (e.kind() == ExprKind::kCmp) {
     const auto& cmp = static_cast<const CmpExpr&>(e);
@@ -386,6 +389,11 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
     clauses->push_back(EvpBee::Clause{SelectCmpKernel(cls, op),
                                       SelectCmpColKernel(cls, op),
                                       arena->New(ctx)});
+    EvpClauseInfo ci{};
+    ci.kind = EvpClauseKind::kCmp;
+    ci.cls = cls;
+    ci.op = op;
+    info->push_back(ci);
     return true;
   }
 
@@ -400,6 +408,7 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
     EvpClause ctx{};
     ctx.attno = v.attno();
     ctx.charlen = vm.attlen;
+    ctx.nullable = true;
     ctx.aux = owned->back().data();
     ctx.aux_len = static_cast<uint32_t>(owned->back().size());
     EvpKernelFn fn = vm.type == TypeId::kChar
@@ -410,6 +419,13 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
             ? SelectLikeColKernel<true>(like.mode(), like.negated())
             : SelectLikeColKernel<false>(like.mode(), like.negated());
     clauses->push_back(EvpBee::Clause{fn, col_fn, arena->New(ctx)});
+    EvpClauseInfo ci{};
+    ci.kind = EvpClauseKind::kLike;
+    ci.cls = vm.type == TypeId::kChar ? KernelClass::kChar
+                                      : KernelClass::kVarchar;
+    ci.like_mode = like.mode();
+    ci.negated = like.negated();
+    info->push_back(ci);
     return true;
   }
 
@@ -422,6 +438,10 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
     EvpClause ctx{};
     ctx.attno = v.attno();
     ctx.charlen = v.meta().attlen;
+    ctx.nullable = true;
+    EvpClauseInfo ci{};
+    ci.kind = EvpClauseKind::kInList;
+    ci.cls = cls;
     if (cls == KernelClass::kInt) {
       std::string storage(in.items().size() * sizeof(int64_t), '\0');
       auto* arr = reinterpret_cast<int64_t*>(storage.data());
@@ -433,6 +453,7 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
       ctx.aux_len = static_cast<uint32_t>(in.items().size());
       clauses->push_back(EvpBee::Clause{InListIntKernel, InListIntColKernel,
                                         arena->New(ctx)});
+      info->push_back(ci);
       return true;
     }
     if (cls == KernelClass::kVarchar) {
@@ -448,6 +469,7 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
       ctx.aux_len = static_cast<uint32_t>(in.items().size());
       clauses->push_back(EvpBee::Clause{
           InListVarcharKernel, InListVarcharColKernel, arena->New(ctx)});
+      info->push_back(ci);
       return true;
     }
     return false;
@@ -458,10 +480,54 @@ bool LowerClause(const Expr& e, PlacementArena* arena,
 
 }  // namespace
 
-std::unique_ptr<PredicateEvaluator> TrySpecializePredicate(
-    const Expr& expr, PlacementArena* arena, bool input_nullable) {
+KernelClass EvpKernelClassOf(TypeId t) { return ClassOf(t); }
+
+EvpKernelFn EvpKernelFor(const EvpClauseInfo& info) {
+  switch (info.kind) {
+    case EvpClauseKind::kCmp:
+      return SelectCmpKernel(info.cls, info.op);
+    case EvpClauseKind::kLike:
+      if (info.cls == KernelClass::kChar) {
+        return SelectLikeKernel<true>(info.like_mode, info.negated);
+      }
+      if (info.cls == KernelClass::kVarchar) {
+        return SelectLikeKernel<false>(info.like_mode, info.negated);
+      }
+      return nullptr;
+    case EvpClauseKind::kInList:
+      if (info.cls == KernelClass::kInt) return InListIntKernel;
+      if (info.cls == KernelClass::kVarchar) return InListVarcharKernel;
+      return nullptr;
+  }
+  return nullptr;
+}
+
+EvpColKernelFn EvpColKernelFor(const EvpClauseInfo& info) {
+  switch (info.kind) {
+    case EvpClauseKind::kCmp:
+      return SelectCmpColKernel(info.cls, info.op);
+    case EvpClauseKind::kLike:
+      if (info.cls == KernelClass::kChar) {
+        return SelectLikeColKernel<true>(info.like_mode, info.negated);
+      }
+      if (info.cls == KernelClass::kVarchar) {
+        return SelectLikeColKernel<false>(info.like_mode, info.negated);
+      }
+      return nullptr;
+    case EvpClauseKind::kInList:
+      if (info.cls == KernelClass::kInt) return InListIntColKernel;
+      if (info.cls == KernelClass::kVarchar) return InListVarcharColKernel;
+      return nullptr;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<EvpBee> TrySpecializePredicate(const Expr& expr,
+                                               PlacementArena* arena,
+                                               bool input_nullable) {
   (void)input_nullable;
   std::vector<EvpBee::Clause> clauses;
+  std::vector<EvpClauseInfo> info;
   // Clause contexts capture pointers into these strings, so the vector must
   // never reallocate after a pointer is taken: reserve more slots than the
   // conjunct cap below can ever need.
@@ -488,9 +554,29 @@ std::unique_ptr<PredicateEvaluator> TrySpecializePredicate(
   if (conjuncts.size() > 48) return nullptr;
 
   for (const Expr* c : conjuncts) {
-    if (!LowerClause(*c, arena, &clauses, &owned)) return nullptr;
+    if (!LowerClause(*c, arena, &clauses, &info, &owned)) return nullptr;
   }
-  return std::make_unique<EvpBee>(std::move(clauses), std::move(owned));
+  return std::make_unique<EvpBee>(std::move(clauses), std::move(info),
+                                  std::move(owned));
+}
+
+std::unique_ptr<EvpBee> TrySpecializePredicateChecked(
+    const Expr& expr, PlacementArena* arena, bool input_nullable,
+    const std::vector<ColMeta>* input_meta, VerifyMode mode) {
+  std::unique_ptr<EvpBee> bee =
+      TrySpecializePredicate(expr, arena, input_nullable);
+  if (bee == nullptr || mode == VerifyMode::kOff) return bee;
+  Status st = BeeVerifier::VerifyEvp(*bee, expr, input_meta);
+  if (st.ok()) {
+    // Query bees never invoke a compiler at query-preparation time, so the
+    // emitted C is a specification artifact: linted here, never compiled.
+    st = BeeVerifier::LintNativeEvpSource(
+        NativeJit::GenerateEvpSource(*bee, "evp_bee"), *bee);
+  }
+  if (!st.ok() && BeeVerifier::ReportReject("evp", "query:evp", st, mode)) {
+    return nullptr;
+  }
+  return bee;
 }
 
 /// --- EVJ kernels -------------------------------------------------------------
@@ -532,7 +618,35 @@ bool EqVarcharK(const EvjKey&, Datum a, Datum b) {
 
 }  // namespace
 
-std::unique_ptr<JoinKeyEvaluator> TrySpecializeJoinKeys(
+EvjHashFn EvjHashKernelFor(KernelClass cls) {
+  switch (cls) {
+    case KernelClass::kInt:
+      return HashIntK;
+    case KernelClass::kFloat:
+      return HashFloatK;
+    case KernelClass::kChar:
+      return HashCharK;
+    case KernelClass::kVarchar:
+      return HashVarcharK;
+  }
+  return nullptr;
+}
+
+EvjEqualFn EvjEqualKernelFor(KernelClass cls) {
+  switch (cls) {
+    case KernelClass::kInt:
+      return EqIntK;
+    case KernelClass::kFloat:
+      return EqFloatK;
+    case KernelClass::kChar:
+      return EqCharK;
+    case KernelClass::kVarchar:
+      return EqVarcharK;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<EvjBee> TrySpecializeJoinKeys(
     const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
     const std::vector<ColMeta>& key_meta, PlacementArena* arena) {
   std::vector<EvjBee::Key> keys;
@@ -543,27 +657,26 @@ std::unique_ptr<JoinKeyEvaluator> TrySpecializeJoinKeys(
     ctx.charlen = key_meta[i].attlen;
     EvjBee::Key key{};
     key.ctx = arena->New(ctx);
-    switch (ClassOf(key_meta[i].type)) {
-      case KernelClass::kInt:
-        key.hash = HashIntK;
-        key.equal = EqIntK;
-        break;
-      case KernelClass::kFloat:
-        key.hash = HashFloatK;
-        key.equal = EqFloatK;
-        break;
-      case KernelClass::kChar:
-        key.hash = HashCharK;
-        key.equal = EqCharK;
-        break;
-      case KernelClass::kVarchar:
-        key.hash = HashVarcharK;
-        key.equal = EqVarcharK;
-        break;
-    }
+    key.hash = EvjHashKernelFor(ClassOf(key_meta[i].type));
+    key.equal = EvjEqualKernelFor(ClassOf(key_meta[i].type));
     keys.push_back(key);
   }
   return std::make_unique<EvjBee>(std::move(keys));
+}
+
+std::unique_ptr<EvjBee> TrySpecializeJoinKeysChecked(
+    const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
+    const std::vector<ColMeta>& key_meta, PlacementArena* arena,
+    int outer_width, int inner_width, VerifyMode mode) {
+  std::unique_ptr<EvjBee> bee =
+      TrySpecializeJoinKeys(outer_cols, inner_cols, key_meta, arena);
+  if (bee == nullptr || mode == VerifyMode::kOff) return bee;
+  Status st = BeeVerifier::VerifyEvj(*bee, outer_cols, inner_cols, key_meta,
+                                     outer_width, inner_width);
+  if (!st.ok() && BeeVerifier::ReportReject("evj", "query:evj", st, mode)) {
+    return nullptr;
+  }
+  return bee;
 }
 
 }  // namespace microspec::bee

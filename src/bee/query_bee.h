@@ -11,6 +11,8 @@
 
 namespace microspec::bee {
 
+enum class VerifyMode : uint8_t;  // bee/verifier.h
+
 /// --- Query bees: EVP and EVJ -------------------------------------------------
 /// Query bees must be created at query-preparation time without invoking a
 /// compiler (Section III-B). Following the paper's mechanism, all object-code
@@ -31,6 +33,23 @@ struct EvpClause {
   const char* aux;       // LIKE needle / IN-list storage
   uint32_t aux_len;      // LIKE needle length / IN-list item count
   bool nullable;         // whether a null check must be emitted
+};
+
+/// Which kernel family a clause was lowered into. Recorded next to every
+/// clause so the verifier (and the native-source emitter) can re-derive the
+/// exact ahead-of-time monomorphization the clause claims to use and check
+/// the function pointers against the kernel registry.
+enum class EvpClauseKind : uint8_t { kCmp, kLike, kInList };
+
+/// The monomorphization coordinates of one clause: enough to look the kernel
+/// pair back up in the registry, independently of the function pointers the
+/// bee actually carries.
+struct EvpClauseInfo {
+  EvpClauseKind kind = EvpClauseKind::kCmp;
+  KernelClass cls = KernelClass::kInt;
+  CmpOp op = CmpOp::kEq;                              // kCmp only
+  LikeExpr::Mode like_mode = LikeExpr::Mode::kExact;  // kLike only
+  bool negated = false;                               // kLike only
 };
 
 /// One monomorphized clause kernel: returns the clause verdict for a row.
@@ -54,9 +73,11 @@ class EvpBee final : public PredicateEvaluator {
     const EvpClause* ctx;   // lives in the placement arena
   };
 
-  explicit EvpBee(std::vector<Clause> clauses,
-                  std::vector<std::string> owned_bytes)
-      : clauses_(std::move(clauses)), owned_bytes_(std::move(owned_bytes)) {}
+  EvpBee(std::vector<Clause> clauses, std::vector<EvpClauseInfo> info,
+         std::vector<std::string> owned_bytes)
+      : clauses_(std::move(clauses)),
+        info_(std::move(info)),
+        owned_bytes_(std::move(owned_bytes)) {}
 
   bool Matches(const ExecRow& row) const override {
     uint64_t ops = 0;
@@ -101,18 +122,50 @@ class EvpBee final : public PredicateEvaluator {
 
   size_t num_clauses() const { return clauses_.size(); }
 
+  /// Verifier access: the compiled clause program and its monomorphization
+  /// coordinates, parallel vectors of equal length.
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  const std::vector<EvpClauseInfo>& clause_info() const { return info_; }
+
  private:
   std::vector<Clause> clauses_;
+  std::vector<EvpClauseInfo> info_;
   std::vector<std::string> owned_bytes_;  // backing for byref constants
 };
+
+/// --- Kernel registry ---------------------------------------------------------
+/// The verifier's independent view of the ahead-of-time kernel catalog: given
+/// a clause's monomorphization coordinates it returns the one row-form /
+/// value-form kernel pair those coordinates name. A bee whose function
+/// pointers disagree with the registry is carrying code the catalog never
+/// enumerated (or a row/batch pair that is not the same monomorphization).
+
+/// Maps a column type to its kernel class; mirrors the specializer's lowering.
+KernelClass EvpKernelClassOf(TypeId t);
+
+/// Registry lookups; return nullptr only for kind/class combinations the
+/// catalog does not enumerate (e.g. an IN-list over floats).
+EvpKernelFn EvpKernelFor(const EvpClauseInfo& info);
+EvpColKernelFn EvpColKernelFor(const EvpClauseInfo& info);
 
 /// Attempts to build an EVP bee for `expr` evaluated against rows whose
 /// columns may be NULL only when `input_nullable` (per-column nullability is
 /// taken from VarExpr metadata being unavailable, so a conservative flag is
 /// used). Returns nullptr when the predicate shape is not specializable —
 /// the caller falls back to the generic interpreter, as in the paper.
-std::unique_ptr<PredicateEvaluator> TrySpecializePredicate(
-    const Expr& expr, PlacementArena* arena, bool input_nullable);
+std::unique_ptr<EvpBee> TrySpecializePredicate(const Expr& expr,
+                                               PlacementArena* arena,
+                                               bool input_nullable);
+
+/// Install-site entry point: builds the bee, then runs it through
+/// BeeVerifier::VerifyEvp (against `expr` and, when non-null, the operator's
+/// `input_meta`) and the native-source lint under `mode`. A rejection is
+/// routed through BeeVerifier::ReportReject (telemetry counter + trace
+/// event); under kEnforce the bee is discarded and nullptr returned so the
+/// caller falls back to the generic interpreter.
+std::unique_ptr<EvpBee> TrySpecializePredicateChecked(
+    const Expr& expr, PlacementArena* arena, bool input_nullable,
+    const std::vector<ColMeta>* input_meta, VerifyMode mode);
 
 /// --- EVJ ---------------------------------------------------------------------
 
@@ -174,15 +227,31 @@ class EvjBee final : public JoinKeyEvaluator {
     return true;
   }
 
+  /// Verifier access: the compiled key program.
+  const std::vector<Key>& keys() const { return keys_; }
+
  private:
   std::vector<Key> keys_;
 };
 
+/// Registry lookups for the EVJ hash/equality kernel pair of a key class.
+EvjHashFn EvjHashKernelFor(KernelClass cls);
+EvjEqualFn EvjEqualKernelFor(KernelClass cls);
+
 /// Builds an EVJ bee for the given key columns, or nullptr if a key type is
 /// not specializable.
-std::unique_ptr<JoinKeyEvaluator> TrySpecializeJoinKeys(
+std::unique_ptr<EvjBee> TrySpecializeJoinKeys(
     const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
     const std::vector<ColMeta>& key_meta, PlacementArena* arena);
+
+/// Install-site entry point: builds the bee, then verifies it with
+/// BeeVerifier::VerifyEvj under `mode`. `outer_width`/`inner_width` bound the
+/// key attribute numbers; pass 0 when a side's width is unknown to skip its
+/// range check. Rejections are reported like TrySpecializePredicateChecked.
+std::unique_ptr<EvjBee> TrySpecializeJoinKeysChecked(
+    const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
+    const std::vector<ColMeta>& key_meta, PlacementArena* arena,
+    int outer_width, int inner_width, VerifyMode mode);
 
 }  // namespace microspec::bee
 

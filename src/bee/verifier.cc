@@ -1,8 +1,10 @@
 #include "bee/verifier.h"
 
 #include <cstdint>
+#include <cstring>
 
 #include "common/align.h"
+#include "common/telemetry.h"
 #include "storage/tuple.h"
 
 namespace microspec::bee {
@@ -546,6 +548,508 @@ Status BeeVerifier::LintNativeGclSource(const std::string& source,
     }
   }
   return Status::OK();
+}
+
+/// --- Query-bee verification --------------------------------------------------
+
+namespace {
+
+Status EvpReject(size_t clause, const std::string& what) {
+  return Status::InvalidArgument("bee verifier: evp clause " +
+                                 std::to_string(clause) + ": " + what);
+}
+
+Status EvjReject(size_t key, const std::string& what) {
+  return Status::InvalidArgument("bee verifier: evj key " +
+                                 std::to_string(key) + ": " + what);
+}
+
+CmpOp FlipCmpOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    default:
+      return op;
+  }
+}
+
+/// What a correctly lowered clause must contain, re-derived from one
+/// conjunct independently of the specializer (the verifier's own mirror of
+/// the lowering rules: operand swap, char(n) blank-padding, IN-list
+/// encoding).
+struct ExpectedClause {
+  EvpClauseInfo info;
+  int32_t attno = 0;
+  int32_t charlen = 0;
+  bool has_datum_const = false;  // int/float constant, compared as a datum
+  Datum datum_const = 0;
+  bool is_varchar_const = false;  // bytes_const compared as varlena payload
+  std::string bytes_const;        // varchar payload / padded char(n) bytes
+  std::string aux;                // LIKE needle / encoded IN-list storage
+  uint32_t aux_len = 0;           // needle length / item count
+};
+
+Status ExpectClause(const Expr& e, size_t idx, ExpectedClause* out) {
+  if (e.kind() == ExprKind::kCmp) {
+    const auto& cmp = static_cast<const CmpExpr&>(e);
+    const Expr* var = cmp.lhs();
+    const Expr* cst = cmp.rhs();
+    CmpOp op = cmp.op();
+    if (var->kind() == ExprKind::kConst && cst->kind() == ExprKind::kVar) {
+      std::swap(var, cst);
+      op = FlipCmpOp(op);
+    }
+    if (var->kind() != ExprKind::kVar || cst->kind() != ExprKind::kConst) {
+      return EvpReject(idx, "conjunct is not a var-vs-constant comparison");
+    }
+    const auto& v = static_cast<const VarExpr&>(*var);
+    const auto& k = static_cast<const ConstExpr&>(*cst);
+    if (v.side() != RowSide::kOuter || k.is_null_const()) {
+      return EvpReject(idx, "conjunct is not specializable");
+    }
+    ColMeta vm = v.meta();
+    KernelClass cls = EvpKernelClassOf(vm.type);
+    out->info.kind = EvpClauseKind::kCmp;
+    out->info.cls = cls;
+    out->info.op = op;
+    out->attno = v.attno();
+    out->charlen = vm.attlen;
+    ColMeta km = k.meta();
+    if (cls == KernelClass::kInt || cls == KernelClass::kFloat) {
+      if (EvpKernelClassOf(km.type) != cls) {
+        return EvpReject(idx, "constant class disagrees with the column");
+      }
+      out->has_datum_const = true;
+      out->datum_const = k.value();
+    } else if (cls == KernelClass::kVarchar) {
+      if (km.type != TypeId::kVarchar) {
+        return EvpReject(idx, "constant class disagrees with the column");
+      }
+      const char* p = DatumToPointer(k.value());
+      out->bytes_const.assign(VarlenaPayload(p), VarlenaPayloadSize(p));
+      out->is_varchar_const = true;
+    } else {  // kChar: the constant must be blank-padded to the column width
+      if (km.type == TypeId::kVarchar) {
+        const char* p = DatumToPointer(k.value());
+        out->bytes_const.assign(VarlenaPayload(p), VarlenaPayloadSize(p));
+      } else if (km.type == TypeId::kChar) {
+        out->bytes_const.assign(DatumToPointer(k.value()),
+                                static_cast<size_t>(km.attlen));
+      } else {
+        return EvpReject(idx, "constant class disagrees with the column");
+      }
+      out->bytes_const.resize(static_cast<size_t>(vm.attlen), ' ');
+    }
+    return Status::OK();
+  }
+
+  if (e.kind() == ExprKind::kLike) {
+    const auto& like = static_cast<const LikeExpr&>(e);
+    if (like.input()->kind() != ExprKind::kVar) {
+      return EvpReject(idx, "LIKE input is not a column");
+    }
+    const auto& v = static_cast<const VarExpr&>(*like.input());
+    if (v.side() != RowSide::kOuter) {
+      return EvpReject(idx, "conjunct is not specializable");
+    }
+    ColMeta vm = v.meta();
+    if (vm.type != TypeId::kVarchar && vm.type != TypeId::kChar) {
+      return EvpReject(idx, "LIKE over a non-string column");
+    }
+    out->info.kind = EvpClauseKind::kLike;
+    out->info.cls = vm.type == TypeId::kChar ? KernelClass::kChar
+                                             : KernelClass::kVarchar;
+    out->info.like_mode = like.mode();
+    out->info.negated = like.negated();
+    out->attno = v.attno();
+    out->charlen = vm.attlen;
+    out->aux = like.needle();
+    out->aux_len = static_cast<uint32_t>(like.needle().size());
+    return Status::OK();
+  }
+
+  if (e.kind() == ExprKind::kInList) {
+    const auto& in = static_cast<const InListExpr&>(e);
+    if (in.input()->kind() != ExprKind::kVar) {
+      return EvpReject(idx, "IN input is not a column");
+    }
+    const auto& v = static_cast<const VarExpr&>(*in.input());
+    if (v.side() != RowSide::kOuter) {
+      return EvpReject(idx, "conjunct is not specializable");
+    }
+    KernelClass cls = EvpKernelClassOf(v.meta().type);
+    out->info.kind = EvpClauseKind::kInList;
+    out->info.cls = cls;
+    out->attno = v.attno();
+    out->charlen = v.meta().attlen;
+    out->aux_len = static_cast<uint32_t>(in.items().size());
+    if (cls == KernelClass::kInt) {
+      out->aux.resize(in.items().size() * sizeof(int64_t));
+      auto* arr = reinterpret_cast<int64_t*>(out->aux.data());
+      for (size_t i = 0; i < in.items().size(); ++i) {
+        arr[i] = DatumToInt64(in.items()[i]);
+      }
+      return Status::OK();
+    }
+    if (cls == KernelClass::kVarchar) {
+      for (Datum d : in.items()) {
+        const char* p = DatumToPointer(d);
+        uint32_t len = VarlenaPayloadSize(p);
+        out->aux.append(reinterpret_cast<const char*>(&len), 4);
+        out->aux.append(VarlenaPayload(p), len);
+      }
+      return Status::OK();
+    }
+    return EvpReject(idx, "IN-list over an unsupported type class");
+  }
+
+  return EvpReject(idx, "conjunct shape is not specializable");
+}
+
+/// Flattens `expr` into conjuncts exactly as the specializer does (one
+/// nested AND level, e.g. from Between).
+Status FlattenConjunction(const Expr& expr,
+                          std::vector<const Expr*>* conjuncts) {
+  if (expr.kind() == ExprKind::kBool) {
+    const auto& b = static_cast<const BoolExpr&>(expr);
+    if (b.op() != BoolOp::kAnd) {
+      return Status::InvalidArgument(
+          "bee verifier: evp: predicate is not a conjunction");
+    }
+    for (const ExprPtr& c : b.children()) {
+      if (c->kind() == ExprKind::kBool) {
+        const auto& nb = static_cast<const BoolExpr&>(*c);
+        if (nb.op() != BoolOp::kAnd) {
+          return Status::InvalidArgument(
+              "bee verifier: evp: nested non-AND boolean");
+        }
+        for (const ExprPtr& nc : nb.children()) conjuncts->push_back(nc.get());
+      } else {
+        conjuncts->push_back(c.get());
+      }
+    }
+  } else {
+    conjuncts->push_back(&expr);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BeeVerifier::VerifyEvp(const EvpBee& bee, const Expr& expr,
+                              const std::vector<ColMeta>* input_meta) {
+  std::vector<const Expr*> conjuncts;
+  MICROSPEC_RETURN_NOT_OK(FlattenConjunction(expr, &conjuncts));
+
+  if (bee.clauses().size() != bee.clause_info().size()) {
+    return Status::InvalidArgument(
+        "bee verifier: evp: clause metadata length disagrees with the "
+        "program");
+  }
+  if (bee.clauses().size() != conjuncts.size()) {
+    return Status::InvalidArgument(
+        "bee verifier: evp: clause count " +
+        std::to_string(bee.clauses().size()) +
+        " disagrees with the conjunction's " +
+        std::to_string(conjuncts.size()));
+  }
+
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    ExpectedClause exp;
+    MICROSPEC_RETURN_NOT_OK(ExpectClause(*conjuncts[i], i, &exp));
+    const EvpBee::Clause& cl = bee.clauses()[i];
+    const EvpClauseInfo& ci = bee.clause_info()[i];
+
+    // The short-circuit contract evaluates clauses in conjunct order; a
+    // clause whose coordinates disagree with conjunct i is either reordered
+    // or monomorphized differently than the expression requires.
+    bool coords_ok = ci.kind == exp.info.kind && ci.cls == exp.info.cls;
+    if (coords_ok && ci.kind == EvpClauseKind::kCmp) {
+      coords_ok = ci.op == exp.info.op;
+    }
+    if (coords_ok && ci.kind == EvpClauseKind::kLike) {
+      coords_ok =
+          ci.like_mode == exp.info.like_mode && ci.negated == exp.info.negated;
+    }
+    if (!coords_ok) {
+      return EvpReject(i,
+                       "monomorphization coordinates disagree with the "
+                       "conjunct (clause order or kernel selection)");
+    }
+
+    EvpKernelFn want_fn = EvpKernelFor(exp.info);
+    EvpColKernelFn want_col = EvpColKernelFor(exp.info);
+    if (want_fn == nullptr || want_col == nullptr) {
+      return EvpReject(
+          i, "the kernel catalog does not enumerate this clause shape");
+    }
+    if (cl.fn != want_fn) {
+      return EvpReject(i,
+                       "row-form kernel is not the registry kernel for this "
+                       "monomorphization");
+    }
+    if (cl.col_fn != want_col) {
+      return EvpReject(i,
+                       "batch-form kernel is not the row-form kernel's "
+                       "value-form sibling (EVP-B would diverge)");
+    }
+    if (cl.ctx == nullptr) return EvpReject(i, "missing clause context");
+    const EvpClause& ctx = *cl.ctx;
+
+    if (ctx.attno != exp.attno) {
+      return EvpReject(i, "column reference " + std::to_string(ctx.attno) +
+                              " disagrees with the expression's attribute " +
+                              std::to_string(exp.attno));
+    }
+    if (ctx.attno < 0) {
+      return EvpReject(i, "negative column reference");
+    }
+    if (input_meta != nullptr) {
+      if (static_cast<size_t>(ctx.attno) >= input_meta->size()) {
+        return EvpReject(i, "column reference " + std::to_string(ctx.attno) +
+                                " out of range for input width " +
+                                std::to_string(input_meta->size()));
+      }
+      const ColMeta& m = (*input_meta)[static_cast<size_t>(ctx.attno)];
+      if (EvpKernelClassOf(m.type) != exp.info.cls) {
+        return EvpReject(i,
+                         "type-mismatched comparison: input column class "
+                         "disagrees with the kernel monomorphization");
+      }
+      if (exp.info.cls == KernelClass::kChar && m.attlen != exp.charlen) {
+        return EvpReject(i, "char(n) length disagrees with the catalog");
+      }
+    }
+    if (ctx.charlen != exp.charlen) {
+      return EvpReject(i, "char(n) length mismatch");
+    }
+    if (!ctx.nullable) {
+      return EvpReject(i,
+                       "null guard dropped: the clause must be marked "
+                       "nullable so NULL cells fail it");
+    }
+
+    switch (exp.info.kind) {
+      case EvpClauseKind::kCmp:
+        if (exp.has_datum_const) {
+          if (ctx.constant != exp.datum_const) {
+            return EvpReject(i,
+                             "comparison constant disagrees with the "
+                             "expression literal");
+          }
+        } else if (exp.is_varchar_const) {
+          const char* p = DatumToPointer(ctx.constant);
+          if (p == nullptr ||
+              std::string_view(VarlenaPayload(p), VarlenaPayloadSize(p)) !=
+                  exp.bytes_const) {
+            return EvpReject(i,
+                             "comparison constant disagrees with the "
+                             "expression literal");
+          }
+        } else {
+          const char* p = DatumToPointer(ctx.constant);
+          if (p == nullptr ||
+              std::string_view(p, exp.bytes_const.size()) !=
+                  exp.bytes_const) {
+            return EvpReject(i,
+                             "comparison constant is not the blank-padded "
+                             "char(n) literal");
+          }
+        }
+        break;
+      case EvpClauseKind::kLike:
+        if (ctx.aux == nullptr || ctx.aux_len != exp.aux_len ||
+            std::string_view(ctx.aux, ctx.aux_len) != exp.aux) {
+          return EvpReject(i, "LIKE needle disagrees with the pattern");
+        }
+        break;
+      case EvpClauseKind::kInList:
+        if (ctx.aux == nullptr || ctx.aux_len != exp.aux_len ||
+            std::string_view(ctx.aux, exp.aux.size()) != exp.aux) {
+          return EvpReject(i, "IN-list items disagree with the expression");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status BeeVerifier::VerifyEvj(const EvjBee& bee,
+                              const std::vector<int>& outer_cols,
+                              const std::vector<int>& inner_cols,
+                              const std::vector<ColMeta>& key_meta,
+                              int outer_width, int inner_width) {
+  if (outer_cols.size() != inner_cols.size() ||
+      key_meta.size() != outer_cols.size()) {
+    return Status::InvalidArgument(
+        "bee verifier: evj: key column lists disagree in length");
+  }
+  if (bee.keys().size() != outer_cols.size()) {
+    return Status::InvalidArgument(
+        "bee verifier: evj: key count " + std::to_string(bee.keys().size()) +
+        " disagrees with the join's " + std::to_string(outer_cols.size()));
+  }
+  for (size_t i = 0; i < bee.keys().size(); ++i) {
+    const EvjBee::Key& k = bee.keys()[i];
+    if (k.ctx == nullptr) return EvjReject(i, "missing key context");
+    if (outer_width > 0 &&
+        (k.ctx->outer_att < 0 || k.ctx->outer_att >= outer_width)) {
+      return EvjReject(i, "outer attribute " +
+                              std::to_string(k.ctx->outer_att) +
+                              " out of range for width " +
+                              std::to_string(outer_width));
+    }
+    if (inner_width > 0 &&
+        (k.ctx->inner_att < 0 || k.ctx->inner_att >= inner_width)) {
+      return EvjReject(i, "inner attribute " +
+                              std::to_string(k.ctx->inner_att) +
+                              " out of range for width " +
+                              std::to_string(inner_width));
+    }
+    if (k.ctx->outer_att != outer_cols[i]) {
+      return EvjReject(i, "outer attribute disagrees with the join's key "
+                          "column");
+    }
+    if (k.ctx->inner_att != inner_cols[i]) {
+      return EvjReject(i, "inner attribute disagrees with the join's key "
+                          "column");
+    }
+    if (k.ctx->charlen != key_meta[i].attlen) {
+      return EvjReject(i, "key length disagrees with the catalog");
+    }
+    KernelClass cls = EvpKernelClassOf(key_meta[i].type);
+    if (k.hash != EvjHashKernelFor(cls)) {
+      return EvjReject(i, "hash kernel is not the registry kernel for the "
+                          "key's type class");
+    }
+    if (k.equal != EvjEqualKernelFor(cls)) {
+      return EvjReject(i, "equality kernel is not the registry kernel for "
+                          "the key's type class");
+    }
+  }
+  return Status::OK();
+}
+
+Status BeeVerifier::LintNativeEvpSource(const std::string& source,
+                                        const EvpBee& bee) {
+  auto fail = [](const std::string& what) {
+    return Status::InvalidArgument("bee lint: evp: " + what);
+  };
+  auto cfail = [](size_t i, const std::string& what) {
+    return Status::InvalidArgument("bee lint: evp clause " +
+                                   std::to_string(i) + ": " + what);
+  };
+
+  size_t batch_at = source.find("_b(const unsigned long* const* cols");
+  if (batch_at == std::string::npos) {
+    return fail("batch routine missing");
+  }
+  const std::string row_half = source.substr(0, batch_at);
+  const std::string batch_half = source.substr(batch_at);
+  if (row_half.find("(const unsigned long* values, const char* isnull)") ==
+      std::string::npos) {
+    return fail("row routine signature missing");
+  }
+
+  const auto& clauses = bee.clauses();
+
+  // Row half: every clause in order, each guarded by its column's null test
+  // and dispatching through the shared per-clause comparison core.
+  size_t pos = 0;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    std::string a = std::to_string(clauses[i].ctx->attno);
+    std::string marker = "/* clause " + std::to_string(i) + ": attr " + a +
+                         " ";
+    size_t at = row_half.find(marker, pos);
+    if (at == std::string::npos) {
+      return cfail(i, "row-form clause marker missing or out of order");
+    }
+    size_t next = row_half.find("/* clause ", at + marker.size());
+    std::string seg =
+        row_half.substr(at, (next == std::string::npos ? row_half.size()
+                                                       : next) - at);
+    if (seg.find("if (isnull[" + a + "]) return 0;") == std::string::npos) {
+      return cfail(i, "row form drops the per-clause null guard");
+    }
+    if (seg.find("_clause(" + std::to_string(i) + ", values[" + a + "])") ==
+        std::string::npos) {
+      return cfail(i, "row form does not dispatch the shared comparison "
+                      "core on its column");
+    }
+    pos = at + marker.size();
+  }
+  if (row_half.find("return 1;", pos) == std::string::npos) {
+    return fail("row form does not return the conjunction verdict");
+  }
+
+  // Batch half: clause-major blocks in order, each streaming its column
+  // through a compaction loop bounded by the live count.
+  pos = 0;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    std::string a = std::to_string(clauses[i].ctx->attno);
+    std::string marker = "/* clause " + std::to_string(i) + ": attr " + a +
+                         " ";
+    size_t at = batch_half.find(marker, pos);
+    if (at == std::string::npos) {
+      return cfail(i, "batch-form clause marker missing or out of order");
+    }
+    size_t next = batch_half.find("/* clause ", at + marker.size());
+    std::string seg =
+        batch_half.substr(at, (next == std::string::npos ? batch_half.size()
+                                                         : next) - at);
+    if (seg.find("cols[" + a + "]") == std::string::npos) {
+      return cfail(i, "batch form does not load through the clause's "
+                      "column array");
+    }
+    if (seg.find("nulls[" + a + "]") == std::string::npos) {
+      return cfail(i, "batch form does not load the clause's null array");
+    }
+    if (seg.find("for (int i = 0; i < nsel; ++i)") == std::string::npos) {
+      return cfail(i, "compaction loop is not bounded by the live count");
+    }
+    if (seg.find("const int r = sel[i];") == std::string::npos) {
+      return cfail(i, "compaction loop does not read through the selection "
+                      "vector");
+    }
+    if (seg.find("if (nul[r]) continue;") == std::string::npos) {
+      return cfail(i, "batch form drops the per-clause null guard");
+    }
+    if (seg.find("_clause(" + std::to_string(i) + ", col[r])") ==
+        std::string::npos) {
+      return cfail(i, "batch form does not dispatch the same comparison "
+                      "core as the row form");
+    }
+    if (seg.find("sel[out++] = r;") == std::string::npos) {
+      return cfail(i, "selection vector is not compacted in place");
+    }
+    if (seg.find("nsel = out;") == std::string::npos) {
+      return cfail(i, "live count is not updated after compaction");
+    }
+    if (seg.find("if (nsel == 0) return 0;") == std::string::npos) {
+      return cfail(i, "empty-selection early-out missing");
+    }
+    pos = at + marker.size();
+  }
+  if (batch_half.find("return nsel;", pos) == std::string::npos) {
+    return fail("batch form does not return the live count");
+  }
+  return Status::OK();
+}
+
+bool BeeVerifier::ReportReject(const char* family, const std::string& subject,
+                               const Status& st, VerifyMode mode) {
+  telemetry::Registry& reg = telemetry::Registry::Global();
+  reg.GetCounter("microspec_bee_verify_rejects_total")->Add(1);
+  reg.forge_trace()->Record(telemetry::ForgeEventKind::kVerifyRejected,
+                            subject, 0,
+                            std::string(family) + ": " + st.message());
+  return mode == VerifyMode::kEnforce;
 }
 
 }  // namespace microspec::bee

@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "bee/deform_program.h"
+#include "bee/query_bee.h"
 #include "catalog/schema.h"
 #include "common/status.h"
+#include "expr/expr.h"
 
 namespace microspec::bee {
 
@@ -88,6 +90,55 @@ class BeeVerifier {
                                     const Schema& logical,
                                     const Schema& stored,
                                     const std::vector<int>& spec_cols);
+
+  /// --- Query-bee verification -----------------------------------------------
+  /// Abstract-interprets a compiled EVP clause program against the expression
+  /// tree it claims to implement and (when `input_meta` is non-null) the
+  /// operator's input schema. The verifier independently re-derives the
+  /// expected lowering — conjunct flattening, constant/operand swap,
+  /// char(n) blank-padding, IN-list encoding — and rejects bees whose:
+  ///
+  ///   - clause count or order disagrees with the conjunction (the
+  ///     short-circuit contract evaluates clauses in conjunct order),
+  ///   - column references are out of range or name a column whose type
+  ///     class does not match the kernel's monomorphization,
+  ///   - char(n) lengths disagree with the catalog's declared attlen,
+  ///   - null guard was dropped (every clause must fail on a NULL cell),
+  ///   - patched constants / LIKE needles / IN-lists differ from the
+  ///     expression's literals,
+  ///   - row-form kernel is not the registry kernel for the clause's
+  ///     monomorphization coordinates, or whose batch-form kernel is not
+  ///     that row kernel's value-form sibling — the check that makes the
+  ///     scalar and EVP-B paths provably shape-equivalent.
+  static Status VerifyEvp(const EvpBee& bee, const Expr& expr,
+                          const std::vector<ColMeta>* input_meta);
+
+  /// Verifies a compiled EVJ key program: key count, patched attribute
+  /// numbers (bounded by `outer_width`/`inner_width` when positive; pass 0
+  /// for a side whose width is unknown), char(n) key lengths, and the
+  /// hash/equality kernel pair against the registry entry for each key's
+  /// type class.
+  static Status VerifyEvj(const EvjBee& bee,
+                          const std::vector<int>& outer_cols,
+                          const std::vector<int>& inner_cols,
+                          const std::vector<ColMeta>& key_meta,
+                          int outer_width, int inner_width);
+
+  /// Structural lint of NativeJit::GenerateEvpSource output against the
+  /// (already-verified) bee: per-clause null guards in both halves, shared
+  /// comparison-core calls binding the row form to the batch form, batch
+  /// loads through the clause's column, and a selection-vector compaction
+  /// loop bounded by the live count with in-place writeback.
+  static Status LintNativeEvpSource(const std::string& source,
+                                    const EvpBee& bee);
+
+  /// Routes a verifier rejection through telemetry: bumps the
+  /// `microspec_bee_verify_rejects_total` counter and records a
+  /// `verify-rejected` forge trace event carrying `subject` and the
+  /// diagnostic. Returns true when `mode` is kEnforce — i.e. when the
+  /// caller must refuse the install.
+  static bool ReportReject(const char* family, const std::string& subject,
+                           const Status& st, VerifyMode mode);
 };
 
 }  // namespace microspec::bee

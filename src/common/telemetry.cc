@@ -100,12 +100,13 @@ const char* ForgeEventKindName(ForgeEventKind kind) {
     case ForgeEventKind::kRetried:   return "retried";
     case ForgeEventKind::kPinned:    return "pinned";
     case ForgeEventKind::kCancelled: return "cancelled";
+    case ForgeEventKind::kVerifyRejected: return "verify-rejected";
   }
   return "?";
 }
 
 void EventTrace::Record(ForgeEventKind kind, std::string_view relation,
-                        uint64_t duration_ns) {
+                        uint64_t duration_ns, std::string_view detail) {
   ForgeEvent ev;
   ev.ts_ns = NowNs();
   ev.kind = kind;
@@ -113,6 +114,9 @@ void EventTrace::Record(ForgeEventKind kind, std::string_view relation,
   size_t n = std::min(relation.size(), sizeof(ev.relation) - 1);
   std::memcpy(ev.relation, relation.data(), n);
   ev.relation[n] = '\0';
+  size_t d = std::min(detail.size(), sizeof(ev.detail) - 1);
+  if (d > 0) std::memcpy(ev.detail, detail.data(), d);
+  ev.detail[d] = '\0';
   std::lock_guard<std::mutex> guard(mutex_);
   ev.seq = next_seq_++;
   if (ring_.size() < capacity_) {
@@ -278,7 +282,8 @@ std::string TelemetrySnapshot::ToJson() const {
            ", \"ts_ns\": " + std::to_string(ev.ts_ns) + ", \"event\": \"" +
            ForgeEventKindName(ev.kind) + "\", \"relation\": \"" +
            Escape(ev.relation) +
-           "\", \"duration_ns\": " + std::to_string(ev.duration_ns) + "}";
+           "\", \"duration_ns\": " + std::to_string(ev.duration_ns) +
+           ", \"detail\": \"" + Escape(ev.detail) + "\"}";
     out += i + 1 < forge_events.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";

@@ -180,6 +180,7 @@ enum class ForgeEventKind : uint8_t {
   kRetried,    // attempt failed; re-queued with backoff
   kPinned,     // permanently degraded to the program tier
   kCancelled,  // dropped (relation dropped or forge shut down)
+  kVerifyRejected,  // bee verifier rejected a program/source (detail = why)
 };
 
 const char* ForgeEventKindName(ForgeEventKind kind);
@@ -190,6 +191,7 @@ struct ForgeEvent {
   ForgeEventKind kind = ForgeEventKind::kQueued;
   char relation[24] = {0};  // truncated relation name (NUL-terminated)
   uint64_t duration_ns = 0;  // kSucceeded: compile wall time
+  char detail[64] = {0};  // kVerifyRejected: truncated diagnostic
 };
 
 class EventTrace {
@@ -198,7 +200,7 @@ class EventTrace {
   MICROSPEC_DISALLOW_COPY_AND_MOVE(EventTrace);
 
   void Record(ForgeEventKind kind, std::string_view relation,
-              uint64_t duration_ns = 0);
+              uint64_t duration_ns = 0, std::string_view detail = {});
 
   /// Events still in the ring, oldest first (seq ascending).
   std::vector<ForgeEvent> Snapshot() const;

@@ -23,7 +23,7 @@ class Filter final : public Operator {
     MICROSPEC_RETURN_NOT_OK(child_->Init());
     // Query preparation happens once; Init may be called again to rescan.
     if (evaluator_ == nullptr) {
-      evaluator_ = ctx_->MakePredicate(std::move(pred_expr_));
+      evaluator_ = ctx_->MakePredicate(std::move(pred_expr_), &meta_);
     }
     values_ = child_->values();
     isnull_ = child_->isnull();

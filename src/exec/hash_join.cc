@@ -56,7 +56,9 @@ Status HashJoin::Init() {
         outer_keys_[i])]);
   }
   if (keys_ == nullptr) {
-    keys_ = ctx_->MakeJoinKeys(outer_keys_, inner_keys_, key_meta);
+    keys_ = ctx_->MakeJoinKeys(outer_keys_, inner_keys_, key_meta,
+                               static_cast<int>(outer_width_),
+                               static_cast<int>(inner_width_));
   }
   if (residual_expr_ != nullptr) {
     residual_ = std::make_unique<ExprPredicate>(std::move(residual_expr_));

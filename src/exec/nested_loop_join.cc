@@ -20,7 +20,9 @@ NestedLoopJoin::NestedLoopJoin(ExecContext* ctx, OperatorPtr outer,
 
 Status NestedLoopJoin::Init() {
   if (pred_ == nullptr) {
-    pred_ = ctx_->MakePredicate(std::move(pred_expr_));
+    // Specializable clauses only reference outer-side columns, so the outer
+    // row shape is the input schema the verifier checks against.
+    pred_ = ctx_->MakePredicate(std::move(pred_expr_), &outer_->output_meta());
   }
 
   // Materialize the inner side (re-Init rebuilds from scratch).

@@ -60,13 +60,20 @@ class BeeHooks {
 
   /// EVP bee for `expr`, or nullptr when the shape is not specializable
   /// (the generic interpreter remains the fallback, as in the paper).
+  /// `input_meta`, when non-null, is the operator's input row shape; the
+  /// bee verifier range- and type-checks every clause's column reference
+  /// against it before the bee may install.
   virtual std::unique_ptr<PredicateEvaluator> SpecializePredicate(
-      const Expr& expr, const SessionOptions& opts) = 0;
+      const Expr& expr, const SessionOptions& opts,
+      const std::vector<ColMeta>* input_meta) = 0;
 
-  /// EVJ bee for the given join keys, or nullptr.
+  /// EVJ bee for the given join keys, or nullptr. `outer_width` and
+  /// `inner_width` bound the key attribute numbers for verification; pass 0
+  /// for a side whose row width is unknown at this call site.
   virtual std::unique_ptr<JoinKeyEvaluator> SpecializeJoinKeys(
       const std::vector<int>& outer_cols, const std::vector<int>& inner_cols,
-      const std::vector<ColMeta>& key_meta, const SessionOptions& opts) = 0;
+      const std::vector<ColMeta>& key_meta, const SessionOptions& opts,
+      int outer_width, int inner_width) = 0;
 };
 
 class QueryStats;
@@ -179,24 +186,30 @@ class ExecContext {
     return f;
   }
 
-  /// Predicate evaluator: EVP bee when enabled and the shape qualifies,
-  /// else the generic interpreted tree.
-  std::unique_ptr<PredicateEvaluator> MakePredicate(ExprPtr expr) {
+  /// Predicate evaluator: EVP bee when enabled, the shape qualifies, and
+  /// the verifier accepts it against `input_meta` (the caller's input row
+  /// shape, when known); else the generic interpreted tree.
+  std::unique_ptr<PredicateEvaluator> MakePredicate(
+      ExprPtr expr, const std::vector<ColMeta>* input_meta = nullptr) {
     if (bees_ != nullptr) {
       std::unique_ptr<PredicateEvaluator> bee =
-          bees_->SpecializePredicate(*expr, opts_);
+          bees_->SpecializePredicate(*expr, opts_, input_meta);
       if (bee != nullptr) return bee;
     }
     return std::make_unique<ExprPredicate>(std::move(expr));
   }
 
-  /// Join-key evaluator: EVJ bee when enabled, else generic.
+  /// Join-key evaluator: EVJ bee when enabled and verified against the
+  /// given side widths (0 = width unknown, range check skipped), else
+  /// generic.
   std::unique_ptr<JoinKeyEvaluator> MakeJoinKeys(
       std::vector<int> outer_cols, std::vector<int> inner_cols,
-      std::vector<ColMeta> key_meta) {
+      std::vector<ColMeta> key_meta, int outer_width = 0,
+      int inner_width = 0) {
     if (bees_ != nullptr) {
       std::unique_ptr<JoinKeyEvaluator> bee =
-          bees_->SpecializeJoinKeys(outer_cols, inner_cols, key_meta, opts_);
+          bees_->SpecializeJoinKeys(outer_cols, inner_cols, key_meta, opts_,
+                                    outer_width, inner_width);
       if (bee != nullptr) return bee;
     }
     return std::make_unique<GenericJoinKeys>(

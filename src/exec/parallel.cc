@@ -202,8 +202,10 @@ Status SharedJoinBuild::DrainPartition(size_t i) {
   // Each partition hashes through its own key evaluator (same EVJ/generic
   // decision as the probes — deterministic for a given key list), created
   // from the partition's worker context on the draining thread.
-  std::unique_ptr<JoinKeyEvaluator> keys =
-      partition_ctxs_[i]->MakeJoinKeys(outer_keys_, inner_keys_, key_meta_);
+  std::unique_ptr<JoinKeyEvaluator> keys = partition_ctxs_[i]->MakeJoinKeys(
+      outer_keys_, inner_keys_, key_meta_,
+      /*outer_width=*/0,  // the probe side's width is unknown while building
+      static_cast<int>(inner_meta_.size()));
   const size_t width = inner_meta_.size();
   MICROSPEC_RETURN_NOT_OK(op->Init());
   Status st;

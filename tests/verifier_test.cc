@@ -2,7 +2,9 @@
 
 #include "bee/bee_module.h"
 #include "bee/native_jit.h"
+#include "bee/placement.h"
 #include "bee/verifier.h"
+#include "common/telemetry.h"
 #include "test_util.h"
 #include "workloads/tpcc/tpcc_schema.h"
 #include "workloads/tpch/tpch_schema.h"
@@ -429,6 +431,237 @@ TEST(BeeVerifier, TpchAndTpccBeesVerifyUnderEnforce) {
       EXPECT_TRUE(form_st.ok()) << t->name() << ": " << form_st.ToString();
     }
   }
+}
+
+/// --- Query-bee (EVP/EVJ) verification ---------------------------------------
+
+std::vector<ColMeta> EvpMeta() {
+  return {ColMeta::Of(TypeId::kInt32),   ColMeta::Of(TypeId::kInt64),
+          ColMeta::Of(TypeId::kFloat64), ColMeta::Of(TypeId::kChar, 8),
+          ColMeta::Of(TypeId::kVarchar), ColMeta::Of(TypeId::kDate)};
+}
+
+TEST(BeeVerifier, EvpAcceptsSpecializerOutput) {
+  std::vector<ColMeta> meta = EvpMeta();
+  bee::PlacementArena arena;
+  std::vector<ExprPtr> corpus;
+  corpus.push_back(And(ExprListOf(
+      Cmp(CmpOp::kLt, Var(0, meta[0]), ConstInt32(5)),
+      Cmp(CmpOp::kGt, Var(2, meta[2]), ConstFloat64(1.5)))));
+  corpus.push_back(Cmp(CmpOp::kEq, Var(3, meta[3]), ConstChar("abc", 8)));
+  corpus.push_back(std::make_unique<LikeExpr>(Var(4, meta[4]), "abc%"));
+  corpus.push_back(Cmp(CmpOp::kEq, Var(4, meta[4]), ConstVarchar("hello")));
+  for (const ExprPtr& e : corpus) {
+    auto checked = bee::TrySpecializePredicateChecked(
+        *e, &arena, /*input_nullable=*/true, &meta, bee::VerifyMode::kEnforce);
+    EXPECT_NE(checked, nullptr);
+  }
+}
+
+TEST(BeeVerifier, EvpRejectsOutOfRangeColumn) {
+  std::vector<ColMeta> meta = EvpMeta();
+  // Attribute 10 does not exist in the 6-wide input schema; the specializer
+  // happily patches it in (it only sees the expression), so only the
+  // verifier's input-schema check stands between this bee and a wild read.
+  ExprPtr e = Cmp(CmpOp::kLt, Var(10, ColMeta::Of(TypeId::kInt32)),
+                  ConstInt32(5));
+  bee::PlacementArena arena;
+  auto b = bee::TrySpecializePredicate(*e, &arena, true);
+  ASSERT_NE(b, nullptr);
+  Status st = BeeVerifier::VerifyEvp(*b, *e, &meta);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("out of range for input width"),
+            std::string::npos)
+      << st.message();
+  EXPECT_EQ(bee::TrySpecializePredicateChecked(*e, &arena, true, &meta,
+                                               bee::VerifyMode::kEnforce),
+            nullptr);
+}
+
+TEST(BeeVerifier, EvpRejectsTypeMismatchedComparison) {
+  std::vector<ColMeta> meta = EvpMeta();
+  // The expression types attribute 2 as int64, but the operator's input
+  // schema says float64 — the int kernel would compare raw bit patterns.
+  ExprPtr e = Cmp(CmpOp::kLt, Var(2, ColMeta::Of(TypeId::kInt64)),
+                  ConstInt64(5));
+  bee::PlacementArena arena;
+  auto b = bee::TrySpecializePredicate(*e, &arena, true);
+  ASSERT_NE(b, nullptr);
+  Status st = BeeVerifier::VerifyEvp(*b, *e, &meta);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("type-mismatched comparison"),
+            std::string::npos)
+      << st.message();
+}
+
+TEST(BeeVerifier, EvpRejectsDroppedNullGuard) {
+  std::vector<ColMeta> meta = EvpMeta();
+  ExprPtr e = Cmp(CmpOp::kLt, Var(0, meta[0]), ConstInt32(5));
+  bee::PlacementArena arena;
+  auto b = bee::TrySpecializePredicate(*e, &arena, true);
+  ASSERT_NE(b, nullptr);
+  std::vector<bee::EvpBee::Clause> cl = b->clauses();
+  bee::EvpClause ctx = *cl[0].ctx;
+  ctx.nullable = false;
+  cl[0].ctx = &ctx;
+  bee::EvpBee mutant(std::move(cl), b->clause_info(), {});
+  Status st = BeeVerifier::VerifyEvp(mutant, *e, &meta);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("null guard dropped"), std::string::npos)
+      << st.message();
+}
+
+TEST(BeeVerifier, EvpRejectsRowBatchKernelDrift) {
+  std::vector<ColMeta> meta = EvpMeta();
+  ExprPtr e = Cmp(CmpOp::kLt, Var(0, meta[0]), ConstInt32(5));
+  bee::PlacementArena arena;
+  auto b = bee::TrySpecializePredicate(*e, &arena, true);
+  ASSERT_NE(b, nullptr);
+  // Swap the batch-form kernel for a different monomorphization while the
+  // row form keeps the right one: the scalar path and EVP-B would disagree
+  // on which rows survive.
+  bee::EvpClauseInfo drifted = b->clause_info()[0];
+  drifted.op = CmpOp::kGe;
+  std::vector<bee::EvpBee::Clause> cl = b->clauses();
+  cl[0].col_fn = bee::EvpColKernelFor(drifted);
+  bee::EvpBee mutant(std::move(cl), b->clause_info(), {});
+  Status st = BeeVerifier::VerifyEvp(mutant, *e, &meta);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("value-form sibling"), std::string::npos)
+      << st.message();
+}
+
+TEST(BeeVerifier, EvpRejectsClauseReorder) {
+  std::vector<ColMeta> meta = EvpMeta();
+  ExprPtr e = And(ExprListOf(
+      Cmp(CmpOp::kLt, Var(0, meta[0]), ConstInt32(5)),
+      Cmp(CmpOp::kGt, Var(2, meta[2]), ConstFloat64(1.5))));
+  bee::PlacementArena arena;
+  auto b = bee::TrySpecializePredicate(*e, &arena, true);
+  ASSERT_NE(b, nullptr);
+  std::vector<bee::EvpBee::Clause> cl = b->clauses();
+  std::vector<bee::EvpClauseInfo> info = b->clause_info();
+  std::swap(cl[0], cl[1]);
+  std::swap(info[0], info[1]);
+  bee::EvpBee mutant(std::move(cl), std::move(info), {});
+  Status st = BeeVerifier::VerifyEvp(mutant, *e, &meta);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("monomorphization coordinates"),
+            std::string::npos)
+      << st.message();
+}
+
+TEST(BeeVerifier, EvjVerification) {
+  std::vector<int> outer = {0, 2};
+  std::vector<int> inner = {1, 0};
+  std::vector<ColMeta> key_meta = {ColMeta::Of(TypeId::kInt64),
+                                   ColMeta::Of(TypeId::kChar, 6)};
+  bee::PlacementArena arena;
+  auto b = bee::TrySpecializeJoinKeysChecked(outer, inner, key_meta, &arena,
+                                             /*outer_width=*/4,
+                                             /*inner_width=*/3,
+                                             bee::VerifyMode::kEnforce);
+  ASSERT_NE(b, nullptr);
+  EXPECT_OK(BeeVerifier::VerifyEvj(*b, outer, inner, key_meta, 4, 3));
+
+  {  // outer attribute beyond the probe side's width
+    Status st = BeeVerifier::VerifyEvj(*b, outer, inner, key_meta,
+                                       /*outer_width=*/2, 3);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("out of range for width"), std::string::npos)
+        << st.message();
+  }
+  {  // char(6) key claiming a different width than the catalog
+    std::vector<bee::EvjBee::Key> keys = b->keys();
+    bee::EvjKey ctx = *keys[1].ctx;
+    ctx.charlen += 1;
+    keys[1].ctx = &ctx;
+    bee::EvjBee mutant(std::move(keys));
+    Status st = BeeVerifier::VerifyEvj(mutant, outer, inner, key_meta, 4, 3);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("key length disagrees"), std::string::npos)
+        << st.message();
+  }
+  {  // hash kernel for the wrong type class
+    std::vector<bee::EvjBee::Key> keys = b->keys();
+    keys[1].hash = bee::EvjHashKernelFor(bee::KernelClass::kInt);
+    bee::EvjBee mutant(std::move(keys));
+    Status st = BeeVerifier::VerifyEvj(mutant, outer, inner, key_meta, 4, 3);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("hash kernel"), std::string::npos)
+        << st.message();
+  }
+}
+
+TEST(BeeVerifier, NativeEvpLintCrossChecksGeneratedSource) {
+  std::vector<ColMeta> meta = EvpMeta();
+  ExprPtr e = And(ExprListOf(
+      Cmp(CmpOp::kLt, Var(0, meta[0]), ConstInt32(5)),
+      Cmp(CmpOp::kGt, Var(2, meta[2]), ConstFloat64(1.5))));
+  bee::PlacementArena arena;
+  auto b = bee::TrySpecializePredicate(*e, &arena, true);
+  ASSERT_NE(b, nullptr);
+  std::string src = bee::NativeJit::GenerateEvpSource(*b, "evp_lint");
+  EXPECT_OK(BeeVerifier::LintNativeEvpSource(src, *b));
+
+  auto drop = [&](const std::string& token) {
+    std::string tampered = src;
+    size_t at;
+    while ((at = tampered.find(token)) != std::string::npos) {
+      tampered.erase(at, token.size());
+    }
+    return BeeVerifier::LintNativeEvpSource(tampered, *b);
+  };
+  {  // row-form null guard for clause 0
+    Status st = drop("if (isnull[0]) return 0;");
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("null guard"), std::string::npos)
+        << st.message();
+  }
+  {  // batch compaction loop bound
+    Status st = drop("for (int i = 0; i < nsel; ++i)");
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("bounded by the live count"),
+              std::string::npos)
+        << st.message();
+  }
+  {  // in-place selection-vector writeback
+    Status st = drop("sel[out++] = r;");
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("compacted in place"), std::string::npos)
+        << st.message();
+  }
+}
+
+TEST(BeeVerifier, WarnModeRoutesRejectsThroughTelemetry) {
+  std::vector<ColMeta> meta = EvpMeta();
+  ExprPtr e = Cmp(CmpOp::kLt, Var(10, ColMeta::Of(TypeId::kInt32)),
+                  ConstInt32(5));
+  bee::PlacementArena arena;
+  telemetry::Registry& reg = telemetry::Registry::Global();
+  uint64_t before =
+      reg.GetCounter("microspec_bee_verify_rejects_total")->Value();
+  uint64_t events_before = reg.forge_trace()->total_recorded();
+  // Warn mode: the install proceeds (non-null bee) but the rejection is
+  // counted and traced instead of written to stderr.
+  auto b = bee::TrySpecializePredicateChecked(*e, &arena, true, &meta,
+                                              bee::VerifyMode::kWarn);
+  EXPECT_NE(b, nullptr);
+  EXPECT_EQ(reg.GetCounter("microspec_bee_verify_rejects_total")->Value(),
+            before + 1);
+  EXPECT_GT(reg.forge_trace()->total_recorded(), events_before);
+  std::vector<telemetry::ForgeEvent> events = reg.forge_trace()->Snapshot();
+  ASSERT_FALSE(events.empty());
+  const telemetry::ForgeEvent& ev = events.back();
+  EXPECT_EQ(ev.kind, telemetry::ForgeEventKind::kVerifyRejected);
+  EXPECT_STREQ(ev.relation, "query:evp");
+  EXPECT_NE(std::string(ev.detail).find("evp"), std::string::npos);
+  // Enforce mode on the same predicate refuses the install and counts again.
+  EXPECT_EQ(bee::TrySpecializePredicateChecked(*e, &arena, true, &meta,
+                                               bee::VerifyMode::kEnforce),
+            nullptr);
+  EXPECT_EQ(reg.GetCounter("microspec_bee_verify_rejects_total")->Value(),
+            before + 2);
 }
 
 }  // namespace
