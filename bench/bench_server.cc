@@ -1,0 +1,230 @@
+// Server front-door throughput: sustained QPS through the TCP wire protocol
+// at 1/8/32/64 concurrent client connections, over a mixed statement set of
+// TPC-H-flavored SELECTs served from one shared statement cache and one
+// shared query-bee cache. Writes BENCH_server.json via --json/BENCH_JSON.
+//
+//   ./build/bench/bench_server --json BENCH_server.json
+//   ./build/bench/bench_server --smoke     # check.sh gate: 32 concurrent
+//                                          # clients, differential vs the
+//                                          # library path, /metrics scrape,
+//                                          # clean shutdown
+//
+// Env knobs (bench_util): MICROSPEC_SF, MICROSPEC_BACKEND; plus
+// MICROSPEC_SERVER_MS (milliseconds measured per client count, default 500).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sqlfe/engine.h"
+
+using namespace microspec;
+
+namespace {
+
+/// The mixed statement set: selective scans (EVP bees), a join (EVJ bee),
+/// and aggregation — all within the SQL front end's grammar.
+const char* kStatements[] = {
+    "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity > 45",
+    "SELECT count(*) AS n FROM lineitem WHERE l_discount BETWEEN 0.05 AND "
+    "0.07",
+    "SELECT l_returnflag, count(*) AS n, sum(l_extendedprice) AS revenue "
+    "FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+    "SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > "
+    "400000 ORDER BY o_totalprice DESC LIMIT 10",
+    "SELECT count(*) AS n FROM orders JOIN customer ON o_custkey = "
+    "c_custkey WHERE c_acctbal > 5000",
+};
+constexpr int kNumStatements =
+    static_cast<int>(sizeof(kStatements) / sizeof(kStatements[0]));
+
+int DurationMsFromEnv() {
+  const char* ms = std::getenv("MICROSPEC_SERVER_MS");
+  return ms != nullptr && std::atoi(ms) > 0 ? std::atoi(ms) : 500;
+}
+
+/// Runs `clients` connections hammering the mixed set for `duration_ms`;
+/// returns total completed statements. Every client alternates simple-query
+/// and prepared execution so both protocol paths stay hot.
+uint64_t RunClients(int port, int clients, int duration_ms) {
+  std::atomic<uint64_t> completed{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      server::Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) return;
+      // Prepare every statement once per connection; the server-side cache
+      // makes this a pure lookup for all but the first connection.
+      for (int s = 0; s < kNumStatements; ++s) {
+        std::string name = "s" + std::to_string(s);
+        if (!client.Parse(name, kStatements[s]).ok()) return;
+        if (!client.Bind(name).ok()) return;
+      }
+      int i = c;  // stagger the mix across clients
+      while (!stop.load(std::memory_order_acquire)) {
+        const int s = i % kNumStatements;
+        if (i % 2 == 0) {
+          if (!client.Query(kStatements[s]).ok()) break;
+        } else {
+          if (!client.Execute("s" + std::to_string(s)).ok()) break;
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+      client.Terminate();
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  return completed.load();
+}
+
+std::vector<std::vector<std::string>> Sorted(
+    std::vector<std::vector<std::string>> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// The check.sh smoke gate. Returns 0 on success.
+int RunSmoke(Database* db, server::Server* srv) {
+  const int port = srv->port();
+  const int kClients = 32;
+
+  // Expected results via the library path, one context per statement run
+  // serially (the reference row sets).
+  std::vector<std::vector<std::vector<std::string>>> expected;
+  for (const char* sql : kStatements) {
+    auto ctx = db->MakeContext();
+    auto r = sqlfe::ExecuteSql(db, ctx.get(), sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "smoke: library path failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    expected.push_back(Sorted(r->rows));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      server::Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < 3; ++round) {
+        for (int s = 0; s < kNumStatements; ++s) {
+          Result<server::QueryResult> got = ((c + round) % 2 == 0)
+                  ? client.Query(kStatements[s])
+                  : [&]() -> Result<server::QueryResult> {
+                      std::string name = "t" + std::to_string(s);
+                      if (round == 0) {
+                        Status ps = client.Parse(name, kStatements[s]);
+                        if (!ps.ok()) return ps;
+                        Status bs = client.Bind(name);
+                        if (!bs.ok()) return bs;
+                      }
+                      return client.Execute(name);
+                    }();
+          if (!got.ok()) {
+            // Prepared statements are created on round 0 only when this
+            // client starts on the prepared branch; late rounds may hit
+            // "unknown statement" if the parity flipped — prepare then.
+            std::string name = "t" + std::to_string(s);
+            if (client.Parse(name, kStatements[s]).ok() &&
+                client.Bind(name).ok()) {
+              got = client.Execute(name);
+            }
+          }
+          if (!got.ok() || Sorted(got->rows) != expected[static_cast<size_t>(s)]) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+      client.Terminate();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "smoke: %d client(s) diverged from the library path\n",
+                 failures.load());
+    return 1;
+  }
+
+  // /metrics must serve the Prometheus rendering with the server families.
+  auto metrics = server::HttpGet("127.0.0.1", port, "/metrics");
+  if (!metrics.ok() ||
+      metrics->find("microspec_server_queries_total") == std::string::npos ||
+      metrics->find("microspec_stmt_cache_hits_total") == std::string::npos) {
+    std::fprintf(stderr, "smoke: /metrics scrape failed\n");
+    return 1;
+  }
+
+  // Clean shutdown: no session may remain in the system afterwards.
+  srv->Shutdown();
+  if (srv->sessions_in_system() != 0) {
+    std::fprintf(stderr, "smoke: sessions leaked across shutdown\n");
+    return 1;
+  }
+  std::printf("server smoke OK: %d clients x %d statements differential-equal, "
+              "metrics served, drained clean\n",
+              kClients, kNumStatements);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+
+  benchutil::BenchEnv env;
+  benchutil::PrintHeader("Server front door: sustained QPS", env);
+  auto db = benchutil::MakeTpchDb(env, "server", /*enable_bees=*/true,
+                                  /*tuple_bees=*/true,
+                                  /*share_query_bees=*/true);
+
+  server::ServerOptions sopts;
+  sopts.max_sessions = 64;
+  sopts.max_pending = 64;
+  server::Server srv(db.get(), sopts);
+  Status started = srv.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  if (smoke) return RunSmoke(db.get(), &srv);
+
+  const int duration_ms = DurationMsFromEnv();
+  benchutil::BenchReport report("server", env);
+  for (int clients : {1, 8, 32, 64}) {
+    const uint64_t done = RunClients(srv.port(), clients, duration_ms);
+    const double qps =
+        static_cast<double>(done) / (static_cast<double>(duration_ms) / 1e3);
+    std::printf("  clients=%-3d  %8.0f qps  (%llu statements)\n", clients,
+                qps, static_cast<unsigned long long>(done));
+    report.Add("clients_" + std::to_string(clients), "qps", qps);
+  }
+
+  srv.Shutdown();
+  report.AttachTelemetry(db->SnapshotTelemetry());
+  std::string path = report.WriteIfRequested(argc, argv);
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

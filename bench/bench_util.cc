@@ -54,13 +54,15 @@ BenchEnv::~BenchEnv() {
 std::unique_ptr<Database> OpenBenchDb(const BenchEnv& env,
                                       const std::string& name,
                                       bool enable_bees, bool tuple_bees,
-                                      size_t pool_frames) {
+                                      size_t pool_frames,
+                                      bool share_query_bees) {
   DatabaseOptions opts;
   opts.dir = env.scratch + "/" + name;
   opts.enable_bees = enable_bees;
   opts.enable_tuple_bees = tuple_bees;
   opts.backend = env.backend;
   opts.buffer_pool_frames = pool_frames;  // default 256 MiB
+  opts.share_query_bees = share_query_bees;
   auto res = Database::Open(std::move(opts));
   MICROSPEC_CHECK(res.ok());
   return res.MoveValue();
@@ -68,8 +70,10 @@ std::unique_ptr<Database> OpenBenchDb(const BenchEnv& env,
 
 std::unique_ptr<Database> MakeTpchDb(const BenchEnv& env,
                                      const std::string& name,
-                                     bool enable_bees, bool tuple_bees) {
-  auto db = OpenBenchDb(env, name, enable_bees, tuple_bees);
+                                     bool enable_bees, bool tuple_bees,
+                                     bool share_query_bees) {
+  auto db = OpenBenchDb(env, name, enable_bees, tuple_bees,
+                        /*pool_frames=*/32768, share_query_bees);
   MICROSPEC_CHECK(tpch::CreateTpchTables(db.get()).ok());
   MICROSPEC_CHECK(tpch::LoadTpch(db.get(), env.sf).ok());
   // Steady-state harnesses measure the promoted (native) tier; drain the

@@ -32,16 +32,20 @@ struct BenchEnv {
   ~BenchEnv();
 };
 
-/// Opens a database under `env.scratch`/`name`.
+/// Opens a database under `env.scratch`/`name`. `share_query_bees` turns on
+/// the process-wide query-bee cache (the server benches use it; the figure
+/// harnesses keep the paper's per-query specialization accounting).
 std::unique_ptr<Database> OpenBenchDb(const BenchEnv& env,
                                       const std::string& name,
                                       bool enable_bees, bool tuple_bees,
-                                      size_t pool_frames = 32768);
+                                      size_t pool_frames = 32768,
+                                      bool share_query_bees = false);
 
 /// Creates + loads all TPC-H tables at env.sf.
 std::unique_ptr<Database> MakeTpchDb(const BenchEnv& env,
                                      const std::string& name,
-                                     bool enable_bees, bool tuple_bees);
+                                     bool enable_bees, bool tuple_bees,
+                                     bool share_query_bees = false);
 
 /// Runs `fn` (reps + 2) times, drops the fastest and slowest, returns the
 /// mean of the rest in seconds — the paper's measurement protocol (§VI-A).

@@ -11,8 +11,12 @@
 //   echo "SELECT 1" | ./build/examples/example_sql_shell
 //   ./build/examples/example_sql_shell --demo
 
+#include <signal.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -24,6 +28,22 @@
 using namespace microspec;
 
 namespace {
+
+/// SIGTERM/SIGINT request a graceful exit: finish the statement in flight,
+/// quiesce the bee forge, leave. No SA_RESTART, so a blocked getline
+/// returns and the loop observes the flag.
+std::atomic<bool> g_shutdown{false};
+
+void OnSignal(int) { g_shutdown.store(true, std::memory_order_release); }
+
+void InstallSignalHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
 
 const char* kDemo[] = {
     "CREATE TABLE city (id INT NOT NULL, name VARCHAR NOT NULL, "
@@ -89,20 +109,27 @@ int main(int argc, char** argv) {
   }
   auto db = Database::Open(std::move(options)).MoveValue();
   auto ctx = db->MakeContext();
+  InstallSignalHandlers();
 
   if (argc > 1 && std::string(argv[1]) == "--demo") {
     for (const char* sql : kDemo) {
+      if (g_shutdown.load(std::memory_order_acquire)) break;
       std::printf("sql> %s\n", sql);
       RunOne(db.get(), ctx.get(), sql);
     }
+    db->QuiesceBees();
     return 0;
   }
 
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (!g_shutdown.load(std::memory_order_acquire) &&
+         std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == "\\q" || line == "quit") break;
     RunOne(db.get(), ctx.get(), line);
   }
+  // Drain pending background bee compiles before teardown, so an exiting
+  // shell never abandons a forge worker mid-compile.
+  db->QuiesceBees();
   return 0;
 }

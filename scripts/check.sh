@@ -41,20 +41,28 @@
 #      warm scan is slower than the scalar pipeline. Unlike the dop-scaling
 #      checks, the batch gate runs even on 1-CPU machines: batching must
 #      win (or at worst tie) without any parallelism.
+#   9. Server front-door gate, run unconditionally: the server test suite
+#      (wire protocol, admission control, statement-cache sharing with
+#      exact forge accounting, concurrent differential, shutdown drain)
+#      under ASan/UBSan and under TSan, then bench_server --smoke from the
+#      plain build: an ephemeral-port server, 32 concurrent clients mixing
+#      simple and prepared execution of the TPC-H statement set, rows
+#      diffed against the library path, a /metrics scrape, and a clean
+#      drain on shutdown.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== 1/8: -Werror build =="
+echo "== 1/9: -Werror build =="
 # -Wno-restrict: GCC 12's -O2 restrict analysis false-positives inside
 # libstdc++'s std::string append paths; everything else stays fatal.
 cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-Werror -Wno-restrict" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== 2/8: static analysis =="
+echo "== 2/9: static analysis =="
 if command -v cppcheck >/dev/null 2>&1; then
   cppcheck --quiet --error-exitcode=1 \
     --enable=warning,portability \
@@ -76,16 +84,16 @@ else
   echo "clang-tidy: not installed, skipped"
 fi
 
-echo "== 3/8: tests =="
+echo "== 3/9: tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== 4/8: mutation-fuzz proof harness =="
+echo "== 4/9: mutation-fuzz proof harness =="
 # Fixed seed so any escape reproduces locally; 350 mutants per family x 6
 # families comfortably clears the 2000-mutant floor and runs in well under
 # a second.
 "$BUILD_DIR"/examples/example_bee_inspector --fuzz 0xC0FFEE 350
 
-echo "== 5/8: telemetry overhead gate =="
+echo "== 5/9: telemetry overhead gate =="
 # Small scale + few reps keep this quick; the gate retries internally to
 # damp scheduler noise and exits nonzero only on a consistent regression.
 MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
@@ -94,7 +102,7 @@ MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
 
 case "${SANITIZE:-0}" in
   1)
-    echo "== 6/8: ASan/UBSan build + tests =="
+    echo "== 6/9: ASan/UBSan build + tests =="
     SAN_DIR="$BUILD_DIR-asan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="address;undefined" \
@@ -104,7 +112,7 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   thread)
-    echo "== 6/8: TSan build + tests =="
+    echo "== 6/9: TSan build + tests =="
     SAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="thread" \
@@ -114,12 +122,12 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   *)
-    echo "== 6/8: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
+    echo "== 6/9: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
          "SANITIZE=thread for TSan) =="
     ;;
 esac
 
-echo "== 7/8: parallel-execution sanitizer gate =="
+echo "== 7/9: parallel-execution sanitizer gate =="
 # Targeted builds: only the standalone parallel test binaries (plus their
 # dependencies) are compiled in the sanitizer trees, so this stays cheap
 # even when SANITIZE is unset and the full sanitized suites did not run.
@@ -140,7 +148,7 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
 TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_forge_stress_test
 TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_differential_test
 
-echo "== 8/8: batch-execution gate =="
+echo "== 8/9: batch-execution gate =="
 # Differential correctness first: batched plans must be row-identical to
 # the scalar serial engine under both sanitizer families (batches carry
 # page pins across the bounded Gather queue, so TSan coverage matters).
@@ -156,5 +164,21 @@ TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/batch_differential_test
 MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
 MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
   "$BUILD_DIR"/bench/bench_tpch_warm --batch-gate
+
+echo "== 9/9: server front-door gate =="
+# Sessions, the statement cache, the shared query-bee cache, and the forge
+# all race each other by design; the server suite never ships without both
+# sanitizer families.
+cmake --build "$ASAN_DIR" -j "$JOBS" --target server_test
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  "$ASAN_DIR"/tests/server_test
+cmake --build "$TSAN_DIR" -j "$JOBS" --target server_test
+TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/server_test
+
+# End-to-end smoke through a real socket: 32 concurrent clients, mixed
+# simple/prepared TPC-H statements, rows diffed against the library path,
+# /metrics scraped, then a clean drain.
+MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
+  "$BUILD_DIR"/bench/bench_server --smoke
 
 echo "check.sh: all gates passed"

@@ -56,6 +56,9 @@ Result<TableInfo*> Database::CreateTable(const std::string& name,
     MICROSPEC_RETURN_NOT_OK(
         bees_->CreateRelationBees(table, options_.enable_tuple_bees));
   }
+  // DDL invalidates every cached plan/bee keyed to the previous epoch.
+  shared_bees_.Invalidate();
+  ddl_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return table;
 }
 
@@ -65,6 +68,8 @@ Status Database::DropTable(const std::string& name) {
   TableId id = table->id();
   MICROSPEC_RETURN_NOT_OK(catalog_->DropTable(name));
   if (bees_ != nullptr) bees_->CollectTable(id);  // the Bee Collector
+  shared_bees_.Invalidate();
+  ddl_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

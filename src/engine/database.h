@@ -1,6 +1,7 @@
 #ifndef MICROSPEC_ENGINE_DATABASE_H_
 #define MICROSPEC_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/io_stats.h"
 #include "common/thread_pool.h"
 #include "exec/operator.h"
+#include "exec/shared_bees.h"
 
 namespace microspec {
 
@@ -47,6 +49,12 @@ struct DatabaseOptions {
   /// Bound on Gather's hand-off queue, in batches per worker; keeps a
   /// fast producer from buffering an unbounded deep copy of the input.
   int gather_max_batches = 4;
+  /// Shared bee economy (DESIGN.md "Server front door"): when true, every
+  /// context made by this database routes EVP/EVJ creation through one
+  /// process-wide QueryBeeCache, so N sessions preparing the same statement
+  /// forge exactly one verified bee. Off by default — the library path keeps
+  /// the paper's per-query specialization accounting.
+  bool share_query_bees = false;
 };
 
 /// The engine facade: owns the buffer pool, catalog, and (optionally) the
@@ -92,7 +100,19 @@ class Database {
         std::make_unique<ExecContext>(catalog_.get(), bees_.get(), opts);
     if (dop > 1) ctx->set_parallel(Executor(dop), dop, options_.morsel_pages);
     ctx->set_batch(options_.batch_rows, options_.gather_max_batches);
+    if (options_.share_query_bees) ctx->set_shared_bees(&shared_bees_);
     return ctx;
+  }
+
+  /// The process-wide query-bee cache (populated only when
+  /// `share_query_bees`); exposed for the server's telemetry and tests.
+  QueryBeeCache* shared_bees() { return &shared_bees_; }
+
+  /// Monotonic DDL counter: bumped by CreateTable/DropTable. Statement
+  /// caches key their entries to it, so any DDL invalidates every cached
+  /// plan (and this database's shared query bees) at the next lookup.
+  uint64_t ddl_epoch() const {
+    return ddl_epoch_.load(std::memory_order_acquire);
   }
 
   /// --- DML helpers (used by the TPC-C transactions and the loaders) ---------
@@ -167,6 +187,8 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<bee::BeeModule> bees_;
+  QueryBeeCache shared_bees_;
+  std::atomic<uint64_t> ddl_epoch_{0};
   std::mutex executor_mu_;
   int executor_threads_ = 0;
   /// Declared last: destroyed first, so in-flight worker tasks finish (the

@@ -1,6 +1,59 @@
 #include "exec/operator.h"
 
+#include "exec/shared_bees.h"
+
 namespace microspec {
+
+std::unique_ptr<PredicateEvaluator> ExecContext::MakePredicate(
+    ExprPtr expr, const std::vector<ColMeta>* input_meta) {
+  if (bees_ != nullptr) {
+    if (shared_bees_ != nullptr && opts_.enable_evp) {
+      std::shared_ptr<PredicateEvaluator> shared =
+          shared_bees_->GetOrBuildPredicate(
+              ExprFingerprint(*expr, input_meta), [&] {
+                return bees_->SpecializePredicate(*expr, opts_, input_meta);
+              });
+      if (shared != nullptr) {
+        return std::make_unique<SharedPredicate>(std::move(shared));
+      }
+      // Cached as not specializable: fall through to the interpreter
+      // without re-running the specializer/verifier.
+    } else {
+      std::unique_ptr<PredicateEvaluator> bee =
+          bees_->SpecializePredicate(*expr, opts_, input_meta);
+      if (bee != nullptr) return bee;
+    }
+  }
+  return std::make_unique<ExprPredicate>(std::move(expr));
+}
+
+std::unique_ptr<JoinKeyEvaluator> ExecContext::MakeJoinKeys(
+    std::vector<int> outer_cols, std::vector<int> inner_cols,
+    std::vector<ColMeta> key_meta, int outer_width, int inner_width) {
+  if (bees_ != nullptr) {
+    if (shared_bees_ != nullptr && opts_.enable_evj) {
+      std::shared_ptr<JoinKeyEvaluator> shared =
+          shared_bees_->GetOrBuildJoinKeys(
+              JoinKeysFingerprint(outer_cols, inner_cols, key_meta,
+                                  outer_width, inner_width),
+              [&] {
+                return bees_->SpecializeJoinKeys(outer_cols, inner_cols,
+                                                 key_meta, opts_, outer_width,
+                                                 inner_width);
+              });
+      if (shared != nullptr) {
+        return std::make_unique<SharedJoinKeys>(std::move(shared));
+      }
+    } else {
+      std::unique_ptr<JoinKeyEvaluator> bee =
+          bees_->SpecializeJoinKeys(outer_cols, inner_cols, key_meta, opts_,
+                                    outer_width, inner_width);
+      if (bee != nullptr) return bee;
+    }
+  }
+  return std::make_unique<GenericJoinKeys>(
+      std::move(outer_cols), std::move(inner_cols), std::move(key_meta));
+}
 
 Status ScalarNextIntoBatch(Operator* op, RowBatch* batch) {
   batch->Reset();

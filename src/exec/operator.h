@@ -78,6 +78,7 @@ class BeeHooks {
 
 class QueryStats;
 class ThreadPool;
+class QueryBeeCache;
 
 /// Per-query execution context: catalog access, the session's bee switches,
 /// scratch memory, and factories that route through bees when enabled.
@@ -139,14 +140,24 @@ class ExecContext {
   /// Gather's bounded-queue capacity, in batches per worker.
   int gather_max_batches() const { return gather_max_batches_; }
 
+  /// --- Shared bee economy (DESIGN.md "Server front door") ---
+  /// When set (Database::MakeContext under `share_query_bees`, i.e. the
+  /// server path), MakePredicate/MakeJoinKeys consult the process-wide
+  /// QueryBeeCache: the first session to prepare a shape forges and
+  /// verifies the bee, every later session — and every parallel fragment —
+  /// reuses it with no re-specialization and no re-verification.
+  void set_shared_bees(QueryBeeCache* cache) { shared_bees_ = cache; }
+  QueryBeeCache* shared_bees() { return shared_bees_; }
+
   /// A fresh context for one parallel worker: same catalog, bee module,
-  /// session switches and batch configuration, but its own arena and
-  /// memoization maps (and no executor — workers never build nested
-  /// parallel plans). The worker context must not outlive this context's
-  /// catalog/bee module.
+  /// session switches, batch configuration and shared bee cache, but its
+  /// own arena and memoization maps (and no executor — workers never build
+  /// nested parallel plans). The worker context must not outlive this
+  /// context's catalog/bee module.
   std::unique_ptr<ExecContext> MakeWorkerContext() {
     auto ctx = std::make_unique<ExecContext>(catalog_, bees_, opts_);
     ctx->set_batch(batch_rows_, gather_max_batches_);
+    ctx->set_shared_bees(shared_bees_);
     return ctx;
   }
 
@@ -188,39 +199,26 @@ class ExecContext {
 
   /// Predicate evaluator: EVP bee when enabled, the shape qualifies, and
   /// the verifier accepts it against `input_meta` (the caller's input row
-  /// shape, when known); else the generic interpreted tree.
+  /// shape, when known); else the generic interpreted tree. With a shared
+  /// bee cache installed the forged bee is a process-wide artifact served
+  /// to every session that prepares the same shape (see exec/shared_bees.h).
   std::unique_ptr<PredicateEvaluator> MakePredicate(
-      ExprPtr expr, const std::vector<ColMeta>* input_meta = nullptr) {
-    if (bees_ != nullptr) {
-      std::unique_ptr<PredicateEvaluator> bee =
-          bees_->SpecializePredicate(*expr, opts_, input_meta);
-      if (bee != nullptr) return bee;
-    }
-    return std::make_unique<ExprPredicate>(std::move(expr));
-  }
+      ExprPtr expr, const std::vector<ColMeta>* input_meta = nullptr);
 
   /// Join-key evaluator: EVJ bee when enabled and verified against the
   /// given side widths (0 = width unknown, range check skipped), else
-  /// generic.
+  /// generic. Shared-bee caching as in MakePredicate.
   std::unique_ptr<JoinKeyEvaluator> MakeJoinKeys(
       std::vector<int> outer_cols, std::vector<int> inner_cols,
       std::vector<ColMeta> key_meta, int outer_width = 0,
-      int inner_width = 0) {
-    if (bees_ != nullptr) {
-      std::unique_ptr<JoinKeyEvaluator> bee =
-          bees_->SpecializeJoinKeys(outer_cols, inner_cols, key_meta, opts_,
-                                    outer_width, inner_width);
-      if (bee != nullptr) return bee;
-    }
-    return std::make_unique<GenericJoinKeys>(
-        std::move(outer_cols), std::move(inner_cols), std::move(key_meta));
-  }
+      int inner_width = 0);
 
  private:
   Catalog* catalog_;
   BeeHooks* bees_;
   SessionOptions opts_;
   QueryStats* analyze_ = nullptr;
+  QueryBeeCache* shared_bees_ = nullptr;
   ThreadPool* executor_ = nullptr;
   int dop_ = 1;
   uint32_t morsel_pages_ = 0;  // 0 => kDefaultMorselPages

@@ -1,0 +1,143 @@
+#ifndef MICROSPEC_EXEC_SHARED_BEES_H_
+#define MICROSPEC_EXEC_SHARED_BEES_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "exec/access.h"
+
+namespace microspec {
+
+/// --- The shared bee economy -------------------------------------------------
+/// Query bees (EVP/EVJ) are created at query-preparation time and are pure
+/// functions of the predicate/join shape: immutable clause contexts in the
+/// placement arena plus ahead-of-time monomorphized kernels. Nothing about
+/// them is per-session — yet the library path forges a fresh bee (and runs
+/// the full verifier over it) for every operator Init of every session.
+///
+/// QueryBeeCache makes the forged bee a process-wide artifact: entries are
+/// keyed by a canonical fingerprint of the expression (or join-key program)
+/// plus the input row shape, built exactly once under a per-entry once-flag,
+/// and served to every later session as a shared, already-verified bee. K
+/// concurrent sessions preparing the same statement therefore trigger one
+/// specialization — the paper's amortization argument applied across
+/// sessions instead of across invocations.
+///
+/// Thread-safety: the cache is fully concurrent (map mutex + per-entry
+/// call_once). The cached bees themselves are safe to share — Matches /
+/// MatchBatch / Hash* / KeysEqual are const over immutable state, and the
+/// work-op accounting they do is thread-local.
+///
+/// Lifetime: entries hold shared_ptr ownership, so Invalidate() (the DDL
+/// hook) never frees a bee still referenced by a running query.
+
+/// Canonical fingerprint of a predicate expression evaluated against rows
+/// shaped like `input_meta` (nullable). Two expressions with equal
+/// fingerprints lower to byte-identical EVP bees: the serialization covers
+/// node kinds, operators, attribute numbers, column metadata, LIKE
+/// needles/modes, IN-list items, and constant bytes (byref payloads
+/// included, so `x > 5` and `x > 7` never collide).
+std::string ExprFingerprint(const Expr& expr,
+                            const std::vector<ColMeta>* input_meta);
+
+/// Canonical fingerprint of an EVJ join-key program.
+std::string JoinKeysFingerprint(const std::vector<int>& outer_cols,
+                                const std::vector<int>& inner_cols,
+                                const std::vector<ColMeta>& key_meta,
+                                int outer_width, int inner_width);
+
+class QueryBeeCache {
+ public:
+  QueryBeeCache() = default;
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(QueryBeeCache);
+
+  using PredicateBuilder =
+      std::function<std::unique_ptr<PredicateEvaluator>()>;
+  using JoinKeysBuilder = std::function<std::unique_ptr<JoinKeyEvaluator>()>;
+
+  /// Returns the shared evaluator for `key`, invoking `build` exactly once
+  /// per key process-wide (concurrent callers block until the builder
+  /// finishes). A builder returning nullptr — the shape is not
+  /// specializable, or the verifier rejected the bee — is remembered too, so
+  /// the expensive rejection path also runs once; such entries yield
+  /// nullptr and the caller falls back to the generic interpreter.
+  std::shared_ptr<PredicateEvaluator> GetOrBuildPredicate(
+      const std::string& key, const PredicateBuilder& build);
+  std::shared_ptr<JoinKeyEvaluator> GetOrBuildJoinKeys(
+      const std::string& key, const JoinKeysBuilder& build);
+
+  /// DDL hook: drops every entry. In-flight queries keep their bees alive
+  /// through shared ownership; later lookups rebuild against the new
+  /// catalog state.
+  void Invalidate();
+
+  struct Stats {
+    uint64_t hits = 0;    // lookups served by an existing entry
+    uint64_t misses = 0;  // lookups that ran (or waited on) a builder
+    size_t entries = 0;   // resident entries (including negative ones)
+  };
+  Stats stats() const;
+
+ private:
+  template <typename Evaluator>
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<Evaluator> bee;  // null for non-specializable shapes
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry<PredicateEvaluator>>>
+      predicates_;
+  std::unordered_map<std::string, std::shared_ptr<Entry<JoinKeyEvaluator>>>
+      join_keys_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Non-owning PredicateEvaluator adapter over a shared bee. Forwards both
+/// the row form and the batch form, so a shared EVP bee keeps its EVP-B
+/// selection-vector kernels (the default MatchBatch would re-gather rows).
+class SharedPredicate final : public PredicateEvaluator {
+ public:
+  explicit SharedPredicate(std::shared_ptr<PredicateEvaluator> bee)
+      : bee_(std::move(bee)) {}
+  bool Matches(const ExecRow& row) const override { return bee_->Matches(row); }
+  int MatchBatch(const Datum* const* cols, const bool* const* nulls, int ncols,
+                 int* sel, int nsel) const override {
+    return bee_->MatchBatch(cols, nulls, ncols, sel, nsel);
+  }
+
+ private:
+  std::shared_ptr<PredicateEvaluator> bee_;
+};
+
+/// Non-owning JoinKeyEvaluator adapter over a shared EVJ bee.
+class SharedJoinKeys final : public JoinKeyEvaluator {
+ public:
+  explicit SharedJoinKeys(std::shared_ptr<JoinKeyEvaluator> bee)
+      : bee_(std::move(bee)) {}
+  uint64_t HashOuter(const Datum* values, const bool* isnull) const override {
+    return bee_->HashOuter(values, isnull);
+  }
+  uint64_t HashInner(const Datum* values, const bool* isnull) const override {
+    return bee_->HashInner(values, isnull);
+  }
+  bool KeysEqual(const Datum* outer_values, const bool* outer_isnull,
+                 const Datum* inner_values,
+                 const bool* inner_isnull) const override {
+    return bee_->KeysEqual(outer_values, outer_isnull, inner_values,
+                           inner_isnull);
+  }
+
+ private:
+  std::shared_ptr<JoinKeyEvaluator> bee_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_SHARED_BEES_H_

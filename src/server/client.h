@@ -1,0 +1,73 @@
+#ifndef MICROSPEC_SERVER_CLIENT_H_
+#define MICROSPEC_SERVER_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "server/wire.h"
+
+namespace microspec::server {
+
+/// One query's result as decoded from the wire: column names, row cells
+/// (rendered text, matching sqlfe::SqlResult), and the completion tag.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  std::string tag;  // e.g. "SELECT 3", "INSERT 2", "CREATE TABLE"
+};
+
+/// Minimal blocking client for the microspec wire protocol — the test and
+/// bench harness's counterpart to the server, and the reference
+/// implementation for the framing. Not thread-safe; one Client per
+/// connection per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(Client);
+
+  Status Connect(const std::string& host, int port);
+
+  /// Simple query protocol: send 'Q', collect T/D*/C (or E), consume the
+  /// trailing ReadyForQuery.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// Extended protocol. Parse/Bind/CloseStmt expect a single ack frame;
+  /// Execute streams like Query.
+  Status Parse(const std::string& name, const std::string& sql);
+  Status Bind(const std::string& name);
+  Result<QueryResult> Execute(const std::string& name);
+  Status CloseStmt(const std::string& name);
+
+  /// Sends Terminate and closes the socket.
+  void Terminate();
+
+  /// Low-level escape hatches for protocol tests: send one raw frame /
+  /// arbitrary bytes, read one frame back.
+  Status SendFrame(char type, std::string_view payload);
+  Status SendRaw(std::string_view bytes);
+  Result<Frame> ReadOne();
+
+  bool connected() const { return fd_ >= 0; }
+
+  void Close();
+
+ private:
+  /// Reads T/D*/C into a QueryResult, then the trailing 'Z'. An 'E' frame
+  /// anywhere yields its message as an Internal error (after consuming the
+  /// 'Z' that follows execute-phase errors).
+  Result<QueryResult> ReadQueryResponse();
+
+  int fd_ = -1;
+};
+
+/// One-shot HTTP GET against the server's listener (the /metrics scrape
+/// path). Returns the response body on HTTP 200.
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& path);
+
+}  // namespace microspec::server
+
+#endif  // MICROSPEC_SERVER_CLIENT_H_

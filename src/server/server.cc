@@ -1,0 +1,360 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/telemetry.h"
+#include "sqlfe/engine.h"
+
+namespace microspec::server {
+
+namespace {
+
+telemetry::Gauge* SessionsActive() {
+  static telemetry::Gauge* g = telemetry::Registry::Global().GetGauge(
+      "microspec_server_sessions_active");
+  return g;
+}
+
+telemetry::Counter* QueriesTotal() {
+  static telemetry::Counter* c = telemetry::Registry::Global().GetCounter(
+      "microspec_server_queries_total");
+  return c;
+}
+
+telemetry::Histogram* QueryLatency() {
+  static telemetry::Histogram* h = telemetry::Registry::Global().GetHistogram(
+      "microspec_server_query_ns");
+  return h;
+}
+
+/// PostgreSQL-style completion tag for one executed statement.
+std::string CommandTag(const sqlfe::Statement& stmt,
+                       const sqlfe::SqlResult& result) {
+  switch (stmt.kind) {
+    case sqlfe::Statement::Kind::kCreateTable:
+      return "CREATE TABLE";
+    case sqlfe::Statement::Kind::kInsert:
+      return "INSERT " + std::to_string(result.affected);
+    case sqlfe::Statement::Kind::kSelect:
+      return "SELECT " + std::to_string(result.rows.size());
+  }
+  return "OK";
+}
+
+}  // namespace
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      stmt_cache_(options_.stmt_cache_capacity) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status s = Status::IoError(std::string("bind: ") + strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.max_sessions + options_.max_pending) !=
+      0) {
+    Status s = Status::IoError(std::string("listen: ") + strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t alen = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &alen) == 0) {
+    port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  }
+
+  session_pool_ = std::make_unique<ThreadPool>(options_.max_sessions);
+  started_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    int pr = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    // Admission control: run now, wait for a slot, or bounce.
+    int in_system = in_system_.load(std::memory_order_acquire);
+    bool admitted = false;
+    while (in_system < options_.max_sessions + options_.max_pending) {
+      if (in_system_.compare_exchange_weak(in_system, in_system + 1,
+                                           std::memory_order_acq_rel)) {
+        admitted = true;
+        break;
+      }
+    }
+    if (!admitted) {
+      (void)WriteFrame(fd, kMsgError, "server busy: admission queue full");
+      ::close(fd);
+      continue;
+    }
+    session_pool_->Submit([this, fd] { RunSession(fd); });
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::ServeHttp(int fd) {
+  // Read the request head (bounded); we only need the request line.
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos && head.size() < 8192) {
+    ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r <= 0) break;
+    head.append(buf, static_cast<size_t>(r));
+  }
+  std::string body;
+  std::string status_line = "HTTP/1.1 200 OK";
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  if (request_line.rfind("GET /metrics", 0) == 0) {
+    body = db_->SnapshotTelemetry().ToPrometheusText();
+  } else {
+    status_line = "HTTP/1.1 404 Not Found";
+    body = "not found\n";
+  }
+  std::string response = status_line +
+                         "\r\nContent-Type: text/plain; version=0.0.4"
+                         "\r\nContent-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  (void)WriteAll(fd, response);
+}
+
+void Server::RunSession(int fd) {
+  // If shutdown began while this session waited for a slot, bounce it
+  // without reading — drain must not depend on client behavior.
+  if (stop_.load(std::memory_order_acquire)) {
+    (void)WriteFrame(fd, kMsgError, "server shutting down");
+  } else {
+    // Sniff (without consuming) the first byte: 'G' selects the HTTP
+    // /metrics path ('G' is not a client frame type), anything else is the
+    // wire protocol.
+    char first = 0;
+    ssize_t r;
+    do {
+      r = ::recv(fd, &first, 1, MSG_PEEK);
+    } while (r < 0 && errno == EINTR);
+    if (r == 1 && first == 'G') {
+      ServeHttp(fd);
+    } else if (r == 1) {
+      // Only wire-protocol sessions count toward the gauge; an HTTP scrape
+      // must observe the same numbers a direct SnapshotTelemetry() returns.
+      SessionsActive()->Add(1);
+      std::unordered_map<std::string, std::shared_ptr<const sqlfe::Statement>>
+          prepared;
+      std::unordered_map<std::string, bool> bound;
+      std::unique_ptr<ExecContext> ctx = db_->MakeContext();
+      bool keep_going = true;
+      while (keep_going && !stop_.load(std::memory_order_acquire)) {
+        Frame frame;
+        Status s = ReadFrame(fd, options_.max_frame_bytes, &frame, &stop_);
+        if (!s.ok()) {
+          if (s.code() == StatusCode::kResourceExhausted) {
+            (void)WriteFrame(fd, kMsgError, "server shutting down");
+          } else if (s.code() == StatusCode::kInvalidArgument) {
+            (void)WriteFrame(fd, kMsgError, s.message());
+          }
+          break;
+        }
+        keep_going = HandleFrame(fd, ctx.get(), frame, &prepared, &bound);
+      }
+      SessionsActive()->Add(-1);
+    }
+  }
+
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> guard(drain_mutex_);
+    in_system_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  drained_.notify_all();
+}
+
+bool Server::HandleFrame(
+    int fd, ExecContext* ctx, const Frame& frame,
+    std::unordered_map<std::string, std::shared_ptr<const sqlfe::Statement>>*
+        prepared,
+    std::unordered_map<std::string, bool>* bound) {
+  switch (frame.type) {
+    case kMsgSimpleQuery: {
+      Result<std::shared_ptr<const sqlfe::Statement>> stmt =
+          stmt_cache_.GetOrParse(frame.payload, db_->ddl_epoch());
+      if (!stmt.ok()) {
+        (void)WriteFrame(fd, kMsgError, stmt.status().ToString());
+      } else {
+        RunStatement(fd, ctx, **stmt);
+      }
+      (void)WriteFrame(fd, kMsgReady, "I");
+      return true;
+    }
+    case kMsgParse: {
+      std::vector<Field> fields;
+      Status s = DecodeFields(frame.payload, &fields);
+      if (!s.ok() || fields.size() != 2 || fields[0].is_null ||
+          fields[1].is_null) {
+        (void)WriteFrame(fd, kMsgError, "malformed Parse message");
+        return false;  // protocol error: drop the connection
+      }
+      Result<std::shared_ptr<const sqlfe::Statement>> stmt =
+          stmt_cache_.GetOrParse(fields[1].text, db_->ddl_epoch());
+      if (!stmt.ok()) {
+        (void)WriteFrame(fd, kMsgError, stmt.status().ToString());
+        return true;
+      }
+      (*prepared)[fields[0].text] = stmt.MoveValue();
+      bound->erase(fields[0].text);
+      (void)WriteFrame(fd, kMsgParseComplete, "");
+      return true;
+    }
+    case kMsgBind: {
+      std::vector<Field> fields;
+      Status s = DecodeFields(frame.payload, &fields);
+      if (!s.ok() || fields.size() != 1 || fields[0].is_null) {
+        (void)WriteFrame(fd, kMsgError, "malformed Bind message");
+        return false;
+      }
+      if (prepared->find(fields[0].text) == prepared->end()) {
+        (void)WriteFrame(fd, kMsgError,
+                         "unknown statement " + fields[0].text);
+        return true;
+      }
+      (*bound)[fields[0].text] = true;
+      (void)WriteFrame(fd, kMsgBindComplete, "");
+      return true;
+    }
+    case kMsgExecute: {
+      std::vector<Field> fields;
+      Status s = DecodeFields(frame.payload, &fields);
+      if (!s.ok() || fields.size() != 1 || fields[0].is_null) {
+        (void)WriteFrame(fd, kMsgError, "malformed Execute message");
+        return false;
+      }
+      auto it = prepared->find(fields[0].text);
+      if (it == prepared->end()) {
+        (void)WriteFrame(fd, kMsgError,
+                         "unknown statement " + fields[0].text);
+      } else if (!(*bound)[fields[0].text]) {
+        (void)WriteFrame(fd, kMsgError,
+                         "statement " + fields[0].text + " not bound");
+      } else {
+        RunStatement(fd, ctx, *it->second);
+      }
+      (void)WriteFrame(fd, kMsgReady, "I");
+      return true;
+    }
+    case kMsgCloseStmt: {
+      std::vector<Field> fields;
+      Status s = DecodeFields(frame.payload, &fields);
+      if (!s.ok() || fields.size() != 1 || fields[0].is_null) {
+        (void)WriteFrame(fd, kMsgError, "malformed Close message");
+        return false;
+      }
+      prepared->erase(fields[0].text);
+      bound->erase(fields[0].text);
+      (void)WriteFrame(fd, kMsgCloseComplete, "");
+      return true;
+    }
+    case kMsgTerminate:
+      return false;
+    default:
+      (void)WriteFrame(
+          fd, kMsgError,
+          std::string("unknown message type '") + frame.type + "'");
+      return false;  // cannot trust the stream after an unknown frame
+  }
+}
+
+void Server::RunStatement(int fd, ExecContext* ctx,
+                          const sqlfe::Statement& stmt) {
+  const uint64_t t0 = telemetry::NowNs();
+  Result<sqlfe::SqlResult> run = sqlfe::ExecuteParsed(db_, ctx, stmt);
+  QueryLatency()->Observe(telemetry::NowNs() - t0);
+  QueriesTotal()->Add(1);
+  if (!run.ok()) {
+    (void)WriteFrame(fd, kMsgError, run.status().ToString());
+    return;
+  }
+  const sqlfe::SqlResult& result = *run;
+  // Batch the whole response into one write: fewer syscalls, and a row
+  // stream can never interleave with another session's frames (each session
+  // owns its fd, but small writes would still fragment badly under TCP).
+  std::string out;
+  if (!result.columns.empty()) {
+    EncodeFrame(kMsgRowDescription, EncodeStrings(result.columns), &out);
+    for (const std::vector<std::string>& row : result.rows) {
+      EncodeFrame(kMsgDataRow, EncodeStrings(row), &out);
+    }
+  }
+  EncodeFrame(kMsgCommandComplete, CommandTag(stmt, result), &out);
+  (void)WriteAll(fd, out);
+}
+
+void Server::Shutdown() {
+  // Serialized: concurrent callers (signal handler path + destructor) take
+  // turns; the second sees shutdown_done_ and returns once drained.
+  std::lock_guard<std::mutex> shutdown_guard(shutdown_mutex_);
+  if (!started_.load(std::memory_order_acquire) || shutdown_done_) return;
+  stop_.store(true, std::memory_order_release);
+  // 1. Stop accepting: the accept thread notices stop_ within its poll
+  //    timeout and closes the listen socket.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // 2. Drain sessions: active ones finish their in-flight statement and
+  //    exit at the next frame boundary; queued ones are bounced on entry.
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drained_.wait(lock, [this] {
+      return in_system_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // 3. Tear down the session pool (all tasks done), then quiesce the bee
+  //    forge so no background compile outlives the server.
+  session_pool_.reset();
+  db_->QuiesceBees();
+  shutdown_done_ = true;
+}
+
+}  // namespace microspec::server

@@ -1,0 +1,110 @@
+#ifndef MICROSPEC_SERVER_WIRE_H_
+#define MICROSPEC_SERVER_WIRE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace microspec::server {
+
+/// --- Wire protocol ----------------------------------------------------------
+/// A PostgreSQL-subset-in-spirit message protocol: every message is one
+/// frame of
+///
+///   [1 byte type] [u32 little-endian payload length] [payload bytes]
+///
+/// Client-to-server types:
+///   'Q'  SimpleQuery    payload = SQL text (raw bytes)
+///   'P'  Parse          payload = strings(statement name, SQL text)
+///   'B'  Bind           payload = strings(statement name)
+///   'E'  Execute        payload = strings(statement name)
+///   'C'  CloseStmt      payload = strings(statement name)
+///   'X'  Terminate      payload = empty
+///
+/// Server-to-client types:
+///   'T'  RowDescription payload = strings(column names)
+///   'D'  DataRow        payload = strings(cell texts; NULL cells use the
+///                       0xFFFFFFFF length sentinel)
+///   'C'  CommandComplete payload = tag, e.g. "SELECT 3", "INSERT 2"
+///   'E'  Error          payload = message text
+///   'Z'  ReadyForQuery  payload = 1 byte session state ('I' = idle)
+///   '1'  ParseComplete  payload = empty
+///   '2'  BindComplete   payload = empty
+///   '3'  CloseComplete  payload = empty
+///
+/// The structured payload ("strings(...)") is a u16 field count followed by
+/// that many [u32 length][bytes] fields; the length 0xFFFFFFFF encodes SQL
+/// NULL (a field that is absent rather than empty). Frames are length-
+/// prefixed, so the reader never scans for terminators; a frame longer than
+/// the configured maximum is a protocol error and closes the connection
+/// (after an oversized or garbage length the stream cannot be resynced).
+
+/// Frame type bytes, as constants so call sites read symbolically.
+inline constexpr char kMsgSimpleQuery = 'Q';
+inline constexpr char kMsgParse = 'P';
+inline constexpr char kMsgBind = 'B';
+inline constexpr char kMsgExecute = 'E';
+inline constexpr char kMsgCloseStmt = 'C';
+inline constexpr char kMsgTerminate = 'X';
+
+inline constexpr char kMsgRowDescription = 'T';
+inline constexpr char kMsgDataRow = 'D';
+inline constexpr char kMsgCommandComplete = 'C';
+inline constexpr char kMsgError = 'E';
+inline constexpr char kMsgReady = 'Z';
+inline constexpr char kMsgParseComplete = '1';
+inline constexpr char kMsgBindComplete = '2';
+inline constexpr char kMsgCloseComplete = '3';
+
+/// The NULL-cell length sentinel in DataRow payloads.
+inline constexpr uint32_t kNullField = 0xFFFFFFFFu;
+
+/// One decoded frame.
+struct Frame {
+  char type = 0;
+  std::string payload;
+};
+
+/// One structured-payload field: bytes, or SQL NULL.
+struct Field {
+  std::string text;
+  bool is_null = false;
+};
+
+/// Encodes a frame (header + payload) into `out` (appended).
+void EncodeFrame(char type, std::string_view payload, std::string* out);
+
+/// Builds a structured payload from fields.
+std::string EncodeFields(const std::vector<Field>& fields);
+/// Convenience for all-non-NULL fields.
+std::string EncodeStrings(const std::vector<std::string>& strings);
+
+/// Parses a structured payload. Fails on truncated or trailing bytes.
+Status DecodeFields(std::string_view payload, std::vector<Field>* out);
+
+/// --- Blocking socket framing ------------------------------------------------
+/// Reads exactly one frame from `fd`. `max_payload` bounds the declared
+/// length (protocol guard). Returns:
+///   OK          — *frame holds the message
+///   NotFound    — orderly EOF before any header byte (peer closed idle)
+///   InvalidArgument — malformed header (oversized length); unrecoverable
+///   IOError     — read error / EOF mid-frame
+/// `stop` (nullable, polled ~10x/sec) aborts a blocked read with
+/// ResourceExhausted("shutdown") — the graceful-shutdown hook for sessions
+/// parked in recv().
+Status ReadFrame(int fd, size_t max_payload, Frame* frame,
+                 const std::atomic<bool>* stop = nullptr);
+
+/// Writes all of `data` to `fd` (handles short writes; EPIPE => IOError).
+Status WriteAll(int fd, std::string_view data);
+
+/// Encode-and-send convenience.
+Status WriteFrame(int fd, char type, std::string_view payload);
+
+}  // namespace microspec::server
+
+#endif  // MICROSPEC_SERVER_WIRE_H_

@@ -439,6 +439,11 @@ std::string SqlResult::ToString() const {
 Result<SqlResult> ExecuteSql(Database* db, ExecContext* ctx,
                              const std::string& sql) {
   MICROSPEC_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  return ExecuteParsed(db, ctx, stmt);
+}
+
+Result<SqlResult> ExecuteParsed(Database* db, ExecContext* ctx,
+                                const Statement& stmt) {
   switch (stmt.kind) {
     case Statement::Kind::kCreateTable:
       return RunCreate(db, stmt.create);

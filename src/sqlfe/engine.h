@@ -30,6 +30,15 @@ struct SqlResult {
 Result<SqlResult> ExecuteSql(Database* db, ExecContext* ctx,
                              const std::string& sql);
 
+/// Executes an already-parsed statement. This is the prepared-statement
+/// entry point: the server front door parses once into its shared statement
+/// cache and runs the cached AST through here for every later execution,
+/// under whatever session context each connection holds. Thread-safe for
+/// concurrent callers sharing one `const Statement` (execution never
+/// mutates the AST).
+Result<SqlResult> ExecuteParsed(Database* db, ExecContext* ctx,
+                                const Statement& stmt);
+
 }  // namespace microspec::sqlfe
 
 #endif  // MICROSPEC_SQLFE_ENGINE_H_
