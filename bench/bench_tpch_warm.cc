@@ -9,13 +9,18 @@
 // MICROSPEC_GATE_TOL_PCT (default 2) percent slower than the ON path — i.e.
 // if turning instrumentation OFF somehow fails to be at least as fast.
 // Retried a few times to damp scheduler noise; wired into scripts/check.sh.
+// --trace-gate applies the same discipline to span tracing and workload
+// stats: the untraced path must be no slower than a run with full per-query
+// span trees and column sketches collected.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "bench_util.h"
 #include "common/counters.h"
+#include "common/tracing.h"
 #include "exec/batch.h"
 #include "exec/plan_builder.h"
 
@@ -338,12 +343,83 @@ int RunTelemetryGate() {
   return 1;
 }
 
+/// --trace-gate: fails (exit 1) if span tracing costs anything while off.
+/// The OFF side is the stock bench path (trace_sample_n = 0: null
+/// TraceContext, no stats feedback — exactly what every figure harness
+/// runs); the ON side runs the same query suite with a forced trace
+/// installed on every query context plus workload-stats collection, i.e.
+/// full per-query span trees and per-column sketches. OFF must not be
+/// slower than ON: tracing's off-path residue is one null test on
+/// per-query paths and one thread-local load on stall paths, and this gate
+/// is where that contract is enforced. Interleaved and retried like the
+/// telemetry gate; wired into scripts/check.sh.
+int RunTraceGate() {
+  BenchEnv env;
+  benchutil::PrintHeader("Trace gate: sampling-off must stay free", env);
+  auto db = benchutil::MakeTpchDb(env, "gate", true, true);
+
+  double tol_pct = 2.0;
+  const char* tol_env = std::getenv("MICROSPEC_GATE_TOL_PCT");
+  if (tol_env != nullptr && std::atof(tol_env) > 0) {
+    tol_pct = std::atof(tol_env);
+  }
+
+  auto run_off = [&] {
+    for (int q = 1; q <= tpch::kNumTpchQueries; ++q) {
+      RunTpchQuery(db.get(), SessionOptions::AllBees(), q);
+    }
+  };
+  // The traced side mirrors what sqlfe does for a sampled statement:
+  // statement root span, default parent for bee summaries, thread-local
+  // install for wait attribution, stats-feedback sink on the context.
+  auto run_traced = [&] {
+    for (int q = 1; q <= tpch::kNumTpchQueries; ++q) {
+      auto ctx = db->MakeContext(SessionOptions::AllBees());
+      ctx->set_stats_feedback(db->stats_feedback());
+      std::shared_ptr<trace::Trace> tr = db->tracer()->StartForced();
+      uint32_t root = tr->Begin(0, trace::SpanKind::kStatement,
+                                "q" + std::to_string(q));
+      tr->SetDefaultParent(root);
+      ctx->set_trace(trace::TraceContext{tr.get(), root});
+      trace::ThreadTraceScope scope(tr.get(), root);
+      auto plan = tpch::BuildTpchQuery(q, ctx.get());
+      MICROSPEC_CHECK(plan.ok());
+      auto rows = CountRows(plan->get());
+      MICROSPEC_CHECK(rows.ok());
+      tr->End(root);
+      db->tracer()->Publish(std::move(tr));
+    }
+  };
+  run_off();     // warm the cache
+  run_traced();  // and the traced path's allocations
+
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    double t_off = 0;
+    double t_on = 0;
+    benchutil::PaperMeanPair(env.reps, run_off, run_traced, &t_off, &t_on);
+    double delta_pct = t_on > 0 ? (t_off - t_on) / t_on * 100.0 : 0;
+    std::printf("attempt %d: off %.2f ms, traced %.2f ms (off-traced delta "
+                "%+.2f%%, tolerance %.1f%%)\n",
+                attempt, t_off * 1e3, t_on * 1e3, delta_pct, tol_pct);
+    if (t_off <= t_on * (1.0 + tol_pct / 100.0)) {
+      std::printf("trace gate PASS\n");
+      return 0;
+    }
+  }
+  std::printf("trace gate FAIL: the tracing-off path is consistently slower "
+              "than full span tracing\n");
+  return 1;
+}
+
 }  // namespace
 }  // namespace microspec
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--telemetry-gate") == 0) {
     return microspec::RunTelemetryGate();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--trace-gate") == 0) {
+    return microspec::RunTraceGate();
   }
   if (argc > 1 && std::strcmp(argv[1], "--batch-gate") == 0) {
     return microspec::RunBatchGate();

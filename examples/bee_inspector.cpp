@@ -33,10 +33,26 @@
 // non-zero if any catalog-inconsistent mutant goes undetected.
 //
 //   ./build/examples/example_bee_inspector --fuzz [seed [count]]
+//
+// With --trace it runs a short SQL workload over TPC-H data with every
+// statement sampled (trace_sample_n=1, dop 2), prints the span tree of each
+// sampled query — session phases, operators, fragments, bee invocations,
+// wait states — and, with a file argument, exports the whole trace ring as
+// Chrome trace_event JSON for chrome://tracing / Perfetto.
+//
+//   ./build/examples/example_bee_inspector --trace [out.json]
+//
+// With --slow it runs the same workload with the slow-query threshold at
+// zero so every statement qualifies, and prints the slow-query log: per-
+// phase latency breakdown plus the auto-attached EXPLAIN ANALYZE tree of
+// the slowest statement.
+//
+//   ./build/examples/example_bee_inspector --slow
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,9 +61,11 @@
 #include "bee/native_jit.h"
 #include "bee/verifier.h"
 #include "common/telemetry.h"
+#include "common/tracing.h"
 #include "engine/database.h"
 #include "exec/batch.h"
 #include "exec/seq_scan.h"
+#include "sqlfe/engine.h"
 #include "workloads/tpcc/tpcc_schema.h"
 #include "workloads/tpch/dbgen.h"
 #include "workloads/tpch/tpch_schema.h"
@@ -300,6 +318,104 @@ int RunForgeMode() {
   return fs.promotions > 0 ? 0 : 1;
 }
 
+/// Opens a bee-enabled TPC-H database with span tracing on (every statement
+/// sampled) and runs a small SQL workload through the front end, so the
+/// traces cover scans, EVP filters, an EVJ join, aggregation, and dop-2
+/// fragments.
+std::unique_ptr<Database> RunTracedTpchWorkload(uint64_t slow_query_ns) {
+  std::string dir = "/tmp/microspec_inspector_trace";
+  (void)std::system(("rm -rf " + dir).c_str());
+  telemetry::SetEnabled(true);
+  DatabaseOptions options;
+  options.dir = dir;
+  options.enable_bees = true;
+  options.enable_tuple_bees = true;
+  options.dop = 2;
+  options.trace_sample_n = 1;
+  options.slow_query_ns = slow_query_ns;
+  options.stats_feedback = true;
+  if (bee::NativeJit::CompilerAvailable()) {
+    options.backend = bee::BeeBackend::kNative;
+  }
+  auto db = Database::Open(std::move(options)).MoveValue();
+  MICROSPEC_CHECK(tpch::CreateTpchTables(db.get()).ok());
+  MICROSPEC_CHECK(tpch::LoadTpch(db.get(), 0.002).ok());
+  db->QuiesceBees();
+
+  const char* queries[] = {
+      "SELECT count(*) AS n FROM lineitem WHERE l_quantity < 25",
+      "SELECT l_returnflag, count(*) AS n, sum(l_quantity) AS qty "
+      "FROM lineitem GROUP BY l_returnflag",
+      "SELECT count(*) AS matched FROM orders JOIN lineitem "
+      "ON o_orderkey = l_orderkey WHERE l_quantity < 10",
+  };
+  auto ctx = db->MakeContext();
+  for (const char* sql : queries) {
+    auto result = sqlfe::ExecuteSql(db.get(), ctx.get(), sql);
+    MICROSPEC_CHECK(result.ok());
+  }
+  return db;
+}
+
+/// --trace [file]: span trees of every sampled query; optional Chrome JSON
+/// export of the whole ring.
+int RunTraceMode(int argc, char** argv) {
+  std::unique_ptr<Database> db = RunTracedTpchWorkload(250'000'000);
+  std::vector<std::shared_ptr<const trace::Trace>> recent =
+      db->tracer()->Recent();
+  std::printf("=== sampled query span trees (%zu traces) ===\n", recent.size());
+  for (const auto& t : recent) {
+    // The load's INSERT statements are sampled too; only show queries.
+    if (t->sql().empty() || t->sql().rfind("SELECT", 0) != 0) continue;
+    std::printf("\n%s", trace::RenderTraceTree(*t).c_str());
+  }
+  if (argc > 2) {
+    const std::string json = db->tracer()->ChromeTraceJson();
+    std::FILE* f = std::fopen(argv[2], "w");
+    if (f == nullptr) {
+      std::printf("\nerror: cannot open %s\n", argv[2]);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %zu bytes of Chrome trace JSON to %s "
+                "(open in chrome://tracing)\n",
+                json.size(), argv[2]);
+  }
+  return 0;
+}
+
+/// --slow: the slow-query log with a zero threshold, so every statement of
+/// the workload lands in it with its per-phase breakdown and EXPLAIN
+/// ANALYZE tree.
+int RunSlowMode() {
+  std::unique_ptr<Database> db = RunTracedTpchWorkload(/*slow_query_ns=*/0);
+  std::vector<trace::SlowQuery> log = db->tracer()->SlowLog();
+  std::printf("=== slow-query log (threshold 0 ns; %zu entries) ===\n\n",
+              log.size());
+  telemetry::TextTable table;
+  table.Header({"trace", "total(ms)", "parse(ms)", "plan(ms)", "exec(ms)",
+                "sql"});
+  char buf[32];
+  auto ms = [&buf](uint64_t ns) {
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+    return std::string(buf);
+  };
+  const trace::SlowQuery* slowest = nullptr;
+  for (const trace::SlowQuery& q : log) {
+    table.Row({std::to_string(q.trace_id), ms(q.total_ns), ms(q.parse_ns),
+               ms(q.plan_ns), ms(q.exec_ns),
+               q.sql.size() > 48 ? q.sql.substr(0, 45) + "..." : q.sql});
+    if (slowest == nullptr || q.total_ns > slowest->total_ns) slowest = &q;
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (slowest != nullptr && !slowest->analyze.empty()) {
+    std::printf("\n--- EXPLAIN ANALYZE of the slowest statement ---\n%s\n%s\n",
+                slowest->sql.c_str(), slowest->analyze.c_str());
+  }
+  return log.empty() ? 1 : 0;
+}
+
 /// --fuzz: the mutation-fuzz proof harness as a standalone gate (CI runs it
 /// through scripts/check.sh with a pinned seed).
 int RunFuzzMode(int argc, char** argv) {
@@ -333,6 +449,12 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "--metrics") == 0) {
     return RunMetricsMode();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--trace") == 0) {
+    return RunTraceMode(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--slow") == 0) {
+    return RunSlowMode();
   }
   std::string dir = "/tmp/microspec_inspector";
   (void)std::system(("rm -rf " + dir).c_str());

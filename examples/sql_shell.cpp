@@ -6,7 +6,11 @@
 //
 // Shell commands: `\metrics` prints the database's telemetry snapshot in
 // Prometheus text format, `EXPLAIN ANALYZE SELECT ...` returns the
-// per-operator stats tree instead of the rows, `\q` quits.
+// per-operator stats tree instead of the rows, `\q` quits. Span tracing
+// (DESIGN.md §10): `\trace on` samples every following statement into a
+// full span tree, `\trace` prints the latest sampled tree, `\trace FILE`
+// exports the trace ring as Chrome trace_event JSON (open in
+// chrome://tracing or Perfetto), `\trace off` turns sampling back off.
 //
 //   echo "SELECT 1" | ./build/examples/example_sql_shell
 //   ./build/examples/example_sql_shell --demo
@@ -22,6 +26,7 @@
 #include <string_view>
 
 #include "common/telemetry.h"
+#include "common/tracing.h"
 #include "exec/batch.h"
 #include "sqlfe/engine.h"
 
@@ -51,17 +56,50 @@ const char* kDemo[] = {
     "INSERT INTO city VALUES (1, 'Tucson', 'US', 0.55), "
     "(2, 'Phoenix', 'US', 1.6), (3, 'Munich', 'DE', 1.5), "
     "(4, 'Berlin', 'DE', 3.6), (5, 'Hamburg', 'DE', 1.9)",
+    "\\trace on",
     "SELECT * FROM city WHERE pop > 1 ORDER BY pop DESC",
     "SELECT country, count(*) AS cities, sum(pop) AS total_pop "
     "FROM city GROUP BY country ORDER BY country",
     "EXPLAIN ANALYZE SELECT country, count(*) AS cities "
     "FROM city WHERE pop > 1 GROUP BY country",
+    "\\trace",
     "\\metrics",
 };
 
 void RunOne(Database* db, ExecContext* ctx, const std::string& sql) {
   if (sql == "\\metrics") {
     std::printf("%s", db->SnapshotTelemetry().ToPrometheusText().c_str());
+    return;
+  }
+  if (sql == "\\trace" || sql.rfind("\\trace ", 0) == 0) {
+    const std::string arg = sql.size() > 7 ? sql.substr(7) : "";
+    trace::Tracer* tracer = db->tracer();
+    if (arg == "on") {
+      tracer->set_sample_n(1);
+      std::printf("tracing: sampling every statement\n");
+    } else if (arg == "off") {
+      tracer->set_sample_n(0);
+      std::printf("tracing: off\n");
+    } else if (arg.empty()) {
+      std::shared_ptr<const trace::Trace> latest = tracer->Latest();
+      if (latest == nullptr) {
+        std::printf("no sampled trace yet (`\\trace on` enables sampling)\n");
+      } else {
+        std::printf("%s", trace::RenderTraceTree(*latest).c_str());
+      }
+    } else {
+      std::FILE* f = std::fopen(arg.c_str(), "w");
+      if (f == nullptr) {
+        std::printf("error: cannot open %s\n", arg.c_str());
+        return;
+      }
+      const std::string json = tracer->ChromeTraceJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %zu bytes of Chrome trace JSON to %s "
+                  "(open in chrome://tracing)\n",
+                  json.size(), arg.c_str());
+    }
     return;
   }
   auto result = sqlfe::ExecuteSql(db, ctx, sql);

@@ -49,20 +49,27 @@
 #      simple and prepared execution of the TPC-H statement set, rows
 #      diffed against the library path, a /metrics scrape, and a clean
 #      drain on shutdown.
+#  10. Tracing & stats-feedback gate, run unconditionally: the tracing
+#      suite under ASan/UBSan and under TSan (fragment spans append from
+#      worker threads while the driver opens phase spans — the exact race
+#      surface), the stats-feedback suite under ASan/UBSan, then
+#      bench_tpch_warm --trace-gate, which fails if the tracing-off path
+#      (trace_sample_n=0, the default every figure harness runs) is slower
+#      than a run collecting full span trees and column sketches.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== 1/9: -Werror build =="
+echo "== 1/10: -Werror build =="
 # -Wno-restrict: GCC 12's -O2 restrict analysis false-positives inside
 # libstdc++'s std::string append paths; everything else stays fatal.
 cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-Werror -Wno-restrict" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== 2/9: static analysis =="
+echo "== 2/10: static analysis =="
 if command -v cppcheck >/dev/null 2>&1; then
   cppcheck --quiet --error-exitcode=1 \
     --enable=warning,portability \
@@ -84,16 +91,16 @@ else
   echo "clang-tidy: not installed, skipped"
 fi
 
-echo "== 3/9: tests =="
+echo "== 3/10: tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== 4/9: mutation-fuzz proof harness =="
+echo "== 4/10: mutation-fuzz proof harness =="
 # Fixed seed so any escape reproduces locally; 350 mutants per family x 6
 # families comfortably clears the 2000-mutant floor and runs in well under
 # a second.
 "$BUILD_DIR"/examples/example_bee_inspector --fuzz 0xC0FFEE 350
 
-echo "== 5/9: telemetry overhead gate =="
+echo "== 5/10: telemetry overhead gate =="
 # Small scale + few reps keep this quick; the gate retries internally to
 # damp scheduler noise and exits nonzero only on a consistent regression.
 MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
@@ -102,7 +109,7 @@ MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
 
 case "${SANITIZE:-0}" in
   1)
-    echo "== 6/9: ASan/UBSan build + tests =="
+    echo "== 6/10: ASan/UBSan build + tests =="
     SAN_DIR="$BUILD_DIR-asan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="address;undefined" \
@@ -112,7 +119,7 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   thread)
-    echo "== 6/9: TSan build + tests =="
+    echo "== 6/10: TSan build + tests =="
     SAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="thread" \
@@ -122,12 +129,12 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   *)
-    echo "== 6/9: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
+    echo "== 6/10: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
          "SANITIZE=thread for TSan) =="
     ;;
 esac
 
-echo "== 7/9: parallel-execution sanitizer gate =="
+echo "== 7/10: parallel-execution sanitizer gate =="
 # Targeted builds: only the standalone parallel test binaries (plus their
 # dependencies) are compiled in the sanitizer trees, so this stays cheap
 # even when SANITIZE is unset and the full sanitized suites did not run.
@@ -148,7 +155,7 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
 TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_forge_stress_test
 TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_differential_test
 
-echo "== 8/9: batch-execution gate =="
+echo "== 8/10: batch-execution gate =="
 # Differential correctness first: batched plans must be row-identical to
 # the scalar serial engine under both sanitizer families (batches carry
 # page pins across the bounded Gather queue, so TSan coverage matters).
@@ -165,7 +172,7 @@ MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
 MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
   "$BUILD_DIR"/bench/bench_tpch_warm --batch-gate
 
-echo "== 9/9: server front-door gate =="
+echo "== 9/10: server front-door gate =="
 # Sessions, the statement cache, the shared query-bee cache, and the forge
 # all race each other by design; the server suite never ships without both
 # sanitizer families.
@@ -180,5 +187,24 @@ TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/server_test
 # /metrics scraped, then a clean drain.
 MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
   "$BUILD_DIR"/bench/bench_server --smoke
+
+echo "== 10/10: tracing & stats-feedback gate =="
+# Span buffers are appended from every executor worker of a sampled query;
+# the tracing suite runs under both sanitizer families before anything
+# ships. The stats-feedback suite (exact selectivity counts, sketch
+# merges) runs under ASan/UBSan.
+cmake --build "$ASAN_DIR" -j "$JOBS" --target tracing_test stats_feedback_test
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  "$ASAN_DIR"/tests/tracing_test
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  "$ASAN_DIR"/tests/stats_feedback_test
+cmake --build "$TSAN_DIR" -j "$JOBS" --target tracing_test
+TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/tracing_test
+
+# The overhead contract: tracing off (the default) must cost nothing
+# measurable against a run with full span trees + workload sketches on.
+MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
+MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
+  "$BUILD_DIR"/bench/bench_tpch_warm --trace-gate
 
 echo "check.sh: all gates passed"

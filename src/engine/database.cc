@@ -225,6 +225,8 @@ telemetry::TelemetrySnapshot Database::SnapshotTelemetry() {
   snap.AddCounter("microspec_work_ops_total",
                   static_cast<double>(workops::TotalAcrossThreads()));
   if (bees_ != nullptr) bees_->FillTelemetry(&snap);
+  stats_feedback_.FillSnapshot(&snap);
+  tracer_.FillSnapshot(&snap);
   telemetry::Registry::Global().FillSnapshot(&snap);
   return snap;
 }

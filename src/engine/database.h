@@ -10,8 +10,10 @@
 #include "catalog/catalog.h"
 #include "common/io_stats.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "exec/operator.h"
 #include "exec/shared_bees.h"
+#include "exec/stats_feedback.h"
 
 namespace microspec {
 
@@ -55,6 +57,22 @@ struct DatabaseOptions {
   /// forge exactly one verified bee. Off by default — the library path keeps
   /// the paper's per-query specialization accounting.
   bool share_query_bees = false;
+  /// Span tracing (DESIGN.md §10): sample every Nth statement into a full
+  /// span tree. 0 (the default) disables tracing entirely — the off path is
+  /// one null test per statement, same discipline as telemetry::Enabled().
+  uint32_t trace_sample_n = 0;
+  /// Completed sampled traces retained for export (ring buffer).
+  size_t trace_ring = 16;
+  /// Span cap per trace; beyond it spans are counted as dropped, not stored.
+  size_t trace_max_spans = 4096;
+  /// Statements slower than this land in the slow-query log with their
+  /// EXPLAIN ANALYZE tree attached (sampled statements only).
+  uint64_t slow_query_ns = 250'000'000;  // 250 ms
+  size_t slow_log_capacity = 64;
+  /// Workload statistics feedback (DESIGN.md §10): collect per-column
+  /// min/max/ndv sketches during scans and observed selectivity per EVP/EVJ
+  /// fingerprint, merged into SnapshotTelemetry(). Off by default.
+  bool stats_feedback = false;
 };
 
 /// The engine facade: owns the buffer pool, catalog, and (optionally) the
@@ -101,8 +119,19 @@ class Database {
     if (dop > 1) ctx->set_parallel(Executor(dop), dop, options_.morsel_pages);
     ctx->set_batch(options_.batch_rows, options_.gather_max_batches);
     if (options_.share_query_bees) ctx->set_shared_bees(&shared_bees_);
+    // Traces are per-statement (installed by sqlfe/server when sampled);
+    // the stats-feedback sink is database-wide and rides on every context.
+    if (options_.stats_feedback) ctx->set_stats_feedback(&stats_feedback_);
     return ctx;
   }
+
+  /// The database's span tracer (sampling, trace ring, slow-query log).
+  /// Always present; inert when trace_sample_n == 0.
+  trace::Tracer* tracer() { return &tracer_; }
+
+  /// The workload-statistics sink (observed selectivities, column sketches).
+  /// Always present; only fed when options().stats_feedback.
+  StatsFeedback* stats_feedback() { return &stats_feedback_; }
 
   /// The process-wide query-bee cache (populated only when
   /// `share_query_bees`); exposed for the server's telemetry and tests.
@@ -173,7 +202,13 @@ class Database {
   telemetry::TelemetrySnapshot SnapshotTelemetry();
 
  private:
-  explicit Database(DatabaseOptions options) : options_(std::move(options)) {}
+  explicit Database(DatabaseOptions options)
+      : options_(std::move(options)),
+        tracer_(trace::TracerOptions{options_.trace_sample_n,
+                                     options_.trace_ring,
+                                     options_.trace_max_spans,
+                                     options_.slow_query_ns,
+                                     options_.slow_log_capacity}) {}
 
   static IndexKey KeyFor(const IndexInfo& idx, const Datum* values);
 
@@ -182,7 +217,9 @@ class Database {
   /// between queries — contexts hold the pool pointer for their lifetime.
   ThreadPool* Executor(int dop);
 
-  DatabaseOptions options_;
+  DatabaseOptions options_;  // before tracer_: its ctor reads the options
+  trace::Tracer tracer_;
+  StatsFeedback stats_feedback_;
   IoStats stats_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;

@@ -35,6 +35,10 @@ class QueryStats {
   /// Plan construction is single-threaded, so AddNode takes no lock.
   int AddNode(std::string label, std::vector<int> children = {});
 
+  /// The id the next AddNode call will return. Plan::Instrument registers
+  /// trace operator spans keyed by node id before AddNode consumes it.
+  int NextNodeId() const { return static_cast<int>(nodes_.size()); }
+
   /// Folds one profiler's accumulated counters into node `id`. Thread-safe:
   /// under parallelism each of a node's dop fragment profilers flushes its
   /// share here from its worker thread (on Close), so a fragment node shows
@@ -77,7 +81,17 @@ class OpProfiler final : public Operator {
 
   ~OpProfiler() override { Flush(); }
 
+  /// Attaches an operator span of a sampled query's trace (DESIGN.md §10):
+  /// OpStart on first Init, OpEnd with the accumulated rows/work-ops on
+  /// Flush. Fragment profilers get per-fragment spans whose windows fold
+  /// into the shared operator span inside Trace.
+  void set_trace(trace::Trace* t, uint32_t span) {
+    trace_ = t;
+    trace_span_ = span;
+  }
+
   Status Init() override {
+    if (MICROSPEC_UNLIKELY(trace_ != nullptr)) trace_->OpStart(trace_span_);
     const uint64_t t0 = telemetry::NowNs();
     const uint64_t w0 = workops::Read();
     Status st = child_->Init();
@@ -132,12 +146,17 @@ class OpProfiler final : public Operator {
     }
     stats_->Merge(node_id_, rows_local_, next_local_, time_local_,
                   work_local_);
+    if (trace_ != nullptr) {
+      trace_->OpEnd(trace_span_, rows_local_, work_local_);
+    }
     rows_local_ = next_local_ = time_local_ = work_local_ = 0;
   }
 
   OperatorPtr child_;
   QueryStats* stats_;
   int node_id_;
+  trace::Trace* trace_ = nullptr;
+  uint32_t trace_span_ = 0;
   uint64_t rows_local_ = 0;
   uint64_t next_local_ = 0;
   uint64_t time_local_ = 0;

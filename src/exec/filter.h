@@ -2,16 +2,26 @@
 #define MICROSPEC_EXEC_FILTER_H_
 
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "common/counters.h"
+#include "common/telemetry.h"
 #include "exec/operator.h"
+#include "exec/shared_bees.h"
+#include "exec/stats_feedback.h"
 
 namespace microspec {
 
 /// Applies a predicate to each child row. The predicate is evaluated either
 /// by the generic expression interpreter or by an EVP query bee, decided at
 /// Init (query-preparation) time by ExecContext::MakePredicate.
+///
+/// Selectivity feedback: rows-in and rows-out are counted in two member
+/// integers unconditionally (cheap, branch-free) and flushed on Close into
+/// StatsFeedback keyed by the predicate's EVP fingerprint — but only when
+/// the context carries a collector, so the default path adds two increments
+/// per row and nothing else.
 class Filter final : public Operator {
  public:
   Filter(ExecContext* ctx, OperatorPtr child, ExprPtr predicate)
@@ -19,11 +29,26 @@ class Filter final : public Operator {
     meta_ = child_->output_meta();
   }
 
+  ~Filter() override { FlushStats(); }
+
   Status Init() override {
     MICROSPEC_RETURN_NOT_OK(child_->Init());
     // Query preparation happens once; Init may be called again to rescan.
     if (evaluator_ == nullptr) {
+      // The fingerprint must be taken before MakePredicate consumes the
+      // expression tree; it is the exact QueryBeeCache key, so selectivity
+      // samples join against the PR 7 bee-cache accounting.
+      if (ctx_->stats_feedback() != nullptr && pred_expr_ != nullptr) {
+        fingerprint_ = ExprFingerprint(*pred_expr_, &meta_);
+        display_ = DescribeExpr(*pred_expr_);
+      }
+      const bool traced = static_cast<bool>(ctx_->trace());
+      if (traced) prepare_ns_ = telemetry::NowNs();
       evaluator_ = ctx_->MakePredicate(std::move(pred_expr_), &meta_);
+      // The generic interpreter is an ExprPredicate (or end of the chain);
+      // anything else is a specialized EVP artifact.
+      specialized_ =
+          dynamic_cast<ExprPredicate*>(evaluator_.get()) == nullptr;
     }
     values_ = child_->values();
     isnull_ = child_->isnull();
@@ -34,9 +59,11 @@ class Filter final : public Operator {
     for (;;) {
       MICROSPEC_RETURN_NOT_OK(child_->Next(has_row));
       if (!*has_row) return Status::OK();
+      ++rows_in_;
       ExecRow row{child_->values(), child_->isnull(), nullptr, nullptr};
       workops::Bump(6);  // qual-node dispatch per input row
       if (evaluator_->Matches(row)) {
+        ++rows_out_;
         values_ = child_->values();
         isnull_ = child_->isnull();
         return Status::OK();
@@ -52,11 +79,13 @@ class Filter final : public Operator {
     for (;;) {
       MICROSPEC_RETURN_NOT_OK(child_->NextBatch(batch));
       if (batch->selected() == 0) return Status::OK();  // end of stream
+      rows_in_ += static_cast<uint64_t>(batch->selected());
       workops::Bump(6);  // qual-node dispatch, amortized over the batch
       const int nsel = evaluator_->MatchBatch(
           batch->cols(), batch->null_cols(), batch->ncols(), batch->sel(),
           batch->selected());
       batch->SetSelected(nsel);
+      rows_out_ += static_cast<uint64_t>(nsel);
       // A fully filtered-out batch must not read as end-of-stream.
       if (nsel > 0) return Status::OK();
     }
@@ -64,13 +93,43 @@ class Filter final : public Operator {
 
   bool BatchCapable() const override { return child_->BatchCapable(); }
 
-  void Close() override { child_->Close(); }
+  void Close() override {
+    child_->Close();
+    FlushStats();
+  }
 
  private:
+  void FlushStats() {
+    if (rows_in_ == 0 && rows_out_ == 0) return;
+    StatsFeedback* sf = ctx_->stats_feedback();
+    if (sf != nullptr && !fingerprint_.empty()) {
+      sf->RecordPredicate(fingerprint_, display_, rows_in_, rows_out_);
+    }
+    const trace::TraceContext& tc = ctx_->trace();
+    if (tc && evaluator_ != nullptr) {
+      // One aggregated bee-invocation span per run: rows = rows in,
+      // aux = rows out, window = prepare..close. Parent resolves to the
+      // exec span via the trace's default parent.
+      tc.trace->AddComplete(tc.trace->default_parent(), trace::SpanKind::kBee,
+                            specialized_ ? "evp-bee" : "evp-interp",
+                            prepare_ns_ != 0 ? prepare_ns_
+                                             : telemetry::NowNs(),
+                            telemetry::NowNs(), trace::WaitKind::kNone,
+                            rows_in_, rows_out_);
+    }
+    rows_in_ = rows_out_ = 0;
+  }
+
   ExecContext* ctx_;
   OperatorPtr child_;
   ExprPtr pred_expr_;
   std::unique_ptr<PredicateEvaluator> evaluator_;
+  std::string fingerprint_;
+  std::string display_;
+  bool specialized_ = false;
+  uint64_t prepare_ns_ = 0;
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
 };
 
 }  // namespace microspec

@@ -2,6 +2,7 @@
 #define MICROSPEC_EXEC_HASH_JOIN_H_
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -58,6 +59,9 @@ class HashJoin final : public Operator {
   using BuildRow = JoinBuildRow;
 
   Status BuildTable();
+  /// Flushes probe-rows vs matches into StatsFeedback, keyed by the EVJ
+  /// fingerprint (observed join selectivity for the future optimizer).
+  void FlushStats();
   /// Emits outer ++ inner (inner may be nullptr => NULLs for kLeft).
   void EmitCombined(const BuildRow* inner_row);
   bool RowMatches(const BuildRow* entry) const;
@@ -97,6 +101,12 @@ class HashJoin final : public Operator {
   size_t inner_width_ = 0;
   std::vector<Datum> values_buf_;
   std::unique_ptr<bool[]> isnull_buf_;
+
+  // Observed-selectivity accounting (flushed on Close when the context
+  // carries a StatsFeedback; the counters themselves are always cheap).
+  std::string fingerprint_;
+  uint64_t probe_rows_ = 0;
+  uint64_t match_rows_ = 0;
 };
 
 }  // namespace microspec

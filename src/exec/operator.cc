@@ -1,10 +1,37 @@
 #include "exec/operator.h"
 
+#include "common/telemetry.h"
 #include "exec/shared_bees.h"
 
 namespace microspec {
 
+namespace {
+
+/// Records the duration of a specialization call on a traced query as a
+/// forge-wait span: the statement blocked on forging/verifying a bee (or on
+/// another session's in-flight forge via the shared cache). Zero cost for
+/// untraced queries beyond the null test.
+void RecordForgeWait(const trace::TraceContext& tc, uint64_t start_ns,
+                     const char* what) {
+  tc.trace->AddComplete(tc.parent, trace::SpanKind::kWait, what, start_ns,
+                        telemetry::NowNs(), trace::WaitKind::kForge);
+}
+
+}  // namespace
+
 std::unique_ptr<PredicateEvaluator> ExecContext::MakePredicate(
+    ExprPtr expr, const std::vector<ColMeta>* input_meta) {
+  const bool traced = trace_.trace != nullptr && bees_ != nullptr;
+  const uint64_t t0 = traced ? telemetry::NowNs() : 0;
+  std::unique_ptr<PredicateEvaluator> result =
+      MakePredicateImpl(std::move(expr), input_meta);
+  if (MICROSPEC_UNLIKELY(traced)) {
+    RecordForgeWait(trace_, t0, "forge-wait(evp)");
+  }
+  return result;
+}
+
+std::unique_ptr<PredicateEvaluator> ExecContext::MakePredicateImpl(
     ExprPtr expr, const std::vector<ColMeta>* input_meta) {
   if (bees_ != nullptr) {
     if (shared_bees_ != nullptr && opts_.enable_evp) {
@@ -28,6 +55,20 @@ std::unique_ptr<PredicateEvaluator> ExecContext::MakePredicate(
 }
 
 std::unique_ptr<JoinKeyEvaluator> ExecContext::MakeJoinKeys(
+    std::vector<int> outer_cols, std::vector<int> inner_cols,
+    std::vector<ColMeta> key_meta, int outer_width, int inner_width) {
+  const bool traced = trace_.trace != nullptr && bees_ != nullptr;
+  const uint64_t t0 = traced ? telemetry::NowNs() : 0;
+  std::unique_ptr<JoinKeyEvaluator> result =
+      MakeJoinKeysImpl(std::move(outer_cols), std::move(inner_cols),
+                       std::move(key_meta), outer_width, inner_width);
+  if (MICROSPEC_UNLIKELY(traced)) {
+    RecordForgeWait(trace_, t0, "forge-wait(evj)");
+  }
+  return result;
+}
+
+std::unique_ptr<JoinKeyEvaluator> ExecContext::MakeJoinKeysImpl(
     std::vector<int> outer_cols, std::vector<int> inner_cols,
     std::vector<ColMeta> key_meta, int outer_width, int inner_width) {
   if (bees_ != nullptr) {

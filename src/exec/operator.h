@@ -8,11 +8,14 @@
 #include "catalog/catalog.h"
 #include "common/arena.h"
 #include "common/status.h"
+#include "common/tracing.h"
 #include "exec/access.h"
 #include "exec/batch.h"
 #include "exec/row.h"
 
 namespace microspec {
+
+class StatsFeedback;
 
 /// Join semantics supported by the join operators. These are the variants
 /// the paper's EVJ bee enumerates ahead of time ("all possible combinations
@@ -149,6 +152,20 @@ class ExecContext {
   void set_shared_bees(QueryBeeCache* cache) { shared_bees_ = cache; }
   QueryBeeCache* shared_bees() { return shared_bees_; }
 
+  /// --- Tracing & workload feedback (DESIGN.md §10) ---
+  /// The sampled query's trace context (null for unsampled queries — the
+  /// overwhelmingly common case). Set per statement by the sqlfe driver or
+  /// the server session, never by Database::MakeContext; operators test the
+  /// pointer once per query (Init/Close), never per row.
+  void set_trace(const trace::TraceContext& tc) { trace_ = tc; }
+  const trace::TraceContext& trace() const { return trace_; }
+
+  /// The shared workload-statistics sink (null unless
+  /// DatabaseOptions::stats_feedback is on). Scans/filters/joins flush
+  /// observed statistics into it on Close.
+  void set_stats_feedback(StatsFeedback* stats) { stats_feedback_ = stats; }
+  StatsFeedback* stats_feedback() { return stats_feedback_; }
+
   /// A fresh context for one parallel worker: same catalog, bee module,
   /// session switches, batch configuration and shared bee cache, but its
   /// own arena and memoization maps (and no executor — workers never build
@@ -158,6 +175,8 @@ class ExecContext {
     auto ctx = std::make_unique<ExecContext>(catalog_, bees_, opts_);
     ctx->set_batch(batch_rows_, gather_max_batches_);
     ctx->set_shared_bees(shared_bees_);
+    ctx->set_trace(trace_);
+    ctx->set_stats_feedback(stats_feedback_);
     return ctx;
   }
 
@@ -214,11 +233,19 @@ class ExecContext {
       int inner_width = 0);
 
  private:
+  std::unique_ptr<PredicateEvaluator> MakePredicateImpl(
+      ExprPtr expr, const std::vector<ColMeta>* input_meta);
+  std::unique_ptr<JoinKeyEvaluator> MakeJoinKeysImpl(
+      std::vector<int> outer_cols, std::vector<int> inner_cols,
+      std::vector<ColMeta> key_meta, int outer_width, int inner_width);
+
   Catalog* catalog_;
   BeeHooks* bees_;
   SessionOptions opts_;
   QueryStats* analyze_ = nullptr;
   QueryBeeCache* shared_bees_ = nullptr;
+  trace::TraceContext trace_;
+  StatsFeedback* stats_feedback_ = nullptr;
   ThreadPool* executor_ = nullptr;
   int dop_ = 1;
   uint32_t morsel_pages_ = 0;  // 0 => kDefaultMorselPages

@@ -1,5 +1,8 @@
 #include "exec/parallel.h"
 
+#include "common/telemetry.h"
+#include "common/tracing.h"
+
 namespace microspec {
 
 // --- Gather -----------------------------------------------------------------
@@ -51,6 +54,11 @@ Status Gather::Init() {
 }
 
 void Gather::WorkerMain(size_t i) {
+  // Install the sampled query's trace (if any) on this worker thread so
+  // shared stall sites — buffer-pool reads, the bounded queue below — can
+  // attribute their waits. No-op (one TLS store) for unsampled queries.
+  const trace::TraceContext wtc = worker_ctxs_[i]->trace();
+  trace::ThreadTraceScope trace_scope(wtc.trace, wtc.parent);
   Operator* op = workers_[i].get();
   Status st = op->Init();
   if (st.ok()) {
@@ -75,10 +83,21 @@ void Gather::WorkerMain(size_t i) {
       bool dropped = false;
       {
         std::unique_lock<std::mutex> l(mu_);
+        // Time the producer-side stall only when (a) this is a traced query
+        // and (b) the queue is actually full — the common uncontended pass
+        // pays one TLS null test.
+        uint64_t wait_start = 0;
+        if (queue_.size() >= max_queue_ && trace::ThreadTraceActive()) {
+          wait_start = telemetry::NowNs();
+        }
         space_.wait(l, [&] {
           return queue_.size() < max_queue_ ||
                  cancelled_.load(std::memory_order_relaxed);
         });
+        if (wait_start != 0) {
+          trace::RecordWait(trace::WaitKind::kGatherQueue, wait_start,
+                            telemetry::NowNs());
+        }
         if (cancelled_.load(std::memory_order_relaxed)) {
           dropped = true;
         } else {
@@ -139,7 +158,16 @@ Status Gather::Next(bool* has_row) {
       return Status::OK();
     }
     std::unique_lock<std::mutex> l(mu_);
+    // Consumer-side stall: the drive thread waiting on worker output.
+    uint64_t wait_start = 0;
+    if (queue_.empty() && active_ != 0 && trace::ThreadTraceActive()) {
+      wait_start = telemetry::NowNs();
+    }
     ready_.wait(l, [&] { return !queue_.empty() || active_ == 0; });
+    if (wait_start != 0) {
+      trace::RecordWait(trace::WaitKind::kGatherQueue, wait_start,
+                        telemetry::NowNs());
+    }
     if (!queue_.empty()) {
       cur_ = std::move(queue_.front());
       queue_.pop_front();
@@ -309,9 +337,14 @@ Status ParallelHashAggregate::RunPartials() {
   std::condition_variable done;
   size_t remaining = locals_.size();
   Status first_error;
-  for (auto& local : locals_) {
-    HashAggregate* agg = local.get();
-    pool->Submit([&, agg] {
+  for (size_t i = 0; i < locals_.size(); ++i) {
+    HashAggregate* agg = locals_[i].get();
+    ExecContext* wctx = worker_ctxs_[i].get();
+    pool->Submit([&, agg, wctx] {
+      // Same per-worker trace install as Gather::WorkerMain: stall sites on
+      // this thread (page I/O, forge waits) attribute to the sampled query.
+      const trace::TraceContext wtc = wctx->trace();
+      trace::ThreadTraceScope trace_scope(wtc.trace, wtc.parent);
       Status st = agg->PartialAccumulate();
       // Notify under the lock: the waiter's stack frame (and with it mu/done)
       // may unwind as soon as the lock is released.

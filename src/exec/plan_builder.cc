@@ -13,17 +13,36 @@ void Plan::Instrument(std::string label, std::vector<int> children) {
   if (qs == nullptr) return;
   // Drop placeholders from inputs built before collection was enabled.
   std::erase_if(children, [](int id) { return id < 0; });
+  // Sampled queries additionally get an operator span riding the same
+  // profiler (sqlfe always installs QueryStats on a sampled statement, so
+  // tracing never needs its own decorator). Plans build bottom-up: the
+  // children's spans already exist and NewOpSpan re-parents them here.
+  const trace::TraceContext& tc = ctx_->trace();
+  uint32_t span = 0;
+  if (tc) span = tc.trace->NewOpSpan(qs->NextNodeId(), label, children);
   stats_id_ = qs->AddNode(std::move(label), std::move(children));
-  op_ = std::make_unique<OpProfiler>(std::move(op_), qs, stats_id_);
+  auto prof = std::make_unique<OpProfiler>(std::move(op_), qs, stats_id_);
+  if (span != 0) prof->set_trace(tc.trace, span);
+  op_ = std::move(prof);
 }
 
 void Plan::InstrumentFragments(std::string label, std::vector<int> children) {
   QueryStats* qs = ctx_->analyze();
   if (qs == nullptr) return;
   std::erase_if(children, [](int id) { return id < 0; });
+  const trace::TraceContext& tc = ctx_->trace();
+  const int node_id = qs->NextNodeId();
+  if (tc) tc.trace->NewOpSpan(node_id, label, children);
   stats_id_ = qs->AddNode(std::move(label), std::move(children));
+  int frag_index = 0;
   for (OperatorPtr& f : frags_) {
-    f = std::make_unique<OpProfiler>(std::move(f), qs, stats_id_);
+    auto prof = std::make_unique<OpProfiler>(std::move(f), qs, stats_id_);
+    if (tc) {
+      prof->set_trace(tc.trace,
+                      tc.trace->NewFragmentSpan(node_id, frag_index));
+    }
+    f = std::move(prof);
+    ++frag_index;
   }
 }
 

@@ -1,6 +1,27 @@
 #include "exec/seq_scan.h"
 
+#include "exec/stats_feedback.h"
+
 namespace microspec {
+
+namespace {
+
+/// A per-scan sketch collector when workload feedback is on; null (and
+/// therefore one never-taken branch per row) otherwise.
+std::unique_ptr<ScanStatsCollector> MakeScanCollector(
+    ExecContext* ctx, TableInfo* table, int natts,
+    const std::vector<ColMeta>& meta) {
+  if (ctx->stats_feedback() == nullptr) return nullptr;
+  std::vector<std::string> cols;
+  cols.reserve(static_cast<size_t>(natts));
+  for (int i = 0; i < natts; ++i) {
+    cols.push_back(table->schema().column(i).name());
+  }
+  return std::make_unique<ScanStatsCollector>(table->name(), std::move(cols),
+                                              meta);
+}
+
+}  // namespace
 
 SeqScan::SeqScan(ExecContext* ctx, TableInfo* table, int natts_to_fetch)
     : ctx_(ctx), table_(table) {
@@ -17,6 +38,9 @@ Status SeqScan::Init() {
   values_buf_.assign(static_cast<size_t>(natts_), 0);
   isnull_buf_ = std::make_unique<bool[]>(static_cast<size_t>(natts_));
   for (int i = 0; i < natts_; ++i) isnull_buf_[i] = false;
+  if (stats_ == nullptr) {
+    stats_ = MakeScanCollector(ctx_, table_, natts_, meta_);
+  }
   iter_.emplace(table_->heap()->Scan());
   values_ = values_buf_.data();
   isnull_ = isnull_buf_.get();
@@ -34,6 +58,9 @@ Status SeqScan::Next(bool* has_row) {
   }
   workops::Bump(10);  // executor node dispatch (ExecProcNode analog)
   deformer_->Deform(tuple, natts_, values_buf_.data(), isnull_buf_.get());
+  if (stats_ != nullptr) {
+    stats_->ObserveRow(values_buf_.data(), isnull_buf_.get());
+  }
   *has_row = true;
   return Status::OK();
 }
@@ -50,10 +77,17 @@ Status SeqScan::NextBatch(RowBatch* batch) {
   deformer_->DeformBatch(tuple_buf_.data(), n, natts_, batch->cols(),
                          batch->null_cols());
   batch->SetAllSelected(n);
+  if (stats_ != nullptr) stats_->ObserveBatch(*batch);
   return Status::OK();
 }
 
-void SeqScan::Close() { iter_.reset(); }
+void SeqScan::Close() {
+  iter_.reset();
+  if (stats_ != nullptr) {
+    ctx_->stats_feedback()->MergeScan(*stats_);
+    stats_.reset();
+  }
+}
 
 ParallelScan::ParallelScan(ExecContext* ctx, TableInfo* table,
                            std::shared_ptr<MorselCursor> cursor,
@@ -72,6 +106,9 @@ Status ParallelScan::Init() {
   values_buf_.assign(static_cast<size_t>(natts_), 0);
   isnull_buf_ = std::make_unique<bool[]>(static_cast<size_t>(natts_));
   for (int i = 0; i < natts_; ++i) isnull_buf_[i] = false;
+  if (stats_ == nullptr) {
+    stats_ = MakeScanCollector(ctx_, table_, natts_, meta_);
+  }
   iter_.reset();  // first Next() claims the first morsel
   values_ = values_buf_.data();
   isnull_ = isnull_buf_.get();
@@ -98,6 +135,9 @@ Status ParallelScan::Next(bool* has_row) {
   }
   workops::Bump(10);  // executor node dispatch (ExecProcNode analog)
   deformer_->Deform(tuple, natts_, values_buf_.data(), isnull_buf_.get());
+  if (stats_ != nullptr) {
+    stats_->ObserveRow(values_buf_.data(), isnull_buf_.get());
+  }
   *has_row = true;
   return Status::OK();
 }
@@ -125,9 +165,18 @@ Status ParallelScan::NextBatch(RowBatch* batch) {
   deformer_->DeformBatch(tuple_buf_.data(), n, natts_, batch->cols(),
                          batch->null_cols());
   batch->SetAllSelected(n);
+  if (stats_ != nullptr) stats_->ObserveBatch(*batch);
   return Status::OK();
 }
 
-void ParallelScan::Close() { iter_.reset(); }
+void ParallelScan::Close() {
+  iter_.reset();
+  if (stats_ != nullptr) {
+    // Each fragment merges its own slice under the StatsFeedback mutex —
+    // safe from worker threads, totals add up across the dop fragments.
+    ctx_->stats_feedback()->MergeScan(*stats_);
+    stats_.reset();
+  }
+}
 
 }  // namespace microspec

@@ -1,0 +1,425 @@
+#include "exec/stats_feedback.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/hash.h"
+#include "common/telemetry.h"
+#include "exec/batch.h"
+#include "expr/expr.h"
+
+namespace microspec {
+
+// ---------------------------------------------------------------------------
+// DescribeExpr
+
+namespace {
+
+constexpr size_t kMaxDisplay = 160;
+
+void AppendTrimmedString(std::string* out, const char* p, size_t len) {
+  // char(n) values are blank-padded; trim for display.
+  while (len > 0 && p[len - 1] == ' ') --len;
+  out->push_back('\'');
+  for (size_t i = 0; i < len && i < 32; ++i) {
+    const char c = p[i];
+    out->push_back((c == '\'' || static_cast<unsigned char>(c) < 0x20) ? '?'
+                                                                       : c);
+  }
+  if (len > 32) *out += "...";
+  out->push_back('\'');
+}
+
+void AppendDatum(std::string* out, Datum d, const ColMeta& meta) {
+  char buf[32];
+  switch (meta.type) {
+    case TypeId::kBool:
+      *out += DatumToBool(d) ? "true" : "false";
+      return;
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      std::snprintf(buf, sizeof(buf), "%" PRId64, DatumToInt64(d));
+      *out += buf;
+      return;
+    case TypeId::kDate:
+      std::snprintf(buf, sizeof(buf), "date(%" PRId64 ")", DatumToInt64(d));
+      *out += buf;
+      return;
+    case TypeId::kFloat64:
+      std::snprintf(buf, sizeof(buf), "%g", DatumToFloat64(d));
+      *out += buf;
+      return;
+    case TypeId::kChar:
+      AppendTrimmedString(out, DatumToPointer(d),
+                          static_cast<size_t>(meta.attlen));
+      return;
+    case TypeId::kVarchar: {
+      const std::string_view v = VarlenaView(d);
+      AppendTrimmedString(out, v.data(), v.size());
+      return;
+    }
+  }
+}
+
+void Describe(const Expr& e, std::string* out) {
+  if (out->size() > kMaxDisplay) return;  // bounded output for labels
+  switch (e.kind()) {
+    case ExprKind::kVar: {
+      const auto& v = static_cast<const VarExpr&>(e);
+      if (v.side() == RowSide::kInner) *out += "inner.";
+      *out += "$" + std::to_string(v.attno());
+      return;
+    }
+    case ExprKind::kConst: {
+      const auto& c = static_cast<const ConstExpr&>(e);
+      if (c.is_null_const()) {
+        *out += "NULL";
+      } else {
+        AppendDatum(out, c.value(), c.meta());
+      }
+      return;
+    }
+    case ExprKind::kCmp: {
+      const auto& c = static_cast<const CmpExpr&>(e);
+      *out += '(';
+      Describe(*c.lhs(), out);
+      *out += ' ';
+      *out += CmpOpName(c.op());
+      *out += ' ';
+      Describe(*c.rhs(), out);
+      *out += ')';
+      return;
+    }
+    case ExprKind::kArith: {
+      const auto& a = static_cast<const ArithExpr&>(e);
+      static constexpr const char* kOps[] = {"+", "-", "*", "/"};
+      *out += '(';
+      Describe(*a.lhs(), out);
+      *out += ' ';
+      *out += kOps[static_cast<int>(a.op())];
+      *out += ' ';
+      Describe(*a.rhs(), out);
+      *out += ')';
+      return;
+    }
+    case ExprKind::kBool: {
+      const auto& b = static_cast<const BoolExpr&>(e);
+      if (b.op() == BoolOp::kNot) {
+        *out += "NOT ";
+        if (!b.children().empty()) Describe(*b.children()[0], out);
+        return;
+      }
+      const char* sep = b.op() == BoolOp::kAnd ? " AND " : " OR ";
+      *out += '(';
+      for (size_t i = 0; i < b.children().size(); ++i) {
+        if (i != 0) *out += sep;
+        Describe(*b.children()[i], out);
+        if (out->size() > kMaxDisplay) break;
+      }
+      *out += ')';
+      return;
+    }
+    case ExprKind::kLike: {
+      const auto& l = static_cast<const LikeExpr&>(e);
+      Describe(*l.input(), out);
+      *out += l.negated() ? " NOT LIKE '" : " LIKE '";
+      switch (l.mode()) {
+        case LikeExpr::Mode::kExact: *out += l.needle(); break;
+        case LikeExpr::Mode::kPrefix: *out += l.needle() + "%"; break;
+        case LikeExpr::Mode::kSuffix: *out += "%" + l.needle(); break;
+        case LikeExpr::Mode::kContains: *out += "%" + l.needle() + "%"; break;
+      }
+      *out += '\'';
+      return;
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(e);
+      Describe(*in.input(), out);
+      *out += " IN (";
+      for (size_t i = 0; i < in.items().size(); ++i) {
+        if (i != 0) *out += ", ";
+        AppendDatum(out, in.items()[i], in.item_meta());
+        if (out->size() > kMaxDisplay) break;
+      }
+      *out += ')';
+      return;
+    }
+  }
+}
+
+/// Hash of one non-null value, type-dispatched like DatumHashGeneric but
+/// without the workops accounting — sketch work must not inflate the
+/// engine's own work-operation metrics.
+uint64_t SketchHash(Datum d, const ColMeta& meta) {
+  switch (meta.type) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      return HashInt64(DatumToInt64(d), 0x5157ULL);
+    case TypeId::kFloat64:
+      return HashInt64(static_cast<int64_t>(d), 0x5157ULL);
+    case TypeId::kChar:
+      return Hash64(DatumToPointer(d), static_cast<size_t>(meta.attlen),
+                    0x5157ULL);
+    case TypeId::kVarchar: {
+      const char* p = DatumToPointer(d);
+      return Hash64(VarlenaPayload(p), VarlenaPayloadSize(p), 0x5157ULL);
+    }
+  }
+  return 0;
+}
+
+bool NumericType(TypeId t) {
+  return t == TypeId::kInt32 || t == TypeId::kInt64 || t == TypeId::kDate ||
+         t == TypeId::kFloat64;
+}
+
+double NumericValue(Datum d, TypeId t) {
+  if (t == TypeId::kFloat64) return DatumToFloat64(d);
+  return static_cast<double>(DatumToInt64(d));
+}
+
+}  // namespace
+
+std::string DescribeExpr(const Expr& expr) {
+  std::string out;
+  Describe(expr, &out);
+  if (out.size() > kMaxDisplay) {
+    out.resize(kMaxDisplay);
+    out += "...";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ColumnSketch
+
+void ColumnSketch::Observe(Datum d, bool isnull, const ColMeta& meta) {
+  ++rows_;
+  if (isnull) {
+    ++nulls_;
+    return;
+  }
+  const uint64_t h = SketchHash(d, meta);
+  const uint32_t idx = static_cast<uint32_t>(h >> (64 - kRegisterBits));
+  const uint64_t w = h << kRegisterBits;
+  // Rank = leading zeros of the remaining bits + 1; all-zero remainder gets
+  // the maximum rank for the 56-bit window.
+  const uint8_t rank = static_cast<uint8_t>(
+      w == 0 ? (64 - kRegisterBits + 1) : (__builtin_clzll(w) + 1));
+  if (rank > regs_[idx]) regs_[idx] = rank;
+  if (NumericType(meta.type)) {
+    const double v = NumericValue(d, meta.type);
+    if (!has_range_) {
+      has_range_ = true;
+      min_ = max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+  }
+}
+
+void ColumnSketch::Merge(const ColumnSketch& other) {
+  rows_ += other.rows_;
+  nulls_ += other.nulls_;
+  for (int i = 0; i < kRegisters; ++i) {
+    regs_[i] = std::max(regs_[i], other.regs_[i]);
+  }
+  if (other.has_range_) {
+    if (!has_range_) {
+      has_range_ = true;
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+}
+
+double ColumnSketch::EstimateNdv() const {
+  if (rows_ == nulls_) return 0;
+  // Standard HyperLogLog estimate with the linear-counting correction for
+  // small cardinalities (Flajolet et al. 2007).
+  const double m = kRegisters;
+  double sum = 0;
+  int zeros = 0;
+  for (int i = 0; i < kRegisters; ++i) {
+    sum += std::ldexp(1.0, -regs_[i]);
+    if (regs_[i] == 0) ++zeros;
+  }
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double estimate = alpha * m * m / sum;
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / zeros);
+  }
+  return estimate;
+}
+
+// ---------------------------------------------------------------------------
+// ScanStatsCollector
+
+ScanStatsCollector::ScanStatsCollector(std::string relation,
+                                       std::vector<std::string> columns,
+                                       std::vector<ColMeta> metas)
+    : relation_(std::move(relation)),
+      columns_(std::move(columns)),
+      metas_(std::move(metas)),
+      sketches_(metas_.size()) {}
+
+void ScanStatsCollector::ObserveRow(const Datum* values, const bool* isnull) {
+  ++rows_;
+  for (size_t c = 0; c < sketches_.size(); ++c) {
+    sketches_[c].Observe(values[c], isnull[c], metas_[c]);
+  }
+}
+
+void ScanStatsCollector::ObserveBatch(const RowBatch& batch) {
+  const int nrows = batch.size();
+  if (nrows <= 0) return;
+  rows_ += static_cast<uint64_t>(nrows);
+  const int ncols =
+      std::min(batch.ncols(), static_cast<int>(sketches_.size()));
+  for (int c = 0; c < ncols; ++c) {
+    const Datum* vals = batch.col(c);
+    const bool* nulls = batch.nulls(c);
+    ColumnSketch& sketch = sketches_[static_cast<size_t>(c)];
+    const ColMeta& meta = metas_[static_cast<size_t>(c)];
+    for (int r = 0; r < nrows; ++r) {
+      sketch.Observe(vals[r], nulls[r], meta);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StatsFeedback
+
+void StatsFeedback::RecordPredicate(const std::string& fingerprint,
+                                    const std::string& display,
+                                    uint64_t rows_in, uint64_t rows_out) {
+  if (rows_in == 0 && rows_out == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  PredicateStats& p = predicates_[fingerprint];
+  if (p.display.empty()) p.display = display;
+  p.rows_in += rows_in;
+  p.rows_out += rows_out;
+}
+
+void StatsFeedback::RecordJoin(const std::string& fingerprint,
+                               const std::string& display, uint64_t probe_rows,
+                               uint64_t matches) {
+  if (probe_rows == 0 && matches == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  JoinStats& j = joins_[fingerprint];
+  if (j.display.empty()) j.display = display;
+  j.probe_rows += probe_rows;
+  j.matches += matches;
+}
+
+void StatsFeedback::MergeScan(const ScanStatsCollector& collector) {
+  if (collector.rows() == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  RelationStats& rel = relations_[collector.relation()];
+  rel.rows += collector.rows();
+  if (rel.columns.empty()) {
+    rel.columns = collector.columns();
+    rel.sketches = collector.sketches();
+    return;
+  }
+  // Scans may fetch column prefixes of different lengths; merge the common
+  // prefix and extend with any additional columns this scan observed.
+  const size_t common = std::min(rel.sketches.size(),
+                                 collector.sketches().size());
+  for (size_t c = 0; c < common; ++c) {
+    rel.sketches[c].Merge(collector.sketches()[c]);
+  }
+  for (size_t c = rel.sketches.size(); c < collector.sketches().size(); ++c) {
+    rel.columns.push_back(collector.columns()[c]);
+    rel.sketches.push_back(collector.sketches()[c]);
+  }
+}
+
+std::string StatsFeedback::FingerprintLabel(const std::string& fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64,
+                Hash64(fingerprint.data(), fingerprint.size(), 0));
+  return buf;
+}
+
+void StatsFeedback::FillSnapshot(telemetry::TelemetrySnapshot* snap) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [fp, p] : predicates_) {
+    const std::map<std::string, std::string> labels = {
+        {"fp", FingerprintLabel(fp)}, {"expr", p.display}, {"kind", "evp"}};
+    snap->AddCounter("microspec_predicate_rows_in_total",
+                     static_cast<double>(p.rows_in), labels);
+    snap->AddCounter("microspec_predicate_rows_out_total",
+                     static_cast<double>(p.rows_out), labels);
+    if (p.rows_in > 0) {
+      snap->AddGauge("microspec_predicate_selectivity",
+                     static_cast<double>(p.rows_out) /
+                         static_cast<double>(p.rows_in),
+                     labels);
+    }
+  }
+  for (const auto& [fp, j] : joins_) {
+    const std::map<std::string, std::string> labels = {
+        {"fp", FingerprintLabel(fp)}, {"keys", j.display}, {"kind", "evj"}};
+    snap->AddCounter("microspec_join_probe_rows_total",
+                     static_cast<double>(j.probe_rows), labels);
+    snap->AddCounter("microspec_join_match_rows_total",
+                     static_cast<double>(j.matches), labels);
+    if (j.probe_rows > 0) {
+      snap->AddGauge("microspec_join_selectivity",
+                     static_cast<double>(j.matches) /
+                         static_cast<double>(j.probe_rows),
+                     labels);
+    }
+  }
+  for (const auto& [name, rel] : relations_) {
+    snap->AddCounter("microspec_scan_rows_total",
+                     static_cast<double>(rel.rows), {{"relation", name}});
+    for (size_t c = 0; c < rel.sketches.size(); ++c) {
+      const ColumnSketch& s = rel.sketches[c];
+      const std::map<std::string, std::string> labels = {
+          {"relation", name}, {"column", rel.columns[c]}};
+      snap->AddGauge("microspec_column_ndv", s.EstimateNdv(), labels);
+      snap->AddGauge("microspec_column_nulls",
+                     static_cast<double>(s.nulls()), labels);
+      if (s.has_range()) {
+        snap->AddGauge("microspec_column_min", s.min(), labels);
+        snap->AddGauge("microspec_column_max", s.max(), labels);
+      }
+    }
+  }
+}
+
+std::map<std::string, StatsFeedback::PredicateStats> StatsFeedback::predicates()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return predicates_;
+}
+
+std::map<std::string, StatsFeedback::JoinStats> StatsFeedback::joins() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return joins_;
+}
+
+std::map<std::string, StatsFeedback::RelationStats> StatsFeedback::relations()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return relations_;
+}
+
+void StatsFeedback::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  predicates_.clear();
+  joins_.clear();
+  relations_.clear();
+}
+
+}  // namespace microspec

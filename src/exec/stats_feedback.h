@@ -1,0 +1,158 @@
+#ifndef MICROSPEC_EXEC_STATS_FEEDBACK_H_
+#define MICROSPEC_EXEC_STATS_FEEDBACK_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/macros.h"
+#include "exec/row.h"
+
+namespace microspec {
+
+namespace telemetry {
+struct TelemetrySnapshot;
+}  // namespace telemetry
+
+class Expr;
+class RowBatch;
+
+/// --- Workload statistics feedback -------------------------------------------
+/// The cost-based-optimizer open item (ROADMAP.md) needs two signals nothing
+/// collects today: per-relation/per-column statistics (min/max/ndv) and
+/// *observed* selectivity per specialized predicate — rows-in vs rows-out for
+/// each EVP/EVJ fingerprint the QueryBeeCache knows. This module gathers both
+/// as a side effect of execution: scans feed column sketches, Filter and
+/// HashJoin feed selectivity keyed by the PR 7 fingerprints. Everything is
+/// opt-in via DatabaseOptions::stats_feedback; when off, ExecContext carries
+/// a null pointer and operators skip collection entirely (the per-row hashing
+/// the sketches do is real work, so it is never on by default).
+
+/// A compact SQL-ish rendering of a predicate tree, used as the `expr=`
+/// label on selectivity samples (the fingerprint itself is exact but
+/// unreadable). Bounded length; never fails.
+std::string DescribeExpr(const Expr& expr);
+
+/// Per-column sketch: exact min/max over numeric/date values plus a
+/// HyperLogLog distinct-count estimator (256 registers → ~6.5% standard
+/// error). Not thread-safe; collectors are per-scan and merged under the
+/// StatsFeedback mutex.
+class ColumnSketch {
+ public:
+  void Observe(Datum d, bool isnull, const ColMeta& meta);
+  void Merge(const ColumnSketch& other);
+
+  uint64_t rows() const { return rows_; }
+  uint64_t nulls() const { return nulls_; }
+  /// Estimated number of distinct non-null values.
+  double EstimateNdv() const;
+  bool has_range() const { return has_range_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  static constexpr int kRegisterBits = 8;
+  static constexpr int kRegisters = 1 << kRegisterBits;
+
+  uint8_t regs_[kRegisters] = {0};
+  uint64_t rows_ = 0;
+  uint64_t nulls_ = 0;
+  bool has_range_ = false;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Per-scan collector: one sketch per fetched column, flushed into the
+/// shared StatsFeedback on Operator::Close. Created only when the context
+/// carries a StatsFeedback, so the per-row cost is opt-in.
+class ScanStatsCollector {
+ public:
+  ScanStatsCollector(std::string relation, std::vector<std::string> columns,
+                     std::vector<ColMeta> metas);
+
+  void ObserveRow(const Datum* values, const bool* isnull);
+  /// Observes every materialized row of the batch (scans materialize whole
+  /// pages; the selection vector is still the identity at this point).
+  void ObserveBatch(const RowBatch& batch);
+
+  const std::string& relation() const { return relation_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<ColumnSketch>& sketches() const { return sketches_; }
+  uint64_t rows() const { return rows_; }
+
+ private:
+  std::string relation_;
+  std::vector<std::string> columns_;
+  std::vector<ColMeta> metas_;
+  std::vector<ColumnSketch> sketches_;
+  uint64_t rows_ = 0;
+};
+
+/// The shared, thread-safe accumulation point, owned by Database. Parallel
+/// scan fragments and filters flush into it on Close; SnapshotTelemetry()
+/// merges it into the snapshot, which is how the numbers reach /metrics and
+/// the BENCH_*.json telemetry sections.
+class StatsFeedback {
+ public:
+  struct PredicateStats {
+    std::string display;  // DescribeExpr rendering
+    uint64_t rows_in = 0;
+    uint64_t rows_out = 0;
+  };
+  struct JoinStats {
+    std::string display;  // join key fingerprint, readable form
+    uint64_t probe_rows = 0;
+    uint64_t matches = 0;
+  };
+  struct RelationStats {
+    uint64_t rows = 0;  // rows observed across scans (not distinct tuples)
+    std::vector<std::string> columns;
+    std::vector<ColumnSketch> sketches;
+  };
+
+  StatsFeedback() = default;
+  MICROSPEC_DISALLOW_COPY_AND_MOVE(StatsFeedback);
+
+  /// Accumulates rows-in/rows-out for the EVP fingerprint `fingerprint`
+  /// (the exact QueryBeeCache key string).
+  void RecordPredicate(const std::string& fingerprint,
+                       const std::string& display, uint64_t rows_in,
+                       uint64_t rows_out);
+  /// Accumulates probe-side rows vs emitted matches for an EVJ fingerprint.
+  void RecordJoin(const std::string& fingerprint, const std::string& display,
+                  uint64_t probe_rows, uint64_t matches);
+  /// Merges a finished scan's column sketches.
+  void MergeScan(const ScanStatsCollector& collector);
+
+  /// Appends every statistic as labeled samples:
+  ///   microspec_predicate_rows_in_total{fp=,expr=,kind="evp"}
+  ///   microspec_predicate_rows_out_total{...} + _selectivity gauge
+  ///   microspec_join_probe_rows_total / _match_rows_total{fp=,kind="evj"}
+  ///     + microspec_join_selectivity gauge
+  ///   microspec_scan_rows_total{relation=}
+  ///   microspec_column_ndv / _min / _max{relation=,column=}
+  void FillSnapshot(telemetry::TelemetrySnapshot* snap) const;
+
+  std::map<std::string, PredicateStats> predicates() const;
+  std::map<std::string, JoinStats> joins() const;
+  std::map<std::string, RelationStats> relations() const;
+
+  void Reset();
+
+  /// 16-hex-digit label form of a fingerprint string (Hash64 of the exact
+  /// cache key) — what the `fp=` label carries.
+  static std::string FingerprintLabel(const std::string& fingerprint);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, PredicateStats> predicates_;
+  std::map<std::string, JoinStats> joins_;
+  std::map<std::string, RelationStats> relations_;
+};
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_EXEC_STATS_FEEDBACK_H_

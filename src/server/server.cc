@@ -36,6 +36,18 @@ telemetry::Histogram* QueryLatency() {
   return h;
 }
 
+telemetry::Histogram* AdmissionWait() {
+  static telemetry::Histogram* h = telemetry::Registry::Global().GetHistogram(
+      "microspec_server_admission_wait_ns");
+  return h;
+}
+
+telemetry::Counter* SlowQueriesTotal() {
+  static telemetry::Counter* c = telemetry::Registry::Global().GetCounter(
+      "microspec_server_slow_queries_total");
+  return c;
+}
+
 /// PostgreSQL-style completion tag for one executed statement.
 std::string CommandTag(const sqlfe::Statement& stmt,
                        const sqlfe::SqlResult& result) {
@@ -112,6 +124,7 @@ void Server::AcceptLoop() {
     if (pr <= 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    const uint64_t accepted_ns = telemetry::NowNs();
 
     // Admission control: run now, wait for a slot, or bounce.
     int in_system = in_system_.load(std::memory_order_acquire);
@@ -128,7 +141,9 @@ void Server::AcceptLoop() {
       ::close(fd);
       continue;
     }
-    session_pool_->Submit([this, fd] { RunSession(fd); });
+    session_pool_->Submit([this, fd, accepted_ns] {
+      RunSession(fd, accepted_ns);
+    });
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -150,21 +165,30 @@ void Server::ServeHttp(int fd) {
   const size_t line_end = head.find("\r\n");
   const std::string request_line =
       line_end == std::string::npos ? head : head.substr(0, line_end);
+  std::string content_type = "text/plain; version=0.0.4";
   if (request_line.rfind("GET /metrics", 0) == 0) {
     body = db_->SnapshotTelemetry().ToPrometheusText();
+  } else if (request_line.rfind("GET /trace", 0) == 0) {
+    // The tracer's ring as Chrome trace_event JSON — save and load in
+    // chrome://tracing or https://ui.perfetto.dev.
+    body = db_->tracer()->ChromeTraceJson();
+    content_type = "application/json";
   } else {
     status_line = "HTTP/1.1 404 Not Found";
     body = "not found\n";
   }
-  std::string response = status_line +
-                         "\r\nContent-Type: text/plain; version=0.0.4"
+  std::string response = status_line + "\r\nContent-Type: " + content_type +
                          "\r\nContent-Length: " +
                          std::to_string(body.size()) +
                          "\r\nConnection: close\r\n\r\n" + body;
   (void)WriteAll(fd, response);
 }
 
-void Server::RunSession(int fd) {
+void Server::RunSession(int fd, uint64_t accepted_ns) {
+  SessionClock clock;
+  clock.accepted_ns = accepted_ns;
+  clock.started_ns = telemetry::NowNs();
+  AdmissionWait()->Observe(clock.started_ns - clock.accepted_ns);
   // If shutdown began while this session waited for a slot, bounce it
   // without reading — drain must not depend on client behavior.
   if (stop_.load(std::memory_order_acquire)) {
@@ -200,7 +224,8 @@ void Server::RunSession(int fd) {
           }
           break;
         }
-        keep_going = HandleFrame(fd, ctx.get(), frame, &prepared, &bound);
+        keep_going = HandleFrame(fd, ctx.get(), clock, frame, &prepared,
+                                 &bound);
       }
       SessionsActive()->Add(-1);
     }
@@ -215,18 +240,24 @@ void Server::RunSession(int fd) {
 }
 
 bool Server::HandleFrame(
-    int fd, ExecContext* ctx, const Frame& frame,
+    int fd, ExecContext* ctx, const SessionClock& clock, const Frame& frame,
     std::unordered_map<std::string, std::shared_ptr<const sqlfe::Statement>>*
         prepared,
     std::unordered_map<std::string, bool>* bound) {
   switch (frame.type) {
     case kMsgSimpleQuery: {
+      // The parse window covers the statement-cache lookup too: a cache hit
+      // shows up in the trace as a near-zero parse span, which is exactly
+      // the cache's value made visible.
+      const uint64_t parse_start = telemetry::NowNs();
       Result<std::shared_ptr<const sqlfe::Statement>> stmt =
           stmt_cache_.GetOrParse(frame.payload, db_->ddl_epoch());
+      const uint64_t parse_end = telemetry::NowNs();
       if (!stmt.ok()) {
         (void)WriteFrame(fd, kMsgError, stmt.status().ToString());
       } else {
-        RunStatement(fd, ctx, **stmt);
+        RunStatement(fd, ctx, clock, **stmt, &frame.payload, parse_start,
+                     parse_end);
       }
       (void)WriteFrame(fd, kMsgReady, "I");
       return true;
@@ -281,7 +312,8 @@ bool Server::HandleFrame(
         (void)WriteFrame(fd, kMsgError,
                          "statement " + fields[0].text + " not bound");
       } else {
-        RunStatement(fd, ctx, *it->second);
+        RunStatement(fd, ctx, clock, *it->second, /*sql=*/nullptr,
+                     /*parse_start_ns=*/0, /*parse_end_ns=*/0);
       }
       (void)WriteFrame(fd, kMsgReady, "I");
       return true;
@@ -308,12 +340,41 @@ bool Server::HandleFrame(
   }
 }
 
-void Server::RunStatement(int fd, ExecContext* ctx,
-                          const sqlfe::Statement& stmt) {
+void Server::RunStatement(int fd, ExecContext* ctx, const SessionClock& clock,
+                          const sqlfe::Statement& stmt, const std::string* sql,
+                          uint64_t parse_start_ns, uint64_t parse_end_ns) {
   const uint64_t t0 = telemetry::NowNs();
-  Result<sqlfe::SqlResult> run = sqlfe::ExecuteParsed(db_, ctx, stmt);
-  QueryLatency()->Observe(telemetry::NowNs() - t0);
+  // Per-statement sampling, but the exported tree shows the connection
+  // context too: a session root span (started retroactively at session
+  // start) with the admission-queue wait under it, then the statement tree
+  // ExecuteParsed hangs below. Pre-installing the trace on the context also
+  // transfers publish ownership here (see sqlfe::ExecuteParsed).
+  std::shared_ptr<trace::Trace> tr = db_->tracer()->MaybeSample();
+  uint32_t session_span = 0;
+  if (tr != nullptr) {
+    session_span = tr->BeginAt(0, trace::SpanKind::kSession, "session",
+                               clock.started_ns);
+    if (clock.started_ns > clock.accepted_ns) {
+      tr->AddComplete(session_span, trace::SpanKind::kWait, "admission-queue",
+                      clock.accepted_ns, clock.started_ns,
+                      trace::WaitKind::kAdmission);
+    }
+    ctx->set_trace(trace::TraceContext{tr.get(), session_span});
+  }
+  sqlfe::ExecHints hints;
+  hints.sql = sql;
+  hints.parse_start_ns = parse_start_ns;
+  hints.parse_end_ns = parse_end_ns;
+  Result<sqlfe::SqlResult> run = sqlfe::ExecuteParsed(db_, ctx, stmt, hints);
+  if (tr != nullptr) {
+    ctx->set_trace(trace::TraceContext{});
+    tr->End(session_span);
+    db_->tracer()->Publish(std::move(tr));
+  }
+  const uint64_t latency_ns = telemetry::NowNs() - t0;
+  QueryLatency()->Observe(latency_ns);
   QueriesTotal()->Add(1);
+  if (latency_ns >= db_->tracer()->slow_query_ns()) SlowQueriesTotal()->Add(1);
   if (!run.ok()) {
     (void)WriteFrame(fd, kMsgError, run.status().ToString());
     return;

@@ -48,8 +48,14 @@ struct ServerOptions {
 ///     the engine's shared QueryBeeCache — so K sessions preparing the same
 ///     statement cost one parse and one verified bee specialization;
 ///   * the same listener answers HTTP "GET /metrics" with the Prometheus
-///     rendering of Database::SnapshotTelemetry() — the first received byte
-///     ('G', never a valid client frame type) selects the HTTP path;
+///     rendering of Database::SnapshotTelemetry(), and "GET /trace" with the
+///     tracer's ring as Chrome trace_event JSON (loads in chrome://tracing /
+///     Perfetto) — the first received byte ('G', never a valid client frame
+///     type) selects the HTTP path;
+///   * when the database samples statements (trace_sample_n > 0), a sampled
+///     statement's trace gets a session root span started at session start,
+///     with the connection's admission-queue wait attributed under it, so
+///     the exported tree connects session → statement → operators → bees;
 ///   * Shutdown() drains gracefully: stop accepting, abort idle sessions at
 ///     their next poll tick (in-flight statements finish and their results
 ///     are delivered first), wait until every session has exited, then
@@ -60,6 +66,8 @@ struct ServerOptions {
 ///   microspec_server_sessions_active   gauge
 ///   microspec_server_queries_total     counter (statements executed)
 ///   microspec_server_query_ns          histogram (per-statement latency)
+///   microspec_server_admission_wait_ns histogram (accept -> session start)
+///   microspec_server_slow_queries_total counter (over the slow threshold)
 ///   microspec_stmt_cache_{hits,misses,evictions}_total  counters
 class Server {
  public:
@@ -87,16 +95,28 @@ class Server {
   StmtCache* stmt_cache() { return &stmt_cache_; }
 
  private:
+  /// Connection timing the trace layer folds into sampled statements: the
+  /// accept→start gap is the session's admission-queue wait.
+  struct SessionClock {
+    uint64_t accepted_ns = 0;
+    uint64_t started_ns = 0;
+  };
+
   void AcceptLoop();
-  void RunSession(int fd);
+  void RunSession(int fd, uint64_t accepted_ns);
   /// One client request frame; returns false when the session should end.
-  bool HandleFrame(int fd, ExecContext* ctx, const Frame& frame,
+  bool HandleFrame(int fd, ExecContext* ctx, const SessionClock& clock,
+                   const Frame& frame,
                    std::unordered_map<std::string,
                                       std::shared_ptr<const sqlfe::Statement>>*
                        prepared,
                    std::unordered_map<std::string, bool>* bound);
   /// Executes one statement and streams T/D*/C frames (or an E frame).
-  void RunStatement(int fd, ExecContext* ctx, const sqlfe::Statement& stmt);
+  /// `sql` and the parse window are optional (null/zero for prepared
+  /// Execute, whose parse happened at Parse time).
+  void RunStatement(int fd, ExecContext* ctx, const SessionClock& clock,
+                    const sqlfe::Statement& stmt, const std::string* sql,
+                    uint64_t parse_start_ns, uint64_t parse_end_ns);
   void ServeHttp(int fd);
 
   Database* db_;

@@ -3,13 +3,38 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
+#include "common/telemetry.h"
+#include "common/tracing.h"
 #include "exec/analyze.h"
 #include "exec/plan_builder.h"
 
 namespace microspec::sqlfe {
 
 namespace {
+
+/// Per-phase statement latency (always on — per statement, never per row).
+telemetry::Histogram* ParseNs() {
+  static telemetry::Histogram* h =
+      telemetry::Registry::Global().GetHistogram("microspec_query_parse_ns");
+  return h;
+}
+telemetry::Histogram* PlanNs() {
+  static telemetry::Histogram* h =
+      telemetry::Registry::Global().GetHistogram("microspec_query_plan_ns");
+  return h;
+}
+telemetry::Histogram* ExecNs() {
+  static telemetry::Histogram* h =
+      telemetry::Registry::Global().GetHistogram("microspec_query_exec_ns");
+  return h;
+}
+telemetry::Counter* SlowQueriesTotal() {
+  static telemetry::Counter* c =
+      telemetry::Registry::Global().GetCounter("microspec_slow_queries_total");
+  return c;
+}
 
 bool IsIntClass(TypeId t) {
   return t == TypeId::kBool || t == TypeId::kInt32 || t == TypeId::kInt64 ||
@@ -276,6 +301,8 @@ Result<SqlResult> RunInsert(Database* db, ExecContext* ctx,
 
 Result<SqlResult> RunSelect(Database* db, ExecContext* ctx,
                             const SelectStmt& stmt) {
+  const trace::TraceContext tc = ctx->trace();
+  const uint64_t plan_start = telemetry::NowNs();
   TableInfo* from = db->catalog()->GetTable(stmt.from);
   if (from == nullptr) return Status::NotFound("table " + stmt.from);
   Plan plan = Plan::Scan(ctx, from);
@@ -372,16 +399,38 @@ Result<SqlResult> RunSelect(Database* db, ExecContext* ctx,
   SqlResult result;
   result.columns = plan.names();
   OperatorPtr op = std::move(plan).Build();
+  const uint64_t plan_end = telemetry::NowNs();
+  PlanNs()->Observe(plan_end - plan_start);
+  uint32_t exec_span = 0;
+  if (tc) {
+    tc.trace->AddComplete(tc.parent, trace::SpanKind::kPlan, "plan",
+                          plan_start, plan_end);
+    // Operator spans were registered during plan building with no parent
+    // (the exec span did not exist yet); hang them — and everything
+    // operators record from here on (bee summaries, forge waits) — under
+    // the exec span now.
+    exec_span = tc.trace->Begin(tc.parent, trace::SpanKind::kExec, "exec");
+    tc.trace->SetDefaultParent(exec_span);
+  }
+  // Install the trace on the driving thread so shared stall sites (buffer
+  // pool misses, Gather's queue) can attribute waits. Null trace => no-op.
+  trace::ThreadTraceScope thread_scope(tc.trace, exec_span);
   const std::vector<ColMeta>& meta = op->output_meta();
-  MICROSPEC_RETURN_NOT_OK(ForEachRow(op.get(), [&](const Datum* v,
-                                                   const bool* n) {
+  Status exec_st = ForEachRow(op.get(), [&](const Datum* v, const bool* n) {
     std::vector<std::string> row;
     row.reserve(meta.size());
     for (size_t i = 0; i < meta.size(); ++i) {
       row.push_back(n != nullptr && n[i] ? "NULL" : RenderDatum(v[i], meta[i]));
     }
     result.rows.push_back(std::move(row));
-  }));
+  });
+  const uint64_t exec_end = telemetry::NowNs();
+  ExecNs()->Observe(exec_end - plan_end);
+  if (tc) {
+    tc.trace->SetArgs(exec_span, result.rows.size(), 0);
+    tc.trace->End(exec_span);
+  }
+  MICROSPEC_RETURN_NOT_OK(exec_st);
   return result;
 }
 
@@ -436,17 +485,18 @@ std::string SqlResult::ToString() const {
   return out;
 }
 
-Result<SqlResult> ExecuteSql(Database* db, ExecContext* ctx,
-                             const std::string& sql) {
-  MICROSPEC_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
-  return ExecuteParsed(db, ctx, stmt);
-}
+namespace {
 
-Result<SqlResult> ExecuteParsed(Database* db, ExecContext* ctx,
-                                const Statement& stmt) {
+/// The plain statement dispatch (kDdl span is the one trace concern here:
+/// CREATE TABLE's body includes relation-bee forging, worth its own span).
+Result<SqlResult> Dispatch(Database* db, ExecContext* ctx,
+                           const Statement& stmt) {
   switch (stmt.kind) {
-    case Statement::Kind::kCreateTable:
+    case Statement::Kind::kCreateTable: {
+      trace::SpanScope ddl(ctx->trace(), trace::SpanKind::kDdl,
+                           "create table " + stmt.create.table);
       return RunCreate(db, stmt.create);
+    }
     case Statement::Kind::kInsert:
       return RunInsert(db, ctx, stmt.insert);
     case Statement::Kind::kSelect:
@@ -454,6 +504,105 @@ Result<SqlResult> ExecuteParsed(Database* db, ExecContext* ctx,
                                   : RunSelect(db, ctx, stmt.select);
   }
   return Status::Internal("unreachable statement kind");
+}
+
+const char* StatementLabel(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable:
+      return "create table";
+    case Statement::Kind::kInsert:
+      return "insert";
+    case Statement::Kind::kSelect:
+      return stmt.explain_analyze ? "explain analyze" : "select";
+  }
+  return "statement";
+}
+
+}  // namespace
+
+Result<SqlResult> ExecuteSql(Database* db, ExecContext* ctx,
+                             const std::string& sql) {
+  ExecHints hints;
+  hints.sql = &sql;
+  hints.parse_start_ns = telemetry::NowNs();
+  MICROSPEC_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  hints.parse_end_ns = telemetry::NowNs();
+  return ExecuteParsed(db, ctx, stmt, hints);
+}
+
+Result<SqlResult> ExecuteParsed(Database* db, ExecContext* ctx,
+                                const Statement& stmt) {
+  return ExecuteParsed(db, ctx, stmt, ExecHints{});
+}
+
+Result<SqlResult> ExecuteParsed(Database* db, ExecContext* ctx,
+                                const Statement& stmt,
+                                const ExecHints& hints) {
+  if (hints.parse_end_ns > hints.parse_start_ns) {
+    ParseNs()->Observe(hints.parse_end_ns - hints.parse_start_ns);
+  }
+  trace::Tracer* tracer = db->tracer();
+  // Ownership: a trace pre-installed on the context (the server's per-
+  // session scaffold) is the caller's to publish; otherwise sampling is
+  // decided — and the finished trace published — right here. The untraced
+  // path through this block is one counter bump and two null tests.
+  const trace::TraceContext preset = ctx->trace();
+  std::shared_ptr<trace::Trace> owned;
+  if (!preset) owned = tracer->MaybeSample();
+  trace::Trace* tr = preset ? preset.trace : owned.get();
+  if (tr == nullptr) return Dispatch(db, ctx, stmt);
+
+  // Statement span. BeginAt so it contains the parse (or statement-cache
+  // lookup) the caller timed before execution was reached.
+  const uint64_t stmt_start = hints.parse_start_ns != 0 ? hints.parse_start_ns
+                                                        : telemetry::NowNs();
+  if (hints.sql != nullptr) tr->set_sql(*hints.sql);
+  const uint32_t stmt_span =
+      tr->BeginAt(preset.parent, trace::SpanKind::kStatement,
+                  StatementLabel(stmt), stmt_start);
+  if (hints.parse_end_ns > hints.parse_start_ns) {
+    tr->AddComplete(stmt_span, trace::SpanKind::kParse, "parse",
+                    hints.parse_start_ns, hints.parse_end_ns);
+  }
+  ctx->set_trace(trace::TraceContext{tr, stmt_span});
+
+  // Collect the plan-stats tree for sampled plain SELECTs so a slow
+  // statement can attach its EXPLAIN ANALYZE rendering. EXPLAIN ANALYZE
+  // itself (and any caller-installed collector) already has one.
+  std::unique_ptr<QueryStats> qs;
+  if (stmt.kind == Statement::Kind::kSelect && !stmt.explain_analyze &&
+      ctx->analyze() == nullptr) {
+    qs = std::make_unique<QueryStats>();
+    ctx->set_analyze(qs.get());
+  }
+
+  Result<SqlResult> run = Dispatch(db, ctx, stmt);
+
+  if (qs != nullptr) ctx->set_analyze(nullptr);
+  ctx->set_trace(preset);
+  tr->End(stmt_span);
+  const uint64_t now = telemetry::NowNs();
+  const uint64_t total_ns = now - stmt_start;
+  if (total_ns >= tracer->slow_query_ns()) {
+    trace::SlowQuery slow;
+    slow.trace_id = tr->trace_id();
+    slow.ts_ns = now;
+    slow.total_ns = total_ns;
+    slow.parse_ns = tr->TotalNs(trace::SpanKind::kParse);
+    slow.plan_ns = tr->TotalNs(trace::SpanKind::kPlan);
+    slow.exec_ns = tr->TotalNs(trace::SpanKind::kExec);
+    slow.sql = hints.sql != nullptr ? *hints.sql : tr->sql();
+    if (qs != nullptr) {
+      for (std::string& line : qs->ToLines()) {
+        slow.analyze += line;
+        slow.analyze += '\n';
+      }
+    }
+    tracer->RecordSlow(std::move(slow));
+    SlowQueriesTotal()->Add(1);
+  }
+  if (owned != nullptr) tracer->Publish(std::move(owned));
+  return run;
 }
 
 }  // namespace microspec::sqlfe

@@ -30,14 +30,35 @@ struct SqlResult {
 Result<SqlResult> ExecuteSql(Database* db, ExecContext* ctx,
                              const std::string& sql);
 
+/// Per-statement context a caller that did work *before* execution threads
+/// through ExecuteParsed — the server parses (or hits its statement cache)
+/// before executing, and the trace's statement span must contain that
+/// window. All fields optional; a default ExecHints adds nothing.
+struct ExecHints {
+  /// Original SQL text, for the trace and the slow-query log.
+  const std::string* sql = nullptr;
+  /// Parse / statement-cache-lookup window (telemetry::NowNs clock).
+  uint64_t parse_start_ns = 0;
+  uint64_t parse_end_ns = 0;
+};
+
 /// Executes an already-parsed statement. This is the prepared-statement
 /// entry point: the server front door parses once into its shared statement
 /// cache and runs the cached AST through here for every later execution,
 /// under whatever session context each connection holds. Thread-safe for
 /// concurrent callers sharing one `const Statement` (execution never
 /// mutates the AST).
+///
+/// Tracing (DESIGN.md §10): when `db`'s tracer samples this statement (or
+/// the caller pre-installed a session trace on `ctx`), execution emits a
+/// statement → parse/plan/exec → operator span tree and the statement is
+/// checked against the slow-query threshold on completion. A caller-
+/// installed trace is the caller's to publish; otherwise sampling and
+/// publication both happen here.
 Result<SqlResult> ExecuteParsed(Database* db, ExecContext* ctx,
                                 const Statement& stmt);
+Result<SqlResult> ExecuteParsed(Database* db, ExecContext* ctx,
+                                const Statement& stmt, const ExecHints& hints);
 
 }  // namespace microspec::sqlfe
 

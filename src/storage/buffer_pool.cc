@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "common/telemetry.h"
+#include "common/tracing.h"
+
 namespace microspec {
 
 void PageGuard::Release() {
@@ -102,7 +105,15 @@ Result<PageGuard> BufferPool::Pin(uint32_t file_id, PageNo page_no) {
     return Status::Internal("buffer pool: unregistered file " +
                             std::to_string(file_id));
   }
+  // Miss path: attribute the disk read as a page-I/O wait when the pinning
+  // thread carries a sampled trace. The hit path above pays nothing.
+  const uint64_t read_start =
+      trace::ThreadTraceActive() ? telemetry::NowNs() : 0;
   MICROSPEC_RETURN_NOT_OK(dm->ReadPage(page_no, f.data.get()));
+  if (read_start != 0) {
+    trace::RecordWait(trace::WaitKind::kPageIo, read_start,
+                      telemetry::NowNs());
+  }
   f.key = key;
   f.valid = true;
   f.dirty = false;

@@ -1,0 +1,328 @@
+// Workload statistics feedback: observed selectivity per EVP/EVJ
+// fingerprint must be *exact* (rows-in / rows-out are counts, not
+// estimates) and identical across every execution configuration — scalar
+// vs batch, program vs native bee tier — because the numbers feed the
+// cost-model open item and a tier-dependent count would poison it. Column
+// sketches (min/max exact, HyperLogLog ndv) are checked against known data
+// and against the estimator's published error bound. Standalone binary:
+// check.sh runs it under ASan/UBSan.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bee/native_jit.h"
+#include "common/telemetry.h"
+#include "exec/stats_feedback.h"
+#include "sqlfe/engine.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+using sqlfe::ExecuteSql;
+using testing::ScratchDir;
+
+struct Config {
+  bee::BeeBackend backend = bee::BeeBackend::kProgram;
+  int batch_rows = 0;
+  std::string label;
+};
+
+std::vector<Config> AllConfigs() {
+  std::vector<Config> configs = {
+      {bee::BeeBackend::kProgram, 0, "program/scalar"},
+      {bee::BeeBackend::kProgram, 64, "program/batch64"},
+  };
+  if (bee::NativeJit::CompilerAvailable()) {
+    configs.push_back({bee::BeeBackend::kNative, 0, "native/scalar"});
+    configs.push_back({bee::BeeBackend::kNative, 64, "native/batch64"});
+  }
+  return configs;
+}
+
+std::unique_ptr<Database> OpenStats(const std::string& dir,
+                                    const Config& config) {
+  DatabaseOptions opts;
+  opts.dir = dir;
+  opts.enable_bees = true;
+  opts.verify_mode = bee::VerifyMode::kEnforce;
+  opts.buffer_pool_frames = 2048;
+  opts.backend = config.backend;
+  opts.batch_rows = config.batch_rows;
+  opts.stats_feedback = true;
+  auto res = Database::Open(std::move(opts));
+  MICROSPEC_CHECK(res.ok());
+  return res.MoveValue();
+}
+
+void MustSql(Database* db, ExecContext* ctx, const std::string& sql) {
+  auto r = ExecuteSql(db, ctx, sql);
+  ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+}
+
+/// t(a, b): a = 0..rows-1 (all distinct), b = a % 7.
+void LoadInts(Database* db, ExecContext* ctx, int rows) {
+  MustSql(db, ctx, "CREATE TABLE t (a INT NOT NULL, b INT NOT NULL)");
+  std::string values;
+  int emitted = 0;
+  for (int i = 0; i < rows; ++i) {
+    if (!values.empty()) values += ", ";
+    values += "(" + std::to_string(i) + ", " + std::to_string(i % 7) + ")";
+    if (++emitted == 64 || i + 1 == rows) {
+      MustSql(db, ctx, "INSERT INTO t VALUES " + values);
+      values.clear();
+      emitted = 0;
+    }
+  }
+}
+
+/// --- Observed predicate selectivity ------------------------------------------
+
+TEST(StatsFeedbackTest, PredicateSelectivityExactAcrossConfigs) {
+  for (const Config& config : AllConfigs()) {
+    SCOPED_TRACE(config.label);
+    ScratchDir dir;
+    std::unique_ptr<Database> db = OpenStats(dir.path() + "/db", config);
+    std::unique_ptr<ExecContext> ctx = db->MakeContext();
+    LoadInts(db.get(), ctx.get(), 100);
+    // Native: every bee has reached its final tier before the measured run,
+    // so this config genuinely exercises the compiled EVP.
+    db->QuiesceBees();
+
+    MustSql(db.get(), ctx.get(), "SELECT a FROM t WHERE a < 25");
+
+    std::map<std::string, StatsFeedback::PredicateStats> preds =
+        db->stats_feedback()->predicates();
+    ASSERT_EQ(preds.size(), 1u);
+    const StatsFeedback::PredicateStats& p = preds.begin()->second;
+    EXPECT_EQ(p.rows_in, 100u);
+    EXPECT_EQ(p.rows_out, 25u);
+    EXPECT_FALSE(p.display.empty());
+    // DescribeExpr renders columns as input ordinals: "$0 < 25".
+    EXPECT_NE(p.display.find("< 25"), std::string::npos) << p.display;
+    EXPECT_FALSE(preds.begin()->first.empty()) << "fingerprint is the key";
+
+    // Re-running the same statement accumulates under the same fingerprint:
+    // one entry, doubled counts — the fingerprint is stable across runs.
+    MustSql(db.get(), ctx.get(), "SELECT a FROM t WHERE a < 25");
+    preds = db->stats_feedback()->predicates();
+    ASSERT_EQ(preds.size(), 1u);
+    EXPECT_EQ(preds.begin()->second.rows_in, 200u);
+    EXPECT_EQ(preds.begin()->second.rows_out, 50u);
+
+    // A different predicate gets its own fingerprint.
+    MustSql(db.get(), ctx.get(), "SELECT a FROM t WHERE b = 3");
+    EXPECT_EQ(db->stats_feedback()->predicates().size(), 2u);
+  }
+}
+
+TEST(StatsFeedbackTest, OffByDefaultCollectsNothing) {
+  ScratchDir dir;
+  std::unique_ptr<Database> db =
+      testing::OpenDb(dir.path() + "/db", /*enable_bees=*/true);
+  std::unique_ptr<ExecContext> ctx = db->MakeContext();
+  LoadInts(db.get(), ctx.get(), 50);
+  MustSql(db.get(), ctx.get(), "SELECT a FROM t WHERE a < 10");
+  EXPECT_TRUE(db->stats_feedback()->predicates().empty());
+  EXPECT_TRUE(db->stats_feedback()->relations().empty());
+}
+
+/// --- Observed join selectivity -----------------------------------------------
+
+TEST(StatsFeedbackTest, JoinSelectivityExact) {
+  ScratchDir dir;
+  std::unique_ptr<Database> db =
+      OpenStats(dir.path() + "/db", {bee::BeeBackend::kProgram, 0, ""});
+  std::unique_ptr<ExecContext> ctx = db->MakeContext();
+  MustSql(db.get(), ctx.get(), "CREATE TABLE r (k INT NOT NULL)");
+  MustSql(db.get(), ctx.get(), "CREATE TABLE s (k2 INT NOT NULL)");
+  // r: k = 0..9. s: k2 = 0..14, 0..14 (30 probe rows, 20 with a match).
+  std::string rvals, svals;
+  for (int i = 0; i < 10; ++i) {
+    rvals += (i != 0 ? ", (" : "(") + std::to_string(i) + ")";
+  }
+  for (int i = 0; i < 30; ++i) {
+    svals += (i != 0 ? ", (" : "(") + std::to_string(i % 15) + ")";
+  }
+  MustSql(db.get(), ctx.get(), "INSERT INTO r VALUES " + rvals);
+  MustSql(db.get(), ctx.get(), "INSERT INTO s VALUES " + svals);
+
+  MustSql(db.get(), ctx.get(), "SELECT k FROM r JOIN s ON k = k2");
+
+  std::map<std::string, StatsFeedback::JoinStats> joins =
+      db->stats_feedback()->joins();
+  ASSERT_EQ(joins.size(), 1u);
+  const StatsFeedback::JoinStats& j = joins.begin()->second;
+  EXPECT_EQ(j.matches, 20u);
+  // Probe side is whichever input the planner didn't build the hash table
+  // from; either way the count is that input's exact cardinality.
+  EXPECT_TRUE(j.probe_rows == 30u || j.probe_rows == 10u) << j.probe_rows;
+}
+
+/// --- Column sketches -----------------------------------------------------------
+
+TEST(StatsFeedbackTest, ScanSketchesKnownData) {
+  ScratchDir dir;
+  std::unique_ptr<Database> db =
+      OpenStats(dir.path() + "/db", {bee::BeeBackend::kProgram, 0, ""});
+  std::unique_ptr<ExecContext> ctx = db->MakeContext();
+  LoadInts(db.get(), ctx.get(), 100);
+  MustSql(db.get(), ctx.get(), "SELECT a, b FROM t");
+
+  std::map<std::string, StatsFeedback::RelationStats> rels =
+      db->stats_feedback()->relations();
+  ASSERT_EQ(rels.count("t"), 1u);
+  const StatsFeedback::RelationStats& rel = rels["t"];
+  EXPECT_EQ(rel.rows, 100u);
+  ASSERT_EQ(rel.columns.size(), rel.sketches.size());
+
+  bool saw_a = false, saw_b = false;
+  for (size_t i = 0; i < rel.columns.size(); ++i) {
+    const ColumnSketch& sk = rel.sketches[i];
+    if (rel.columns[i] == "a") {
+      saw_a = true;
+      EXPECT_EQ(sk.rows(), 100u);
+      EXPECT_EQ(sk.nulls(), 0u);
+      ASSERT_TRUE(sk.has_range());
+      EXPECT_EQ(sk.min(), 0.0);
+      EXPECT_EQ(sk.max(), 99.0);
+      // 100 distinct values; the small-range (linear counting) correction
+      // makes low-cardinality estimates nearly exact.
+      EXPECT_NEAR(sk.EstimateNdv(), 100.0, 10.0);
+    } else if (rel.columns[i] == "b") {
+      saw_b = true;
+      ASSERT_TRUE(sk.has_range());
+      EXPECT_EQ(sk.min(), 0.0);
+      EXPECT_EQ(sk.max(), 6.0);
+      EXPECT_NEAR(sk.EstimateNdv(), 7.0, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(ColumnSketchTest, NdvErrorBound) {
+  // 256 registers -> ~6.5% standard error; assert within 3 sigma (~20%).
+  const ColMeta meta = ColMeta::Of(TypeId::kInt64);
+  ColumnSketch sk;
+  const int kDistinct = 100000;
+  for (int i = 0; i < kDistinct; ++i) {
+    sk.Observe(DatumFromInt64(static_cast<int64_t>(i) * 2654435761LL), false,
+               meta);
+  }
+  EXPECT_EQ(sk.rows(), static_cast<uint64_t>(kDistinct));
+  const double est = sk.EstimateNdv();
+  EXPECT_GT(est, kDistinct * 0.8) << est;
+  EXPECT_LT(est, kDistinct * 1.2) << est;
+}
+
+TEST(ColumnSketchTest, NullsTrackedSeparately) {
+  const ColMeta meta = ColMeta::Of(TypeId::kInt32);
+  ColumnSketch sk;
+  for (int i = 0; i < 10; ++i) sk.Observe(DatumFromInt32(i), false, meta);
+  for (int i = 0; i < 5; ++i) sk.Observe(0, true, meta);
+  EXPECT_EQ(sk.rows(), 15u);
+  EXPECT_EQ(sk.nulls(), 5u);
+  ASSERT_TRUE(sk.has_range());
+  EXPECT_EQ(sk.min(), 0.0);  // nulls never enter the range
+  EXPECT_EQ(sk.max(), 9.0);
+  EXPECT_NEAR(sk.EstimateNdv(), 10.0, 2.0);
+}
+
+TEST(ColumnSketchTest, MergeCombinesDisjointRanges) {
+  const ColMeta meta = ColMeta::Of(TypeId::kInt32);
+  ColumnSketch lo, hi;
+  for (int i = 0; i < 50; ++i) lo.Observe(DatumFromInt32(i), false, meta);
+  for (int i = 100; i < 150; ++i) hi.Observe(DatumFromInt32(i), false, meta);
+  lo.Merge(hi);
+  EXPECT_EQ(lo.rows(), 100u);
+  EXPECT_EQ(lo.min(), 0.0);
+  EXPECT_EQ(lo.max(), 149.0);
+  EXPECT_NEAR(lo.EstimateNdv(), 100.0, 10.0);
+}
+
+/// --- Snapshot round-trip ---------------------------------------------------------
+
+const telemetry::Sample* FindSample(const telemetry::TelemetrySnapshot& snap,
+                                    const std::string& name) {
+  for (const telemetry::Sample& s : snap.samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(StatsFeedbackTest, SnapshotRoundTrip) {
+  ScratchDir dir;
+  std::unique_ptr<Database> db =
+      OpenStats(dir.path() + "/db", {bee::BeeBackend::kProgram, 0, ""});
+  std::unique_ptr<ExecContext> ctx = db->MakeContext();
+  LoadInts(db.get(), ctx.get(), 100);
+  MustSql(db.get(), ctx.get(), "SELECT a FROM t WHERE a < 25");
+
+  telemetry::TelemetrySnapshot snap = db->SnapshotTelemetry();
+
+  const telemetry::Sample* rows_in =
+      FindSample(snap, "microspec_predicate_rows_in_total");
+  ASSERT_NE(rows_in, nullptr);
+  EXPECT_EQ(rows_in->value, 100.0);
+  EXPECT_EQ(rows_in->labels.at("kind"), "evp");
+  const std::string fp = rows_in->labels.at("fp");
+  EXPECT_EQ(fp.size(), 16u) << "fp label is 16 hex digits: " << fp;
+  EXPECT_EQ(fp.find_first_not_of("0123456789abcdef"), std::string::npos) << fp;
+
+  const telemetry::Sample* rows_out =
+      FindSample(snap, "microspec_predicate_rows_out_total");
+  ASSERT_NE(rows_out, nullptr);
+  EXPECT_EQ(rows_out->value, 25.0);
+  EXPECT_EQ(rows_out->labels.at("fp"), fp) << "same fingerprint joins them";
+
+  const telemetry::Sample* sel =
+      FindSample(snap, "microspec_predicate_selectivity");
+  ASSERT_NE(sel, nullptr);
+  EXPECT_NEAR(sel->value, 0.25, 1e-9);
+
+  const telemetry::Sample* scan_rows =
+      FindSample(snap, "microspec_scan_rows_total");
+  ASSERT_NE(scan_rows, nullptr);
+  EXPECT_EQ(scan_rows->labels.at("relation"), "t");
+  EXPECT_EQ(scan_rows->value, 100.0);
+
+  const telemetry::Sample* ndv = FindSample(snap, "microspec_column_ndv");
+  ASSERT_NE(ndv, nullptr);
+  EXPECT_EQ(ndv->labels.at("relation"), "t");
+
+  // Both renderings carry the section without choking on the labels.
+  EXPECT_NE(snap.ToPrometheusText().find("microspec_predicate_selectivity"),
+            std::string::npos);
+  EXPECT_NE(snap.ToJson().find("microspec_column_ndv"), std::string::npos);
+}
+
+TEST(StatsFeedbackTest, ResetClears) {
+  StatsFeedback sf;
+  sf.RecordPredicate("fp1", "a < 25", 100, 25);
+  sf.RecordJoin("fpj", "k = k2", 30, 20);
+  EXPECT_EQ(sf.predicates().size(), 1u);
+  EXPECT_EQ(sf.joins().size(), 1u);
+  sf.Reset();
+  EXPECT_TRUE(sf.predicates().empty());
+  EXPECT_TRUE(sf.joins().empty());
+  EXPECT_TRUE(sf.relations().empty());
+}
+
+TEST(StatsFeedbackTest, FingerprintLabelIsStableHex) {
+  const std::string a = StatsFeedback::FingerprintLabel("evp:a<25");
+  const std::string b = StatsFeedback::FingerprintLabel("evp:a<25");
+  const std::string c = StatsFeedback::FingerprintLabel("evp:b=3");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microspec
