@@ -1,0 +1,159 @@
+// WAL group commit: commit throughput and latency at N concurrent
+// committers, inline-fsync baseline vs group-commit windows. The flusher
+// thread batches every durability request that arrives while an fdatasync
+// is in flight, so at high concurrency the sync cost is amortized across
+// the whole batch — the classic group-commit win. `--gate` enforces the
+// acceptance bar: >= 5x commits/s over fsync-per-commit at 32 committers.
+//
+//   MICROSPEC_WAL_COMMITS   commits per thread per configuration (default 25)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "storage/wal.h"
+
+namespace microspec {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int CommitsPerThread() {
+  const char* v = std::getenv("MICROSPEC_WAL_COMMITS");
+  if (v == nullptr) return 25;
+  long x = std::atol(v);
+  return x > 0 ? static_cast<int>(x) : 25;
+}
+
+struct RunResult {
+  double commits_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+RunResult RunCommitters(const std::string& path, bool group_commit,
+                        int window_us, int threads, int commits_per_thread) {
+  IoStats stats;
+  Wal::Options opts;
+  opts.group_commit = group_commit;
+  opts.group_commit_window_us = window_us;
+  opts.stats = &stats;
+  auto wal_res = Wal::Open(path, opts);
+  MICROSPEC_CHECK(wal_res.ok());
+  std::unique_ptr<Wal> wal = wal_res.MoveValue();
+
+  const std::string payload(96, 'w');  // a small txn's worth of log
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(threads));
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& lat = latencies[static_cast<size_t>(t)];
+      lat.reserve(static_cast<size_t>(commits_per_thread));
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      uint64_t txn = static_cast<uint64_t>(t) * 1000000 + 1;
+      for (int i = 0; i < commits_per_thread; ++i) {
+        Wal::AppendResult ar =
+            wal->Append(WalRecordType::kCommit, txn++, 0, payload);
+        Clock::time_point start = Clock::now();
+        Status st = wal->Commit(ar.end_lsn);
+        MICROSPEC_CHECK(st.ok());
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count());
+      }
+    });
+  }
+  Clock::time_point start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  double wall = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+  RunResult r;
+  r.commits_per_sec =
+      static_cast<double>(threads) * commits_per_thread / wall;
+  r.p50_us = all[all.size() / 2];
+  r.p99_us = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  return r;
+}
+
+}  // namespace
+}  // namespace microspec
+
+int main(int argc, char** argv) {
+  using namespace microspec;
+
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--gate") gate = true;
+  }
+
+  benchutil::BenchEnv env;
+  benchutil::PrintHeader("WAL commit latency: group commit vs inline fsync",
+                         env);
+  const int commits = CommitsPerThread();
+  benchutil::BenchReport report("wal", env);
+
+  struct Config {
+    const char* name;
+    bool group;
+    int window_us;
+  };
+  const Config configs[] = {
+      {"inline_fsync", false, 0}, {"group_w0", true, 0},
+      {"group_w100", true, 100},  {"group_w500", true, 500},
+      {"group_w1000", true, 1000},
+  };
+
+  double inline_32 = 0;
+  double best_group_32 = 0;
+  int run = 0;
+  for (int threads : {1, 8, 32}) {
+    for (const Config& cfg : configs) {
+      std::string path = env.scratch + "/wal_" + std::to_string(run++) +
+                         ".log";
+      RunResult r =
+          RunCommitters(path, cfg.group, cfg.window_us, threads, commits);
+      std::printf(
+          "  %-13s threads=%-3d  %9.0f commits/s   p50 %8.1f us   p99 "
+          "%8.1f us\n",
+          cfg.name, threads, r.commits_per_sec, r.p50_us, r.p99_us);
+      std::string label =
+          std::string(cfg.name) + "_t" + std::to_string(threads);
+      report.Add(label, "commits_per_sec", r.commits_per_sec);
+      report.Add(label, "commit_p50_us", r.p50_us);
+      report.Add(label, "commit_p99_us", r.p99_us);
+      if (threads == 32) {
+        if (!cfg.group) inline_32 = r.commits_per_sec;
+        else best_group_32 = std::max(best_group_32, r.commits_per_sec);
+      }
+    }
+  }
+
+  const double speedup = inline_32 > 0 ? best_group_32 / inline_32 : 0;
+  std::printf("\n  group-commit speedup at 32 committers: %.1fx\n", speedup);
+  report.Add("speedup_32", "x_vs_inline_fsync", speedup);
+
+  std::string path = report.WriteIfRequested(argc, argv);
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+
+  if (gate && speedup < 5.0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: group commit %.1fx vs inline at 32 "
+                 "committers (need >= 5x)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -56,20 +56,28 @@
 #      bench_tpch_warm --trace-gate, which fails if the tracing-off path
 #      (trace_sample_n=0, the default every figure harness runs) is slower
 #      than a run collecting full span trees and column sketches.
+#  11. WAL & recovery gate, run unconditionally: the WAL unit suite and the
+#      kill-and-replay differential harness (fork a child per crash point,
+#      SIGKILL it mid-flush via MICROSPEC_FAILPOINT, recover, diff against
+#      a never-crashed twin of the committed prefix) under ASan/UBSan; the
+#      WAL suite plus a reduced-config differential sweep under TSan (group
+#      commit's flusher thread vs concurrent committers vs kill); then
+#      bench_wal --gate, which fails unless group commit sustains >= 5x
+#      commits/s over fsync-per-commit at 32 concurrent committers.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== 1/10: -Werror build =="
+echo "== 1/11: -Werror build =="
 # -Wno-restrict: GCC 12's -O2 restrict analysis false-positives inside
 # libstdc++'s std::string append paths; everything else stays fatal.
 cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-Werror -Wno-restrict" >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== 2/10: static analysis =="
+echo "== 2/11: static analysis =="
 if command -v cppcheck >/dev/null 2>&1; then
   cppcheck --quiet --error-exitcode=1 \
     --enable=warning,portability \
@@ -91,16 +99,16 @@ else
   echo "clang-tidy: not installed, skipped"
 fi
 
-echo "== 3/10: tests =="
+echo "== 3/11: tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== 4/10: mutation-fuzz proof harness =="
+echo "== 4/11: mutation-fuzz proof harness =="
 # Fixed seed so any escape reproduces locally; 350 mutants per family x 6
 # families comfortably clears the 2000-mutant floor and runs in well under
 # a second.
 "$BUILD_DIR"/examples/example_bee_inspector --fuzz 0xC0FFEE 350
 
-echo "== 5/10: telemetry overhead gate =="
+echo "== 5/11: telemetry overhead gate =="
 # Small scale + few reps keep this quick; the gate retries internally to
 # damp scheduler noise and exits nonzero only on a consistent regression.
 MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
@@ -109,7 +117,7 @@ MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
 
 case "${SANITIZE:-0}" in
   1)
-    echo "== 6/10: ASan/UBSan build + tests =="
+    echo "== 6/11: ASan/UBSan build + tests =="
     SAN_DIR="$BUILD_DIR-asan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="address;undefined" \
@@ -119,7 +127,7 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   thread)
-    echo "== 6/10: TSan build + tests =="
+    echo "== 6/11: TSan build + tests =="
     SAN_DIR="$BUILD_DIR-tsan"
     cmake -B "$SAN_DIR" -S "$ROOT" \
       -DMICROSPEC_SANITIZE="thread" \
@@ -129,12 +137,12 @@ case "${SANITIZE:-0}" in
       ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS"
     ;;
   *)
-    echo "== 6/10: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
+    echo "== 6/11: sanitizers skipped (SANITIZE=1 for ASan/UBSan," \
          "SANITIZE=thread for TSan) =="
     ;;
 esac
 
-echo "== 7/10: parallel-execution sanitizer gate =="
+echo "== 7/11: parallel-execution sanitizer gate =="
 # Targeted builds: only the standalone parallel test binaries (plus their
 # dependencies) are compiled in the sanitizer trees, so this stays cheap
 # even when SANITIZE is unset and the full sanitized suites did not run.
@@ -155,7 +163,7 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
 TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_forge_stress_test
 TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/parallel_differential_test
 
-echo "== 8/10: batch-execution gate =="
+echo "== 8/11: batch-execution gate =="
 # Differential correctness first: batched plans must be row-identical to
 # the scalar serial engine under both sanitizer families (batches carry
 # page pins across the bounded Gather queue, so TSan coverage matters).
@@ -172,7 +180,7 @@ MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
 MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
   "$BUILD_DIR"/bench/bench_tpch_warm --batch-gate
 
-echo "== 9/10: server front-door gate =="
+echo "== 9/11: server front-door gate =="
 # Sessions, the statement cache, the shared query-bee cache, and the forge
 # all race each other by design; the server suite never ships without both
 # sanitizer families.
@@ -188,7 +196,7 @@ TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/server_test
 MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
   "$BUILD_DIR"/bench/bench_server --smoke
 
-echo "== 10/10: tracing & stats-feedback gate =="
+echo "== 10/11: tracing & stats-feedback gate =="
 # Span buffers are appended from every executor worker of a sampled query;
 # the tracing suite runs under both sanitizer families before anything
 # ships. The stats-feedback suite (exact selectivity counts, sketch
@@ -206,5 +214,27 @@ TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/tracing_test
 MICROSPEC_SF="${MICROSPEC_GATE_SF:-0.005}" \
 MICROSPEC_REPS="${MICROSPEC_GATE_REPS:-3}" \
   "$BUILD_DIR"/bench/bench_tpch_warm --trace-gate
+
+echo "== 11/11: WAL & recovery gate =="
+# Crash recovery is exactly the code that only runs after something went
+# wrong, so it never ships without sanitizer coverage: the WAL unit suite
+# and the full kill-and-replay differential sweep under ASan/UBSan, then
+# under TSan a reduced sweep (one config per bee tier — the TSan-relevant
+# surface is flusher-vs-committer-vs-kill, not the config matrix) plus the
+# WAL suite for the commit/crash race test.
+cmake --build "$ASAN_DIR" -j "$JOBS" --target wal_test recovery_differential_test
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  "$ASAN_DIR"/tests/wal_test
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  "$ASAN_DIR"/tests/recovery_differential_test
+cmake --build "$TSAN_DIR" -j "$JOBS" --target wal_test recovery_differential_test
+TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/wal_test
+MICROSPEC_DIFF_CONFIGS=off,program_batch \
+TSAN_OPTIONS=halt_on_error=1 "$TSAN_DIR"/tests/recovery_differential_test
+
+# The group-commit contract from the acceptance bar: >= 5x commits/s over
+# fsync-per-commit at 32 concurrent committers; also emits BENCH_wal.json
+# when BENCH_JSON is set.
+"$BUILD_DIR"/bench/bench_wal --gate
 
 echo "check.sh: all gates passed"

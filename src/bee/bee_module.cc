@@ -175,6 +175,7 @@ RelationBeeState::RelationBeeState(TableInfo* table,
 Status RelationBeeState::Build(const BeeModuleOptions& options) {
   gcl_ = DeformProgram::Compile(logical_, stored_, spec_cols_);
   scl_ = FormProgram::Compile(logical_, stored_, spec_cols_);
+  log_applier_ = LogApplierProgram::Compile(stored_, !spec_cols_.empty());
   if (!spec_cols_.empty()) {
     bees_ = std::make_unique<TupleBeeManager>(&logical_, spec_cols_);
   }
@@ -183,9 +184,13 @@ Status RelationBeeState::Build(const BeeModuleOptions& options) {
     // Source generation is cheap string work and happens here, on the DDL
     // thread; verification, the compiler invocation, and the dlopen are the
     // forge's job (bee/forge.h) and never block CREATE TABLE in async mode.
+    // The log applier rides in the same translation unit so the triple
+    // (scalar GCL, GCL-B, log applier) ships and publishes atomically.
     native_symbol_ = "bee_gcl_t" + std::to_string(table_->id());
     native_source_ = NativeJit::GenerateGclSource(logical_, stored_,
                                                   spec_cols_, native_symbol_);
+    native_source_ += NativeJit::GenerateLogApplierSource(
+        stored_, !spec_cols_.empty(), native_symbol_);
   }
   // Static verification of the program tier before its routines become
   // reachable: a bad bee is a silent data-corruption bug, so a reject
@@ -203,6 +208,17 @@ Status RelationBeeState::Build(const BeeModuleOptions& options) {
       if (BeeVerifier::ReportReject("relation", name_, st, options.verify)) {
         return Status(st.code(), "relation bee for '" + name_ +
                                      "' rejected: " + st.message());
+      }
+    }
+    // The log applier answers to its own verifier family: a wrong constant
+    // here re-installs corrupt tuples during redo rather than misreading
+    // them during scans, so it is never installed unverified either.
+    Status lst = BeeVerifier::VerifyLogApplier(log_applier_.steps(), logical_,
+                                               stored_, spec_cols_);
+    if (!lst.ok()) {
+      if (BeeVerifier::ReportReject("logapp", name_, lst, options.verify)) {
+        return Status(lst.code(), "log bee for '" + name_ +
+                                      "' rejected: " + lst.message());
       }
     }
   }

@@ -10,6 +10,7 @@
 
 #include "bee/deform_program.h"
 #include "bee/forge.h"
+#include "bee/log_bee.h"
 #include "bee/native_jit.h"
 #include "bee/placement.h"
 #include "bee/query_bee.h"
@@ -92,6 +93,9 @@ class RelationBeeState {
   TupleBeeManager* tuple_bees() { return bees_.get(); }
   const DeformProgram& gcl() const { return gcl_; }
   const FormProgram& scl() const { return scl_; }
+  /// The program-tier log bee: the checked redo/undo applier recovery runs
+  /// WAL records through (bee/log_bee.h).
+  const LogApplierProgram& log_applier() const { return log_applier_; }
   const std::string& native_source() const { return native_source_; }
   const std::string& native_symbol() const { return native_symbol_; }
   /// Copied at creation so forge diagnostics survive a DROP TABLE.
@@ -112,6 +116,12 @@ class RelationBeeState {
   NativeGclBatchFn native_gcl_batch() const {
     return native_gclb_.load(std::memory_order_acquire);
   }
+  /// The native-tier log applier; published with the GCL pair (same shared
+  /// object, same forge promotion). Recovery prefers it, falls back to the
+  /// program tier when the forge has not promoted yet.
+  NativeLogApplyFn native_log_apply() const {
+    return native_la_.load(std::memory_order_acquire);
+  }
 
   ForgePhase forge_phase() const {
     return phase_.load(std::memory_order_acquire);
@@ -125,7 +135,9 @@ class RelationBeeState {
   /// first so any thread that observes the scalar tier as native finds its
   /// batch sibling already in place (each store is release; the hot paths
   /// load each pointer with its own acquire anyway).
-  void PublishNative(NativeGclFn fn, NativeGclBatchFn batch_fn = nullptr) {
+  void PublishNative(NativeGclFn fn, NativeGclBatchFn batch_fn = nullptr,
+                     NativeLogApplyFn la_fn = nullptr) {
+    native_la_.store(la_fn, std::memory_order_release);
     native_gclb_.store(batch_fn, std::memory_order_release);
     native_gcl_.store(fn, std::memory_order_release);
     phase_.store(ForgePhase::kPromoted, std::memory_order_release);
@@ -198,8 +210,10 @@ class RelationBeeState {
   Schema stored_;
   DeformProgram gcl_;
   FormProgram scl_;
+  LogApplierProgram log_applier_;
   std::atomic<NativeGclFn> native_gcl_{nullptr};
   std::atomic<NativeGclBatchFn> native_gclb_{nullptr};
+  std::atomic<NativeLogApplyFn> native_la_{nullptr};
   std::atomic<ForgePhase> phase_{ForgePhase::kProgram};
   std::atomic<bool> collected_{false};
   std::atomic<uint64_t> program_invocations_{0};

@@ -188,20 +188,39 @@ void Forge::ProcessJob(Job job) {
         return;
       }
     }
+    // The log applier rides in the same translation unit and promotes with
+    // the GCL pair, so a rejected applier pins the whole relation: better a
+    // program-tier scan path than a native recovery path with a wrong
+    // burned-in constant.
+    Status lst = BeeVerifier::LintNativeLogApplierSource(
+        state->native_source(), state->logical_schema(),
+        state->stored_schema(), state->spec_cols());
+    if (!lst.ok()) {
+      if (BeeVerifier::ReportReject("native-logapp", state->table_name(), lst,
+                                    verify_)) {
+        state->PinToProgram("native log bee rejected: " + lst.message());
+        Trace(telemetry::ForgeEventKind::kPinned, state->table_name());
+        std::lock_guard<std::mutex> guard(mutex_);
+        ++stats_.failures;
+        ++stats_.pinned;
+        return;
+      }
+    }
   }
 
   auto t0 = std::chrono::steady_clock::now();
-  // One compile covers both routines: the scalar GCL entry point and its
-  // GCL-B page-batch sibling live in the same generated translation unit
-  // and promote together.
-  Result<NativeGclPair> fn = jit_->CompileSourcePair(
+  // One compile covers all three routines: the scalar GCL entry point, its
+  // GCL-B page-batch sibling, and the log-bee applier live in the same
+  // generated translation unit and promote together.
+  Result<NativeGclTriple> fn = jit_->CompileSourceTriple(
       state->native_source(), cache_dir_, state->native_symbol());
   double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
   if (fn.ok()) {
-    state->PublishNative(fn.value().scalar, fn.value().batch);
+    state->PublishNative(fn.value().scalar, fn.value().batch,
+                         fn.value().log_apply);
     Trace(telemetry::ForgeEventKind::kSucceeded, state->table_name(),
           static_cast<uint64_t>(seconds * 1e9));
     std::lock_guard<std::mutex> guard(mutex_);

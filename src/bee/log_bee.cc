@@ -1,0 +1,225 @@
+#include "bee/log_bee.h"
+
+#include <cstring>
+
+#include "common/align.h"
+#include "storage/tuple.h"
+
+namespace microspec::bee {
+
+namespace {
+
+/// Largest tuple image one page slot can hold.
+constexpr uint32_t kMaxSlotImage = kPageSize - kPageHeaderSize - kPageSlotSize;
+
+Status PageApply(char* page, LogApplyOp op, uint16_t slot, const char* img,
+                 uint32_t len) {
+  SlottedPage p(page);
+  switch (op) {
+    case LogApplyOp::kInsert: {
+      // Redo replays inserts in their original order, so the target slot is
+      // always the next fresh slot; anything else means the page diverged.
+      if (slot != p.slot_count()) {
+        return Status::Corruption("log apply: insert slot " +
+                                  std::to_string(slot) + " != slot_count " +
+                                  std::to_string(p.slot_count()));
+      }
+      int got = p.InsertTuple(img, len);
+      if (got != static_cast<int>(slot)) {
+        return Status::Corruption("log apply: insert did not fit");
+      }
+      return Status::OK();
+    }
+    case LogApplyOp::kDelete: {
+      if (slot >= p.slot_count()) {
+        return Status::Corruption("log apply: delete slot out of range");
+      }
+      uint32_t cur_len = 0;
+      if (p.GetTuple(slot, &cur_len) == nullptr) {
+        return Status::Corruption("log apply: delete of dead slot");
+      }
+      p.DeleteTuple(slot);
+      return Status::OK();
+    }
+    case LogApplyOp::kRestore: {
+      if (!p.RestoreTuple(slot, img, len)) {
+        return Status::Corruption("log apply: restore failed at slot " +
+                                  std::to_string(slot));
+      }
+      return Status::OK();
+    }
+    case LogApplyOp::kUpdateInPlace: {
+      if (slot >= p.slot_count()) {
+        return Status::Corruption("log apply: update slot out of range");
+      }
+      if (!p.UpdateTupleInPlace(slot, img, len)) {
+        return Status::Corruption("log apply: in-place update does not fit");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("log apply: bad op");
+}
+
+}  // namespace
+
+LogLenBounds ComputeLogLenBounds(const Schema& stored) {
+  LogLenBounds b;
+  bool fixed = true;
+  uint32_t data = 0;
+  for (int i = 0; i < stored.natts(); ++i) {
+    const Column& c = stored.column(i);
+    if (c.attlen() < 0) {
+      fixed = false;
+      break;
+    }
+    data = AlignUp32(data, static_cast<uint32_t>(c.attalign())) +
+           static_cast<uint32_t>(c.attlen());
+  }
+  uint32_t hoff = TupleHeaderSize(stored.natts(), /*has_nulls=*/false);
+  uint32_t hoff_nulls = TupleHeaderSize(stored.natts(), /*has_nulls=*/true);
+  if (fixed && !stored.has_nullable()) {
+    // The strongest form of the check: for a fixed all-NOT-NULL layout the
+    // image length is an exact compile-time constant.
+    b.min_len = hoff + data;
+    b.max_len = b.min_len;
+  } else if (fixed) {
+    // Nullable fixed layout: null attributes are absent from the data area,
+    // so anywhere between "bitmap header only" and "all present".
+    b.min_len = hoff_nulls < hoff + data ? hoff_nulls : hoff + data;
+    uint32_t hi = hoff_nulls + data;
+    b.max_len = hi > hoff + data ? hi : hoff + data;
+  } else {
+    b.min_len = hoff;
+    b.max_len = kMaxSlotImage;
+  }
+  return b;
+}
+
+LogApplierProgram LogApplierProgram::Compile(const Schema& stored,
+                                             bool has_tuple_bees) {
+  LogApplierProgram p;
+  p.steps_.push_back({LogStepOp::kCheckNatts,
+                      static_cast<uint32_t>(stored.natts()), 0});
+  p.steps_.push_back({LogStepOp::kCheckBeeFlag, has_tuple_bees ? 1u : 0u, 0});
+  p.steps_.push_back(
+      {LogStepOp::kCheckHoff,
+       TupleHeaderSize(stored.natts(), /*has_nulls=*/false),
+       TupleHeaderSize(stored.natts(), /*has_nulls=*/true)});
+  LogLenBounds b = ComputeLogLenBounds(stored);
+  p.steps_.push_back({LogStepOp::kCheckLen, b.min_len, b.max_len});
+  p.steps_.push_back({LogStepOp::kApply, 0, 0});
+  return p;
+}
+
+Status LogApplierProgram::Apply(char* page, LogApplyOp op, uint16_t slot,
+                                const char* img, uint32_t len) const {
+  // kDelete carries no new image onto the page; only kApply runs for it.
+  const bool check_image = op != LogApplyOp::kDelete;
+  for (const LogStep& s : steps_) {
+    switch (s.op) {
+      case LogStepOp::kCheckNatts: {
+        if (!check_image) break;
+        if (len < sizeof(TupleHeader)) {
+          return Status::Corruption("log apply: image shorter than header");
+        }
+        uint16_t natts;
+        std::memcpy(&natts, img, sizeof(natts));
+        if (natts != s.arg) {
+          return Status::Corruption("log apply: image natts " +
+                                    std::to_string(natts) + " != " +
+                                    std::to_string(s.arg));
+        }
+        break;
+      }
+      case LogStepOp::kCheckBeeFlag: {
+        if (!check_image) break;
+        uint8_t flags = static_cast<uint8_t>(img[2]);
+        bool has = (flags & kTupleHasBeeId) != 0;
+        if (has != (s.arg != 0)) {
+          return Status::Corruption("log apply: beeID flag mismatch");
+        }
+        break;
+      }
+      case LogStepOp::kCheckHoff: {
+        if (!check_image) break;
+        uint8_t flags = static_cast<uint8_t>(img[2]);
+        uint16_t hoff;
+        std::memcpy(&hoff, img + 4, sizeof(hoff));
+        uint32_t want = (flags & kTupleHasNulls) != 0 ? s.arg2 : s.arg;
+        if (hoff != want) {
+          return Status::Corruption("log apply: image hoff " +
+                                    std::to_string(hoff) + " != " +
+                                    std::to_string(want));
+        }
+        break;
+      }
+      case LogStepOp::kCheckLen: {
+        if (!check_image) break;
+        if (len < s.arg || len > s.arg2) {
+          return Status::Corruption("log apply: image length " +
+                                    std::to_string(len) + " outside [" +
+                                    std::to_string(s.arg) + "," +
+                                    std::to_string(s.arg2) + "]");
+        }
+        break;
+      }
+      case LogStepOp::kApply:
+        return PageApply(page, op, slot, img, len);
+    }
+  }
+  return Status::Internal("log applier: no apply step");
+}
+
+Status GenericLogApply(char* page, LogApplyOp op, uint16_t slot,
+                       const char* img, uint32_t len) {
+  if (op != LogApplyOp::kDelete) {
+    if (len < sizeof(TupleHeader) || len > kMaxSlotImage) {
+      return Status::Corruption("log apply: implausible image length " +
+                                std::to_string(len));
+    }
+  }
+  return PageApply(page, op, slot, img, len);
+}
+
+const char* LogApplyOpName(LogApplyOp op) {
+  switch (op) {
+    case LogApplyOp::kInsert:
+      return "insert";
+    case LogApplyOp::kDelete:
+      return "delete";
+    case LogApplyOp::kRestore:
+      return "restore";
+    case LogApplyOp::kUpdateInPlace:
+      return "update-in-place";
+  }
+  return "?";
+}
+
+std::string LogApplierProgram::Disassemble() const {
+  std::string out;
+  for (const LogStep& s : steps_) {
+    switch (s.op) {
+      case LogStepOp::kCheckNatts:
+        out += "check_natts " + std::to_string(s.arg) + "\n";
+        break;
+      case LogStepOp::kCheckBeeFlag:
+        out += "check_bee_flag " + std::to_string(s.arg) + "\n";
+        break;
+      case LogStepOp::kCheckHoff:
+        out += "check_hoff " + std::to_string(s.arg) + " " +
+               std::to_string(s.arg2) + "\n";
+        break;
+      case LogStepOp::kCheckLen:
+        out += "check_len " + std::to_string(s.arg) + " " +
+               std::to_string(s.arg2) + "\n";
+        break;
+      case LogStepOp::kApply:
+        out += "apply\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace microspec::bee

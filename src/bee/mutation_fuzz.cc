@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "bee/deform_program.h"
+#include "bee/log_bee.h"
 #include "bee/native_jit.h"
 #include "bee/placement.h"
 #include "bee/query_bee.h"
@@ -16,6 +17,7 @@
 #include "common/rng.h"
 #include "common/telemetry.h"
 #include "expr/expr.h"
+#include "storage/page.h"
 #include "storage/tuple.h"
 
 namespace microspec::bee {
@@ -690,6 +692,165 @@ FuzzFamilyReport FuzzNativeEvp(Rng* rng, int rounds) {
   return rep;
 }
 
+/// --- Log bees: program-tier applier mutations -----------------------------
+
+/// Splits a random logical schema into a (logical, stored, spec_cols)
+/// triple; every fourth round specializes column 0 into a data section so
+/// the beeID-flag expectation exercises both values.
+void LogBeeConfig(Rng* rng, int round, Schema* logical, Schema* stored,
+                  std::vector<int>* spec_cols) {
+  *logical = RandomSchema(rng);
+  spec_cols->clear();
+  if (round % 4 == 0) {
+    *spec_cols = {0};
+    std::vector<Column> rest;
+    for (int i = 1; i < logical->natts(); ++i) {
+      rest.push_back(logical->column(i));
+    }
+    *stored = Schema(std::move(rest));
+  } else {
+    *stored = *logical;
+  }
+}
+
+FuzzFamilyReport FuzzLogApplier(Rng* rng, int rounds) {
+  FuzzFamilyReport rep;
+  rep.family = "logapp";
+  for (int round = 0; round < rounds; ++round) {
+    Schema logical, stored;
+    std::vector<int> spec_cols;
+    LogBeeConfig(rng, round, &logical, &stored, &spec_cols);
+    LogApplierProgram prog =
+        LogApplierProgram::Compile(stored, !spec_cols.empty());
+    std::vector<LogStep> steps = prog.steps();
+    if (!BeeVerifier::VerifyLogApplier(steps, logical, stored, spec_cols)
+             .ok()) {
+      RecordBroken(&rep, "logapp baseline rejected");
+      continue;
+    }
+
+    const size_t n = steps.size();
+    std::vector<Candidate> cands;
+    size_t j = rng->Uniform(n);
+    cands.push_back(
+        {"drop-step", [&, j] { steps.erase(steps.begin() +
+                                           static_cast<ptrdiff_t>(j)); }});
+    cands.push_back({"dup-step", [&, j] { steps.push_back(steps[j]); }});
+    if (n >= 2) {
+      size_t k = rng->Uniform(n - 1);
+      cands.push_back(
+          {"swap-steps", [&, k] { std::swap(steps[k], steps[k + 1]); }});
+    }
+    uint8_t sub = static_cast<uint8_t>(rng->Uniform(5));
+    cands.push_back({"op-substitute", [&, j, sub] {
+                       steps[j].op = static_cast<LogStepOp>(
+                           (static_cast<uint8_t>(steps[j].op) + 1 + sub) % 6);
+                     }});
+    for (size_t i = 0; i < n; ++i) {
+      switch (steps[i].op) {
+        case LogStepOp::kCheckNatts:
+          cands.push_back({"natts-drift", [&, i] { steps[i].arg += 1; }});
+          break;
+        case LogStepOp::kCheckBeeFlag:
+          cands.push_back({"bee-flag-flip", [&, i] { steps[i].arg ^= 1u; }});
+          break;
+        case LogStepOp::kCheckHoff:
+          cands.push_back({"hoff-drift", [&, i] { steps[i].arg += 8; }});
+          cands.push_back({"hoff-nulls-drift", [&, i] { steps[i].arg2 += 8; }});
+          break;
+        case LogStepOp::kCheckLen:
+          cands.push_back({"len-min-drift", [&, i] { steps[i].arg += 1; }});
+          cands.push_back({"len-max-drift", [&, i] { steps[i].arg2 += 8; }});
+          break;
+        case LogStepOp::kApply:
+          break;
+      }
+    }
+
+    std::string mutation;
+    Pick(rng, &cands, &mutation);
+    Status st =
+        BeeVerifier::VerifyLogApplier(steps, logical, stored, spec_cols);
+    RecordOutcome(&rep, st, mutation, "log applier program");
+  }
+  return rep;
+}
+
+FuzzFamilyReport FuzzNativeLogApplier(Rng* rng, int rounds) {
+  FuzzFamilyReport rep;
+  rep.family = "native-logapp";
+  for (int round = 0; round < rounds; ++round) {
+    Schema logical, stored;
+    std::vector<int> spec_cols;
+    LogBeeConfig(rng, round, &logical, &stored, &spec_cols);
+    std::string src = NativeJit::GenerateLogApplierSource(
+        stored, !spec_cols.empty(), "fuzz_la");
+    if (!BeeVerifier::LintNativeLogApplierSource(src, logical, stored,
+                                                 spec_cols)
+             .ok()) {
+      RecordBroken(&rep, "native-logapp baseline rejected");
+      continue;
+    }
+
+    auto u = [](uint32_t v) { return std::to_string(v) + "u"; };
+    const uint32_t natts = static_cast<uint32_t>(stored.natts());
+    const uint32_t hoff = TupleHeaderSize(stored.natts(), /*has_nulls=*/false);
+    const uint32_t hoffn = TupleHeaderSize(stored.natts(), /*has_nulls=*/true);
+    const std::string flag = spec_cols.empty() ? "0u" : "1u";
+    const std::string flip = spec_cols.empty() ? "1u" : "0u";
+
+    std::vector<Candidate> cands;
+    AddTextCand(&cands, &src, "natts-literal-drift",
+                "if (natts != " + u(natts) + ") return 11;",
+                "if (natts != " + u(natts + 1) + ") return 11;");
+    AddTextCand(&cands, &src, "bee-flag-flip", "!= " + flag + ") return 12;",
+                "!= " + flip + ") return 12;");
+    AddTextCand(&cands, &src, "hoff-drift",
+                "(flags & 1u) ? " + u(hoffn) + " : " + u(hoff) + ")",
+                "(flags & 1u) ? " + u(hoffn) + " : " + u(hoff + 8) + ")");
+    AddTextCand(&cands, &src, "len-check-drop",
+                "|| len > ", "|| 0 && len > ");
+    AddTextCand(&cands, &src, "fresh-slot-guard-drop",
+                "if (slot != sc) return 20;", "");
+    AddTextCand(&cands, &src, "insert-mask-drop",
+                "unsigned int need = (len + 7u) & ~7u;",
+                "unsigned int need = len;");
+    AddTextCand(&cands, &src, "free-space-check-drop",
+                "if ((unsigned int)fe - (unsigned int)fs < need + 4u) "
+                "return 21;",
+                "");
+    // The escape the kill-and-replay differential found: an insert that
+    // never persists the decremented free end stacks every redone tuple at
+    // one offset. The lint must refuse a source with the writeback gone.
+    AddTextCand(&cands, &src, "free-end-writeback-drop",
+                "memcpy(page + " + u(kPageFreeEndOffset) + ", &fe, 2);", "");
+    AddTextCand(&cands, &src, "slot-count-offset-drift", "page + 12u",
+                "page + 10u");
+    AddTextCand(&cands, &src, "slot-stride-drift", "24u + 4u * slot",
+                "24u + 2u * slot");
+    AddTextCand(&cands, &src, "delete-range-guard-drop",
+                "if (slot >= sc) return 30;", "");
+    AddTextCand(&cands, &src, "dead-slot-guard-flip",
+                "if (sl == 0u) return 31;", "if (sl == 1u) return 31;");
+    AddTextCand(&cands, &src, "restore-bound-drop",
+                "if ((unsigned int)so + len > " + u(kPageSize) +
+                    ") return 42;",
+                "");
+    AddTextCand(&cands, &src, "update-fit-drop",
+                "if (((len + 7u) & ~7u) > (((unsigned int)sl + 7u) & ~7u)) "
+                "return 52;",
+                "");
+
+    std::string mutation;
+    Pick(rng, &cands, &mutation);
+    Status st =
+        BeeVerifier::LintNativeLogApplierSource(src, logical, stored,
+                                                spec_cols);
+    RecordOutcome(&rep, st, mutation, "native log applier source");
+  }
+  return rep;
+}
+
 }  // namespace
 
 int FuzzReport::mutants() const {
@@ -734,6 +895,8 @@ FuzzReport RunMutationFuzz(uint64_t seed, int mutants_per_family) {
   rep.families.push_back(FuzzEvj(&rng, mutants_per_family));
   rep.families.push_back(FuzzNativeGcl(&rng, mutants_per_family));
   rep.families.push_back(FuzzNativeEvp(&rng, mutants_per_family));
+  rep.families.push_back(FuzzLogApplier(&rng, mutants_per_family));
+  rep.families.push_back(FuzzNativeLogApplier(&rng, mutants_per_family));
   return rep;
 }
 

@@ -31,7 +31,8 @@ struct FuzzReport {
 };
 
 /// Runs the mutation-fuzz proof harness: for each verification family
-/// ("gcl", "scl", "evp", "evj", "native-gcl", "native-evp") generates
+/// ("gcl", "scl", "evp", "evj", "native-gcl", "native-evp", "logapp",
+/// "native-logapp") generates
 /// `mutants_per_family` single-step mutants of freshly compiled bees (or
 /// generated native sources) from a deterministic RNG seeded with `seed`,
 /// and checks that the corresponding BeeVerifier entry point rejects each

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <functional>
 
+#include "bee/log_bee.h"
 #include "common/align.h"
 #include "storage/tuple.h"
 
@@ -398,6 +399,105 @@ Result<NativeGclFn> NativeJit::CompileSource(const std::string& source,
   return reinterpret_cast<NativeGclFn>(sym);
 }
 
+std::string NativeJit::GenerateLogApplierSource(const Schema& stored,
+                                                bool has_tuple_bees,
+                                                const std::string& symbol) {
+  const uint32_t natts = static_cast<uint32_t>(stored.natts());
+  const uint32_t hoff = TupleHeaderSize(stored.natts(), /*has_nulls=*/false);
+  const uint32_t hoffn = TupleHeaderSize(stored.natts(), /*has_nulls=*/true);
+  const LogLenBounds b = ComputeLogLenBounds(stored);
+  auto u = [](uint32_t v) { return std::to_string(v) + "u"; };
+
+  std::string src;
+  src += "\n/* Log-bee applier: one checked page mutation per WAL record.\n"
+         "   The image checks fold the stored layout in as literals, the\n"
+         "   page bodies fold in the slotted-page header layout; op codes\n"
+         "   0=insert 1=delete 2=restore 3=update-in-place. Returns 0 on\n"
+         "   success, a positive diagnostic code otherwise. */\n";
+  src += "int " + symbol +
+         "_la(char* page, int op, unsigned int slot, const char* img,\n"
+         "    unsigned int len) {\n";
+  src += "  uint16_t sc; memcpy(&sc, page + " + u(kPageSlotCountOffset) +
+         ", 2);\n";
+  src += "  if (op != 1) {\n";
+  src += "    if (len < 6u) return 10;\n";
+  src += "    uint16_t natts; memcpy(&natts, img + 0, 2);\n";
+  src += "    if (natts != " + u(natts) + ") return 11;\n";
+  src += "    unsigned char flags = (unsigned char)img[2];\n";
+  src += "    if (((flags & 2u) != 0u) != " +
+         std::string(has_tuple_bees ? "1u" : "0u") + ") return 12;\n";
+  src += "    uint16_t hoff; memcpy(&hoff, img + 4, 2);\n";
+  src += "    if (hoff != ((flags & 1u) ? " + u(hoffn) + " : " + u(hoff) +
+         ")) return 13;\n";
+  src += "    if (len < " + u(b.min_len) + " || len > " + u(b.max_len) +
+         ") return 14;\n";
+  src += "  }\n";
+  src += "  if (op == 0) {\n";
+  src += "    if (slot != sc) return 20;\n";
+  src += "    uint16_t fs; memcpy(&fs, page + " + u(kPageFreeStartOffset) +
+         ", 2);\n";
+  src += "    uint16_t fe; memcpy(&fe, page + " + u(kPageFreeEndOffset) +
+         ", 2);\n";
+  src += "    unsigned int need = (len + 7u) & ~7u;\n";
+  src += "    if ((unsigned int)fe - (unsigned int)fs < need + " +
+         u(kPageSlotSize) + ") return 21;\n";
+  src += "    fe = (uint16_t)(fe - need);\n";
+  src += "    memcpy(page + fe, img, len);\n";
+  src += "    unsigned int se = " + u(kPageHeaderSize) + " + " +
+         u(kPageSlotSize) + " * slot;\n";
+  src += "    memcpy(page + se, &fe, 2);\n";
+  src += "    uint16_t sl = (uint16_t)len;\n";
+  src += "    memcpy(page + se + 2u, &sl, 2);\n";
+  src += "    fs = (uint16_t)(fs + " + u(kPageSlotSize) + ");\n";
+  src += "    sc = (uint16_t)(sc + 1u);\n";
+  src += "    memcpy(page + " + u(kPageFreeEndOffset) + ", &fe, 2);\n";
+  src += "    memcpy(page + " + u(kPageFreeStartOffset) + ", &fs, 2);\n";
+  src += "    memcpy(page + " + u(kPageSlotCountOffset) + ", &sc, 2);\n";
+  src += "    return 0;\n";
+  src += "  }\n";
+  src += "  if (op == 1) {\n";
+  src += "    if (slot >= sc) return 30;\n";
+  src += "    unsigned int se = " + u(kPageHeaderSize) + " + " +
+         u(kPageSlotSize) + " * slot;\n";
+  src += "    uint16_t sl; memcpy(&sl, page + se + 2u, 2);\n";
+  src += "    if (sl == 0u) return 31;\n";
+  src += "    uint16_t z = 0;\n";
+  src += "    memcpy(page + se + 2u, &z, 2);\n";
+  src += "    return 0;\n";
+  src += "  }\n";
+  src += "  if (op == 2) {\n";
+  src += "    if (slot >= sc) return 40;\n";
+  src += "    unsigned int se = " + u(kPageHeaderSize) + " + " +
+         u(kPageSlotSize) + " * slot;\n";
+  src += "    uint16_t so; memcpy(&so, page + se, 2);\n";
+  src += "    uint16_t sl; memcpy(&sl, page + se + 2u, 2);\n";
+  src += "    if (sl != 0u) return 41;\n";
+  src += "    if ((unsigned int)so + len > " + u(kPageSize) +
+         ") return 42;\n";
+  src += "    memcpy(page + so, img, len);\n";
+  src += "    sl = (uint16_t)len;\n";
+  src += "    memcpy(page + se + 2u, &sl, 2);\n";
+  src += "    return 0;\n";
+  src += "  }\n";
+  src += "  if (op == 3) {\n";
+  src += "    if (slot >= sc) return 50;\n";
+  src += "    unsigned int se = " + u(kPageHeaderSize) + " + " +
+         u(kPageSlotSize) + " * slot;\n";
+  src += "    uint16_t so; memcpy(&so, page + se, 2);\n";
+  src += "    uint16_t sl; memcpy(&sl, page + se + 2u, 2);\n";
+  src += "    if (sl == 0u) return 51;\n";
+  src += "    if (((len + 7u) & ~7u) > (((unsigned int)sl + 7u) & ~7u)) "
+         "return 52;\n";
+  src += "    memcpy(page + so, img, len);\n";
+  src += "    sl = (uint16_t)len;\n";
+  src += "    memcpy(page + se + 2u, &sl, 2);\n";
+  src += "    return 0;\n";
+  src += "  }\n";
+  src += "  return 99;\n";
+  src += "}\n";
+  return src;
+}
+
 Result<NativeGclPair> NativeJit::CompileSourcePair(const std::string& source,
                                                    const std::string& work_dir,
                                                    const std::string& symbol) {
@@ -446,6 +546,59 @@ Result<NativeGclPair> NativeJit::CompileSourcePair(const std::string& source,
   pair.scalar = reinterpret_cast<NativeGclFn>(scalar);
   pair.batch = reinterpret_cast<NativeGclBatchFn>(batch);
   return pair;
+}
+
+Result<NativeGclTriple> NativeJit::CompileSourceTriple(
+    const std::string& source, const std::string& work_dir,
+    const std::string& symbol) {
+  if (!CompilerAvailable()) {
+    return Status::NotSupported("no C compiler on this host");
+  }
+  std::string c_path = work_dir + "/" + symbol + ".c";
+  std::string so_path = work_dir + "/" + symbol + ".so";
+  FILE* f = std::fopen(c_path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot write " + c_path);
+  std::fwrite(source.data(), 1, source.size(), f);
+  std::fclose(f);
+
+  auto fail = [&](std::string msg) {
+    std::remove(c_path.c_str());
+    std::remove(so_path.c_str());
+    return Status::Internal(std::move(msg));
+  };
+  std::string compiler_stderr;
+  Status st = RunCommand(
+      {"cc", "-O2", "-shared", "-fPIC", "-o", so_path, c_path},
+      &compiler_stderr);
+  if (!st.ok()) {
+    std::string msg = "bee compilation failed (" + st.message() + ")";
+    if (!compiler_stderr.empty()) msg += ":\n" + compiler_stderr;
+    return fail(std::move(msg));
+  }
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    return fail(std::string("dlopen failed: ") + dlerror());
+  }
+  // All three entry points must resolve before the handle is cached: the
+  // scalar/batch deform pair and the log applier publish together, so a
+  // source missing any of them never half-publishes.
+  void* scalar = dlsym(handle, symbol.c_str());
+  void* batch = dlsym(handle, (symbol + "_b").c_str());
+  void* la = dlsym(handle, (symbol + "_la").c_str());
+  if (scalar == nullptr || batch == nullptr || la == nullptr) {
+    dlclose(handle);
+    return fail("bee symbol missing: " + symbol +
+                (scalar != nullptr ? (batch == nullptr ? "_b" : "_la") : ""));
+  }
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    handles_.push_back(handle);
+  }
+  NativeGclTriple triple;
+  triple.scalar = reinterpret_cast<NativeGclFn>(scalar);
+  triple.batch = reinterpret_cast<NativeGclBatchFn>(batch);
+  triple.log_apply = reinterpret_cast<NativeLogApplyFn>(la);
+  return triple;
 }
 
 }  // namespace microspec::bee

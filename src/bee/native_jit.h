@@ -37,6 +37,22 @@ struct NativeGclPair {
   NativeGclBatchFn batch = nullptr;
 };
 
+/// Signature of the natively compiled log-bee applier (`<symbol>_la`):
+/// applies one physiological WAL mutation to a pinned page after checking
+/// the tuple image against the relation's burned-in layout constants.
+/// Returns 0 on success, a small positive diagnostic code on any check or
+/// page-state failure (the caller maps codes back to Status::Corruption).
+using NativeLogApplyFn = int (*)(char* page, int op, unsigned int slot,
+                                 const char* img, unsigned int len);
+
+/// All three entry points of one compiled relation-bee shared object:
+/// scalar GCL, GCL-B page batch, and the log applier.
+struct NativeGclTriple {
+  NativeGclFn scalar = nullptr;
+  NativeGclBatchFn batch = nullptr;
+  NativeLogApplyFn log_apply = nullptr;
+};
+
 /// --- The native bee backend -------------------------------------------------
 /// This backend emits C source equivalent to the paper's Listing 2, invokes
 /// the system C compiler to build a shared object, and dlopens the resulting
@@ -98,6 +114,20 @@ class NativeJit {
   Result<NativeGclPair> CompileSourcePair(const std::string& source,
                                           const std::string& work_dir,
                                           const std::string& symbol);
+
+  /// Generates the C form of the relation's native log-bee applier
+  /// (`symbol`_la): one routine with the stored layout's natts/flags/hoff
+  /// and image-length bounds burned in as literals, plus the slotted-page
+  /// mutation bodies working through the exported page layout constants.
+  static std::string GenerateLogApplierSource(const Schema& stored,
+                                              bool has_tuple_bees,
+                                              const std::string& symbol);
+
+  /// Like CompileSourcePair but additionally resolves `symbol`_la; used by
+  /// the forge once the source carries the GCL pair plus the log applier.
+  Result<NativeGclTriple> CompileSourceTriple(const std::string& source,
+                                              const std::string& work_dir,
+                                              const std::string& symbol);
 
  private:
   std::mutex mutex_;            // guards handles_ (forge workers race here)

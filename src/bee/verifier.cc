@@ -5,6 +5,7 @@
 
 #include "common/align.h"
 #include "common/telemetry.h"
+#include "storage/page.h"
 #include "storage/tuple.h"
 
 namespace microspec::bee {
@@ -546,6 +547,244 @@ Status BeeVerifier::LintNativeGclSource(const std::string& source,
         return missing("section slot for " + attr, sec);
       }
     }
+  }
+  return Status::OK();
+}
+
+/// --- Log-bee verification ---------------------------------------------------
+
+namespace {
+
+/// The constants a correct log applier must carry, re-derived from the
+/// stored schema by the verifier's own layout walk. Deliberately a separate
+/// code path from ComputeLogLenBounds: sharing the compiler's derivation
+/// would let one bug pass both sides.
+struct LogLayout {
+  uint32_t natts;
+  uint32_t bee_flag;  // 1 if images must carry kTupleHasBeeId
+  uint32_t hoff;      // header size without a null bitmap
+  uint32_t hoffn;     // header size with a null bitmap
+  uint32_t min_len;
+  uint32_t max_len;
+};
+
+LogLayout DeriveLogLayout(const Schema& stored,
+                          const std::vector<int>& spec_cols) {
+  LogLayout l{};
+  l.natts = static_cast<uint32_t>(stored.natts());
+  l.bee_flag = spec_cols.empty() ? 0u : 1u;
+  l.hoff = TupleHeaderSize(stored.natts(), /*has_nulls=*/false);
+  l.hoffn = TupleHeaderSize(stored.natts(), /*has_nulls=*/true);
+  bool fixed = true;
+  uint32_t data = 0;
+  for (int i = 0; i < stored.natts(); ++i) {
+    const Column& c = stored.column(i);
+    if (c.attlen() == kVariableLength) {
+      fixed = false;
+      break;
+    }
+    data = AlignUp32(data, static_cast<uint32_t>(c.attalign())) +
+           static_cast<uint32_t>(c.attlen());
+  }
+  const uint32_t slot_cap = kPageSize - kPageHeaderSize - kPageSlotSize;
+  if (fixed && !stored.has_nullable()) {
+    l.min_len = l.hoff + data;
+    l.max_len = l.min_len;
+  } else if (fixed) {
+    l.min_len = l.hoffn < l.hoff + data ? l.hoffn : l.hoff + data;
+    const uint32_t hi = l.hoffn + data;
+    l.max_len = hi > l.hoff + data ? hi : l.hoff + data;
+  } else {
+    l.min_len = l.hoff;
+    l.max_len = slot_cap;
+  }
+  return l;
+}
+
+Status LogReject(size_t step, const std::string& what) {
+  return Status::InvalidArgument("log-bee verifier: step " +
+                                 std::to_string(step) + ": " + what);
+}
+
+}  // namespace
+
+Status BeeVerifier::VerifyLogApplier(const std::vector<LogStep>& steps,
+                                     const Schema& logical,
+                                     const Schema& stored,
+                                     const std::vector<int>& spec_cols) {
+  if (stored.natts() + static_cast<int>(spec_cols.size()) != logical.natts()) {
+    return Status::InvalidArgument(
+        "log-bee verifier: stored schema width " +
+        std::to_string(stored.natts()) + " + " +
+        std::to_string(spec_cols.size()) + " specialized columns != logical " +
+        std::to_string(logical.natts()));
+  }
+  const LogLayout l = DeriveLogLayout(stored, spec_cols);
+  // Each check family must appear exactly once, in canonical (enum) order,
+  // all of them before the one kApply step, which must be last — a
+  // duplicated apply would mutate the page twice per record, a reordered
+  // program is not the compiler's output and is rejected wholesale rather
+  // than reasoned about.
+  bool seen[5] = {false, false, false, false, false};
+  int last = -1;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const LogStep& s = steps[i];
+    const size_t idx = static_cast<size_t>(s.op);
+    if (idx >= 5) {
+      return LogReject(i, "unknown step op " + std::to_string(idx));
+    }
+    if (seen[idx]) {
+      return LogReject(i, "duplicate step family");
+    }
+    if (static_cast<int>(idx) < last) {
+      return LogReject(i, "step family out of canonical order");
+    }
+    last = static_cast<int>(idx);
+    seen[idx] = true;
+    switch (s.op) {
+      case LogStepOp::kCheckNatts:
+        if (s.arg != l.natts) {
+          return LogReject(i, "natts " + std::to_string(s.arg) + " != " +
+                                  std::to_string(l.natts));
+        }
+        break;
+      case LogStepOp::kCheckBeeFlag:
+        if (s.arg != l.bee_flag) {
+          return LogReject(i, "beeID-flag expectation " +
+                                  std::to_string(s.arg) + " != " +
+                                  std::to_string(l.bee_flag));
+        }
+        break;
+      case LogStepOp::kCheckHoff:
+        if (s.arg != l.hoff || s.arg2 != l.hoffn) {
+          return LogReject(i, "header offsets (" + std::to_string(s.arg) +
+                                  "," + std::to_string(s.arg2) + ") != (" +
+                                  std::to_string(l.hoff) + "," +
+                                  std::to_string(l.hoffn) + ")");
+        }
+        break;
+      case LogStepOp::kCheckLen:
+        if (s.arg != l.min_len || s.arg2 != l.max_len) {
+          return LogReject(i, "length bounds [" + std::to_string(s.arg) +
+                                  "," + std::to_string(s.arg2) + "] != [" +
+                                  std::to_string(l.min_len) + "," +
+                                  std::to_string(l.max_len) + "]");
+        }
+        break;
+      case LogStepOp::kApply:
+        if (i + 1 != steps.size()) {
+          return LogReject(i, "apply step must be last");
+        }
+        break;
+    }
+  }
+  static const char* kFamily[5] = {"check_natts", "check_bee_flag",
+                                   "check_hoff", "check_len", "apply"};
+  for (size_t f = 0; f < 5; ++f) {
+    if (!seen[f]) {
+      return LogReject(steps.size(),
+                       std::string("missing step family ") + kFamily[f]);
+    }
+  }
+  return Status::OK();
+}
+
+Status BeeVerifier::LintNativeLogApplierSource(
+    const std::string& source, const Schema& logical, const Schema& stored,
+    const std::vector<int>& spec_cols) {
+  if (stored.natts() + static_cast<int>(spec_cols.size()) != logical.natts()) {
+    return Status::InvalidArgument(
+        "native log-bee lint: stored/logical width mismatch");
+  }
+  const LogLayout l = DeriveLogLayout(stored, spec_cols);
+  auto u = [](uint32_t v) { return std::to_string(v) + "u"; };
+
+  // Forward-cursor fragment search, like LintNativeGclSource: every fragment
+  // must appear after the previous one, with the layout literals and the
+  // slotted-page header offsets matching the verifier's own derivation.
+  size_t pos = 0;
+  auto expect = [&](const std::string& what,
+                    const std::string& token) -> Status {
+    size_t found = source.find(token, pos);
+    if (found == std::string::npos) {
+      return Status::InvalidArgument(
+          "native log-bee lint: missing or out-of-order " + what + " (`" +
+          token + "`)");
+    }
+    pos = found + token.size();
+    return Status::OK();
+  };
+
+  const std::string sc_load =
+      "memcpy(&sc, page + " + u(kPageSlotCountOffset) + ", 2)";
+  const std::string se_expr =
+      "unsigned int se = " + u(kPageHeaderSize) + " + " + u(kPageSlotSize) +
+      " * slot;";
+  struct Frag {
+    const char* what;
+    std::string token;
+  };
+  const Frag frags[] = {
+      {"applier entry point",
+       "_la(char* page, int op, unsigned int slot, const char* img,"},
+      {"slot-count load", sc_load},
+      {"image-check gate (delete carries no image)", "if (op != 1) {"},
+      {"header-length floor", "if (len < 6u) return 10;"},
+      {"image natts load", "memcpy(&natts, img + 0, 2)"},
+      {"natts literal", "if (natts != " + u(l.natts) + ") return 11;"},
+      {"flags load", "flags = (unsigned char)img[2]"},
+      {"beeID-flag expectation",
+       "if (((flags & 2u) != 0u) != " + u(l.bee_flag) + ") return 12;"},
+      {"image hoff load", "memcpy(&hoff, img + 4, 2)"},
+      {"header-offset literals", "if (hoff != ((flags & 1u) ? " + u(l.hoffn) +
+                                     " : " + u(l.hoff) + ")) return 13;"},
+      {"length bounds", "if (len < " + u(l.min_len) + " || len > " +
+                            u(l.max_len) + ") return 14;"},
+      {"insert body", "if (op == 0) {"},
+      {"fresh-slot insert guard", "if (slot != sc) return 20;"},
+      {"free-start load",
+       "memcpy(&fs, page + " + u(kPageFreeStartOffset) + ", 2)"},
+      {"free-end load",
+       "memcpy(&fe, page + " + u(kPageFreeEndOffset) + ", 2)"},
+      {"insert alignment mask", "unsigned int need = (len + 7u) & ~7u;"},
+      {"free-space check", "if ((unsigned int)fe - (unsigned int)fs < need + " +
+                               u(kPageSlotSize) + ") return 21;"},
+      {"free-end decrement", "fe = (uint16_t)(fe - need);"},
+      {"insert image copy", "memcpy(page + fe, img, len);"},
+      {"insert slot-entry address", se_expr},
+      {"slot offset writeback", "memcpy(page + se, &fe, 2);"},
+      {"slot length writeback", "memcpy(page + se + 2u, &sl, 2);"},
+      // The free-end writeback is the fragment whose absence the kill-and-
+      // replay differential caught: without it every redone insert lands at
+      // the same offset and all slots alias the last image.
+      {"free-end writeback",
+       "memcpy(page + " + u(kPageFreeEndOffset) + ", &fe, 2);"},
+      {"free-start writeback",
+       "memcpy(page + " + u(kPageFreeStartOffset) + ", &fs, 2);"},
+      {"slot-count writeback",
+       "memcpy(page + " + u(kPageSlotCountOffset) + ", &sc, 2);"},
+      {"delete body", "if (op == 1) {"},
+      {"delete range guard", "if (slot >= sc) return 30;"},
+      {"delete slot-entry address", se_expr},
+      {"delete dead-slot guard", "if (sl == 0u) return 31;"},
+      {"restore body", "if (op == 2) {"},
+      {"restore range guard", "if (slot >= sc) return 40;"},
+      {"restore slot-entry address", se_expr},
+      {"restore live-slot guard", "if (sl != 0u) return 41;"},
+      {"restore page bound",
+       "if ((unsigned int)so + len > " + u(kPageSize) + ") return 42;"},
+      {"restore image copy", "memcpy(page + so, img, len);"},
+      {"update body", "if (op == 3) {"},
+      {"update range guard", "if (slot >= sc) return 50;"},
+      {"update slot-entry address", se_expr},
+      {"update dead-slot guard", "if (sl == 0u) return 51;"},
+      {"update fit check",
+       "if (((len + 7u) & ~7u) > (((unsigned int)sl + 7u) & ~7u)) return 52;"},
+      {"update image copy", "memcpy(page + so, img, len);"},
+      {"unknown-op terminal", "return 99;"},
+  };
+  for (const Frag& f : frags) {
+    MICROSPEC_RETURN_NOT_OK(expect(f.what, f.token));
   }
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bee/deform_program.h"
+#include "bee/log_bee.h"
 #include "bee/query_bee.h"
 #include "catalog/schema.h"
 #include "common/status.h"
@@ -90,6 +91,35 @@ class BeeVerifier {
                                     const Schema& logical,
                                     const Schema& stored,
                                     const std::vector<int>& spec_cols);
+
+  /// --- Log-bee verification -------------------------------------------------
+  /// Verifies a compiled log-applier program against the relation's stored
+  /// layout. A log bee with a wrong constant silently re-installs corrupt
+  /// tuples during redo, so the verifier re-derives every burned-in value on
+  /// its own (natts, the beeID-flag expectation, both header offsets, and
+  /// the image-length bounds — the bounds via an independent layout walk,
+  /// not ComputeLogLenBounds) and rejects programs that:
+  ///
+  ///   - disagree with any re-derived constant,
+  ///   - omit a check family, run one twice, or add an unknown step,
+  ///   - place the kApply step anywhere but last, or perform more than one
+  ///     page mutation per record.
+  ///
+  /// `spec_cols` states whether tuple images must carry the beeID flag
+  /// (non-empty means the relation has tuple bees).
+  static Status VerifyLogApplier(const std::vector<LogStep>& steps,
+                                 const Schema& logical, const Schema& stored,
+                                 const std::vector<int>& spec_cols);
+
+  /// Structural lint of NativeJit::GenerateLogApplierSource output against
+  /// the same independently derived constants: the image-check literals,
+  /// the slotted-page header offsets, the fresh-slot insert guard, the
+  /// free-space arithmetic with its 8-byte alignment masks, and the
+  /// page-bound check of the restore body, all found in emission order.
+  static Status LintNativeLogApplierSource(const std::string& source,
+                                           const Schema& logical,
+                                           const Schema& stored,
+                                           const std::vector<int>& spec_cols);
 
   /// --- Query-bee verification -----------------------------------------------
   /// Abstract-interprets a compiled EVP clause program against the expression

@@ -38,13 +38,29 @@ IndexInfo* TableInfo::GetIndex(const std::string& name) {
 Result<TableInfo*> Catalog::CreateTable(const std::string& name,
                                         Schema schema) {
   std::unique_lock<std::shared_mutex> guard(mutex_);
+  return CreateTableLocked(next_id_++, name, std::move(schema));
+}
+
+Result<TableInfo*> Catalog::CreateTableWithId(TableId id,
+                                              const std::string& name,
+                                              Schema schema) {
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  if (by_id_.count(id) != 0) {
+    return Status::AlreadyExists("table id " + std::to_string(id));
+  }
+  if (id >= next_id_) next_id_ = id + 1;
+  return CreateTableLocked(id, name, std::move(schema));
+}
+
+Result<TableInfo*> Catalog::CreateTableLocked(TableId id,
+                                              const std::string& name,
+                                              Schema schema) {
   if (tables_.count(name) != 0) {
     return Status::AlreadyExists("table " + name);
   }
   if (schema.natts() == 0) {
     return Status::InvalidArgument("table must have at least one column");
   }
-  TableId id = next_id_++;
   auto dm = std::make_unique<DiskManager>();
   std::string path = dir_ + "/t" + std::to_string(id) + "_" + name + ".dat";
   MICROSPEC_RETURN_NOT_OK(dm->Open(path, pool_->stats()));

@@ -90,6 +90,13 @@ class Catalog {
   /// Creates a relation and its backing heap file.
   Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
 
+  /// Recovery-time variant: re-creates a relation under the TableId the WAL
+  /// recorded at its original CREATE TABLE, so logged TupleIds resolve to
+  /// the same heap file. Re-opens (does not truncate) an existing heap file
+  /// and keeps next_id_ above every replayed id.
+  Result<TableInfo*> CreateTableWithId(TableId id, const std::string& name,
+                                       Schema schema);
+
   /// Drops the relation, releasing its buffer-pool frames and deleting the
   /// heap file.
   Status DropTable(const std::string& name);
@@ -104,6 +111,9 @@ class Catalog {
   BufferPool* buffer_pool() { return pool_; }
 
  private:
+  Result<TableInfo*> CreateTableLocked(TableId id, const std::string& name,
+                                       Schema schema);
+
   std::string dir_;
   BufferPool* pool_;
   TableId next_id_ = 1;

@@ -1,0 +1,127 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace microspec {
+namespace failpoint {
+
+namespace {
+
+struct Site {
+  FailpointAction action = FailpointAction::kNone;
+  uint64_t nth = 0;   // fire on this hit (1-based); 0 = disarmed
+  uint64_t hits = 0;  // hits recorded since arming
+};
+
+// Guarded by g_mu. The armed-count atomic lets Hit() bail without taking
+// the lock when nothing is armed anywhere in the process.
+std::mutex g_mu;
+std::map<std::string, Site>& Sites() {
+  static std::map<std::string, Site> sites;
+  return sites;
+}
+std::atomic<int> g_armed{0};
+
+// Parses MICROSPEC_FAILPOINT once before main(). A static initializer is
+// deliberate: the crash children of the differential harness are armed via
+// exec environment and must be live before Database::Open touches disk.
+struct EnvArm {
+  EnvArm() {
+    const char* spec = std::getenv("MICROSPEC_FAILPOINT");
+    if (spec != nullptr && spec[0] != '\0') (void)ArmFromSpec(spec);
+  }
+} g_env_arm;
+
+}  // namespace
+
+void Arm(const std::string& site, FailpointAction action, uint64_t nth) {
+  std::lock_guard<std::mutex> guard(g_mu);
+  Site& s = Sites()[site];
+  if (s.nth == 0) g_armed.fetch_add(1, std::memory_order_relaxed);
+  s.action = action;
+  s.nth = nth == 0 ? 1 : nth;
+  s.hits = 0;
+}
+
+void Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> guard(g_mu);
+  auto it = Sites().find(site);
+  if (it != Sites().end() && it->second.nth != 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (it != Sites().end()) Sites().erase(it);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> guard(g_mu);
+  for (const auto& kv : Sites()) {
+    if (kv.second.nth != 0) g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  Sites().clear();
+}
+
+bool Enabled() { return g_armed.load(std::memory_order_relaxed) != 0; }
+
+FailpointAction Hit(const char* site) {
+  if (!Enabled()) return FailpointAction::kNone;
+  FailpointAction fired = FailpointAction::kNone;
+  {
+    std::lock_guard<std::mutex> guard(g_mu);
+    auto it = Sites().find(site);
+    if (it == Sites().end() || it->second.nth == 0) {
+      return FailpointAction::kNone;
+    }
+    Site& s = it->second;
+    ++s.hits;
+    if (s.hits != s.nth) return FailpointAction::kNone;
+    fired = s.action;
+    s.nth = 0;  // one-shot
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (fired == FailpointAction::kKill) {
+    // SIGKILL, not abort(): the harness models power loss, so no atexit
+    // hooks, no buffered-stream flushes, no destructor writebacks run.
+    ::raise(SIGKILL);
+  }
+  return fired;
+}
+
+bool ArmFromSpec(const std::string& spec) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  std::string site = spec.substr(0, eq);
+  std::string rest = spec.substr(eq + 1);
+  uint64_t nth = 1;
+  size_t at = rest.find('@');
+  if (at != std::string::npos) {
+    const std::string n = rest.substr(at + 1);
+    rest = rest.substr(0, at);
+    if (n.empty()) return false;
+    char* end = nullptr;
+    nth = std::strtoull(n.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || nth == 0) return false;
+  }
+  FailpointAction action;
+  if (rest == "failwrite") {
+    action = FailpointAction::kFailWrite;
+  } else if (rest == "torn") {
+    action = FailpointAction::kTornWrite;
+  } else if (rest == "short") {
+    action = FailpointAction::kShortWrite;
+  } else if (rest == "failsync") {
+    action = FailpointAction::kFailSync;
+  } else if (rest == "kill") {
+    action = FailpointAction::kKill;
+  } else {
+    return false;
+  }
+  Arm(site, action, nth);
+  return true;
+}
+
+}  // namespace failpoint
+}  // namespace microspec

@@ -1,0 +1,66 @@
+#ifndef MICROSPEC_COMMON_FAILPOINT_H_
+#define MICROSPEC_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace microspec {
+
+/// What an armed failpoint does when its Nth hit arrives.
+enum class FailpointAction : uint8_t {
+  kNone = 0,
+  kFailWrite,   // the write reports an error; nothing reaches the file
+  kTornWrite,   // only the first 512-byte sector reaches the file
+  kShortWrite,  // 512 bytes reach the file and the write reports an error
+  kFailSync,    // fsync/fdatasync reports an error
+  kKill,        // raise(SIGKILL) at the site — the crash-point harness hook
+};
+
+/// Fault-injection seam for the recovery proof harness.
+///
+/// Sites are short dotted strings compiled into the I/O paths:
+///
+///   disk.write    DiskManager::WritePage, before the pwrite
+///   disk.sync     DiskManager::Sync, before the fdatasync
+///   wal.prewrite  Wal flush, before the log pwrite
+///   wal.presync   Wal flush, after the pwrite, before the fdatasync
+///   wal.postsync  Wal flush, after the fdatasync, before the durable
+///                 offset is published
+///
+/// A site is armed either programmatically (Arm) or from the environment:
+/// MICROSPEC_FAILPOINT="wal.presync=kill@3" arms the third hit of
+/// wal.presync to SIGKILL the process. The env form is parsed once at
+/// static-init time so a freshly exec'd child (the differential harness's
+/// crash children) is armed before any database code runs.
+///
+/// Firing is one-shot: after the Nth hit triggers, the site disarms itself.
+/// The fast path when nothing is armed anywhere is a single relaxed atomic
+/// load of a global armed-count — zero measurable overhead in production.
+namespace failpoint {
+
+/// Arms `site` to perform `action` on its `nth` hit (1-based).
+void Arm(const std::string& site, FailpointAction action, uint64_t nth = 1);
+
+/// Disarms one site / all sites and resets their hit counters.
+void Disarm(const std::string& site);
+void DisarmAll();
+
+/// True if any site is armed (relaxed; callers gate Hit() on this).
+bool Enabled();
+
+/// Records a hit at `site`. Returns the action to perform if this hit is
+/// the armed Nth hit (disarming the site), kNone otherwise. kKill never
+/// returns: the raise(SIGKILL) happens inside.
+FailpointAction Hit(const char* site);
+
+/// Parses "site=action@n" (action in {failwrite, torn, short, failsync,
+/// kill}; "@n" optional, default 1) and arms it. Returns false on a
+/// malformed spec. Exposed for the unit tests; the MICROSPEC_FAILPOINT
+/// environment variable goes through this at load time.
+bool ArmFromSpec(const std::string& spec);
+
+}  // namespace failpoint
+
+}  // namespace microspec
+
+#endif  // MICROSPEC_COMMON_FAILPOINT_H_

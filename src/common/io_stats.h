@@ -19,12 +19,20 @@ struct IoStats {
   telemetry::Counter pages_written;
   telemetry::Counter buffer_hits;
   telemetry::Counter buffer_misses;
+  // WAL accounting. wal_fsyncs is the group-commit proof metric: N
+  // concurrent committers sharing one flush batch must move it by exactly 1.
+  telemetry::Counter wal_records;
+  telemetry::Counter wal_bytes;
+  telemetry::Counter wal_fsyncs;
 
   void Reset() {
     pages_read.Reset();
     pages_written.Reset();
     buffer_hits.Reset();
     buffer_misses.Reset();
+    wal_records.Reset();
+    wal_bytes.Reset();
+    wal_fsyncs.Reset();
   }
 };
 

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bee/bee_module.h"
@@ -14,6 +16,8 @@
 #include "exec/operator.h"
 #include "exec/shared_bees.h"
 #include "exec/stats_feedback.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
 
 namespace microspec {
 
@@ -73,6 +77,26 @@ struct DatabaseOptions {
   /// min/max/ndv sketches during scans and observed selectivity per EVP/EVJ
   /// fingerprint, merged into SnapshotTelemetry(). Off by default.
   bool stats_feedback = false;
+  /// Write-ahead logging (DESIGN.md §11): physiological WAL + ARIES-lite
+  /// restart recovery. Off by default — the benchmarks that predate the WAL
+  /// keep their exact I/O profile.
+  bool wal_enabled = false;
+  /// Group commit: a dedicated flusher batches concurrent commits into one
+  /// fdatasync. When false every Commit syncs inline (the 1-commit baseline
+  /// bench_wal compares against).
+  bool wal_group_commit = true;
+  /// Flusher batching window in microseconds (0 = coalesce only what is
+  /// already pending when the flusher wakes).
+  int wal_group_commit_window_us = 0;
+};
+
+/// Handle for one WAL transaction: the id plus the start-LSN of its most
+/// recent log record (the head of its prev_lsn chain, walked by rollback
+/// and restart undo). Obtained from Database::BeginTxn and threaded through
+/// the DML helpers; a null txn autocommits each statement.
+struct WalTxn {
+  uint64_t id = 0;
+  uint64_t last_lsn = 0;
 };
 
 /// The engine facade: owns the buffer pool, catalog, and (optionally) the
@@ -95,6 +119,37 @@ class Database {
   /// bee (GCL/SCL) and tuple-bee manager — the paper's DDL-compiler hook.
   Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
   Status DropTable(const std::string& name);  // also runs the Bee Collector
+
+  /// Index DDL through the engine so it reaches the WAL: logs a
+  /// kCreateIndex record (durable before return) and creates the B+tree.
+  /// The index starts empty, exactly like TableInfo::CreateIndex.
+  Result<IndexInfo*> CreateIndex(TableInfo* table, const std::string& name,
+                                 std::vector<int> key_columns);
+
+  /// nullptr unless options().wal_enabled.
+  Wal* wal() { return wal_.get(); }
+
+  /// What restart recovery did when this database was opened (ran == false
+  /// when the WAL is disabled or the log was empty).
+  const RecoveryStats& last_recovery() const { return last_recovery_; }
+
+  /// --- WAL transactions -----------------------------------------------------
+  /// Statement-level autocommit is the default (DML with txn == nullptr);
+  /// these give multi-statement atomicity. Requires wal_enabled.
+
+  Result<WalTxn> BeginTxn();
+  /// Appends kCommit and blocks until the transaction is durable (one
+  /// fdatasync per group-commit batch, not per committer).
+  Status CommitTxn(WalTxn* txn);
+  /// Runtime rollback: walks the prev_lsn chain backwards applying page
+  /// inverses through the relation log bees, writing one CLR per undone
+  /// record, fixing indexes, then appends kAbort.
+  Status AbortTxn(WalTxn* txn);
+
+  /// kill -9 stand-in for in-suite recovery tests: drops the WAL's pending
+  /// buffer and every buffered dirty page, and suppresses the destructor's
+  /// flush — on-disk state is exactly what a SIGKILL would have left.
+  void SimulateCrashForTests();
 
   /// Default session for this database: all bee routines on (bee-enabled)
   /// or none (stock).
@@ -148,16 +203,19 @@ class Database {
   /// All maintain the table's B+tree indexes.
 
   Result<TupleId> Insert(ExecContext* ctx, TableInfo* table,
-                         const Datum* values, const bool* isnull);
+                         const Datum* values, const bool* isnull,
+                         WalTxn* txn = nullptr);
 
   /// Replaces the tuple at `tid` with new values; index entries follow a
   /// moved tuple. Assumes index key columns are unchanged unless
-  /// `keys_changed`.
+  /// `keys_changed`. An in-place update logs one kUpdate record; a moved
+  /// update logs a kDelete + kInsert pair (see storage/wal.h).
   Result<TupleId> Update(ExecContext* ctx, TableInfo* table, TupleId tid,
                          const Datum* values, const bool* isnull,
-                         bool keys_changed = false);
+                         bool keys_changed = false, WalTxn* txn = nullptr);
 
-  Status Delete(ExecContext* ctx, TableInfo* table, TupleId tid);
+  Status Delete(ExecContext* ctx, TableInfo* table, TupleId tid,
+                WalTxn* txn = nullptr);
 
   /// Fetches and deforms one tuple (point read).
   Status ReadTuple(ExecContext* ctx, TableInfo* table, TupleId tid,
@@ -167,7 +225,11 @@ class Database {
   /// routes every tuple through the session's TupleFormer (SCL bee or stock).
   class BulkLoader {
    public:
-    BulkLoader(Database* db, ExecContext* ctx, TableInfo* table);
+    /// With the WAL enabled the loader logs every appended tuple; pass a
+    /// transaction to make the whole load atomic, or leave `txn` null and
+    /// the loader runs its own (begun here, committed in Finish).
+    BulkLoader(Database* db, ExecContext* ctx, TableInfo* table,
+               WalTxn* txn = nullptr);
     Status Append(const Datum* values, const bool* isnull);
     Status Finish();
 
@@ -178,6 +240,9 @@ class Database {
     HeapFile::BulkAppender appender_;
     std::string buf_;
     uint64_t count_ = 0;
+    WalTxn* txn_ = nullptr;
+    WalTxn own_txn_;  // used when no caller transaction was supplied
+    bool own_active_ = false;
   };
 
   /// Drains the bee forge: every pending native compile has been promoted,
@@ -212,20 +277,48 @@ class Database {
 
   static IndexKey KeyFor(const IndexInfo& idx, const Datum* values);
 
+  /// Persists tuple-bee data sections this relation grew since the last
+  /// call: one non-transactional kBeeSection record per new section,
+  /// appended BEFORE the DML record whose tuple references them — a redo
+  /// of that tuple always finds its section. No-op without tuple bees.
+  Status LogNewSections(TableInfo* table);
+
+  /// Appends one DML record for `txn`, advances the chain head, and stamps
+  /// `page` (if non-null) with the record's end-LSN while it is still
+  /// pinned — the WAL rule's ordering point.
+  uint64_t LogDml(WalTxn* txn, WalRecordType type, const std::string& payload,
+                  char* page);
+
   /// Lazily creates (or grows) the shared query-executor pool so it has at
   /// least `dop` threads. Growing replaces the pool, so it is only safe
   /// between queries — contexts hold the pool pointer for their lifetime.
   ThreadPool* Executor(int dop);
 
+  friend Result<RecoveryStats> RunRecovery(Database* db);
+  friend Status UndoTransactionChain(Database* db, uint64_t txn_id,
+                                     uint64_t last_lsn, bool fix_indexes,
+                                     uint64_t* out_last_lsn,
+                                     uint64_t* clrs_appended);
+
   DatabaseOptions options_;  // before tracer_: its ctor reads the options
   trace::Tracer tracer_;
   StatsFeedback stats_feedback_;
   IoStats stats_;
+  /// Before pool_ (destroyed after it): catalog/pool teardown may write back
+  /// dirty pages, and the pool's flush hook targets this WAL.
+  std::unique_ptr<Wal> wal_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<bee::BeeModule> bees_;
   QueryBeeCache shared_bees_;
   std::atomic<uint64_t> ddl_epoch_{0};
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<bool> crashed_{false};  // SimulateCrashForTests ran
+  RecoveryStats last_recovery_;
+  /// Sections already persisted per relation (kBeeSection records appended),
+  /// so each new section is logged exactly once.
+  std::mutex wal_sections_mu_;
+  std::unordered_map<TableId, int> wal_logged_sections_;
   std::mutex executor_mu_;
   int executor_threads_ = 0;
   /// Declared last: destroyed first, so in-flight worker tasks finish (the

@@ -16,9 +16,9 @@ namespace microspec {
 /// Upper bound on live tuples in one slotted page, and therefore on the
 /// batch size a page-granular scan can ever fill: each tuple costs at least
 /// a 4-byte slot entry plus 8 bytes of kMaxAlign-aligned tuple data out of
-/// the kPageSize - 8 bytes left after the page header.
+/// the bytes left after the page header.
 inline constexpr int kMaxTuplesPerPage =
-    static_cast<int>((kPageSize - 8) / (4 + 8));  // 682
+    static_cast<int>((kPageSize - kPageHeaderSize) / (4 + 8));  // 680
 
 /// A batch of rows in column-major layout: per-column Datum/null arrays of
 /// `capacity` entries plus a selection vector listing the live row indices

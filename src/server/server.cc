@@ -411,9 +411,11 @@ void Server::Shutdown() {
       return in_system_.load(std::memory_order_acquire) == 0;
     });
   }
-  // 3. Tear down the session pool (all tasks done), then quiesce the bee
-  //    forge so no background compile outlives the server.
+  // 3. Tear down the session pool (all tasks done), checkpoint so a clean
+  //    shutdown leaves nothing for restart recovery to redo, then quiesce
+  //    the bee forge so no background compile outlives the server.
   session_pool_.reset();
+  (void)db_->Checkpoint();
   db_->QuiesceBees();
   shutdown_done_ = true;
 }

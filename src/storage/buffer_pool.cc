@@ -68,6 +68,19 @@ int BufferPool::FindVictim(Status* status) {
     if (f.valid && f.dirty) {
       DiskManager* dm = files_[static_cast<uint32_t>(f.key >> 32)];
       MICROSPEC_CHECK(dm != nullptr);
+      // WAL rule: the log must be durable up to this page's LSN before the
+      // page image can reach disk, or a crash could expose effects whose
+      // log records were lost.
+      if (wal_hook_ != nullptr) {
+        uint64_t lsn = PageGetLsn(f.data.get());
+        if (lsn != 0) {
+          Status st = wal_hook_(lsn);
+          if (!st.ok()) {
+            *status = st;
+            return -1;
+          }
+        }
+      }
       Status st = dm->WritePage(static_cast<PageNo>(f.key & 0xFFFFFFFF),
                                 f.data.get());
       if (!st.ok()) {
@@ -157,12 +170,27 @@ Status BufferPool::FlushAll() {
     if (f.valid && f.dirty) {
       DiskManager* dm = files_[static_cast<uint32_t>(f.key >> 32)];
       if (dm == nullptr) continue;
+      if (wal_hook_ != nullptr) {
+        uint64_t lsn = PageGetLsn(f.data.get());
+        if (lsn != 0) MICROSPEC_RETURN_NOT_OK(wal_hook_(lsn));
+      }
       MICROSPEC_RETURN_NOT_OK(
           dm->WritePage(static_cast<PageNo>(f.key & 0xFFFFFFFF), f.data.get()));
       f.dirty = false;
     }
   }
   return Status::OK();
+}
+
+void BufferPool::DiscardAllForTests() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (Frame& f : frames_) {
+    MICROSPEC_CHECK(f.pin_count == 0);
+    f.valid = false;
+    f.dirty = false;
+    f.key = ~0ULL;
+  }
+  table_.clear();
 }
 
 Status BufferPool::DropAll() {

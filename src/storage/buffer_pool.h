@@ -2,6 +2,7 @@
 #define MICROSPEC_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -38,8 +39,14 @@ class PageGuard {
       page_no_ = other.page_no_;
       data_ = other.data_;
       dirty_ = other.dirty_;
+      // Fully reset the moved-from guard. Leaving dirty_ behind is a live
+      // trap: a reused moved-from guard would mark its next page dirty (and
+      // schedule a writeback) it never touched.
       other.pool_ = nullptr;
       other.data_ = nullptr;
+      other.file_id_ = 0;
+      other.page_no_ = 0;
+      other.dirty_ = false;
     }
     return *this;
   }
@@ -48,6 +55,7 @@ class PageGuard {
   char* data() { return data_; }
   const char* data() const { return data_; }
   PageNo page_no() const { return page_no_; }
+  bool dirty() const { return dirty_; }
 
   /// Marks the frame dirty; it will be written back before eviction.
   void MarkDirty() { dirty_ = true; }
@@ -88,6 +96,19 @@ class BufferPool {
   /// Writes back and evicts every frame (cold-cache reset).
   Status DropAll();
 
+  /// Discards every frame without writing anything back — the in-process
+  /// stand-in for kill -9 used by recovery tests. Pinned frames are a bug
+  /// in the caller (the crash must be simulated at a quiescent point).
+  void DiscardAllForTests();
+
+  /// Installs the WAL-rule hook: before a dirty page with LSN L is written
+  /// back (eviction or FlushAll), the pool calls hook(L) so the log can be
+  /// forced durable up to L first. Install once at Database::Open, before
+  /// any writeback can happen.
+  void SetWalFlushHook(std::function<Status(uint64_t)> hook) {
+    wal_hook_ = std::move(hook);
+  }
+
   IoStats* stats() { return stats_; }
   size_t num_frames() const { return frames_.size(); }
 
@@ -122,6 +143,7 @@ class BufferPool {
   std::vector<bool> in_lru_;
   std::unordered_map<uint32_t, DiskManager*> files_;
   IoStats* stats_;
+  std::function<Status(uint64_t)> wal_hook_;
 };
 
 }  // namespace microspec

@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace microspec {
 
 namespace {
@@ -48,14 +50,42 @@ Status DiskManager::ReadPage(PageNo page_no, char* out) {
     return Status::IoError("short read of page " + std::to_string(page_no) +
                            " in " + path_);
   }
+  if (!PageChecksumOk(out)) {
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(page_no) + " in " + path_);
+  }
   if (stats_ != nullptr) {
     stats_->pages_read.Add(1);
   }
   return Status::OK();
 }
 
-Status DiskManager::WritePage(PageNo page_no, const char* data) {
+Status DiskManager::WritePage(PageNo page_no, char* data) {
   MICROSPEC_DCHECK(fd_ >= 0);
+  // Stamp before consulting the failpoint: a torn write must leave a page
+  // whose stored checksum covers the *complete* image, so the surviving
+  // first sector fails verification on the next read — exactly how a real
+  // torn sector presents after power loss.
+  PageStampChecksum(data);
+  if (failpoint::Enabled()) {
+    switch (failpoint::Hit("disk.write")) {
+      case FailpointAction::kFailWrite:
+        return Status::IoError("injected write failure on page " +
+                               std::to_string(page_no) + " in " + path_);
+      case FailpointAction::kTornWrite:
+        // Only the first 512-byte sector reaches the platter; the caller
+        // sees success. Detection is the reader's job (checksum).
+        (void)::pwrite(fd_, data, 512, static_cast<off_t>(page_no) * kPageSize);
+        if (stats_ != nullptr) stats_->pages_written.Add(1);
+        return Status::OK();
+      case FailpointAction::kShortWrite:
+        (void)::pwrite(fd_, data, 512, static_cast<off_t>(page_no) * kPageSize);
+        return Status::IoError("injected short write on page " +
+                               std::to_string(page_no) + " in " + path_);
+      default:
+        break;
+    }
+  }
   ssize_t n = ::pwrite(fd_, data, kPageSize,
                        static_cast<off_t>(page_no) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) {
@@ -70,6 +100,10 @@ Status DiskManager::WritePage(PageNo page_no, const char* data) {
 
 Status DiskManager::Sync() {
   MICROSPEC_DCHECK(fd_ >= 0);
+  if (failpoint::Enabled() &&
+      failpoint::Hit("disk.sync") == FailpointAction::kFailSync) {
+    return Status::IoError("injected fsync failure for " + path_);
+  }
   if (::fdatasync(fd_) != 0) {
     return Status::IoError("fdatasync " + path_ + ": " + std::strerror(errno));
   }

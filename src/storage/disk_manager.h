@@ -26,8 +26,16 @@ class DiskManager {
   Status Open(const std::string& path, IoStats* stats);
   void Close();
 
+  /// Reads one page and verifies its CRC-32C checksum; a mismatch (torn
+  /// sector, partial write) returns Corruption so recovery can rebuild the
+  /// page from the log. All-zero pages (fresh allocations) are valid.
   Status ReadPage(PageNo page_no, char* out);
-  Status WritePage(PageNo page_no, const char* data);
+
+  /// Stamps the page checksum into `data` and writes it out. Non-const:
+  /// the checksum covers the final page image, so it must be computed in
+  /// place at the last moment before the pwrite. Consults the "disk.write"
+  /// failpoint (fail/torn/short writes for the recovery proof harness).
+  Status WritePage(PageNo page_no, char* data);
 
   /// Forces written pages to stable storage (fdatasync). Called by
   /// Database::Checkpoint so durability costs scale with bytes written —

@@ -13,7 +13,8 @@ HeapFile::HeapFile(BufferPool* pool, std::unique_ptr<DiskManager> dm)
 
 HeapFile::~HeapFile() { pool_->UnregisterFile(dm_->file_id()); }
 
-Result<TupleId> HeapFile::Insert(const char* tuple, uint32_t len) {
+Result<TupleId> HeapFile::Insert(const char* tuple, uint32_t len,
+                                 PageGuard* pin_out) {
   MICROSPEC_CHECK(len + 64 < kPageSize);
   // Try the append hint first, then allocate a fresh page.
   if (append_hint_ != kInvalidPageNo) {
@@ -23,6 +24,7 @@ Result<TupleId> HeapFile::Insert(const char* tuple, uint32_t len) {
     int slot = page.InsertTuple(tuple, len);
     if (slot >= 0) {
       guard.MarkDirty();
+      if (pin_out != nullptr) *pin_out = std::move(guard);
       return MakeTupleId(append_hint_, static_cast<uint16_t>(slot));
     }
   }
@@ -34,10 +36,11 @@ Result<TupleId> HeapFile::Insert(const char* tuple, uint32_t len) {
   MICROSPEC_CHECK(slot >= 0);
   guard.MarkDirty();
   append_hint_ = page_no;
+  if (pin_out != nullptr) *pin_out = std::move(guard);
   return MakeTupleId(page_no, static_cast<uint16_t>(slot));
 }
 
-Status HeapFile::Delete(TupleId tid) {
+Status HeapFile::Delete(TupleId tid, PageGuard* pin_out) {
   MICROSPEC_ASSIGN_OR_RETURN(PageGuard guard,
                              pool_->Pin(dm_->file_id(), TupleIdPage(tid)));
   SlottedPage page(guard.data());
@@ -50,25 +53,29 @@ Status HeapFile::Delete(TupleId tid) {
   }
   page.DeleteTuple(TupleIdSlot(tid));
   guard.MarkDirty();
+  if (pin_out != nullptr) *pin_out = std::move(guard);
   return Status::OK();
 }
 
-Result<TupleId> HeapFile::Update(TupleId tid, const char* tuple, uint32_t len) {
-  {
-    MICROSPEC_ASSIGN_OR_RETURN(PageGuard guard,
-                               pool_->Pin(dm_->file_id(), TupleIdPage(tid)));
-    SlottedPage page(guard.data());
-    if (TupleIdSlot(tid) >= page.slot_count()) {
-      return Status::NotFound("update: bad slot");
-    }
-    if (page.UpdateTupleInPlace(TupleIdSlot(tid), tuple, len)) {
-      guard.MarkDirty();
-      return tid;
-    }
-    page.DeleteTuple(TupleIdSlot(tid));
-    guard.MarkDirty();
+Result<TupleId> HeapFile::Update(TupleId tid, const char* tuple, uint32_t len,
+                                 PageGuard* pin_old, PageGuard* pin_new) {
+  MICROSPEC_ASSIGN_OR_RETURN(PageGuard guard,
+                             pool_->Pin(dm_->file_id(), TupleIdPage(tid)));
+  SlottedPage page(guard.data());
+  if (TupleIdSlot(tid) >= page.slot_count()) {
+    return Status::NotFound("update: bad slot");
   }
-  return Insert(tuple, len);
+  if (page.UpdateTupleInPlace(TupleIdSlot(tid), tuple, len)) {
+    guard.MarkDirty();
+    if (pin_new != nullptr) *pin_new = std::move(guard);
+    return tid;
+  }
+  page.DeleteTuple(TupleIdSlot(tid));
+  guard.MarkDirty();
+  // The old page stays pinned across the re-insert so a logging caller can
+  // stamp both pages' LSNs before either pin drops.
+  if (pin_old != nullptr) *pin_old = std::move(guard);
+  return Insert(tuple, len, pin_new);
 }
 
 Status HeapFile::Fetch(TupleId tid, char* buf, uint32_t cap, uint32_t* len) {

@@ -23,16 +23,26 @@ class HeapFile {
   ~HeapFile();
   MICROSPEC_DISALLOW_COPY_AND_MOVE(HeapFile);
 
-  /// Inserts a tuple, extending the file as needed.
-  Result<TupleId> Insert(const char* tuple, uint32_t len);
+  /// Inserts a tuple, extending the file as needed. When `pin_out` is
+  /// non-null it receives the (still dirty-marked) pin on the target page,
+  /// so a WAL-logging caller can append the record and stamp the page LSN
+  /// while the page cannot be evicted underneath it.
+  Result<TupleId> Insert(const char* tuple, uint32_t len,
+                         PageGuard* pin_out = nullptr);
 
-  /// Marks the tuple dead.
-  Status Delete(TupleId tid);
+  /// Marks the tuple dead. `pin_out` as in Insert.
+  Status Delete(TupleId tid, PageGuard* pin_out = nullptr);
 
   /// Replaces the tuple. Updates in place when the new version fits in the
   /// old slot's footprint; otherwise deletes and re-inserts, returning the
-  /// (possibly new) TupleId.
-  Result<TupleId> Update(TupleId tid, const char* tuple, uint32_t len);
+  /// (possibly new) TupleId. For WAL logging, `pin_old` receives the pin on
+  /// the original page and `pin_new` the pin on the page holding the new
+  /// version; for the in-place path only `pin_new` is populated (one page,
+  /// one pin). The old page stays pinned across the re-insert so neither
+  /// half of a moved update can be written back before its LSN is stamped.
+  Result<TupleId> Update(TupleId tid, const char* tuple, uint32_t len,
+                         PageGuard* pin_old = nullptr,
+                         PageGuard* pin_new = nullptr);
 
   /// Copies the tuple at `tid` into `buf` (at most `cap` bytes) and sets
   /// `*len`. Returns NotFound for dead or out-of-range tuples.
@@ -89,6 +99,12 @@ class HeapFile {
    public:
     explicit BulkAppender(HeapFile* hf) : hf_(hf) {}
     Result<TupleId> Append(const char* tuple, uint32_t len);
+    /// Stamps the WAL LSN onto the currently pinned tail page (no-op when
+    /// nothing is pinned). Bulk loading logs per-tuple like Insert but the
+    /// tail page stays pinned across appends, so the stamp rides here.
+    void StampLsn(uint64_t lsn) {
+      if (guard_.data() != nullptr) PageSetLsn(guard_.data(), lsn);
+    }
     void Finish() { guard_.Release(); }
 
    private:

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/align.h"
+#include "common/hash.h"
 #include "common/macros.h"
 
 namespace microspec {
@@ -30,12 +31,79 @@ inline uint16_t TupleIdSlot(TupleId tid) {
   return static_cast<uint16_t>(tid & 0xFFFF);
 }
 
+/// Byte layout of the page header. Exported as constants (rather than only
+/// a private struct) because the native log-bee applier is generated C that
+/// burns these offsets in as literals, and the verifier's native-source
+/// lint re-derives them independently to cross-check the generator.
+///
+///   [0,8)    lsn       end-LSN of the last WAL record applied (WAL rule)
+///   [8,12)   checksum  CRC-32C over the page with this field zeroed
+///   [12,14)  slot_count
+///   [14,16)  free_start  first free byte after the slot array
+///   [16,18)  free_end    first used byte of tuple data
+///   [18,20)  flags
+///   [20,24)  reserved
+inline constexpr uint32_t kPageLsnOffset = 0;
+inline constexpr uint32_t kPageChecksumOffset = 8;
+inline constexpr uint32_t kPageSlotCountOffset = 12;
+inline constexpr uint32_t kPageFreeStartOffset = 14;
+inline constexpr uint32_t kPageFreeEndOffset = 16;
+inline constexpr uint32_t kPageFlagsOffset = 18;
+inline constexpr uint32_t kPageHeaderSize = 24;
+inline constexpr uint32_t kPageSlotSize = 4;
+
+/// Page-LSN accessors work on raw buffers so the buffer pool can consult
+/// them without constructing a SlottedPage.
+inline uint64_t PageGetLsn(const char* page) {
+  uint64_t lsn;
+  std::memcpy(&lsn, page + kPageLsnOffset, sizeof(lsn));
+  return lsn;
+}
+inline void PageSetLsn(char* page, uint64_t lsn) {
+  std::memcpy(page + kPageLsnOffset, &lsn, sizeof(lsn));
+}
+
+/// An all-zero page is a freshly allocated, never-initialised page; it is
+/// valid without a checksum (AllocatePage extends files with zeros).
+inline bool PageIsZero(const char* page) {
+  for (uint32_t i = 0; i < kPageSize; ++i) {
+    if (page[i] != 0) return false;
+  }
+  return true;
+}
+
+/// CRC over the whole page with the checksum field treated as zero.
+inline uint32_t PageComputeChecksum(const char* page) {
+  static constexpr uint32_t kZero = 0;
+  uint32_t crc = Crc32(page, kPageChecksumOffset);
+  crc = Crc32(&kZero, sizeof(kZero), crc);
+  return Crc32(page + kPageChecksumOffset + 4,
+               kPageSize - kPageChecksumOffset - 4, crc);
+}
+
+inline void PageStampChecksum(char* page) {
+  uint32_t crc = PageComputeChecksum(page);
+  std::memcpy(page + kPageChecksumOffset, &crc, sizeof(crc));
+}
+
+/// True if the stored checksum matches (or the page is all zeros). A torn
+/// 512-byte sector write leaves a mismatch, which ReadPage reports as
+/// corruption and recovery repairs from the log.
+inline bool PageChecksumOk(const char* page) {
+  uint32_t stored;
+  std::memcpy(&stored, page + kPageChecksumOffset, sizeof(stored));
+  if (stored == 0 && PageIsZero(page)) return true;
+  return stored == PageComputeChecksum(page);
+}
+
 /// A slotted heap page laid out over a raw kPageSize buffer:
 ///
 ///   [ header | slot array (grows up) ... free ... tuple data (grows down) ]
 ///
-/// Slot entries are (offset, length); length 0 marks a dead slot. Tuples are
-/// stored 8-byte aligned so deformed pointer Datums honor kMaxAlign.
+/// Slot entries are (offset, length); length 0 marks a dead slot (the offset
+/// is preserved, which is what lets redo re-install a tuple into its original
+/// position). Tuples are stored 8-byte aligned so deformed pointer Datums
+/// honor kMaxAlign.
 class SlottedPage {
  public:
   explicit SlottedPage(char* data) : data_(data) {}
@@ -43,10 +111,14 @@ class SlottedPage {
   /// Formats an empty page.
   static void Init(char* data) {
     Header* h = reinterpret_cast<Header*>(data);
+    h->lsn = 0;
+    h->checksum = 0;
     h->slot_count = 0;
     h->free_start = sizeof(Header);
     h->free_end = kPageSize;
     h->flags = 0;
+    h->reserved[0] = 0;
+    h->reserved[1] = 0;
   }
 
   uint16_t slot_count() const { return header()->slot_count; }
@@ -87,6 +159,19 @@ class SlottedPage {
     slot(slot_idx)->length = 0;
   }
 
+  /// Re-installs a tuple into a dead slot at its preserved offset — the
+  /// undo of DeleteTuple, used by recovery. Fails if the slot is live, out
+  /// of range, or the image would not fit at the preserved offset.
+  bool RestoreTuple(uint16_t slot_idx, const char* tuple, uint32_t len) {
+    if (slot_idx >= slot_count()) return false;
+    Slot* s = slot(slot_idx);
+    if (s->length != 0) return false;
+    if (static_cast<uint32_t>(s->offset) + len > kPageSize) return false;
+    std::memcpy(data_ + s->offset, tuple, len);
+    s->length = static_cast<uint16_t>(len);
+    return true;
+  }
+
   /// Overwrites a tuple in place; only legal when new_len fits in the slot's
   /// original aligned footprint. Returns false otherwise.
   bool UpdateTupleInPlace(uint16_t slot_idx, const char* tuple,
@@ -104,15 +189,20 @@ class SlottedPage {
 
  private:
   struct Header {
+    uint64_t lsn;
+    uint32_t checksum;
     uint16_t slot_count;
     uint16_t free_start;  // first free byte after the slot array
     uint16_t free_end;    // first used byte of tuple data
     uint16_t flags;
+    uint16_t reserved[2];
   };
+  static_assert(sizeof(Header) == kPageHeaderSize, "header layout drift");
   struct Slot {
     uint16_t offset;
     uint16_t length;  // 0 = dead
   };
+  static_assert(sizeof(Slot) == kPageSlotSize, "slot layout drift");
 
   Header* header() { return reinterpret_cast<Header*>(data_); }
   const Header* header() const { return reinterpret_cast<const Header*>(data_); }

@@ -1,0 +1,124 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "test_util.h"
+
+namespace microspec {
+namespace {
+
+using testing::ScratchDir;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, SpecParsing) {
+  EXPECT_TRUE(failpoint::ArmFromSpec("disk.write=failwrite"));
+  EXPECT_TRUE(failpoint::ArmFromSpec("wal.presync=torn@3"));
+  EXPECT_TRUE(failpoint::ArmFromSpec("disk.sync=failsync@12"));
+  EXPECT_TRUE(failpoint::ArmFromSpec("wal.postsync=short"));
+  EXPECT_FALSE(failpoint::ArmFromSpec(""));
+  EXPECT_FALSE(failpoint::ArmFromSpec("nosite"));
+  EXPECT_FALSE(failpoint::ArmFromSpec("disk.write=unknownaction"));
+  EXPECT_FALSE(failpoint::ArmFromSpec("disk.write=torn@"));
+  EXPECT_FALSE(failpoint::ArmFromSpec("disk.write=torn@zero"));
+  failpoint::DisarmAll();
+  EXPECT_FALSE(failpoint::Enabled());
+}
+
+TEST_F(FailpointTest, FiresOnNthHitThenDisarms) {
+  failpoint::Arm("disk.write", FailpointAction::kFailWrite, 3);
+  EXPECT_TRUE(failpoint::Enabled());
+  EXPECT_EQ(failpoint::Hit("disk.write"), FailpointAction::kNone);
+  EXPECT_EQ(failpoint::Hit("disk.write"), FailpointAction::kNone);
+  EXPECT_EQ(failpoint::Hit("disk.write"), FailpointAction::kFailWrite);
+  // One-shot: the site disarmed itself.
+  EXPECT_EQ(failpoint::Hit("disk.write"), FailpointAction::kNone);
+  EXPECT_FALSE(failpoint::Enabled());
+}
+
+TEST_F(FailpointTest, SitesAreIndependent) {
+  failpoint::Arm("disk.write", FailpointAction::kTornWrite, 1);
+  EXPECT_EQ(failpoint::Hit("disk.sync"), FailpointAction::kNone);
+  EXPECT_EQ(failpoint::Hit("disk.write"), FailpointAction::kTornWrite);
+}
+
+/// A disk-manager fixture: one allocated page with recognizable bytes.
+class DiskFailpointTest : public FailpointTest {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(dm_.Open(dir_.path() + "/fp.dat", &stats_));
+    PageNo pn = 0;
+    ASSERT_OK(dm_.AllocatePage(&pn));
+    page_.assign(kPageSize, '\0');
+    SlottedPage::Init(page_.data());
+    SlottedPage page(page_.data());
+    // Content reaching past the first 512-byte sector, so a torn write
+    // changes bytes the checksum covers.
+    std::string tuple(600, 'q');
+    ASSERT_GE(page.InsertTuple(tuple.data(),
+                               static_cast<uint32_t>(tuple.size())), 0);
+  }
+
+  ScratchDir dir_;
+  IoStats stats_;
+  DiskManager dm_;
+  std::vector<char> page_;
+};
+
+TEST_F(DiskFailpointTest, FailWriteReportsErrorAndWritesNothing) {
+  ASSERT_OK(dm_.WritePage(0, page_.data()));
+  failpoint::Arm("disk.write", FailpointAction::kFailWrite, 1);
+  std::vector<char> other = page_;
+  SlottedPage p(other.data());
+  p.DeleteTuple(0);
+  EXPECT_FALSE(dm_.WritePage(0, other.data()).ok());
+  // The original (checksummed) image is still intact on disk.
+  std::vector<char> read(kPageSize);
+  ASSERT_OK(dm_.ReadPage(0, read.data()));
+  uint32_t len = 0;
+  EXPECT_NE(SlottedPage(read.data()).GetTuple(0, &len), nullptr);
+}
+
+TEST_F(DiskFailpointTest, TornWriteIsSilentButCaughtByChecksum) {
+  failpoint::Arm("disk.write", FailpointAction::kTornWrite, 1);
+  // The torn write models power loss mid-sector: the call itself succeeds.
+  ASSERT_OK(dm_.WritePage(0, page_.data()));
+  std::vector<char> read(kPageSize);
+  Status s = dm_.ReadPage(0, read.data());
+  EXPECT_FALSE(s.ok()) << "torn page must fail checksum verification";
+}
+
+TEST_F(DiskFailpointTest, ShortWriteReportsErrorAndCorruptsPage) {
+  failpoint::Arm("disk.write", FailpointAction::kShortWrite, 1);
+  EXPECT_FALSE(dm_.WritePage(0, page_.data()).ok());
+  std::vector<char> read(kPageSize);
+  EXPECT_FALSE(dm_.ReadPage(0, read.data()).ok());
+}
+
+TEST_F(DiskFailpointTest, FailSyncReportsError) {
+  ASSERT_OK(dm_.Sync());
+  failpoint::Arm("disk.sync", FailpointAction::kFailSync, 1);
+  EXPECT_FALSE(dm_.Sync().ok());
+  ASSERT_OK(dm_.Sync());
+}
+
+TEST_F(DiskFailpointTest, AllZeroPagesReadCleanly) {
+  // A freshly allocated (never written) page is all zeros — valid, not torn.
+  PageNo pn = 0;
+  ASSERT_OK(dm_.AllocatePage(&pn));
+  std::vector<char> read(kPageSize, 'x');
+  ASSERT_OK(dm_.ReadPage(pn, read.data()));
+  EXPECT_TRUE(PageIsZero(read.data()));
+}
+
+}  // namespace
+}  // namespace microspec

@@ -26,13 +26,14 @@ TEST(VerifierFuzz, NoCatalogInconsistentMutantSurvives) {
   }
 }
 
-/// All six families must be present: the harness proves the whole bee
-/// taxonomy (GCL, SCL, EVP, EVJ, plus both native-source lints), not a
-/// subset that quietly stopped running.
+/// All eight families must be present: the harness proves the whole bee
+/// taxonomy (GCL, SCL, EVP, EVJ, the log applier, plus the native-source
+/// lints), not a subset that quietly stopped running.
 TEST(VerifierFuzz, CoversEveryFamily) {
   FuzzReport rep = RunMutationFuzz(kSeed, 5);
-  std::vector<std::string> want = {"gcl", "scl",        "evp",
-                                   "evj", "native-gcl", "native-evp"};
+  std::vector<std::string> want = {"gcl",        "scl",        "evp",
+                                   "evj",        "native-gcl", "native-evp",
+                                   "logapp",     "native-logapp"};
   ASSERT_EQ(rep.families.size(), want.size());
   for (size_t i = 0; i < want.size(); ++i) {
     EXPECT_EQ(rep.families[i].family, want[i]);
